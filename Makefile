@@ -1,0 +1,45 @@
+# Maxoid reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build test race vet bench tables audit demo examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# The paper's evaluation printed in the paper's table format.
+tables:
+	$(GO) run ./cmd/maxoid-bench
+
+# Table 1: state left behind, stock vs confined.
+audit:
+	$(GO) run ./cmd/maxoid-audit
+
+# Table 2 mounts, Figure 6 SQL dump, §7.1 use cases.
+demo:
+	$(GO) run ./cmd/maxoid-demo
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dropbox
+	$(GO) run ./examples/incognito
+	$(GO) run ./examples/ppriv
+	$(GO) run ./examples/launcher
+
+clean:
+	$(GO) clean ./...

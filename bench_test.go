@@ -1,0 +1,441 @@
+// Package maxoid_test contains the benchmark harness that regenerates
+// the paper's evaluation tables (§7.2) as Go benchmarks:
+//
+//	Table 3 (microbenchmarks): BenchmarkTable3CPU, BenchmarkTable3FS*,
+//	  BenchmarkTable3Dict*
+//	Table 4 (Downloads/Media batches): BenchmarkTable4*
+//	Table 5 (application tasks): BenchmarkTable5*
+//	Table 1 (state audit, correctness smoke): BenchmarkTable1Audit
+//
+// Every benchmark runs in the three configurations of the paper —
+// stock (unmodified-Android layout), Maxoid initiator, Maxoid delegate
+// — as sub-benchmarks, so overhead ratios can be computed from the
+// ns/op of sibling entries. cmd/maxoid-bench does that and prints the
+// tables in the paper's format.
+package maxoid_test
+
+import (
+	"fmt"
+	"testing"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/bench"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/trace"
+)
+
+// --- Table 3: CPU-bound operations ---
+
+func BenchmarkTable3CPU(b *testing.B) {
+	// CPU work is identical in every configuration (Maxoid intercepts
+	// no computation); one sub-benchmark per config documents that.
+	for _, c := range bench.Configs {
+		b.Run(c.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.MatMul(64)
+			}
+		})
+	}
+}
+
+// --- Table 3: internal file system ---
+
+func fsWorld(b *testing.B) *bench.FSWorld {
+	b.Helper()
+	w, err := bench.NewFSWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchFSRead(b *testing.B, size int) {
+	w := fsWorld(b)
+	if err := w.SeedFile("read.bin", size); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range bench.Configs {
+		b.Run(c.String(), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := w.ReadFile(c, "read.bin"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchFSWrite(b *testing.B, size int) {
+	w := fsWorld(b)
+	payload := bench.Payload(size)
+	for _, c := range bench.Configs {
+		b.Run(c.String(), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := w.WriteFile(c, "write.bin", payload); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				w.RemoveFile(c, "write.bin")
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func benchFSAppend(b *testing.B, size int) {
+	w := fsWorld(b)
+	if err := w.SeedFile("append.bin", size); err != nil {
+		b.Fatal(err)
+	}
+	// Appending doubles the file size, per the paper.
+	payload := bench.Payload(size)
+	for _, c := range bench.Configs {
+		b.Run(c.String(), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := w.AppendFile(c, "append.bin", payload); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				// Restore the pre-append state: for the delegate that
+				// also removes the copied-up file, so every append
+				// pays the copy-up as in the paper's worst case.
+				if c == bench.Delegate {
+					w.ResetDelegateCopy("append.bin")
+				} else if err := w.SeedFile("append.bin", size); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkTable3FSRead4KB(b *testing.B)   { benchFSRead(b, 4<<10) }
+func BenchmarkTable3FSWrite4KB(b *testing.B)  { benchFSWrite(b, 4<<10) }
+func BenchmarkTable3FSAppend4KB(b *testing.B) { benchFSAppend(b, 4<<10) }
+func BenchmarkTable3FSRead1MB(b *testing.B)   { benchFSRead(b, 1<<20) }
+func BenchmarkTable3FSWrite1MB(b *testing.B)  { benchFSWrite(b, 1<<20) }
+func BenchmarkTable3FSAppend1MB(b *testing.B) { benchFSAppend(b, 1<<20) }
+
+// --- Table 3: User Dictionary provider ---
+
+func dictWorld(b *testing.B) *bench.DictWorld {
+	b.Helper()
+	w, err := bench.NewDictWorld(1000) // the paper's table size
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchDict(b *testing.B, op func(w *bench.DictWorld, c bench.Config, seq int) error) {
+	w := dictWorld(b)
+	for _, c := range bench.Configs {
+		b.Run(c.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := op(w, c, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable3DictInsert(b *testing.B) {
+	// Distinct sequence ranges per config keep inserted words unique.
+	w := dictWorld(b)
+	for idx, c := range bench.Configs {
+		base := idx * 1_000_000_000
+		b.Run(c.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := w.Insert(c, base+i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable3DictUpdate(b *testing.B) {
+	benchDict(b, func(w *bench.DictWorld, c bench.Config, seq int) error {
+		return w.Update(c, seq)
+	})
+}
+
+func BenchmarkTable3DictQuery1(b *testing.B) {
+	benchDict(b, func(w *bench.DictWorld, c bench.Config, seq int) error {
+		return w.QueryOne(c, seq)
+	})
+}
+
+func BenchmarkTable3DictQuery1k(b *testing.B) {
+	benchDict(b, func(w *bench.DictWorld, c bench.Config, seq int) error {
+		return w.QueryAll(c)
+	})
+}
+
+func BenchmarkTable3DictDelete(b *testing.B) {
+	benchDict(b, func(w *bench.DictWorld, c bench.Config, seq int) error {
+		return w.Delete(c, seq)
+	})
+}
+
+// --- Table 4: Downloads and Media provider batches ---
+
+// downloadsPerOp files per measured batch; the paper uses 100 1KB files
+// per trial.
+const downloadsPerOp = 100
+
+func appWorld(b *testing.B) *bench.AppWorld {
+	b.Helper()
+	w, err := bench.NewAppWorld(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkTable4DownloadPublic(b *testing.B) {
+	w := appWorld(b)
+	for i := 0; i < b.N; i++ {
+		if err := w.DownloadBatch(downloadsPerOp, 1<<10, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4DownloadVolatile(b *testing.B) {
+	w := appWorld(b)
+	for i := 0; i < b.N; i++ {
+		if err := w.DownloadBatch(downloadsPerOp, 1<<10, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMediaScan(b *testing.B, volatile bool) {
+	w := appWorld(b)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		paths, err := w.SeedImages(100, 780<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := w.MediaScanBatch(paths, volatile); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4MediaScanPublic(b *testing.B)   { benchMediaScan(b, false) }
+func BenchmarkTable4MediaScanVolatile(b *testing.B) { benchMediaScan(b, true) }
+
+// --- Table 5: application tasks ---
+
+// pdfSize is the paper's 1.6 MB document.
+const pdfSize = 1600 << 10
+
+func benchTable5(b *testing.B, run func(w *bench.AppWorld, c bench.Config) error) {
+	for _, c := range bench.Configs {
+		b.Run(c.String(), func(b *testing.B) {
+			w := appWorld(b)
+			for i := 0; i < b.N; i++ {
+				if err := run(w, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable5OpenPDF(b *testing.B) {
+	benchTable5(b, func(w *bench.AppWorld, c bench.Config) error {
+		path, err := w.PreparePDF(pdfSize)
+		if err != nil {
+			return err
+		}
+		return w.OpenPDF(c, path)
+	})
+}
+
+func BenchmarkTable5SearchPDF(b *testing.B) {
+	benchTable5(b, func(w *bench.AppWorld, c bench.Config) error {
+		path, err := w.PreparePDF(pdfSize)
+		if err != nil {
+			return err
+		}
+		return w.SearchPDF(c, path)
+	})
+}
+
+func BenchmarkTable5ScanPage(b *testing.B) {
+	benchTable5(b, func(w *bench.AppWorld, c bench.Config) error {
+		path, err := w.PreparePDF(780 << 10)
+		if err != nil {
+			return err
+		}
+		return w.ScanPage(c, path)
+	})
+}
+
+func BenchmarkTable5TakePhoto(b *testing.B) {
+	benchTable5(b, func(w *bench.AppWorld, c bench.Config) error {
+		_, err := w.TakePhoto(c, 780<<10)
+		return err
+	})
+}
+
+func BenchmarkTable5EditPhoto(b *testing.B) {
+	benchTable5(b, func(w *bench.AppWorld, c bench.Config) error {
+		photo, err := w.TakePhoto(c, 780<<10)
+		if err != nil {
+			return err
+		}
+		return w.EditPhoto(c, photo)
+	})
+}
+
+// --- Table 1: state-audit smoke benchmark ---
+
+// BenchmarkTable1Audit measures a full capture-run-diff audit cycle and
+// asserts on every iteration that the confined run leaves no public
+// trace — the Table 1 result under Maxoid.
+func BenchmarkTable1Audit(b *testing.B) {
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ectx, err := s.Launch(apps.EmailPkg, intent.Intent{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs := []string{apps.PDFViewerPkg, apps.EmailPkg}
+	inits := []string{apps.EmailPkg}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("att%06d.pdf", i)
+		if err := suite.Email.Receive(ectx, name, bench.Payload(4<<10)); err != nil {
+			b.Fatal(err)
+		}
+		before, err := trace.Capture(s, pkgs, inits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := suite.Email.ViewAttachment(ectx, name, map[string]string{"from_content_uri": "1"}); err != nil {
+			b.Fatal(err)
+		}
+		after, err := trace.Capture(s, pkgs, inits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := trace.Diff(before, after); d.LeakedPublicly() {
+			b.Fatalf("confined run leaked: %s", d.Summary())
+		}
+	}
+}
+
+// --- Ablation: union-mount depth and COW-view flattening ---
+
+// BenchmarkAblationUnionDepth compares reads through the plain mount
+// against the 2-branch union, isolating the union's lookup cost from
+// the rest of the delegate configuration (DESIGN.md ablation).
+func BenchmarkAblationUnionDepth(b *testing.B) {
+	w := fsWorld(b)
+	if err := w.SeedFile("f.bin", 4<<10); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain-mount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.ReadFile(bench.Stock, "f.bin"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("union-lower-branch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.ReadFile(bench.Delegate, "f.bin"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// After a copy-up, delegate reads hit the writable branch first —
+	// the union's fast path.
+	if err := w.AppendFile(bench.Delegate, "f.bin", bench.Payload(16)); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("union-upper-branch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.ReadFile(bench.Delegate, "f.bin"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFlattening quantifies the subquery-flattening
+// optimization the COW proxy depends on (footnote 5): the same COW-view
+// query with flattening (ORDER BY column included in the projection)
+// and without (materialized view).
+func BenchmarkAblationFlattening(b *testing.B) {
+	w, err := bench.NewDictWorld(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = w
+	// Reconstruct the two query shapes directly against the proxy's
+	// delegate view through QueryOne/QueryAll equivalents:
+	b.Run("flattened", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.QueryAll(bench.Delegate); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := w.QueryAllMaterialized(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure-adjacent: mount table of Table 2 (setup cost) ---
+
+// BenchmarkDelegateSpawn measures Zygote fork + branch-manager mount
+// setup for delegates — the launch-time cost Maxoid adds, not reported
+// as a table in the paper but called out in §4.2.
+func BenchmarkDelegateSpawn(b *testing.B) {
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = suite
+	if _, err := s.Launch(apps.EmailPkg, intent.Intent{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, err := s.LaunchAsDelegate(apps.PDFViewerPkg, apps.EmailPkg, intent.Intent{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.AM.StopInstance(apps.PDFViewerPkg, apps.EmailPkg)
+		_ = ctx
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,176 @@
+// Command maxoid-audit reproduces Table 1 of the paper: the state data
+// processing apps leave behind after handling data. For each app
+// category it runs the representative operation twice — once with the
+// app running normally (stock Android behavior) and once confined as a
+// delegate — and reports where the traces landed.
+//
+// The stock run shows the paper's problem: recent-file lists in private
+// state and copies/thumbnails/logs/records in public state. The
+// confined run shows Maxoid's fix: the same traces redirected into the
+// initiator's volatile state and the delegate's private branch, with
+// nothing publicly observable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/trace"
+	"maxoid/internal/vfs"
+)
+
+// scenario is one Table 1 row: an app category's representative
+// operation, runnable in both normal and confined contexts.
+type scenario struct {
+	category string
+	app      string
+	op       string
+	// setup seeds input data (not part of the audited operation).
+	setup func(s *core.System, suite *apps.Suite, confined bool) (target string, err error)
+	// run performs the audited operation on the seeded target.
+	run func(s *core.System, suite *apps.Suite, confined bool, target string) error
+}
+
+func main() {
+	scenarios := []scenario{
+		{
+			category: "Document viewer", app: "Adobe Reader (" + apps.PDFViewerPkg + ")", op: "open a file",
+			setup: func(s *core.System, suite *apps.Suite, confined bool) (string, error) {
+				if confined {
+					// Confined: the document is the initiator's secret.
+					ectx, _ := s.Launch(apps.EmailPkg, intent.Intent{})
+					if err := suite.Email.Receive(ectx, "doc.pdf", []byte("secret")); err != nil {
+						return "", err
+					}
+					return "/data/data/" + apps.EmailPkg + "/attachments/doc.pdf", nil
+				}
+				return seedPublic(s, "/doc.pdf", []byte("pdf"))
+			},
+			run: func(s *core.System, suite *apps.Suite, confined bool, target string) error {
+				ctx, err := viewerContext(s, apps.PDFViewerPkg, confined)
+				if err != nil {
+					return err
+				}
+				return suite.PDFViewer.Open(ctx, target, true)
+			},
+		},
+		{
+			category: "Scanner", app: "CamScanner (" + apps.CamScannerPkg + ")", op: "scan a file",
+			setup: func(s *core.System, suite *apps.Suite, confined bool) (string, error) {
+				return seedPublic(s, "/page.raw", []byte("page-bits"))
+			},
+			run: func(s *core.System, suite *apps.Suite, confined bool, target string) error {
+				ctx, err := viewerContext(s, apps.CamScannerPkg, confined)
+				if err != nil {
+					return err
+				}
+				return suite.CamScanner.ScanPage(ctx, target)
+			},
+		},
+		{
+			category: "Photo", app: "CameraMX (" + apps.CameraMXPkg + ")", op: "take a photo",
+			setup: func(s *core.System, suite *apps.Suite, confined bool) (string, error) {
+				return "", nil
+			},
+			run: func(s *core.System, suite *apps.Suite, confined bool, target string) error {
+				ctx, err := viewerContext(s, apps.CameraMXPkg, confined)
+				if err != nil {
+					return err
+				}
+				_, err = suite.CameraMX.TakePhoto(ctx, "shot", []byte("sensor-data"))
+				return err
+			},
+		},
+		{
+			category: "Media", app: "VPlayer (" + apps.VPlayerPkg + ")", op: "play a video",
+			setup: func(s *core.System, suite *apps.Suite, confined bool) (string, error) {
+				return seedPublic(s, "/clip.mp4", []byte("video-bits"))
+			},
+			run: func(s *core.System, suite *apps.Suite, confined bool, target string) error {
+				ctx, err := viewerContext(s, apps.VPlayerPkg, confined)
+				if err != nil {
+					return err
+				}
+				return suite.VPlayer.Play(ctx, target)
+			},
+		},
+	}
+
+	fmt.Println("=== Table 1: state left after apps process their target data ===")
+	for _, sc := range scenarios {
+		for _, confined := range []bool{false, true} {
+			s, err := core.Boot(core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			suite, err := apps.InstallSuite(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pkgs := s.AM.Installed()
+			inits := []string{apps.EmailPkg}
+
+			target, err := sc.setup(s, suite, confined)
+			if err != nil {
+				log.Fatal(err)
+			}
+			before, err := trace.Capture(s, pkgs, inits)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sc.run(s, suite, confined, target); err != nil {
+				log.Fatalf("%s (%s): %v", sc.app, mode(confined), err)
+			}
+			after, err := trace.Capture(s, pkgs, inits)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := trace.Diff(before, after)
+			fmt.Printf("\n[%s] %s — %s (%s)\n", sc.category, sc.app, sc.op, mode(confined))
+			fmt.Print(d.Summary())
+			if confined && d.LeakedPublicly() {
+				log.Fatalf("VIOLATION: confined run leaked publicly")
+			}
+		}
+	}
+	fmt.Println("\nConfined runs leaked nothing publicly: Maxoid confinement held.")
+}
+
+func mode(confined bool) string {
+	if confined {
+		return "confined: delegate of " + apps.EmailPkg
+	}
+	return "stock: running normally"
+}
+
+// seedPublic writes an input file onto the public SD card before the
+// audit snapshot, returning its client-visible path.
+func seedPublic(s *core.System, rel string, data []byte) (string, error) {
+	ctx, err := s.Launch(apps.BrowserPkg, intent.Intent{})
+	if err != nil {
+		return "", err
+	}
+	p := layout.ExtDir + rel
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), p, data, 0o666); err != nil {
+		return "", err
+	}
+	return p, nil
+}
+
+// viewerContext starts the app normally or as a delegate of Email.
+func viewerContext(s *core.System, pkg string, confined bool) (ctx *appsContext, err error) {
+	if confined {
+		if _, err := s.Launch(apps.EmailPkg, intent.Intent{}); err != nil {
+			return nil, err
+		}
+		return s.LaunchAsDelegate(pkg, apps.EmailPkg, intent.Intent{})
+	}
+	return s.Launch(pkg, intent.Intent{})
+}
+
+// appsContext aliases the app context type for the helper signature.
+type appsContext = core.Context

@@ -1,0 +1,280 @@
+// Command maxoid-demo walks through the paper's artifacts interactively:
+//
+//	-table2   dump the Aufs mount tables of an initiator and a delegate
+//	          (paper Table 2)
+//	-figure6  dump the COW proxy's delta table, COW view, and triggers
+//	          for a delegate (paper Figure 6)
+//	-usecases run the five §7.1 use cases end-to-end with narration
+//
+// With no flag everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/cowproxy"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/mount"
+	"maxoid/internal/provider"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/unionfs"
+	"maxoid/internal/vfs"
+)
+
+func main() {
+	t2 := flag.Bool("table2", false, "dump mount tables (Table 2)")
+	f6 := flag.Bool("figure6", false, "dump COW proxy internals (Figure 6)")
+	uc := flag.Bool("usecases", false, "run the §7.1 use cases")
+	flag.Parse()
+	all := !*t2 && !*f6 && !*uc
+
+	if *t2 || all {
+		if err := dumpTable2(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *f6 || all {
+		if err := dumpFigure6(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *uc || all {
+		if err := runUseCases(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func boot() (*core.System, *apps.Suite, error) {
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err := apps.InstallSuite(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, suite, nil
+}
+
+func dumpTable2() error {
+	fmt.Println("=== Table 2: Aufs mount points for A (dropbox) and B^A (office editor) ===")
+	s, suite, err := boot()
+	if err != nil {
+		return err
+	}
+	_ = suite
+	actx, err := s.Launch(apps.DropboxPkg, intent.Intent{})
+	if err != nil {
+		return err
+	}
+	dctx, err := s.LaunchAsDelegate(apps.OfficeSuitePkg, apps.DropboxPkg, intent.Intent{})
+	if err != nil {
+		return err
+	}
+	for _, who := range []struct {
+		label string
+		ctx   *core.Context
+	}{
+		{"A = " + apps.DropboxPkg + " (initiator)", actx},
+		{"B^A = " + apps.OfficeSuitePkg + "^" + apps.DropboxPkg + " (delegate)", dctx},
+	} {
+		fmt.Printf("\nmount namespace of %s:\n", who.label)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  mount point\tfilesystem")
+		ns, ok := who.ctx.FS().(*mount.Namespace)
+		if !ok {
+			return fmt.Errorf("context filesystem is %T, not a namespace", who.ctx.FS())
+		}
+		for _, e := range ns.Table() {
+			fmt.Fprintf(w, "  %s\t%s\n", e.Point, describeFS(e.FS))
+		}
+		w.Flush()
+	}
+	return nil
+}
+
+// describeFS names a mounted filesystem and, for unions, its branches.
+func describeFS(fsys vfs.FileSystem) string {
+	if u, ok := fsys.(*unionfs.Union); ok {
+		s := "union ["
+		for i, b := range u.Branches() {
+			if i > 0 {
+				s += ", "
+			}
+			s += "branch"
+			if b.Writable {
+				s += "(rw)"
+			} else {
+				s += "(ro)"
+			}
+		}
+		return s + "]"
+	}
+	return "single branch (direct)"
+}
+
+func dumpFigure6() error {
+	fmt.Println("\n=== Figure 6: COW proxy internals for User Dictionary, initiator = email ===")
+	s, suite, err := boot()
+	if err != nil {
+		return err
+	}
+	_ = suite
+	// Seed public words, then a delegate update/insert/delete.
+	ectx, _ := s.Launch(apps.EmailPkg, intent.Intent{})
+	res := ectx.Resolver()
+	for _, w := range []string{"alpha", "beta", "gamma"} {
+		if _, err := res.Insert("content://user_dictionary/words", provider.Values{"word": w}); err != nil {
+			return err
+		}
+	}
+	dctx, err := s.LaunchAsDelegate(apps.PDFViewerPkg, apps.EmailPkg, intent.Intent{})
+	if err != nil {
+		return err
+	}
+	dres := dctx.Resolver()
+	if _, err := dres.Update("content://user_dictionary/words/2", provider.Values{"word": "BETA-EDITED"}, ""); err != nil {
+		return err
+	}
+	if _, err := dres.Delete("content://user_dictionary/words/3", ""); err != nil {
+		return err
+	}
+	if _, err := dres.Insert("content://user_dictionary/words", provider.Values{"word": "delegate-word"}); err != nil {
+		return err
+	}
+
+	db := s.UserDict.Proxy().DB()
+	dump := func(title, sql string) error {
+		rows, err := db.Query(sql)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", title)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for i, c := range rows.Columns {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+		for _, row := range rows.Data {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Fprint(w, "\t")
+				}
+				fmt.Fprint(w, sqldb.AsString(v))
+			}
+			fmt.Fprintln(w)
+		}
+		return w.Flush()
+	}
+	delta := cowproxy.DeltaTableName("words", apps.EmailPkg)
+	view := cowproxy.COWViewName("words", apps.EmailPkg)
+	if err := dump("primary table words — Pub(all):", "SELECT _id, word FROM words ORDER BY _id"); err != nil {
+		return err
+	}
+	if err := dump("delta table "+delta+" — Vol(email):", "SELECT _id, word, _whiteout FROM "+delta+" ORDER BY _id"); err != nil {
+		return err
+	}
+	if err := dump("COW view "+view+" — Pub(x^email):", "SELECT _id, word FROM "+view+" ORDER BY _id"); err != nil {
+		return err
+	}
+	stats := db.Stats()
+	fmt.Printf("\nplanner: %d flattened UNION ALL view queries, %d materialized view scans\n",
+		stats.FlattenedQueries, stats.MaterializedViews)
+	return nil
+}
+
+func runUseCases() error {
+	fmt.Println("\n=== §7.1 use cases ===")
+	s, suite, err := boot()
+	if err != nil {
+		return err
+	}
+
+	// 1. Securing Dropbox.
+	fmt.Println("\n[1] Securing Dropbox")
+	suite.DropboxServer.Put("/files/notes.txt", []byte("cloud-v1"))
+	dctx, _ := s.Launch(apps.DropboxPkg, intent.Intent{})
+	if err := suite.Dropbox.Fetch(dctx, "notes.txt"); err != nil {
+		return err
+	}
+	ectx, err := suite.Dropbox.OpenFile(dctx, "notes.txt", map[string]string{"append": "-EDIT"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    editor ran as %s; original intact; edit visible at %s\n",
+		ectx.Task(), layout.ExtTmpDir+"/Dropbox/notes.txt")
+	if err := suite.Dropbox.CommitFromVol(dctx, "notes.txt"); err != nil {
+		return err
+	}
+	remote, _ := suite.DropboxServer.Get("/files/notes.txt")
+	fmt.Printf("    after manual commit, server has: %q\n", remote)
+	if err := s.ClearVol(apps.DropboxPkg); err != nil {
+		return err
+	}
+	fmt.Println("    Vol(Dropbox) cleared: editor side effects gone")
+
+	// 2. Securing Email attachments.
+	fmt.Println("\n[2] Securing Email attachments")
+	ematx, _ := s.Launch(apps.EmailPkg, intent.Intent{})
+	if err := suite.Email.Receive(ematx, "contract.pdf", []byte("secret-contract")); err != nil {
+		return err
+	}
+	vctx, err := suite.Email.ViewAttachment(ematx, "contract.pdf", map[string]string{"from_content_uri": "1"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    viewer ran as %s; its SD-card copy stayed in Vol(email)\n", vctx.Task())
+
+	// 3. Incognito download.
+	fmt.Println("\n[3] Enhancing Browser's incognito mode")
+	suite.WebServer.Put("/secret/report.pdf", []byte("incognito-bytes"))
+	bctx, _ := s.Launch(apps.BrowserPkg, intent.Intent{})
+	_, clientPath, err := suite.Browser.Download(bctx, "web.example/secret/report.pdf", true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    volatile download at %s (record in Vol(browser) only)\n", clientPath)
+	if err := s.ClearVol(apps.BrowserPkg); err != nil {
+		return err
+	}
+	if err := s.ClearPriv(apps.BrowserPkg); err != nil {
+		return err
+	}
+	fmt.Println("    Clear-Vol + Clear-Priv: no trace of the download remains")
+
+	// 4. Wrapper app.
+	fmt.Println("\n[4] Wrapper app (system-wide incognito)")
+	wctx, _ := s.Launch(apps.WrapperPkg, intent.Intent{})
+	if err := suite.Wrapper.Hold(wctx, "taxes.pdf", []byte("tax-return")); err != nil {
+		return err
+	}
+	pctx, err := suite.Wrapper.OpenWith(wctx, "taxes.pdf", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    real app forced into the wrapper's domain: %s\n", pctx.Task())
+
+	// 5. EBookDroid pPriv.
+	fmt.Println("\n[5] Delegate persistent private state (EBookDroid)")
+	if err := suite.Email.Receive(ematx, "book.epub", []byte("chapter one")); err != nil {
+		return err
+	}
+	bkctx, err := suite.Email.ViewAttachment(ematx, "book.epub", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    EBookDroid as %s keeps recents in pPriv: %v\n",
+		bkctx.Task(), suite.EBookDroid.RecentFiles(bkctx))
+	return nil
+}

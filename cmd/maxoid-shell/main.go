@@ -1,0 +1,328 @@
+// Command maxoid-shell is an interactive console on a simulated Maxoid
+// device with the full case-study app suite installed. It is the
+// exploratory companion to the scripted tools: launch apps normally or
+// as delegates, read and write files through any instance's view,
+// query content providers, inspect mount tables and volatile state, and
+// clear confinement domains — watching Maxoid's views switch live.
+//
+// Type "help" at the prompt for the command list. Example session:
+//
+//	> launch com.android.email
+//	> write com.android.email /data/data/com.android.email/att.pdf secret
+//	> delegate com.adobe.reader com.android.email
+//	> read com.adobe.reader^com.android.email /data/data/com.android.email/att.pdf
+//	> write com.adobe.reader^com.android.email /storage/sdcard/copy.pdf secret
+//	> vol com.android.email
+//	> clearvol com.android.email
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/mount"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/unionfs"
+	"maxoid/internal/vfs"
+)
+
+// shell holds the live device and the contexts the user has started.
+type shell struct {
+	sys   *core.System
+	suite *apps.Suite
+	ctxs  map[string]*ams.Context // keyed by task notation
+	out   *bufio.Writer
+}
+
+func main() {
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	suite, err := apps.InstallSuite(sys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sh := &shell{
+		sys:   sys,
+		suite: suite,
+		ctxs:  make(map[string]*ams.Context),
+		out:   bufio.NewWriter(os.Stdout),
+	}
+	sh.printf("maxoid-shell: simulated device booted, %d apps installed. Type 'help'.\n",
+		len(sys.AM.Installed()))
+	sh.out.Flush()
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if err := sh.dispatch(line); err != nil {
+			sh.printf("error: %v\n", err)
+		}
+		sh.out.Flush()
+	}
+}
+
+func (sh *shell) printf(format string, args ...interface{}) {
+	fmt.Fprintf(sh.out, format, args...)
+}
+
+// dispatch parses and runs one command line.
+func (sh *shell) dispatch(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		sh.help()
+		return nil
+	case "apps":
+		for _, pkg := range sh.sys.AM.Installed() {
+			sh.printf("  %s\n", pkg)
+		}
+		return nil
+	case "ps":
+		for _, task := range sh.sys.AM.Running() {
+			sh.printf("  %s\n", task)
+		}
+		return nil
+	case "launch":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: launch <pkg>")
+		}
+		ctx, err := sh.sys.Launch(args[0], intent.Intent{})
+		if err != nil {
+			return err
+		}
+		sh.ctxs[ctx.Task().String()] = ctx
+		sh.printf("started %s\n", ctx.Task())
+		return nil
+	case "delegate":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: delegate <app> <initiator>")
+		}
+		ctx, err := sh.sys.LaunchAsDelegate(args[0], args[1], intent.Intent{})
+		if err != nil {
+			return err
+		}
+		sh.ctxs[ctx.Task().String()] = ctx
+		sh.printf("started %s\n", ctx.Task())
+		return nil
+	case "stop":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: stop <task>")
+		}
+		task := parseTask(args[0])
+		sh.sys.AM.StopInstance(task.App, task.Initiator)
+		delete(sh.ctxs, args[0])
+		return nil
+	case "read":
+		ctx, rest, err := sh.ctxAndArgs(args, 1, "read <task> <path>")
+		if err != nil {
+			return err
+		}
+		data, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), rest[0])
+		if err != nil {
+			return err
+		}
+		sh.printf("%s\n", data)
+		return nil
+	case "write":
+		ctx, rest, err := sh.ctxAndArgs(args, 2, "write <task> <path> <content>")
+		if err != nil {
+			return err
+		}
+		content := strings.Join(rest[1:], " ")
+		if err := ctx.FS().MkdirAll(ctx.Cred(), parentDir(rest[0]), 0o777); err != nil {
+			return err
+		}
+		return vfs.WriteFile(ctx.FS(), ctx.Cred(), rest[0], []byte(content), 0o666)
+	case "ls":
+		ctx, rest, err := sh.ctxAndArgs(args, 1, "ls <task> <dir>")
+		if err != nil {
+			return err
+		}
+		entries, err := ctx.FS().ReadDir(ctx.Cred(), rest[0])
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			marker := ""
+			if e.IsDir() {
+				marker = "/"
+			}
+			sh.printf("  %s%s\n", e.Name, marker)
+		}
+		return nil
+	case "mounts":
+		ctx, _, err := sh.ctxAndArgs(args, 0, "mounts <task>")
+		if err != nil {
+			return err
+		}
+		ns, ok := ctx.FS().(*mount.Namespace)
+		if !ok {
+			return fmt.Errorf("not a namespace")
+		}
+		for _, e := range ns.Table() {
+			desc := "direct"
+			if u, isUnion := e.FS.(*unionfs.Union); isUnion {
+				desc = fmt.Sprintf("union (%d branches)", len(u.Branches()))
+			}
+			sh.printf("  %-40s %s\n", e.Point, desc)
+		}
+		return nil
+	case "query":
+		ctx, rest, err := sh.ctxAndArgs(args, 1, "query <task> <content-uri>")
+		if err != nil {
+			return err
+		}
+		rows, err := ctx.Resolver().Query(rest[0], nil, "", "")
+		if err != nil {
+			return err
+		}
+		sh.printf("  %s\n", strings.Join(rows.Columns, " | "))
+		for _, row := range rows.Data {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = sqldb.AsString(v)
+			}
+			sh.printf("  %s\n", strings.Join(cells, " | "))
+		}
+		sh.printf("  (%d rows)\n", len(rows.Data))
+		return nil
+	case "vol":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: vol <initiator>")
+		}
+		files, err := sh.sys.ListVolatileFiles(args[0])
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			sh.printf("  %s\n", f)
+		}
+		for _, authority := range []string{"user_dictionary", "downloads", "media"} {
+			table := map[string]string{
+				"user_dictionary": "words", "downloads": "my_downloads", "media": "files",
+			}[authority]
+			if n, err := sh.sys.VolatileRecords(authority, table, args[0]); err == nil && n > 0 {
+				sh.printf("  %d volatile records in %s/%s\n", n, authority, table)
+			}
+		}
+		return nil
+	case "commit":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: commit <initiator> <vol-path> <dest-path>")
+		}
+		return sh.sys.CommitVolatileFile(args[0], args[1], args[2])
+	case "clearvol":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: clearvol <initiator>")
+		}
+		return sh.sys.ClearVol(args[0])
+	case "clearpriv":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: clearpriv <initiator>")
+		}
+		return sh.sys.ClearPriv(args[0])
+	case "resolve":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: resolve <sender-pkg> <action> [data]")
+		}
+		in := intent.Intent{Action: args[1]}
+		if len(args) > 2 {
+			in.Data = args[2]
+		}
+		for _, pkg := range sh.sys.AM.ResolveCandidates(args[0], in) {
+			sh.printf("  %s\n", pkg)
+		}
+		return nil
+	case "connect":
+		ctx, rest, err := sh.ctxAndArgs(args, 1, "connect <task> <host>")
+		if err != nil {
+			return err
+		}
+		if _, err := ctx.Connect(rest[0]); err != nil {
+			return err
+		}
+		sh.printf("connected (allowed)\n")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+// ctxAndArgs resolves the task argument to a started context and checks
+// the remaining argument count.
+func (sh *shell) ctxAndArgs(args []string, wantRest int, usage string) (*ams.Context, []string, error) {
+	if len(args) < 1+wantRest {
+		return nil, nil, fmt.Errorf("usage: %s", usage)
+	}
+	ctx, ok := sh.ctxs[args[0]]
+	if !ok || !ctx.Alive() {
+		var known []string
+		for k, c := range sh.ctxs {
+			if c.Alive() {
+				known = append(known, k)
+			}
+		}
+		sort.Strings(known)
+		return nil, nil, fmt.Errorf("no running instance %q (started: %v)", args[0], known)
+	}
+	return ctx, args[1:], nil
+}
+
+// parseTask splits "app^initiator" notation.
+func parseTask(s string) kernel.Task {
+	if app, init, ok := strings.Cut(s, "^"); ok {
+		return kernel.Task{App: app, Initiator: init}
+	}
+	return kernel.Task{App: s}
+}
+
+func parentDir(p string) string {
+	if i := strings.LastIndex(p, "/"); i > 0 {
+		return p[:i]
+	}
+	return "/"
+}
+
+func (sh *shell) help() {
+	sh.printf(`commands:
+  apps                                 list installed packages
+  ps                                   list running instances
+  launch <pkg>                         start an app normally
+  delegate <app> <initiator>           start an app confined (launcher drop target)
+  stop <task>                          kill an instance ("pkg" or "pkg^initiator")
+  read <task> <path>                   read a file through the instance's view
+  write <task> <path> <content...>     write a file through the instance's view
+  ls <task> <dir>                      list a directory through the view
+  mounts <task>                        dump the instance's mount table (Table 2)
+  query <task> <content-uri>           query a content provider as the instance
+  vol <initiator>                      list Vol(A): volatile files and records
+  commit <initiator> <vol> <dest>      commit one volatile file to public state
+  clearvol <initiator>                 launcher Clear-Vol drop target
+  clearpriv <initiator>                launcher Clear-Priv drop target
+  resolve <pkg> <action> [data]        list apps that would handle an intent
+  connect <task> <host>                try a network connection (delegates fail)
+  exit                                 quit
+`)
+}

@@ -1,0 +1,94 @@
+// Dropbox scenario (paper §7.1 "Securing Dropbox"): the full edit
+// round-trip for a cloud storage app whose files live on external
+// storage.
+//
+// Stock Android gives Dropbox neither privacy (any app can read its
+// directory) nor integrity (auto-sync uploads whatever any app wrote
+// there). Under Maxoid, a two-line Maxoid manifest — declare the
+// directory private, mark VIEW intents delegate — fixes both without
+// touching Dropbox's code. This example walks the whole flow: fetch,
+// delegate edit, audit Vol, selective commit, Clear-Vol.
+//
+// Run with: go run ./examples/dropbox
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+func main() {
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The cloud has one document.
+	suite.DropboxServer.Put("/files/report.txt", []byte("quarterly numbers v1"))
+
+	dctx, err := sys.Launch(apps.DropboxPkg, intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := suite.Dropbox.Fetch(dctx, "report.txt"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fetched report.txt into the private Dropbox directory")
+
+	// Privacy: another app cannot even see the directory contents.
+	bctx, _ := sys.Launch(apps.BrowserPkg, intent.Intent{})
+	if _, err := bctx.FS().ReadDir(bctx.Cred(), layout.ExtDir+"/Dropbox"); err == nil {
+		entries, _ := bctx.FS().ReadDir(bctx.Cred(), layout.ExtDir+"/Dropbox")
+		if len(entries) > 0 {
+			log.Fatalf("privacy violated: browser sees %v", entries)
+		}
+	}
+	fmt.Println("privacy: the browser sees an empty Dropbox directory")
+
+	// The user clicks the file; the office editor runs as a delegate
+	// and appends a line.
+	ectx, err := suite.Dropbox.OpenFile(dctx, "report.txt", map[string]string{"append": "\n+ appended by editor"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("editor ran as %s\n", ectx.Task())
+
+	// Integrity: the local original and the server are untouched.
+	local, _ := vfs.ReadFile(dctx.FS(), dctx.Cred(), layout.ExtDir+"/Dropbox/report.txt")
+	remote, _ := suite.DropboxServer.Get("/files/report.txt")
+	fmt.Printf("original after edit:   %q\n", local)
+	fmt.Printf("server after edit:     %q\n", remote)
+	if uploaded, err := suite.Dropbox.SyncAll(dctx); err != nil || len(uploaded) != 0 {
+		log.Fatalf("auto-sync uploaded %v (err %v) — integrity violated", uploaded, err)
+	}
+	fmt.Println("auto-sync: nothing to upload (delegate edits are volatile)")
+
+	// Dropbox audits Vol and the user commits the intended change only.
+	vols, err := sys.ListVolatileFiles(apps.DropboxPkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Vol(Dropbox) contains: %v\n", vols)
+	if err := suite.Dropbox.CommitFromVol(dctx, "report.txt"); err != nil {
+		log.Fatal(err)
+	}
+	remote, _ = suite.DropboxServer.Get("/files/report.txt")
+	fmt.Printf("server after commit:   %q\n", remote)
+
+	// Discard the editor's side effects (thumbnails, SD-card DB, ...).
+	if err := sys.ClearVol(apps.DropboxPkg); err != nil {
+		log.Fatal(err)
+	}
+	vols, _ = sys.ListVolatileFiles(apps.DropboxPkg)
+	fmt.Printf("Vol(Dropbox) cleared:  %v\n", vols)
+}

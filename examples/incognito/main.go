@@ -1,0 +1,88 @@
+// Incognito download (paper §7.1 "Enhancing Browser's incognito mode"):
+// the browser's one-line patch routes incognito-tab downloads into its
+// volatile state through the extended DownloadManager API; the viewer
+// opened from the completion notification runs as a delegate; and the
+// launcher's Clear-Vol / Clear-Priv drop targets erase every trace —
+// including the viewer's recent-files list, which stock Android's
+// incognito mode cannot reach.
+//
+// Run with: go run ./examples/incognito
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/provider/downloads"
+	"maxoid/internal/vfs"
+)
+
+func main() {
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite.WebServer.Put("/private/medical-results.pdf", []byte("%PDF private results"))
+
+	bctx, err := sys.Launch(apps.BrowserPkg, intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Incognito tab: Volatile=true is the browser's entire patch.
+	id, clientPath, err := suite.Browser.Download(bctx, "web.example/private/medical-results.pdf", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("incognito download #%d complete at %s\n", id, clientPath)
+
+	// Nothing public: no file, no Downloads record.
+	octx, _ := sys.Launch(apps.EmailPkg, intent.Intent{})
+	if vfs.Exists(octx.FS(), octx.Cred(), clientPath) {
+		log.Fatal("file visible to other apps")
+	}
+	rows, err := octx.Resolver().Query(downloads.DownloadsURI, nil, "", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public download records visible to other apps: %d\n", len(rows.Data))
+
+	// The browser itself can audit the volatile record via the tmp URI.
+	mine, err := bctx.Resolver().Query(downloads.VolatileDownloadsURI, nil, "", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("volatile download records in Vol(browser): %d\n", len(mine.Data))
+
+	// The notification opens the PDF in a confined viewer.
+	vctx, err := suite.Browser.OpenDownload(bctx, clientPath, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("viewer ran as %s — it read the volatile file transparently\n", vctx.Task())
+
+	// The viewer has the file in its recent list (inside the domain).
+	recents := suite.PDFViewer.RecentFiles(vctx)
+	fmt.Printf("viewer recent files (confined): %v\n", recents)
+
+	// Leaving incognito: wipe the domain.
+	if err := sys.ClearVol(apps.BrowserPkg); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ClearPriv(apps.BrowserPkg); err != nil {
+		log.Fatal(err)
+	}
+	vctx2, err := sys.LaunchAsDelegate(apps.PDFViewerPkg, apps.BrowserPkg, intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("viewer recent files after Clear-Vol+Clear-Priv: %v\n", suite.PDFViewer.RecentFiles(vctx2))
+	fmt.Println("no trace of the incognito session remains anywhere")
+}

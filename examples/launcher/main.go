@@ -1,0 +1,80 @@
+// Launcher drop targets (paper §6.3): the user, not an app, decides to
+// confine an invocation. Dragging Dropbox onto the "Initiator" target
+// and tapping Camera starts Camera as Dropbox's delegate: the photo and
+// its Media entry land in Vol(Dropbox), invisible everywhere else. The
+// other two drop targets, Clear-Vol and Clear-Priv, wipe an initiator's
+// volatile and per-delegate private state.
+//
+// Run with: go run ./examples/launcher
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+func main() {
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user drags Dropbox onto "Initiator" and taps Camera.
+	cctx, err := sys.LaunchAsDelegate(apps.CameraMXPkg, apps.DropboxPkg, intent.Intent{Action: intent.ActionMain})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("camera started as %s via the launcher\n", cctx.Task())
+
+	photo, err := suite.CameraMX.TakePhoto(cctx, "receipt", []byte("jpeg-sensor-bits"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("photo saved (delegate view): %s\n", photo)
+
+	// No other app can see the photo or its Media record.
+	bctx, _ := sys.Launch(apps.BrowserPkg, intent.Intent{})
+	if vfs.Exists(bctx.FS(), bctx.Cred(), photo) {
+		log.Fatal("photo leaked to public storage")
+	}
+	rows, _ := bctx.Resolver().Query("content://media/images", nil, "", "")
+	fmt.Printf("public Media images:         %d\n", len(rows.Data))
+
+	// Dropbox sees it in Vol and could upload it.
+	dctx, _ := sys.Launch(apps.DropboxPkg, intent.Intent{})
+	volPhoto := layout.ExtTmpDir + "/DCIM/CameraMX/receipt.jpg"
+	data, err := vfs.ReadFile(dctx.FS(), dctx.Cred(), volPhoto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dropbox reads Vol photo:     %d bytes at %s\n", len(data), volPhoto)
+	if n, _ := sys.VolatileRecords("media", "files", apps.DropboxPkg); n != 1 {
+		log.Fatalf("expected 1 volatile media record, got %d", n)
+	}
+	fmt.Println("volatile Media record:       1 (in Vol(Dropbox))")
+
+	// Clear-Vol drop target: the photo and record vanish.
+	if err := sys.ClearVol(apps.DropboxPkg); err != nil {
+		log.Fatal(err)
+	}
+	n, _ := sys.VolatileRecords("media", "files", apps.DropboxPkg)
+	vols, _ := sys.ListVolatileFiles(apps.DropboxPkg)
+	fmt.Printf("after Clear-Vol:             %d records, files %v\n", n, vols)
+
+	// Clear-Priv drop target: any camera settings forked for this
+	// domain are gone too.
+	if err := sys.ClearPriv(apps.DropboxPkg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after Clear-Priv:            per-delegate private state wiped")
+}

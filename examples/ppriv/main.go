@@ -1,0 +1,93 @@
+// Persistent private state (paper §3.2, §7.1 "Using delegates'
+// persistent private state"): the EBookDroid port stores recent-file
+// entries in pPriv when confined, so the list survives nPriv re-forks
+// and stays isolated per initiator — a PDF viewer invoked by the email
+// client remembers previous attachments, but only when invoked by the
+// email client.
+//
+// Run with: go run ./examples/ppriv
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+func main() {
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ectx, err := sys.Launch(apps.EmailPkg, intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Day 1: two attachments viewed via Email.
+	for _, name := range []string{"week1.epub", "week2.epub"} {
+		if err := suite.Email.Receive(ectx, name, []byte("content of "+name)); err != nil {
+			log.Fatal(err)
+		}
+		dctx, err := suite.Email.ViewAttachment(ectx, name, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dctx.Package() != apps.EBookDroidPkg {
+			log.Fatalf("resolved to %s", dctx.Package())
+		}
+		sys.AM.StopInstance(apps.EBookDroidPkg, apps.EmailPkg)
+	}
+
+	// Between invocations the user reads a public book normally, which
+	// updates the viewer's real private state — forcing Maxoid to
+	// discard and re-fork nPriv on the next delegate run (§3.2).
+	nctx, err := sys.Launch(apps.EBookDroidPkg, intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vfs.WriteFile(nctx.FS(), nctx.Cred(), layout.ExtDir+"/novel.epub", []byte("public novel"), 0o666); err != nil {
+		log.Fatal(err)
+	}
+	if err := suite.EBookDroid.Open(nctx, layout.ExtDir+"/novel.epub"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normal run recent list:    %v\n", suite.EBookDroid.RecentFiles(nctx))
+	sys.AM.StopInstance(apps.EBookDroidPkg, "")
+
+	// Day 2: another attachment. nPriv was re-forked, but pPriv kept
+	// the previous attachments (the paper's merged list).
+	if err := suite.Email.Receive(ectx, "week3.epub", []byte("content of week3")); err != nil {
+		log.Fatal(err)
+	}
+	dctx, err := suite.Email.ViewAttachment(ectx, "week3.epub", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delegate-of-email recents: %v\n", suite.EBookDroid.RecentFiles(dctx))
+
+	// A different initiator's delegate has its own, empty pPriv.
+	wctx, err := sys.Launch(apps.WrapperPkg, intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := suite.Wrapper.Hold(wctx, "other.epub", []byte("wrapper book")); err != nil {
+		log.Fatal(err)
+	}
+	octx, err := suite.Wrapper.OpenWith(wctx, "other.epub", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delegate-of-wrapper recents: %v\n", suite.EBookDroid.RecentFiles(octx))
+	fmt.Println("pPriv survives re-forks and is isolated per initiator")
+}

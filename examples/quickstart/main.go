@@ -1,0 +1,128 @@
+// Quickstart: boot a simulated Maxoid device, install two small apps,
+// and watch confinement work.
+//
+// App "vault" holds a secret file and invokes app "notepad" on it as a
+// delegate. The notepad reads the secret, saves a copy to the SD card
+// and adds a recent-file entry — and every one of those traces lands in
+// the vault's volatile state or the notepad's per-delegate private
+// branch instead of leaking.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"path"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/vfs"
+)
+
+// notepad is a tiny text viewer that behaves like the paper's Table 1
+// apps: it copies what it opens onto the SD card and keeps history.
+type notepad struct{}
+
+func (notepad) Package() string { return "com.example.notepad" }
+
+func (notepad) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Data == "" {
+		return nil
+	}
+	content, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), in.Data)
+	if err != nil {
+		return err
+	}
+	// Trace 1: a copy on the (apparently) public SD card.
+	sdCopy := ctx.ExtDir() + "/Notepad/" + path.Base(in.Data)
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(sdCopy), 0o777); err != nil {
+		return err
+	}
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), sdCopy, content, 0o666); err != nil {
+		return err
+	}
+	// Trace 2: a history entry in private state.
+	return vfs.AppendFile(ctx.FS(), ctx.Cred(), ctx.DataDir()+"/history.txt", []byte(in.Data+"\n"), 0o600)
+}
+
+// vault holds a secret and opens it with whatever handles VIEW intents.
+type vault struct{}
+
+func (vault) Package() string { return "com.example.vault" }
+
+func (vault) OnStart(ctx *ams.Context, in intent.Intent) error { return nil }
+
+func main() {
+	// 1. Boot the device: disk, kernel, Binder, Zygote, Activity
+	//    Manager, and the three system content providers.
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Install the apps. The vault's Maxoid manifest marks all VIEW
+	//    invocations private, so handlers run as its delegates.
+	if err := sys.Install(vault{}, ams.Manifest{
+		Package: "com.example.vault",
+		Maxoid: ams.MaxoidManifest{
+			Invoker: intent.InvokerPolicy{
+				Whitelist: true,
+				Filters:   []intent.Filter{{Actions: []string{intent.ActionView}}},
+			},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Install(notepad{}, ams.Manifest{
+		Package: "com.example.notepad",
+		Filters: []intent.Filter{{Actions: []string{intent.ActionView}}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The vault stores a secret in its private internal storage.
+	vctx, err := sys.Launch("com.example.vault", intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	secretPath := vctx.DataDir() + "/secret.txt"
+	if err := vfs.WriteFile(vctx.FS(), vctx.Cred(), secretPath, []byte("the launch codes"), 0o600); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The vault opens the secret with the notepad. Because of the
+	//    manifest, the notepad becomes a delegate: vault^notepad.
+	nctx, err := vctx.StartActivity(intent.Intent{Action: intent.ActionView, Data: secretPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("notepad ran as:        %s (delegate=%v)\n", nctx.Task(), nctx.IsDelegate())
+
+	// 5. Where did the notepad's traces go?
+	vols, err := sys.ListVolatileFiles("com.example.vault")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Vol(vault) now holds:  %v\n", vols)
+
+	// The notepad run normally (a different instance with a different
+	// view) sees no copy on the SD card and no history entry.
+	osctx, err := sys.Launch("com.example.notepad", intent.Intent{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = vfs.ReadFile(osctx.FS(), osctx.Cred(), osctx.ExtDir()+"/Notepad/secret.txt")
+	fmt.Printf("public SD-card copy:   %v\n", err)
+
+	// 6. The vault clears its volatile state: all traces gone.
+	if err := sys.ClearVol("com.example.vault"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.ClearPriv("com.example.vault"); err != nil {
+		log.Fatal(err)
+	}
+	vols, _ = sys.ListVolatileFiles("com.example.vault")
+	fmt.Printf("after Clear-Vol:       %v\n", vols)
+}

@@ -1,0 +1,3 @@
+module maxoid
+
+go 1.22

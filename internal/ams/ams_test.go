@@ -1,0 +1,529 @@
+package ams
+
+import (
+	"errors"
+	"testing"
+
+	"maxoid/internal/binder"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/netstack"
+	"maxoid/internal/vfs"
+	"maxoid/internal/zygote"
+)
+
+// testApp is a scriptable app for AMS tests.
+type testApp struct {
+	pkg        string
+	onStart    func(ctx *Context, in intent.Intent) error
+	broadcasts []intent.Intent
+	lastCtx    *Context
+}
+
+func (a *testApp) Package() string { return a.pkg }
+
+func (a *testApp) OnStart(ctx *Context, in intent.Intent) error {
+	a.lastCtx = ctx
+	if a.onStart != nil {
+		return a.onStart(ctx, in)
+	}
+	return nil
+}
+
+func (a *testApp) OnBroadcast(ctx *Context, in intent.Intent) {
+	a.broadcasts = append(a.broadcasts, in)
+	a.lastCtx = ctx
+}
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	disk := vfs.New()
+	kern := kernel.New(netstack.New(0, 0))
+	zyg := zygote.New(disk, kern)
+	if err := zyg.InitDevice(); err != nil {
+		t.Fatal(err)
+	}
+	return New(kern, zyg, binder.NewRouter())
+}
+
+func install(t *testing.T, m *Manager, app App, manifest Manifest) {
+	t.Helper()
+	if err := m.Install(app, manifest); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func viewerManifest(pkg string) Manifest {
+	return Manifest{
+		Package: pkg,
+		Filters: []intent.Filter{{Actions: []string{intent.ActionView}}},
+	}
+}
+
+func TestResolveByFilter(t *testing.T) {
+	m := newManager(t)
+	viewer := &testApp{pkg: "viewer"}
+	install(t, m, viewer, viewerManifest("viewer"))
+	install(t, m, &testApp{pkg: "sender"}, Manifest{Package: "sender"})
+
+	sctx, err := m.StartActivity(nil, intent.Intent{Component: "sender"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vctx, err := sctx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/sdcard/f.pdf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vctx.Package() != "viewer" {
+		t.Errorf("resolved to %s", vctx.Package())
+	}
+	if vctx.IsDelegate() {
+		t.Error("plain VIEW invocation should be normal")
+	}
+}
+
+func TestNoActivityFound(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "sender"}, Manifest{Package: "sender"})
+	sctx, _ := m.StartActivity(nil, intent.Intent{Component: "sender"})
+	if _, err := sctx.StartActivity(intent.Intent{Action: "nothing.handles.this"}); !errors.Is(err, ErrNoActivity) {
+		t.Errorf("err = %v, want ErrNoActivity", err)
+	}
+}
+
+func TestDelegateViaExplicitFlag(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	vctx, err := ectx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: "/data/data/email/att.pdf", Flags: intent.FlagDelegate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vctx.IsDelegate() || vctx.Initiator() != "email" {
+		t.Errorf("viewer context: delegate=%v initiator=%q", vctx.IsDelegate(), vctx.Initiator())
+	}
+}
+
+func TestDelegateViaInvokerFilters(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	// Dropbox-style manifest: all VIEW intents are private.
+	install(t, m, &testApp{pkg: "dropbox"}, Manifest{
+		Package: "dropbox",
+		Maxoid: MaxoidManifest{
+			Invoker: intent.InvokerPolicy{
+				Whitelist: true,
+				Filters:   []intent.Filter{{Actions: []string{intent.ActionView}}},
+			},
+		},
+	})
+	dctx, _ := m.StartActivity(nil, intent.Intent{Component: "dropbox"})
+	vctx, err := dctx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/sdcard/Dropbox/f.pdf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vctx.IsDelegate() || vctx.Initiator() != "dropbox" {
+		t.Error("invoker filter did not force delegation")
+	}
+}
+
+func TestInvocationTransitivity(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	install(t, m, &testApp{pkg: "translator"}, Manifest{
+		Package: "translator",
+		Filters: []intent.Filter{{Actions: []string{intent.ActionSend}}},
+	})
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	vctx, _ := ectx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: "/x.pdf", Flags: intent.FlagDelegate,
+	})
+	// The delegate invokes a third app: forced into the same domain.
+	tctx, err := vctx.StartActivity(intent.Intent{Action: intent.ActionSend, Data: "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tctx.Initiator() != "email" {
+		t.Errorf("transitivity: initiator = %q, want email", tctx.Initiator())
+	}
+	// Nested delegation fails.
+	if _, err := vctx.StartActivity(intent.Intent{
+		Action: intent.ActionSend, Flags: intent.FlagDelegate,
+	}); !errors.Is(err, ErrNestedDelegation) {
+		t.Errorf("nested delegation: %v", err)
+	}
+}
+
+func TestDelegateInvokingItsInitiatorRunsNormally(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "email"}, Manifest{
+		Package: "email",
+		Filters: []intent.Filter{{Actions: []string{intent.ActionSend}}},
+	})
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	vctx, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	// viewer^email invokes email: email runs as itself, not email^email.
+	ectx2, err := vctx.StartActivity(intent.Intent{Component: "email", Action: intent.ActionSend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ectx2.IsDelegate() {
+		t.Error("initiator invoked by its delegate must run as itself")
+	}
+}
+
+func TestKillOnConflict(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+
+	// Normal viewer instance running.
+	vctx, err := m.StartActivity(nil, intent.Intent{Component: "viewer", Action: intent.ActionView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vctx.Alive() {
+		t.Fatal("viewer not alive")
+	}
+	// Starting viewer^email kills the normal instance (§4.2).
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	dctx, err := ectx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vctx.Alive() {
+		t.Error("normal viewer instance survived delegate start")
+	}
+	if !dctx.Alive() {
+		t.Error("delegate instance not running")
+	}
+	if m.KilledForConflict() != 1 {
+		t.Errorf("killedForConflict = %d", m.KilledForConflict())
+	}
+	running := m.Running()
+	if len(running) != 2 { // email + viewer^email
+		t.Errorf("running = %v", running)
+	}
+}
+
+func TestSameContextInstanceReused(t *testing.T) {
+	m := newManager(t)
+	viewer := &testApp{pkg: "viewer"}
+	install(t, m, viewer, viewerManifest("viewer"))
+	c1, err := m.StartActivity(nil, intent.Intent{Component: "viewer", Action: intent.ActionView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.StartActivity(nil, intent.Intent{Component: "viewer", Action: intent.ActionView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("same-context start created a second instance")
+	}
+}
+
+func TestLauncherStartDelegate(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "camera"}, Manifest{Package: "camera"})
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	cctx, err := m.StartDelegateFromLauncher("camera", "email", intent.Intent{Action: intent.ActionMain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cctx.IsDelegate() || cctx.Initiator() != "email" {
+		t.Error("launcher delegate start failed")
+	}
+	if _, err := m.StartDelegateFromLauncher("nope", "email", intent.Intent{}); !errors.Is(err, ErrNotInstalled) {
+		t.Errorf("unknown app: %v", err)
+	}
+	if _, err := m.StartDelegateFromLauncher("camera", "nope", intent.Intent{}); !errors.Is(err, ErrNotInstalled) {
+		t.Errorf("unknown initiator: %v", err)
+	}
+}
+
+func TestBroadcastRestriction(t *testing.T) {
+	m := newManager(t)
+	listener := &testApp{pkg: "listener"}
+	install(t, m, listener, Manifest{
+		Package: "listener",
+		Filters: []intent.Filter{{Actions: []string{"custom.EVENT"}}},
+	})
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+
+	// Broadcast from a delegate is delivered to the listener AS A
+	// DELEGATE of the same initiator, not as a normal instance.
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	vctx, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	if err := vctx.SendBroadcast(intent.Intent{Action: "custom.EVENT", Data: "payload"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(listener.broadcasts) != 1 {
+		t.Fatalf("broadcasts = %d", len(listener.broadcasts))
+	}
+	if listener.lastCtx.Initiator() != "email" {
+		t.Errorf("broadcast receiver context initiator = %q, want email", listener.lastCtx.Initiator())
+	}
+
+	// Broadcast from an initiator reaches a normal instance.
+	if err := ectx.SendBroadcast(intent.Intent{Action: "custom.EVENT"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(listener.broadcasts) != 2 || listener.lastCtx.IsDelegate() {
+		t.Errorf("initiator broadcast: %d, delegate=%v", len(listener.broadcasts), listener.lastCtx.IsDelegate())
+	}
+}
+
+func TestDirectBinderBetweenApps(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	install(t, m, &testApp{pkg: "evil"}, Manifest{Package: "evil"})
+
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	_, _ = m.StartActivity(nil, intent.Intent{Component: "evil"})
+	vctx, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+
+	// Delegate calling an unrelated app directly: EPERM.
+	if _, err := vctx.CallApp(kernel.Task{App: "evil"}, "exfiltrate", nil); !errors.Is(err, kernel.ErrPermissionDenied) {
+		t.Errorf("delegate->evil: %v, want EPERM", err)
+	}
+	// Delegate calling its initiator: allowed (app rejects the code but
+	// the policy admits the transaction).
+	if _, err := vctx.CallApp(kernel.Task{App: "email"}, "result", nil); errors.Is(err, kernel.ErrPermissionDenied) {
+		t.Errorf("delegate->initiator denied: %v", err)
+	}
+}
+
+func TestClearVolAndClearPriv(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	cb := NewClipboard()
+	m.AddVolatileStore(cb)
+
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	vctx, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+
+	// Delegate leaves traces: a volatile file, a pPriv file, a clip.
+	if err := vfs.WriteFile(vctx.FS(), vctx.Cred(), vctx.ExtDir()+"/trace.txt", []byte("t"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(vctx.FS(), vctx.Cred(), vctx.PPrivDir()+"/recent", []byte("r"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cb.Set(vctx.Task(), "copied-secret")
+
+	if err := m.ClearVol("email"); err != nil {
+		t.Fatal(err)
+	}
+	// Delegate was killed; volatile file and clip gone.
+	if vctx.Alive() {
+		t.Error("delegate survived ClearVol")
+	}
+	if vfs.Exists(ectx.FS(), ectx.Cred(), ectx.VolDir()+"/trace.txt") {
+		t.Error("volatile file survived ClearVol")
+	}
+	if clip, ok := cb.Get(kernel.Task{App: "x", Initiator: "email"}); ok && clip == "copied-secret" {
+		t.Error("domain clipboard survived ClearVol")
+	}
+
+	// pPriv survives ClearVol but not ClearPriv.
+	vctx2, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	if !vfs.Exists(vctx2.FS(), vctx2.Cred(), vctx2.PPrivDir()+"/recent") {
+		t.Error("pPriv did not survive ClearVol")
+	}
+	if err := m.ClearPriv("email"); err != nil {
+		t.Fatal(err)
+	}
+	vctx3, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	if vfs.Exists(vctx3.FS(), vctx3.Cred(), vctx3.PPrivDir()+"/recent") {
+		t.Error("pPriv survived ClearPriv")
+	}
+}
+
+func TestClipboardSeparation(t *testing.T) {
+	cb := NewClipboard()
+	pub := kernel.Task{App: "notes"}
+	delA := kernel.Task{App: "viewer", Initiator: "email"}
+	delA2 := kernel.Task{App: "editor", Initiator: "email"}
+	delB := kernel.Task{App: "viewer", Initiator: "dropbox"}
+
+	cb.Set(pub, "public-clip")
+	// Delegates read the public clip when their domain has none.
+	if clip, ok := cb.Get(delA); !ok || clip != "public-clip" {
+		t.Errorf("delegate fallback: %q %v", clip, ok)
+	}
+	// A delegate copy stays in the domain.
+	cb.Set(delA, "domain-secret")
+	if clip, _ := cb.Get(pub); clip != "public-clip" {
+		t.Error("delegate clip leaked to public clipboard")
+	}
+	if clip, _ := cb.Get(delB); clip != "public-clip" {
+		t.Error("delegate clip leaked to another domain")
+	}
+	if clip, _ := cb.Get(delA2); clip != "domain-secret" {
+		t.Error("same-domain delegate cannot paste")
+	}
+	// The initiator itself can paste its domain clip.
+	if clip, _ := cb.Get(kernel.Task{App: "email"}); clip != "domain-secret" {
+		t.Error("initiator cannot paste domain clip")
+	}
+}
+
+func TestBluetoothAndSMSGates(t *testing.T) {
+	bt := &Bluetooth{}
+	tel := &Telephony{}
+	delegate := kernel.Task{App: "viewer", Initiator: "email"}
+	initiator := kernel.Task{App: "email"}
+
+	if err := bt.Send(delegate, "secret"); !errors.Is(err, ErrDelegateDenied) {
+		t.Errorf("bt from delegate: %v", err)
+	}
+	if err := bt.Send(initiator, "ok"); err != nil {
+		t.Errorf("bt from initiator: %v", err)
+	}
+	if err := tel.SendSMS(delegate, "+1", "secret"); !errors.Is(err, ErrDelegateDenied) {
+		t.Errorf("sms from delegate: %v", err)
+	}
+	if err := tel.SendSMS(initiator, "+1", "hi"); err != nil {
+		t.Errorf("sms from initiator: %v", err)
+	}
+	if len(bt.Sent()) != 1 || len(tel.Sent()) != 1 {
+		t.Errorf("sent logs: %v %v", bt.Sent(), tel.Sent())
+	}
+}
+
+func TestDelegateNetworkCutOff(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	vctx, _ := ectx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	if _, err := vctx.Connect("anywhere"); !errors.Is(err, kernel.ErrNetUnreachable) {
+		t.Errorf("delegate connect: %v", err)
+	}
+	// When viewer next runs as itself, network is restored (§2.4).
+	m.StopInstance("viewer", "email")
+	nctx, err := m.StartActivity(nil, intent.Intent{Component: "viewer", Action: intent.ActionView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nctx.Connect("anywhere"); errors.Is(err, kernel.ErrNetUnreachable) {
+		t.Error("network not restored for normal run")
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	m := newManager(t)
+	if err := m.Install(&testApp{pkg: "a"}, Manifest{Package: "b"}); err == nil {
+		t.Error("mismatched manifest should fail")
+	}
+	if err := m.Install(&testApp{pkg: "a"}, Manifest{}); err != nil {
+		t.Errorf("empty manifest package should default: %v", err)
+	}
+}
+
+func TestPerURIGrant(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "email"}, Manifest{Package: "email"})
+	viewer := &testApp{pkg: "viewer"}
+	install(t, m, viewer, viewerManifest("viewer"))
+
+	ectx, _ := m.StartActivity(nil, intent.Intent{Component: "email"})
+	secret := ectx.DataDir() + "/att.pdf"
+	if err := vfs.WriteFile(ectx.FS(), ectx.Cred(), secret, []byte("attachment"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a grant, the viewer (running normally, different UID)
+	// cannot read the file at all.
+	vctx, err := m.StartActivity(nil, intent.Intent{Component: "viewer", Action: intent.ActionView})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vctx.OpenGrantedURI(secret); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("ungranted open: %v, want ErrNoGrant", err)
+	}
+
+	// Email invokes the viewer with the grant flag (no delegate flag:
+	// this is the stock-Android flow of §2.2 case study III).
+	vctx2, err := ectx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: secret, Flags: intent.FlagGrantReadURIPermission,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := vctx2.OpenGrantedURI(secret)
+	if err != nil || string(data) != "attachment" {
+		t.Fatalf("granted open = %q, %v", data, err)
+	}
+	// One-time semantics: a second open needs a fresh invocation.
+	if _, err := vctx2.OpenGrantedURI(secret); !errors.Is(err, ErrNoGrant) {
+		t.Errorf("second open: %v, want ErrNoGrant", err)
+	}
+	// The paper's criticism holds in the model: the granted receiver
+	// can copy the bytes to public storage — only confinement stops it.
+	if err := vctx2.FS().MkdirAll(vctx2.Cred(), vctx2.ExtDir(), 0o777); err == nil {
+		if err := vfs.WriteFile(vctx2.FS(), vctx2.Cred(), vctx2.ExtDir()+"/leak.pdf", data, 0o666); err != nil {
+			t.Fatalf("leak write: %v", err)
+		}
+	}
+}
+
+func TestResolveCandidates(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "viewer1"}, viewerManifest("viewer1"))
+	install(t, m, &testApp{pkg: "viewer2"}, viewerManifest("viewer2"))
+	install(t, m, &testApp{pkg: "sender"}, Manifest{Package: "sender"})
+	got := m.ResolveCandidates("sender", intent.Intent{Action: intent.ActionView, Data: "/f"})
+	if len(got) != 2 || got[0] != "viewer1" || got[1] != "viewer2" {
+		t.Errorf("candidates = %v", got)
+	}
+	// The sender itself is excluded; unmatched intents yield nothing.
+	if got := m.ResolveCandidates("viewer1", intent.Intent{Action: "no.match"}); len(got) != 0 {
+		t.Errorf("unmatched candidates = %v", got)
+	}
+}
+
+func TestInvokerBlacklistPolicy(t *testing.T) {
+	m := newManager(t)
+	install(t, m, &testApp{pkg: "viewer"}, viewerManifest("viewer"))
+	install(t, m, &testApp{pkg: "sharer"}, Manifest{
+		Package: "sharer",
+		Filters: []intent.Filter{{Actions: []string{intent.ActionSend}}},
+	})
+	// Blacklist mode: SEND intents stay public, everything else private.
+	install(t, m, &testApp{pkg: "vault"}, Manifest{
+		Package: "vault",
+		Maxoid: MaxoidManifest{
+			Invoker: intent.InvokerPolicy{
+				Whitelist: false,
+				Filters:   []intent.Filter{{Actions: []string{intent.ActionSend}}},
+			},
+		},
+	})
+	vctx, _ := m.StartActivity(nil, intent.Intent{Component: "vault"})
+	shared, err := vctx.StartActivity(intent.Intent{Action: intent.ActionSend, Data: "public-note"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.IsDelegate() {
+		t.Error("blacklisted SEND intent forced a delegate")
+	}
+	viewed, err := vctx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/doc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !viewed.IsDelegate() || viewed.Initiator() != "vault" {
+		t.Error("non-blacklisted VIEW intent did not invoke a delegate")
+	}
+}

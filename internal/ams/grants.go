@@ -1,0 +1,72 @@
+package ams
+
+import (
+	"errors"
+	"sync"
+
+	"maxoid/internal/vfs"
+)
+
+// ErrNoGrant is returned when an app opens a URI it was never granted.
+var ErrNoGrant = errors.New("ams: no permission grant for this URI")
+
+// Android's per-URI permission mechanism (paper §2.2, case study III):
+// when an intent carries FLAG_GRANT_READ_URI_PERMISSION, the receiver
+// gets one-time read access to the single file behind the intent's
+// data URI. The file is opened by the *granting* app's process and the
+// descriptor is passed over Binder; we model that by reading through
+// the grantor's namespace. The paper's point stands in the model too:
+// the receiver can still copy the bytes anywhere it likes afterwards —
+// only Maxoid's delegate confinement closes that hole.
+
+// uriGrant records a single-use read capability.
+type uriGrant struct {
+	grantorPID int
+	toPkg      string
+	path       string
+}
+
+// grantTable tracks outstanding per-URI grants.
+type grantTable struct {
+	mu     sync.Mutex
+	grants []uriGrant
+}
+
+// add records a grant from the grantor process to a package for a path.
+func (g *grantTable) add(grantorPID int, toPkg, path string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.grants = append(g.grants, uriGrant{grantorPID: grantorPID, toPkg: toPkg, path: vfs.Clean(path)})
+}
+
+// take consumes a grant, returning the grantor PID. One-time semantics:
+// a second open of the same URI needs a fresh invocation.
+func (g *grantTable) take(toPkg, path string) (int, bool) {
+	cleaned := vfs.Clean(path)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, gr := range g.grants {
+		if gr.toPkg == toPkg && gr.path == cleaned {
+			g.grants = append(g.grants[:i], g.grants[i+1:]...)
+			return gr.grantorPID, true
+		}
+	}
+	return 0, false
+}
+
+// OpenGrantedURI reads a file the caller was granted one-time access to
+// via FLAG_GRANT_READ_URI_PERMISSION. The read happens through the
+// granting process's view (the grantor opens the file and passes the
+// descriptor, as Android's Email app does).
+func (c *Context) OpenGrantedURI(path string) ([]byte, error) {
+	pid, ok := c.mgr.grants.take(c.Package(), path)
+	if !ok {
+		return nil, ErrNoGrant
+	}
+	grantor, alive := c.mgr.kern.Process(pid)
+	if !alive {
+		return nil, ErrNoGrant
+	}
+	// Read with the grantor's credential through the grantor's mounts.
+	return vfs.ReadFile(grantor.NS, vfs.Cred{UID: grantor.UID}, path)
+}

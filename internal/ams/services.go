@@ -1,0 +1,119 @@
+package ams
+
+import (
+	"errors"
+	"sync"
+
+	"maxoid/internal/kernel"
+)
+
+// ErrDelegateDenied is returned by services that Maxoid closes off for
+// delegates (Bluetooth, SMS; §6.2 item 5).
+var ErrDelegateDenied = errors.New("ams: operation not permitted for delegates")
+
+// Clipboard is the Clipboard Service with Maxoid's separate clipboard
+// instances for delegates (§6.2): delegates of A share a confinement-
+// domain clipboard layered over the public one, so copied data cannot
+// leak out of the domain but public clips remain pasteable.
+type Clipboard struct {
+	mu     sync.Mutex
+	public string
+	hasPub bool
+	vol    map[string]string // initiator -> clip
+}
+
+// NewClipboard creates an empty clipboard service.
+func NewClipboard() *Clipboard {
+	return &Clipboard{vol: make(map[string]string)}
+}
+
+// Set stores a clip for the caller's context.
+func (cb *Clipboard) Set(task kernel.Task, text string) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if task.IsDelegate() {
+		cb.vol[task.Initiator] = text
+		return
+	}
+	cb.public = text
+	cb.hasPub = true
+}
+
+// Get returns the clip visible to the caller's context: a delegate sees
+// its confinement domain's clip if one exists, else the public clip.
+func (cb *Clipboard) Get(task kernel.Task) (string, bool) {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	if task.IsDelegate() {
+		if clip, ok := cb.vol[task.Initiator]; ok {
+			return clip, true
+		}
+	} else {
+		// An initiator also sees its own domain's clipboard (delegates
+		// may have copied results for it), preferring the domain clip.
+		if clip, ok := cb.vol[task.App]; ok {
+			return clip, true
+		}
+	}
+	if cb.hasPub {
+		return cb.public, true
+	}
+	return "", false
+}
+
+// DiscardVolatile drops the initiator's domain clipboard (Clear-Vol).
+func (cb *Clipboard) DiscardVolatile(initiator string) error {
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	delete(cb.vol, initiator)
+	return nil
+}
+
+// Bluetooth is the Bluetooth Manager Service gate: delegates may not
+// send data over Bluetooth.
+type Bluetooth struct {
+	mu   sync.Mutex
+	sent []string
+}
+
+// Send transmits payload to a paired device.
+func (b *Bluetooth) Send(task kernel.Task, payload string) error {
+	if task.IsDelegate() {
+		return ErrDelegateDenied
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sent = append(b.sent, payload)
+	return nil
+}
+
+// Sent returns everything transmitted (for leak assertions in tests).
+func (b *Bluetooth) Sent() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string{}, b.sent...)
+}
+
+// Telephony is the Telephony Provider gate: delegates may not send SMS.
+type Telephony struct {
+	mu   sync.Mutex
+	sent []string
+}
+
+// SendSMS sends a text message.
+func (t *Telephony) SendSMS(task kernel.Task, to, body string) error {
+	if task.IsDelegate() {
+		return ErrDelegateDenied
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sent = append(t.sent, to+":"+body)
+	return nil
+}
+
+// Sent returns every message sent.
+func (t *Telephony) Sent() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string{}, t.sent...)
+}

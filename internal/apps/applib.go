@@ -1,0 +1,151 @@
+// Package apps implements simulated versions of the applications the
+// paper studies (§2.2, Table 1) and secures (§7.1): data processing
+// apps (document viewers, scanners, camera, media player) and apps that
+// need their help (Dropbox, Email, Browser, a wrapper app), plus the
+// pPriv-aware EBookDroid port.
+//
+// Each app is an ams.App whose behavior matches the paper's Table 1
+// observations: after processing data they leave traces — recent-file
+// lists in private state, copies/thumbnails/logs on the SD card,
+// entries in the Media provider — which is exactly what Maxoid's
+// confinement must capture. App-internal computation (PDF rendering,
+// image processing) is replaced by calibrated CPU work with the same
+// input-size dependence, preserving the Table 5 latency structure.
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path"
+	"sort"
+	"strings"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+// ExtraResult is the intent extra apps use to report results upward.
+const ExtraResult = "result"
+
+// cpuWork performs deterministic CPU work over data, standing in for
+// rendering/decoding. rounds scales the work; the returned digest
+// prevents the compiler from eliding the loop.
+func cpuWork(data []byte, rounds int) uint64 {
+	var digest uint64
+	for i := 0; i < rounds; i++ {
+		h := fnv.New64a()
+		h.Write(data)
+		var tag [1]byte
+		tag[0] = byte(i)
+		h.Write(tag[:])
+		digest ^= h.Sum64()
+	}
+	return digest
+}
+
+// sharedPrefs is the shared-preferences key-value store apps keep in
+// their private state ("XML" in Table 1). It is backed by a file under
+// /data/data/<pkg>/shared_prefs/.
+type sharedPrefs struct {
+	ctx  *ams.Context
+	name string
+}
+
+func prefs(ctx *ams.Context, name string) *sharedPrefs {
+	return &sharedPrefs{ctx: ctx, name: name}
+}
+
+func (p *sharedPrefs) path() string {
+	return path.Join(p.ctx.DataDir(), "shared_prefs", p.name+".xml")
+}
+
+// load parses the key=value lines (a stand-in for the XML encoding).
+func (p *sharedPrefs) load() map[string]string {
+	out := make(map[string]string)
+	data, err := vfs.ReadFile(p.ctx.FS(), p.ctx.Cred(), p.path())
+	if err != nil {
+		return out
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func (p *sharedPrefs) store(kv map[string]string) error {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s\n", k, kv[k])
+	}
+	if err := p.ctx.FS().MkdirAll(p.ctx.Cred(), path.Dir(p.path()), 0o700); err != nil {
+		return err
+	}
+	return vfs.WriteFile(p.ctx.FS(), p.ctx.Cred(), p.path(), []byte(b.String()), 0o600)
+}
+
+// Get returns a preference value.
+func (p *sharedPrefs) Get(key string) string { return p.load()[key] }
+
+// Set stores a preference value.
+func (p *sharedPrefs) Set(key, value string) error {
+	kv := p.load()
+	kv[key] = value
+	return p.store(kv)
+}
+
+// recentList is an append-only list file in an app's private state (the
+// "DB: recent files/scans" column of Table 1). dir selects which private
+// area it lives in: the normal data dir or, for Maxoid-aware delegates,
+// the persistent private dir.
+type recentList struct {
+	ctx  *ams.Context
+	file string
+}
+
+func recents(ctx *ams.Context, dir, name string) *recentList {
+	return &recentList{ctx: ctx, file: path.Join(dir, name)}
+}
+
+// Add appends an entry.
+func (r *recentList) Add(entry string) error {
+	if err := r.ctx.FS().MkdirAll(r.ctx.Cred(), path.Dir(r.file), 0o700); err != nil {
+		return err
+	}
+	return vfs.AppendFile(r.ctx.FS(), r.ctx.Cred(), r.file, []byte(entry+"\n"), 0o600)
+}
+
+// List returns all entries.
+func (r *recentList) List() []string {
+	data, err := vfs.ReadFile(r.ctx.FS(), r.ctx.Cred(), r.file)
+	if err != nil {
+		return nil
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		return nil
+	}
+	return lines
+}
+
+// readTarget opens the intent's data path through the app's view.
+func readTarget(ctx *ams.Context, target string) ([]byte, error) {
+	return vfs.ReadFile(ctx.FS(), ctx.Cred(), target)
+}
+
+// writeSD writes a file to public external storage (apps write 0666 on
+// the FAT SD card), creating directories as needed.
+func writeSD(ctx *ams.Context, name string, data []byte) error {
+	full := path.Join(layout.ExtDir, name)
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(full), 0o777); err != nil {
+		return err
+	}
+	return vfs.WriteFile(ctx.FS(), ctx.Cred(), full, data, 0o666)
+}

@@ -1,0 +1,211 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"maxoid/internal/binder"
+
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+// Unit tests for individual app behaviors (the use-case integration
+// tests live in usecases_test.go).
+
+func TestPDFViewerTraces(t *testing.T) {
+	s, suite := newDevice(t)
+	ctx, _ := s.Launch(PDFViewerPkg, intent.Intent{})
+	doc := layout.ExtDir + "/a.pdf"
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), doc, []byte("pdf-bytes"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.PDFViewer.Open(ctx, doc, false); err != nil {
+		t.Fatal(err)
+	}
+	// Recent list recorded; no SD copy without a content URI.
+	if got := suite.PDFViewer.RecentFiles(ctx); len(got) != 1 || got[0] != doc {
+		t.Errorf("recents = %v", got)
+	}
+	if vfs.Exists(ctx.FS(), ctx.Cred(), layout.ExtDir+"/AdobeReader/a.pdf") {
+		t.Error("SD copy created without content URI")
+	}
+	// With a content URI, the copy appears (Table 1).
+	if err := suite.PDFViewer.Open(ctx, doc, true); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(ctx.FS(), ctx.Cred(), layout.ExtDir+"/AdobeReader/a.pdf") {
+		t.Error("SD copy missing for content URI open")
+	}
+	// Search counts occurrences.
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), doc, []byte("x needle y needle"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	n, err := suite.PDFViewer.Search(ctx, doc, "needle")
+	if err != nil || n != 2 {
+		t.Errorf("Search = %d, %v", n, err)
+	}
+	if suite.PDFViewer.LastDigest == 0 {
+		t.Error("render digest not recorded")
+	}
+}
+
+func TestPDFViewerOnStartDispatch(t *testing.T) {
+	s, suite := newDevice(t)
+	ctx, _ := s.Launch(PDFViewerPkg, intent.Intent{})
+	// Non-VIEW intents are ignored.
+	if err := suite.PDFViewer.OnStart(ctx, intent.Intent{Action: intent.ActionSend, Data: "/x"}); err != nil {
+		t.Errorf("SEND intent: %v", err)
+	}
+	// Missing files error.
+	if err := suite.PDFViewer.OnStart(ctx, intent.Intent{Action: intent.ActionView, Data: "/nope.pdf"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestOfficeSuiteEdit(t *testing.T) {
+	s, suite := newDevice(t)
+	ctx, _ := s.Launch(OfficeSuitePkg, intent.Intent{})
+	doc := layout.ExtDir + "/memo.txt"
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), doc, []byte("v1"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.OfficeSuite.Edit(ctx, doc, "-v2"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := vfs.ReadFile(ctx.FS(), ctx.Cred(), doc)
+	if string(got) != "v1-v2" {
+		t.Errorf("edited = %q", got)
+	}
+	// Table 1 traces: thumbnail + SD database + private ADF recents.
+	if !vfs.Exists(ctx.FS(), ctx.Cred(), layout.ExtDir+"/.Kingsoft/thumbs/memo.txt.png") {
+		t.Error("thumbnail missing")
+	}
+	if !vfs.Exists(ctx.FS(), ctx.Cred(), layout.ExtDir+"/.Kingsoft/office.db") {
+		t.Error("SD database missing")
+	}
+	if !vfs.Exists(ctx.FS(), ctx.Cred(), ctx.DataDir()+"/recent.adf") {
+		t.Error("ADF recents missing")
+	}
+}
+
+func TestQRScannerDecodeAndHistory(t *testing.T) {
+	s, suite := newDevice(t)
+	ctx, _ := s.Launch(QRScannerPkg, intent.Intent{})
+	frame := layout.ExtDir + "/frame.raw"
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), frame, []byte("  https://example.com/q \n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	url, err := suite.QRScanner.Scan(ctx, frame)
+	if err != nil || url != "https://example.com/q" {
+		t.Fatalf("Scan = %q, %v", url, err)
+	}
+	if got := suite.QRScanner.RecentScans(ctx); len(got) != 1 {
+		t.Errorf("history = %v", got)
+	}
+	// Invoker retrieves the last scan over Binder.
+	from := binder.Caller{Task: kernel.Task{App: "browser"}}
+	reply, err := suite.QRScanner.OnTransact(ctx, from, "last_scan", nil)
+	if err != nil || reply.String("url") != "https://example.com/q" {
+		t.Errorf("OnTransact = %v, %v", reply, err)
+	}
+	if _, err := suite.QRScanner.OnTransact(ctx, from, "bogus", nil); err == nil {
+		t.Error("unknown code should fail")
+	}
+}
+
+func TestCameraEditPhotoCreatesSecondMediaEntry(t *testing.T) {
+	s, suite := newDevice(t)
+	ctx, _ := s.Launch(CameraMXPkg, intent.Intent{})
+	photo, err := suite.CameraMX.TakePhoto(ctx, "p1", []byte("sensor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := suite.CameraMX.EditPhoto(ctx, photo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(edited, "_edit.jpg") {
+		t.Errorf("edited name = %s", edited)
+	}
+	rows, err := ctx.Resolver().Query("content://media/images", nil, "", "")
+	if err != nil || len(rows.Data) != 2 {
+		t.Errorf("media entries = %d, %v", len(rows.Data), err)
+	}
+}
+
+func TestVPlayerTraces(t *testing.T) {
+	s, suite := newDevice(t)
+	ctx, _ := s.Launch(VPlayerPkg, intent.Intent{})
+	clip := layout.ExtDir + "/m.mp4"
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), clip, []byte("frames"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.VPlayer.OnStart(ctx, intent.Intent{Action: intent.ActionView, Data: clip}); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(ctx.FS(), ctx.Cred(), ctx.DataDir()+"/playback_history.db") {
+		t.Error("playback history missing")
+	}
+	if !vfs.Exists(ctx.FS(), ctx.Cred(), layout.ExtDir+"/.vplayer/thumbs/m.mp4.jpg") {
+		t.Error("thumbnail missing")
+	}
+}
+
+func TestBrowserPublicDownload(t *testing.T) {
+	s, suite := newDevice(t)
+	suite.WebServer.Put("/pub/file.bin", []byte("bytes"))
+	bctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	_, clientPath, err := suite.Browser.Download(bctx, "web.example/pub/file.bin", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Public download: other apps see the file.
+	octx, _ := s.Launch(EmailPkg, intent.Intent{})
+	if data, err := vfs.ReadFile(octx.FS(), octx.Cred(), clientPath); err != nil || string(data) != "bytes" {
+		t.Errorf("public file = %q, %v", data, err)
+	}
+	// Failed download returns an error.
+	if _, _, err := suite.Browser.Download(bctx, "nohost.example/x", false); err == nil {
+		t.Error("download from unknown host should fail")
+	}
+}
+
+func TestDropboxFetchRequiresNetwork(t *testing.T) {
+	s, suite := newDevice(t)
+	// A delegate instance of Dropbox would have no network; Dropbox run
+	// via the launcher as a delegate of wrapper demonstrates the cut.
+	wctx, _ := s.Launch(WrapperPkg, intent.Intent{})
+	_ = wctx
+	dctx, err := s.LaunchAsDelegate(DropboxPkg, WrapperPkg, intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.Dropbox.Fetch(dctx, "f"); !IsNetworkFailure(err) {
+		t.Errorf("confined fetch: %v, want ENETUNREACH", err)
+	}
+}
+
+func TestSuiteManifests(t *testing.T) {
+	s, suite := newDevice(t)
+	_ = suite
+	installed := s.AM.Installed()
+	if len(installed) != 12 {
+		t.Errorf("installed %d apps: %v", len(installed), installed)
+	}
+	// The resolver picks the PDF viewer for .pdf VIEW intents (it sorts
+	// lexicographically among matches; adobe sorts before ebookdroid).
+	ectx, _ := s.Launch(EmailPkg, intent.Intent{})
+	if err := suite.Email.Receive(ectx, "f.pdf", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	vctx, err := suite.Email.ViewAttachment(ectx, "f.pdf", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vctx.Package() != PDFViewerPkg {
+		t.Errorf("resolved %s", vctx.Package())
+	}
+}

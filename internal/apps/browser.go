@@ -1,0 +1,76 @@
+package apps
+
+import (
+	"fmt"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/provider/downloads"
+)
+
+// BrowserPkg is the package name.
+const BrowserPkg = "com.android.browser"
+
+// Browser models Android's built-in Browser with incognito mode (§2.2
+// case study IV). Stock incognito does not cover downloads: a file
+// downloaded from an incognito tab lands in public external storage and
+// the Downloads provider. The paper's enhancement is a one-line change:
+// downloads from an incognito tab pass the volatile flag through the
+// extended DownloadManager API, putting the file and its record in
+// Vol(Browser) (§7.1 "Enhancing Browser's incognito mode").
+type Browser struct{}
+
+// Package implements ams.App.
+func (b *Browser) Package() string { return BrowserPkg }
+
+// Manifest returns the install manifest.
+func (b *Browser) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: BrowserPkg,
+		Filters: []intent.Filter{{Schemes: []string{"http", "https"}}},
+	}
+}
+
+// OnStart opens a URL; the "incognito" extra selects the tab type and
+// "download" makes it a download navigation.
+func (b *Browser) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Extra("download") == "" {
+		return nil
+	}
+	_, _, err := b.Download(ctx, in.Data, in.Extra("incognito") == "1")
+	return err
+}
+
+// Download fetches a URL through the DownloadManager. This is the
+// paper's patched code path: the single added line is setting Volatile
+// for incognito tabs.
+func (b *Browser) Download(ctx *ams.Context, url string, incognito bool) (id int64, clientPath string, err error) {
+	dm := downloads.NewManager(ctx.Resolver())
+	id, err = dm.Enqueue(downloads.Request{
+		URL:      url,
+		Title:    url,
+		Volatile: incognito, // the 1-line Maxoid change
+	})
+	if err != nil {
+		return 0, "", err
+	}
+	status, clientPath, err := dm.Wait(id)
+	if err != nil {
+		return 0, "", err
+	}
+	if status != downloads.StatusSuccess {
+		return id, clientPath, fmt.Errorf("browser: download failed with status %d", status)
+	}
+	return id, clientPath, nil
+}
+
+// OpenDownload is the user clicking a download-complete notification:
+// for incognito downloads the handler app is started as a delegate of
+// Browser, for normal downloads it runs normally.
+func (b *Browser) OpenDownload(ctx *ams.Context, clientPath string, incognito bool) (*ams.Context, error) {
+	in := intent.Intent{Action: intent.ActionView, Data: clientPath}
+	if incognito {
+		in.Flags = intent.FlagDelegate
+	}
+	return ctx.StartActivity(in)
+}

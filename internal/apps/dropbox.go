@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"bytes"
+	"fmt"
+	"path"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+// DropboxPkg is the package name.
+const DropboxPkg = "com.dropbox.android"
+
+// DropboxHost is the backend server host.
+const DropboxHost = "dropbox.example"
+
+// DropboxDir is the app's file directory on external storage, declared
+// private in its Maxoid manifest (§7.1 "Securing Dropbox").
+const DropboxDir = "Dropbox"
+
+// Dropbox models the Dropbox client of §2.2: it stores the user's files
+// in a directory on external storage so other apps can open them, and
+// auto-syncs any change in that directory back to its server — which in
+// stock Android gives neither privacy nor integrity. Under Maxoid its
+// manifest marks the directory private and VIEW intents as delegate
+// invocations, with no code changes.
+type Dropbox struct{}
+
+// Package implements ams.App.
+func (d *Dropbox) Package() string { return DropboxPkg }
+
+// Manifest returns the install manifest including the Maxoid manifest
+// from the paper's case study: the Dropbox directory is private, and
+// "any intent from Dropbox with VIEW action is private".
+func (d *Dropbox) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: DropboxPkg,
+		Maxoid: ams.MaxoidManifest{
+			PrivateExtDirs: []string{DropboxDir},
+			Invoker: intent.InvokerPolicy{
+				Whitelist: true,
+				Filters:   []intent.Filter{{Actions: []string{intent.ActionView}}},
+			},
+		},
+	}
+}
+
+// OnStart is a no-op; the app is driven by its methods.
+func (d *Dropbox) OnStart(ctx *ams.Context, in intent.Intent) error { return nil }
+
+// localPath returns the on-device path of a synced file.
+func (d *Dropbox) localPath(name string) string {
+	return path.Join(layout.ExtDir, DropboxDir, name)
+}
+
+// Fetch downloads a file from the backend into the Dropbox directory.
+func (d *Dropbox) Fetch(ctx *ams.Context, name string) error {
+	conn, err := ctx.Connect(DropboxHost)
+	if err != nil {
+		return err
+	}
+	resp, err := conn.Do("/files/"+name, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("dropbox: fetch %s: status %d", name, resp.Status)
+	}
+	local := d.localPath(name)
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(local), 0o777); err != nil {
+		return err
+	}
+	return vfs.WriteFile(ctx.FS(), ctx.Cred(), local, resp.Body, 0o666)
+}
+
+// OpenFile invokes another app on a synced file (the user clicking it).
+// Under Maxoid the manifest's VIEW filter makes the invoked app a
+// delegate; in stock Android it would run normally.
+func (d *Dropbox) OpenFile(ctx *ams.Context, name string, extras map[string]string) (*ams.Context, error) {
+	return ctx.StartActivity(intent.Intent{
+		Action: intent.ActionView,
+		Data:   d.localPath(name),
+		Extras: extras,
+	})
+}
+
+// SyncAll uploads every file in the Dropbox directory whose content
+// differs from the server — the automatic sync that, in stock Android,
+// pushes even unintended modifications (§2.2 case study I).
+func (d *Dropbox) SyncAll(ctx *ams.Context) (uploaded []string, err error) {
+	conn, err := ctx.Connect(DropboxHost)
+	if err != nil {
+		return nil, err
+	}
+	dir := path.Join(layout.ExtDir, DropboxDir)
+	entries, err := ctx.FS().ReadDir(ctx.Cred(), dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		local, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), path.Join(dir, e.Name))
+		if err != nil {
+			return uploaded, err
+		}
+		remote, err := conn.Do("/files/"+e.Name, nil)
+		if err != nil {
+			return uploaded, err
+		}
+		if remote.Status == 200 && bytes.Equal(remote.Body, local) {
+			continue
+		}
+		if _, err := conn.Do("/files/"+e.Name, local); err != nil {
+			return uploaded, err
+		}
+		uploaded = append(uploaded, e.Name)
+	}
+	return uploaded, nil
+}
+
+// CommitFromVol uploads an edited version from Vol(Dropbox) — the
+// manual commit the paper requires of the user when Dropbox itself is
+// unmodified: "we require the user to manually upload the modified
+// file if it is desired, from EXTDIR/tmp".
+func (d *Dropbox) CommitFromVol(ctx *ams.Context, name string) error {
+	volPath := path.Join(layout.ExtTmpDir, DropboxDir, name)
+	data, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), volPath)
+	if err != nil {
+		return err
+	}
+	conn, err := ctx.Connect(DropboxHost)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Do("/files/"+name, data); err != nil {
+		return err
+	}
+	// Also refresh the local copy.
+	return vfs.WriteFile(ctx.FS(), ctx.Cred(), d.localPath(name), data, 0o666)
+}

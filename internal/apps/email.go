@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"path"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/provider"
+	"maxoid/internal/provider/downloads"
+	"maxoid/internal/vfs"
+)
+
+// EmailPkg is the package name.
+const EmailPkg = "com.android.email"
+
+// Email models Android's built-in Email app (§2.2 case study III):
+// attachments are saved in private internal storage; the VIEW button
+// invokes another app on the attachment; the SAVE button explicitly
+// exports it to external storage and the Downloads provider.
+//
+// Under Maxoid, a filter in the Maxoid manifest marks VIEW intents
+// private, so viewers run as delegates with no code change to Email.
+type Email struct{}
+
+// Package implements ams.App.
+func (e *Email) Package() string { return EmailPkg }
+
+// Manifest returns the install manifest with the §7.1 Maxoid filter:
+// "VIEW intents are private".
+func (e *Email) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: EmailPkg,
+		Maxoid: ams.MaxoidManifest{
+			Invoker: intent.InvokerPolicy{
+				Whitelist: true,
+				Filters:   []intent.Filter{{Actions: []string{intent.ActionView}}},
+			},
+		},
+	}
+}
+
+// OnStart is a no-op; the app is driven by its methods.
+func (e *Email) OnStart(ctx *ams.Context, in intent.Intent) error { return nil }
+
+// attachmentPath is the internal private path of an attachment.
+func (e *Email) attachmentPath(ctx *ams.Context, name string) string {
+	return path.Join(ctx.DataDir(), "attachments", name)
+}
+
+// Receive stores an incoming attachment in private internal storage.
+func (e *Email) Receive(ctx *ams.Context, name string, content []byte) error {
+	p := e.attachmentPath(ctx, name)
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(p), 0o700); err != nil {
+		return err
+	}
+	return vfs.WriteFile(ctx.FS(), ctx.Cred(), p, content, 0o600)
+}
+
+// ViewAttachment is the VIEW button: it invokes a handler app on the
+// private attachment with a one-time read grant. The Maxoid manifest
+// turns this into a delegate invocation.
+func (e *Email) ViewAttachment(ctx *ams.Context, name string, extras map[string]string) (*ams.Context, error) {
+	return ctx.StartActivity(intent.Intent{
+		Action: intent.ActionView,
+		Data:   e.attachmentPath(ctx, name),
+		Flags:  intent.FlagGrantReadURIPermission,
+		Extras: extras,
+	})
+}
+
+// SaveAttachment is the SAVE button: the user intentionally exports the
+// attachment to external storage and registers it with the Downloads
+// provider — an explicit declassification that Maxoid permits.
+func (e *Email) SaveAttachment(ctx *ams.Context, name string) (string, error) {
+	data, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), e.attachmentPath(ctx, name))
+	if err != nil {
+		return "", err
+	}
+	dest := path.Join(downloads.DownloadDir, name)
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(dest), 0o777); err != nil {
+		return "", err
+	}
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), dest, data, 0o666); err != nil {
+		return "", err
+	}
+	// Metadata goes to the Downloads provider, as the stock app does.
+	_, err = ctx.Resolver().Insert(downloads.DownloadsURI, provider.Values{
+		"uri": "local/attachment/" + name, "title": name, "_data": dest,
+	})
+	if err != nil {
+		return "", err
+	}
+	return dest, nil
+}

@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider"
+	"maxoid/internal/trace"
+	"maxoid/internal/vfs"
+)
+
+// TestMonkeyNoPublicLeaks is a randomized whole-system exerciser in the
+// spirit of Android's monkey tool: it boots a device, marks two
+// initiators' data as sensitive, and then drives hundreds of random
+// actions — delegate launches, file edits through delegate views,
+// provider operations, scans, broadcasts, Clear-Vol/Clear-Priv — while
+// auditing after every burst that nothing derived from the sensitive
+// data ever became publicly observable (the S1 invariant under load).
+func TestMonkeyNoPublicLeaks(t *testing.T) {
+	const bursts = 12
+	const actionsPerBurst = 25
+
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			s, suite := newDevice(t)
+
+			initiators := []string{EmailPkg, DropboxPkg}
+			delegateApps := []string{PDFViewerPkg, OfficeSuitePkg, QRScannerPkg, CamScannerPkg, CameraMXPkg, VPlayerPkg, EBookDroidPkg}
+
+			// Seed sensitive state in both initiators.
+			ectx, _ := s.Launch(EmailPkg, intent.Intent{})
+			if err := suite.Email.Receive(ectx, "secret.pdf", []byte("SENSITIVE-EMAIL")); err != nil {
+				t.Fatal(err)
+			}
+			suite.DropboxServer.Put("/files/secret.txt", []byte("SENSITIVE-DROPBOX"))
+			dbctx, _ := s.Launch(DropboxPkg, intent.Intent{})
+			if err := suite.Dropbox.Fetch(dbctx, "secret.txt"); err != nil {
+				t.Fatal(err)
+			}
+
+			pkgs := s.AM.Installed()
+			baseline, err := trace.Capture(s, pkgs, initiators)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Public state writes by initiators are legitimate; track a
+			// running baseline that absorbs them but still catches any
+			// write performed by a delegate context.
+			for b := 0; b < bursts; b++ {
+				for a := 0; a < actionsPerBurst; a++ {
+					initiator := initiators[r.Intn(len(initiators))]
+					app := delegateApps[r.Intn(len(delegateApps))]
+					ctx, err := s.LaunchAsDelegate(app, initiator, intent.Intent{})
+					if err != nil {
+						t.Fatalf("burst %d action %d launch %s^%s: %v", b, a, app, initiator, err)
+					}
+					switch r.Intn(6) {
+					case 0: // read the initiator's sensitive file
+						target := "/data/data/" + EmailPkg + "/attachments/secret.pdf"
+						if initiator == DropboxPkg {
+							target = layout.ExtDir + "/Dropbox/secret.txt"
+						}
+						_, _ = vfs.ReadFile(ctx.FS(), ctx.Cred(), target)
+					case 1: // write somewhere "public"
+						name := fmt.Sprintf("%s/m%d.txt", layout.ExtDir, r.Intn(8))
+						_ = vfs.WriteFile(ctx.FS(), ctx.Cred(), name, []byte("derived-SENSITIVE"), 0o666)
+					case 2: // provider insert
+						_, _ = ctx.Resolver().Insert("content://user_dictionary/words",
+							provider.Values{"word": fmt.Sprintf("leak%d", r.Intn(100))})
+					case 3: // provider update of a public row (COW)
+						_, _ = ctx.Resolver().Update("content://user_dictionary/words",
+							provider.Values{"frequency": int64(r.Intn(100))}, "")
+					case 4: // delete a public file (whiteout)
+						_ = ctx.FS().Remove(ctx.Cred(), fmt.Sprintf("%s/m%d.txt", layout.ExtDir, r.Intn(8)))
+					case 5: // stop/restart churn
+						s.AM.StopInstance(app, initiator)
+					}
+				}
+				// Occasionally clear a domain mid-run.
+				if r.Intn(3) == 0 {
+					victim := initiators[r.Intn(len(initiators))]
+					if err := s.ClearVol(victim); err != nil {
+						t.Fatalf("burst %d clearvol: %v", b, err)
+					}
+					if r.Intn(2) == 0 {
+						if err := s.ClearPriv(victim); err != nil {
+							t.Fatalf("burst %d clearpriv: %v", b, err)
+						}
+					}
+				}
+				// Audit: no public trace appeared during this burst.
+				now, err := trace.Capture(s, pkgs, initiators)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := trace.Diff(baseline, now)
+				if d.LeakedPublicly() {
+					t.Fatalf("burst %d leaked publicly:\n%s", b, d.Summary())
+				}
+				// The sensitive originals are intact (S2).
+				att, err := vfs.ReadFile(ectx.FS(), ectx.Cred(), "/data/data/"+EmailPkg+"/attachments/secret.pdf")
+				if err != nil || string(att) != "SENSITIVE-EMAIL" {
+					t.Fatalf("burst %d: email attachment corrupted: %q, %v", b, att, err)
+				}
+				dbf, err := vfs.ReadFile(dbctx.FS(), dbctx.Cred(), layout.ExtDir+"/Dropbox/secret.txt")
+				if err != nil || string(dbf) != "SENSITIVE-DROPBOX" {
+					t.Fatalf("burst %d: dropbox file corrupted: %q, %v", b, dbf, err)
+				}
+				baseline = now
+			}
+		})
+	}
+}

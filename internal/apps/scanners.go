@@ -1,0 +1,200 @@
+package apps
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/intent"
+	"maxoid/internal/provider/media"
+)
+
+// QRScanner models Barcode Scanner (Table 1, scanner row): scanning a
+// QR code decodes it, stores the result in a private recent-scans DB,
+// and hands the decoded URL to the invoking app.
+type QRScanner struct{}
+
+// QRScannerPkg is the package name.
+const QRScannerPkg = "com.google.zxing.client.android"
+
+// ActionScan is the scan intent action.
+const ActionScan = "com.google.zxing.client.android.SCAN"
+
+// Package implements ams.App.
+func (q *QRScanner) Package() string { return QRScannerPkg }
+
+// Manifest returns the app's install manifest.
+func (q *QRScanner) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: QRScannerPkg,
+		Filters: []intent.Filter{{Actions: []string{ActionScan}}},
+	}
+}
+
+// OnStart handles SCAN intents: the data names a captured frame file.
+func (q *QRScanner) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Action != ActionScan || in.Data == "" {
+		return nil
+	}
+	_, err := q.Scan(ctx, in.Data)
+	return err
+}
+
+// Scan decodes a QR code from a captured frame and records the scan in
+// the private recent-scans database (Table 1 trace).
+func (q *QRScanner) Scan(ctx *ams.Context, frame string) (string, error) {
+	data, err := readTarget(ctx, frame)
+	if err != nil {
+		return "", err
+	}
+	cpuWork(data, RenderRounds/4)
+	// "Decode": the frame content is the URL in this simulation.
+	url := strings.TrimSpace(string(data))
+	if err := recents(ctx, ctx.DataDir(), "scans.db").Add(url); err != nil {
+		return "", err
+	}
+	return url, nil
+}
+
+// RecentScans returns the private scan history.
+func (q *QRScanner) RecentScans(ctx *ams.Context) []string {
+	return recents(ctx, ctx.DataDir(), "scans.db").List()
+}
+
+// OnTransact lets the invoker retrieve the last scan over Binder.
+func (q *QRScanner) OnTransact(ctx *ams.Context, from binder.Caller, code string, data binder.Parcel) (binder.Parcel, error) {
+	if code == "last_scan" {
+		scans := q.RecentScans(ctx)
+		if len(scans) == 0 {
+			return binder.Parcel{}, nil
+		}
+		return binder.Parcel{"url": scans[len(scans)-1]}, nil
+	}
+	return nil, fmt.Errorf("qrscanner: unknown code %s", code)
+}
+
+// CamScanner models CamScanner (Table 1): scanning a page saves an
+// image file to the SD card, a thumbnail, a log file, and a private
+// recent-scans DB entry.
+type CamScanner struct{}
+
+// CamScannerPkg is the package name.
+const CamScannerPkg = "com.intsig.camscanner"
+
+// ActionScanDoc is the document-scan action.
+const ActionScanDoc = "com.intsig.camscanner.SCAN_DOC"
+
+// Package implements ams.App.
+func (c *CamScanner) Package() string { return CamScannerPkg }
+
+// Manifest returns the app's install manifest.
+func (c *CamScanner) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: CamScannerPkg,
+		Filters: []intent.Filter{{Actions: []string{ActionScanDoc}}},
+	}
+}
+
+// OnStart handles scan intents.
+func (c *CamScanner) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Action != ActionScanDoc || in.Data == "" {
+		return nil
+	}
+	return c.ScanPage(ctx, in.Data)
+}
+
+// ScanPage processes a scanned page (Table 5's CamScanner task),
+// leaving every Table 1 trace.
+func (c *CamScanner) ScanPage(ctx *ams.Context, source string) error {
+	data, err := readTarget(ctx, source)
+	if err != nil {
+		return err
+	}
+	// Page processing dominates latency (7.3s on the paper's tablet).
+	cpuWork(data, RenderRounds*4)
+	name := path.Base(source)
+	if err := writeSD(ctx, "CamScanner/"+name+".jpg", data); err != nil {
+		return err
+	}
+	if err := writeSD(ctx, "CamScanner/.thumbs/"+name+".thumb", data[:min(len(data), 256)]); err != nil {
+		return err
+	}
+	if err := writeSD(ctx, "CamScanner/scan.log", []byte("scanned "+name+"\n")); err != nil {
+		return err
+	}
+	return recents(ctx, ctx.DataDir(), "scans.db").Add(name)
+}
+
+// CameraMX models CameraMX (Table 1, photo row): taking a photo saves
+// the file to the SD card and creates a Media provider entry; editing a
+// photo creates a new Media entry.
+type CameraMX struct{}
+
+// CameraMXPkg is the package name.
+const CameraMXPkg = "com.magix.camera_mx"
+
+// ActionCapture is the image-capture action.
+const ActionCapture = "android.media.action.IMAGE_CAPTURE"
+
+// Package implements ams.App.
+func (c *CameraMX) Package() string { return CameraMXPkg }
+
+// Manifest returns the app's install manifest.
+func (c *CameraMX) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: CameraMXPkg,
+		Filters: []intent.Filter{{Actions: []string{ActionCapture}}},
+	}
+}
+
+// OnStart handles capture intents; the "sensor" extra carries the shot
+// content in this simulation.
+func (c *CameraMX) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Action != ActionCapture {
+		return nil
+	}
+	name := in.Extra("name")
+	if name == "" {
+		name = "IMG_0001"
+	}
+	_, err := c.TakePhoto(ctx, name, []byte(in.Extra("sensor")))
+	return err
+}
+
+// TakePhoto captures a photo: CPU processing, SD-card file, Media
+// provider entry (Table 5's "take a photo" task). It returns the photo
+// path.
+func (c *CameraMX) TakePhoto(ctx *ams.Context, name string, sensor []byte) (string, error) {
+	cpuWork(sensor, RenderRounds)
+	rel := "DCIM/CameraMX/" + name + ".jpg"
+	if err := writeSD(ctx, rel, sensor); err != nil {
+		return "", err
+	}
+	full := ctx.ExtDir() + "/" + rel
+	_, err := ctx.CallProvider(media.Authority, "scan", binder.Parcel{"path": full, "date": int64(1)})
+	if err != nil {
+		return "", err
+	}
+	return full, nil
+}
+
+// EditPhoto edits an existing photo and saves the result as a new file
+// with a new Media entry (Table 5's "save an edited photo" task).
+func (c *CameraMX) EditPhoto(ctx *ams.Context, source string) (string, error) {
+	data, err := readTarget(ctx, source)
+	if err != nil {
+		return "", err
+	}
+	cpuWork(data, RenderRounds*2)
+	edited := strings.TrimSuffix(source, path.Ext(source)) + "_edit.jpg"
+	rel := strings.TrimPrefix(edited, ctx.ExtDir()+"/")
+	if err := writeSD(ctx, rel, append(data, []byte("-edited")...)); err != nil {
+		return "", err
+	}
+	if _, err := ctx.CallProvider(media.Authority, "scan", binder.Parcel{"path": edited, "date": int64(2)}); err != nil {
+		return "", err
+	}
+	return edited, nil
+}

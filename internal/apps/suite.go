@@ -1,0 +1,70 @@
+package apps
+
+import (
+	"maxoid/internal/ams"
+	"maxoid/internal/core"
+	"maxoid/internal/netstack"
+)
+
+// Suite bundles all simulated apps installed on one device, plus the
+// backend servers they talk to. Tests, examples, the Table 1 auditor,
+// and the benchmarks all drive the system through a Suite.
+type Suite struct {
+	PDFViewer   *PDFViewer
+	OfficeSuite *OfficeSuite
+	VPlayer     *VPlayer
+	EBookDroid  *EBookDroid
+	QRScanner   *QRScanner
+	CamScanner  *CamScanner
+	CameraMX    *CameraMX
+	Dropbox     *Dropbox
+	Email       *Email
+	Browser     *Browser
+	Wrapper     *Wrapper
+	NetApp      *NetApp
+
+	DropboxServer *netstack.StaticFileServer
+	WebServer     *netstack.StaticFileServer
+	SignServer    *netstack.StaticFileServer
+}
+
+// InstallSuite installs every app with its manifest and registers the
+// backend servers on the device's network.
+func InstallSuite(s *core.System) (*Suite, error) {
+	suite := &Suite{
+		PDFViewer:   &PDFViewer{},
+		OfficeSuite: &OfficeSuite{},
+		VPlayer:     &VPlayer{},
+		EBookDroid:  &EBookDroid{},
+		QRScanner:   &QRScanner{},
+		CamScanner:  &CamScanner{},
+		CameraMX:    &CameraMX{},
+		Dropbox:     &Dropbox{},
+		Email:       &Email{},
+		Browser:     &Browser{},
+		Wrapper:     &Wrapper{},
+		NetApp:      &NetApp{},
+
+		DropboxServer: netstack.NewStaticFileServer(),
+		WebServer:     netstack.NewStaticFileServer(),
+		SignServer:    netstack.NewStaticFileServer(),
+	}
+	type installable interface {
+		ams.App
+		Manifest() ams.Manifest
+	}
+	for _, app := range []installable{
+		suite.PDFViewer, suite.OfficeSuite, suite.VPlayer, suite.EBookDroid,
+		suite.QRScanner, suite.CamScanner, suite.CameraMX, suite.Dropbox,
+		suite.Email, suite.Browser, suite.Wrapper, suite.NetApp,
+	} {
+		if err := s.Install(app, app.Manifest()); err != nil {
+			return nil, err
+		}
+	}
+
+	s.Net.Register(DropboxHost, suite.DropboxServer)
+	s.Net.Register("web.example", suite.WebServer)
+	s.Net.Register(NetAppHost, suite.SignServer)
+	return suite, nil
+}

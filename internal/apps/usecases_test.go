@@ -1,0 +1,385 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider/downloads"
+	"maxoid/internal/vfs"
+)
+
+// newDevice boots a device with the full app suite installed.
+func newDevice(t *testing.T) (*core.System, *Suite) {
+	t.Helper()
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := InstallSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, suite
+}
+
+// TestUseCaseDropbox reproduces §7.1 "Securing Dropbox": the Maxoid
+// manifest makes the Dropbox dir private and VIEW invocations delegate;
+// an editor's changes stay in Vol(Dropbox) until the user commits, and
+// auto-sync never uploads unintended modifications.
+func TestUseCaseDropbox(t *testing.T) {
+	s, suite := newDevice(t)
+	suite.DropboxServer.Put("/files/notes.txt", []byte("cloud-v1"))
+
+	dctx, err := s.Launch(DropboxPkg, intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.Dropbox.Fetch(dctx, "notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Privacy: other apps cannot see files in the private Dropbox dir.
+	bctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	if vfs.Exists(bctx.FS(), bctx.Cred(), layout.ExtDir+"/Dropbox/notes.txt") {
+		t.Error("Dropbox private dir visible to another app")
+	}
+
+	// The user clicks the file: the editor runs as Dropbox's delegate.
+	ectx, err := suite.Dropbox.OpenFile(dctx, "notes.txt", map[string]string{"append": "-EDIT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ectx.IsDelegate() || ectx.Initiator() != DropboxPkg {
+		t.Fatalf("editor context: %v", ectx.Task())
+	}
+
+	// The editor edited the file (and left Table 1 side effects), but
+	// the original is intact and auto-sync uploads nothing.
+	local, _ := vfs.ReadFile(dctx.FS(), dctx.Cred(), layout.ExtDir+"/Dropbox/notes.txt")
+	if string(local) != "cloud-v1" {
+		t.Errorf("original mutated: %q", local)
+	}
+	uploaded, err := suite.Dropbox.SyncAll(dctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uploaded) != 0 {
+		t.Errorf("auto-sync uploaded delegate edits: %v", uploaded)
+	}
+
+	// Dropbox sees the edit under EXTDIR/tmp and the user commits it.
+	vol, err := vfs.ReadFile(dctx.FS(), dctx.Cred(), layout.ExtTmpDir+"/Dropbox/notes.txt")
+	if err != nil || string(vol) != "cloud-v1-EDIT" {
+		t.Fatalf("volatile edit: %q, %v", vol, err)
+	}
+	if err := suite.Dropbox.CommitFromVol(dctx, "notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	remote, _ := suite.DropboxServer.Get("/files/notes.txt")
+	if string(remote) != "cloud-v1-EDIT" {
+		t.Errorf("server after commit: %q", remote)
+	}
+
+	// Then the user clears Vol(Dropbox) to drop the editor's side
+	// effects (thumbnails, SD-card DB entries).
+	if err := s.ClearVol(DropboxPkg); err != nil {
+		t.Fatal(err)
+	}
+	if vols, _ := s.ListVolatileFiles(DropboxPkg); len(vols) != 0 {
+		t.Errorf("volatile leftovers: %v", vols)
+	}
+}
+
+// TestUseCaseEmailAttachment reproduces §7.1 "Securing Email
+// attachments": VIEW invocations are private; the viewer's traces stay
+// in Vol(Email); SAVE remains an explicit public export.
+func TestUseCaseEmailAttachment(t *testing.T) {
+	s, suite := newDevice(t)
+	ectx, _ := s.Launch(EmailPkg, intent.Intent{})
+	secret := []byte("attachment-secret-contents")
+	if err := suite.Email.Receive(ectx, "contract.pdf", secret); err != nil {
+		t.Fatal(err)
+	}
+
+	vctx, err := suite.Email.ViewAttachment(ectx, "contract.pdf", map[string]string{"from_content_uri": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vctx.IsDelegate() || vctx.Initiator() != EmailPkg {
+		t.Fatalf("viewer context: %v", vctx.Task())
+	}
+	// Adobe Reader's SD-card copy (Table 1) was confined to Vol(Email).
+	xctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	if vfs.Exists(xctx.FS(), xctx.Cred(), layout.ExtDir+"/AdobeReader/contract.pdf") {
+		t.Error("attachment copy leaked to public SD card")
+	}
+	vol := layout.ExtTmpDir + "/AdobeReader/contract.pdf"
+	if data, err := vfs.ReadFile(ectx.FS(), ectx.Cred(), vol); err != nil || string(data) != string(secret) {
+		t.Errorf("volatile copy: %v, %v", data, err)
+	}
+	// The viewer's recent-files list is in nPriv(viewer^email), not in
+	// the viewer's real private state.
+	s.AM.StopInstance(PDFViewerPkg, EmailPkg)
+	nctx, _ := s.Launch(PDFViewerPkg, intent.Intent{})
+	if got := suite.PDFViewer.RecentFiles(nctx); len(got) != 0 {
+		t.Errorf("recent files leaked into normal private state: %v", got)
+	}
+
+	// SAVE is an explicit declassification: file + Downloads record go
+	// public.
+	dest, err := suite.Email.SaveAttachment(ectx, "contract.pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := vfs.ReadFile(xctx.FS(), xctx.Cred(), dest); err != nil || string(data) != string(secret) {
+		t.Errorf("saved attachment: %v, %v", data, err)
+	}
+	rows, err := xctx.Resolver().Query(downloads.DownloadsURI, []string{"title"}, "", "")
+	if err != nil || len(rows.Data) != 1 {
+		t.Errorf("public download record: %v, %v", rows, err)
+	}
+}
+
+// TestUseCaseIncognitoDownload reproduces §7.1 "Enhancing Browser's
+// incognito mode": a volatile download plus delegate viewing leaves no
+// public trace, and Clear-Vol + Clear-Priv erase everything.
+func TestUseCaseIncognitoDownload(t *testing.T) {
+	s, suite := newDevice(t)
+	suite.WebServer.Put("/secret/report.pdf", []byte("incognito-report"))
+
+	bctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	_, clientPath, err := suite.Browser.Download(bctx, "web.example/secret/report.pdf", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No public trace: file invisible to other apps, no public record.
+	xctx, _ := s.Launch(EmailPkg, intent.Intent{})
+	if vfs.Exists(xctx.FS(), xctx.Cred(), clientPath) {
+		t.Error("incognito download visible publicly")
+	}
+	rows, _ := xctx.Resolver().Query(downloads.DownloadsURI, nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Errorf("incognito record public: %v", rows.Data)
+	}
+
+	// The notification opens the file in a delegate viewer.
+	vctx, err := suite.Browser.OpenDownload(bctx, clientPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vctx.Initiator() != BrowserPkg {
+		t.Fatalf("viewer context: %v", vctx.Task())
+	}
+	// The viewer could read it through Pub(x^Browser).
+	if data, err := vfs.ReadFile(vctx.FS(), vctx.Cred(), clientPath); err != nil || string(data) != "incognito-report" {
+		t.Errorf("delegate read of volatile download: %q, %v", data, err)
+	}
+
+	// Clearing wipes the download, its record, and all delegate traces.
+	if err := s.ClearVol(BrowserPkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ClearPriv(BrowserPkg); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.VolatileRecords("downloads", "my_downloads", BrowserPkg); n != 0 {
+		t.Errorf("volatile download records: %d", n)
+	}
+	if vols, _ := s.ListVolatileFiles(BrowserPkg); len(vols) != 0 {
+		t.Errorf("volatile files: %v", vols)
+	}
+	// A fresh delegate viewer has no recent-files memory of the report.
+	vctx2, _ := s.LaunchAsDelegate(PDFViewerPkg, BrowserPkg, intent.Intent{})
+	if got := suite.PDFViewer.RecentFiles(vctx2); len(got) != 0 {
+		t.Errorf("viewer history survived Clear-Priv: %v", got)
+	}
+}
+
+// TestUseCaseIncognitoQRScanner extends incognito to an input app: the
+// user starts the QR scanner as the Browser's delegate from the
+// launcher, so the scan history is erasable too (§2.2 IV / §7.1).
+func TestUseCaseIncognitoQRScanner(t *testing.T) {
+	s, suite := newDevice(t)
+
+	// A captured frame exists on the public SD card.
+	bctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	if err := bctx.FS().MkdirAll(bctx.Cred(), layout.ExtDir+"/DCIM", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(bctx.FS(), bctx.Cred(), layout.ExtDir+"/DCIM/frame.raw", []byte("http://secret.example/page"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	qctx, err := s.LaunchAsDelegate(QRScannerPkg, BrowserPkg, intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, err := suite.QRScanner.Scan(qctx, layout.ExtDir+"/DCIM/frame.raw")
+	if err != nil || url != "http://secret.example/page" {
+		t.Fatalf("scan: %q, %v", url, err)
+	}
+	// The scan history lives in nPriv(scanner^browser); the scanner run
+	// normally has no trace of it.
+	s.AM.StopInstance(QRScannerPkg, BrowserPkg)
+	nctx, _ := s.Launch(QRScannerPkg, intent.Intent{})
+	if got := suite.QRScanner.RecentScans(nctx); len(got) != 0 {
+		t.Errorf("scan history leaked: %v", got)
+	}
+	// Clear-Priv erases it for good.
+	if err := s.ClearPriv(BrowserPkg); err != nil {
+		t.Fatal(err)
+	}
+	qctx2, _ := s.LaunchAsDelegate(QRScannerPkg, BrowserPkg, intent.Intent{})
+	if got := suite.QRScanner.RecentScans(qctx2); len(got) != 0 {
+		t.Errorf("scan history survived Clear-Priv: %v", got)
+	}
+}
+
+// TestUseCaseWrapperApp reproduces §7.1 "Wrapper app": system-wide
+// incognito by funneling every invocation through a do-nothing holder.
+func TestUseCaseWrapperApp(t *testing.T) {
+	s, suite := newDevice(t)
+	wctx, _ := s.Launch(WrapperPkg, intent.Intent{})
+	if err := suite.Wrapper.Hold(wctx, "taxes.pdf", []byte("tax-return-2014")); err != nil {
+		t.Fatal(err)
+	}
+	vctx, err := suite.Wrapper.OpenWith(wctx, "taxes.pdf", map[string]string{"from_content_uri": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vctx.Initiator() != WrapperPkg {
+		t.Fatalf("viewer context: %v", vctx.Task())
+	}
+	// After use, clearing both stores wipes every trace system-wide.
+	if err := s.ClearVol(WrapperPkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ClearPriv(WrapperPkg); err != nil {
+		t.Fatal(err)
+	}
+	xctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	if vfs.Exists(xctx.FS(), xctx.Cred(), layout.ExtDir+"/AdobeReader/taxes.pdf") {
+		t.Error("wrapper doc copy leaked")
+	}
+	vctx2, _ := s.LaunchAsDelegate(PDFViewerPkg, WrapperPkg, intent.Intent{})
+	if got := suite.PDFViewer.RecentFiles(vctx2); len(got) != 0 {
+		t.Errorf("trace survived wipe: %v", got)
+	}
+}
+
+// TestUseCaseEBookDroidPPriv reproduces §7.1 "Using delegates'
+// persistent private state": the patched viewer keeps a per-initiator
+// recent list across delegate invocations, even after nPriv re-forks,
+// and it is invisible outside that initiator's domain.
+func TestUseCaseEBookDroidPPriv(t *testing.T) {
+	s, suite := newDevice(t)
+	ectx, _ := s.Launch(EmailPkg, intent.Intent{})
+	if err := suite.Email.Receive(ectx, "book.epub", []byte("chapter one")); err != nil {
+		t.Fatal(err)
+	}
+
+	// First delegate run: opens the attachment, recents go to pPriv.
+	dctx, err := suite.Email.ViewAttachment(ectx, "book.epub", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dctx.Package() != EBookDroidPkg {
+		t.Fatalf("resolved to %s, want EBookDroid", dctx.Package())
+	}
+	s.AM.StopInstance(EBookDroidPkg, EmailPkg)
+
+	// The viewer runs normally and updates its own private state, which
+	// will force an nPriv re-fork for the next delegate run.
+	nctx, _ := s.Launch(EBookDroidPkg, intent.Intent{})
+	if err := suite.EBookDroid.Open(nctx, layout.ExtDir+"/pub.epub"); err == nil {
+		// pub.epub doesn't exist; create and open for real.
+		t.Fatal("expected missing file error")
+	}
+	if err := vfs.WriteFile(nctx.FS(), nctx.Cred(), layout.ExtDir+"/pub.epub", []byte("public book"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.EBookDroid.Open(nctx, layout.ExtDir+"/pub.epub"); err != nil {
+		t.Fatal(err)
+	}
+	// Normal run does not see the delegate's history (S1).
+	for _, r := range suite.EBookDroid.RecentFiles(nctx) {
+		if strings.Contains(r, "book.epub") {
+			t.Errorf("delegate history visible normally: %v", r)
+		}
+	}
+	s.AM.StopInstance(EBookDroidPkg, "")
+
+	// Second delegate run: nPriv was re-forked (it now contains the
+	// public book entry), but pPriv still lists the attachment.
+	dctx2, err := suite.Email.ViewAttachment(ectx, "book.epub", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := suite.EBookDroid.RecentFiles(dctx2)
+	foundAttachment := false
+	for _, r := range got {
+		if strings.Contains(r, "book.epub") {
+			foundAttachment = true
+		}
+	}
+	if !foundAttachment {
+		t.Errorf("pPriv recent list lost the attachment: %v", got)
+	}
+}
+
+// TestUseCaseNetworkDependentDelegate covers the paper's finding that 3
+// of 77 apps cannot work as delegates due to the network cut.
+func TestUseCaseNetworkDependentDelegate(t *testing.T) {
+	s, suite := newDevice(t)
+	_ = suite
+	ectx, _ := s.Launch(EmailPkg, intent.Intent{})
+	if err := suite.Email.Receive(ectx, "deal.sign", []byte("sign me")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := suite.Email.ViewAttachment(ectx, "deal.sign", nil)
+	if !IsNetworkFailure(err) {
+		t.Errorf("network-dependent delegate: %v, want ENETUNREACH", err)
+	}
+	// The same app works when run normally.
+	nctx, _ := s.Launch(NetAppPkg, intent.Intent{})
+	if err := vfs.WriteFile(nctx.FS(), nctx.Cred(), layout.ExtDir+"/public.sign", []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.NetApp.OnStart(nctx, intent.Intent{Action: intent.ActionView, Data: layout.ExtDir + "/public.sign"}); err != nil {
+		t.Errorf("normal run: %v", err)
+	}
+}
+
+// TestUseCaseCameraForDropbox: the user starts the camera as Dropbox's
+// delegate from the launcher and takes a private photo (§7.1).
+func TestUseCaseCameraForDropbox(t *testing.T) {
+	s, suite := newDevice(t)
+	cctx, err := s.LaunchAsDelegate(CameraMXPkg, DropboxPkg, intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	photo, err := suite.CameraMX.TakePhoto(cctx, "private_shot", []byte("jpeg-sensor-data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The photo and its Media entry are confined to Vol(Dropbox).
+	xctx, _ := s.Launch(BrowserPkg, intent.Intent{})
+	if vfs.Exists(xctx.FS(), xctx.Cred(), photo) {
+		t.Error("private photo on public SD card")
+	}
+	rows, _ := xctx.Resolver().Query("content://media/images", nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Errorf("private photo in public Media: %v", rows.Data)
+	}
+	if n, _ := s.VolatileRecords("media", "files", DropboxPkg); n != 1 {
+		t.Errorf("volatile media records: %d", n)
+	}
+	dctx, _ := s.Launch(DropboxPkg, intent.Intent{})
+	if !vfs.Exists(dctx.FS(), dctx.Cred(), layout.ExtTmpDir+"/DCIM/CameraMX/private_shot.jpg") {
+		t.Error("Dropbox cannot see the photo in Vol")
+	}
+}

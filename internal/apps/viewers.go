@@ -1,0 +1,277 @@
+package apps
+
+import (
+	"fmt"
+	"path"
+	"strings"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/intent"
+	"maxoid/internal/vfs"
+)
+
+// RenderRounds scales the CPU cost of "rendering" a document per open;
+// Table 5 shows app latency dominated by this work, not by I/O.
+const RenderRounds = 32
+
+// PDFViewer models Adobe Reader (Table 1, document viewer row): opening
+// a file renders it, records it in the recent-files shared preferences,
+// and — when opening a content URI — saves a copy of the file to the SD
+// card. It also supports in-file search (a Table 5 task).
+type PDFViewer struct {
+	// LastDigest exposes the render result so benchmarks keep the work.
+	LastDigest uint64
+}
+
+// PDFViewerPkg is the package name.
+const PDFViewerPkg = "com.adobe.reader"
+
+// Package implements ams.App.
+func (v *PDFViewer) Package() string { return PDFViewerPkg }
+
+// Manifest returns the app's install manifest.
+func (v *PDFViewer) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: PDFViewerPkg,
+		Filters: []intent.Filter{{
+			Actions:  []string{intent.ActionView},
+			Suffixes: []string{".pdf"},
+		}},
+	}
+}
+
+// OnStart handles VIEW intents.
+func (v *PDFViewer) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Action != intent.ActionView || in.Data == "" {
+		return nil
+	}
+	return v.Open(ctx, in.Data, strings.HasPrefix(in.Data, "content://") || in.Extra("from_content_uri") == "1")
+}
+
+// Open opens and renders a document, leaving Adobe Reader's Table 1
+// traces: a recent-files entry and, for content URIs, an SD-card copy.
+func (v *PDFViewer) Open(ctx *ams.Context, target string, fromContentURI bool) error {
+	data, err := readTarget(ctx, target)
+	if err != nil {
+		return fmt.Errorf("pdfviewer: %w", err)
+	}
+	v.LastDigest = cpuWork(data, RenderRounds)
+	if err := prefs(ctx, "recent_files").Set("last", target); err != nil {
+		return err
+	}
+	if err := recents(ctx, ctx.DataDir(), "recent.list").Add(target); err != nil {
+		return err
+	}
+	if fromContentURI {
+		// The paper: "A copy of the file on SD card when opening a
+		// content URI."
+		if err := writeSD(ctx, "AdobeReader/"+path.Base(target), data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Search performs an in-file search (Table 5's second Adobe Reader
+// task): CPU work proportional to the document size.
+func (v *PDFViewer) Search(ctx *ams.Context, target, term string) (int, error) {
+	data, err := readTarget(ctx, target)
+	if err != nil {
+		return 0, err
+	}
+	v.LastDigest = cpuWork(data, RenderRounds*2)
+	return strings.Count(string(data), term), nil
+}
+
+// RecentFiles returns the recent-files list for inspection.
+func (v *PDFViewer) RecentFiles(ctx *ams.Context) []string {
+	return recents(ctx, ctx.DataDir(), "recent.list").List()
+}
+
+// OfficeSuite models Kingsoft Office (Table 1): opening a file leaves
+// recent files in app-defined-format private state, a thumbnail on the
+// SD card, and entries in a database stored on the SD card.
+type OfficeSuite struct{}
+
+// OfficeSuitePkg is the package name.
+const OfficeSuitePkg = "cn.wps.moffice"
+
+// Package implements ams.App.
+func (o *OfficeSuite) Package() string { return OfficeSuitePkg }
+
+// Manifest returns the app's install manifest.
+func (o *OfficeSuite) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: OfficeSuitePkg,
+		Filters: []intent.Filter{{
+			Actions:  []string{intent.ActionView, intent.ActionEdit},
+			Suffixes: []string{".doc", ".xls", ".txt"},
+		}},
+	}
+}
+
+// OnStart handles VIEW/EDIT intents. An "append" extra makes the open
+// an edit (the simulated user typing and saving).
+func (o *OfficeSuite) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Data == "" {
+		return nil
+	}
+	if in.Action == intent.ActionEdit || in.Extra("append") != "" {
+		return o.Edit(ctx, in.Data, in.Extra("append"))
+	}
+	return o.Open(ctx, in.Data)
+}
+
+// Open opens a document with Kingsoft's Table 1 traces.
+func (o *OfficeSuite) Open(ctx *ams.Context, target string) error {
+	data, err := readTarget(ctx, target)
+	if err != nil {
+		return err
+	}
+	cpuWork(data, RenderRounds)
+	// ADF: recent files in an app-defined format (binary blob).
+	if err := recents(ctx, ctx.DataDir(), "recent.adf").Add("ADF1|" + target); err != nil {
+		return err
+	}
+	// Thumbnail and database rows on the SD card.
+	if err := writeSD(ctx, ".Kingsoft/thumbs/"+path.Base(target)+".png", data[:min(len(data), 256)]); err != nil {
+		return err
+	}
+	return writeSD(ctx, ".Kingsoft/office.db", []byte("entry:"+target+"\n"))
+}
+
+// Edit appends text to a document and saves it in place — the flow
+// Dropbox's use case needs ("A wants B^A to edit a file b", Figure 4).
+func (o *OfficeSuite) Edit(ctx *ams.Context, target, appendText string) error {
+	if err := o.Open(ctx, target); err != nil {
+		return err
+	}
+	return vfs.AppendFile(ctx.FS(), ctx.Cred(), target, []byte(appendText), 0o666)
+}
+
+// VPlayer models the media player row of Table 1: playing a video
+// leaves playback history in a private DB and a thumbnail on SD card.
+type VPlayer struct{}
+
+// VPlayerPkg is the package name.
+const VPlayerPkg = "me.abitno.vplayer"
+
+// Package implements ams.App.
+func (p *VPlayer) Package() string { return VPlayerPkg }
+
+// Manifest returns the app's install manifest.
+func (p *VPlayer) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: VPlayerPkg,
+		Filters: []intent.Filter{{
+			Actions:  []string{intent.ActionView},
+			Suffixes: []string{".mp4", ".mkv", ".avi"},
+		}},
+	}
+}
+
+// OnStart handles VIEW intents.
+func (p *VPlayer) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Data == "" {
+		return nil
+	}
+	return p.Play(ctx, in.Data)
+}
+
+// Play plays a video, leaving the Table 1 traces.
+func (p *VPlayer) Play(ctx *ams.Context, target string) error {
+	data, err := readTarget(ctx, target)
+	if err != nil {
+		return err
+	}
+	cpuWork(data, RenderRounds/2)
+	if err := recents(ctx, ctx.DataDir(), "playback_history.db").Add(target); err != nil {
+		return err
+	}
+	return writeSD(ctx, ".vplayer/thumbs/"+path.Base(target)+".jpg", data[:min(len(data), 512)])
+}
+
+// EBookDroid models the open-source document viewer the paper modifies
+// (45 lines) to use persistent private state (§7.1): when running
+// normally it stores recent-file entries in its normal private DB; as a
+// delegate it stores them in pPriv, and shows a merged list.
+type EBookDroid struct{}
+
+// EBookDroidPkg is the package name.
+const EBookDroidPkg = "org.ebookdroid"
+
+// Package implements ams.App.
+func (e *EBookDroid) Package() string { return EBookDroidPkg }
+
+// Manifest returns the app's install manifest.
+func (e *EBookDroid) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: EBookDroidPkg,
+		Filters: []intent.Filter{{
+			Actions:  []string{intent.ActionView},
+			Suffixes: []string{".epub", ".djvu", ".pdf"},
+		}},
+	}
+}
+
+// OnStart handles VIEW intents.
+func (e *EBookDroid) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Data == "" {
+		return nil
+	}
+	return e.Open(ctx, in.Data)
+}
+
+// recentStore picks nPriv or pPriv depending on the execution context —
+// the essence of the paper's EBookDroid patch.
+func (e *EBookDroid) recentStore(ctx *ams.Context) *recentList {
+	if ctx.IsDelegate() {
+		return recents(ctx, ctx.PPrivDir(), "recent.db")
+	}
+	return recents(ctx, ctx.DataDir(), "recent.db")
+}
+
+// Open opens a document and records it in the context-appropriate
+// recent list. Unimportant caches still go to normal private state.
+func (e *EBookDroid) Open(ctx *ams.Context, target string) error {
+	data, err := readTarget(ctx, target)
+	if err != nil {
+		return err
+	}
+	cpuWork(data, RenderRounds)
+	if err := e.recentStore(ctx).Add(target); err != nil {
+		return err
+	}
+	cache := path.Join(ctx.DataDir(), "cache", path.Base(target)+".render")
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(cache), 0o700); err != nil {
+		return err
+	}
+	return vfs.WriteFile(ctx.FS(), ctx.Cred(), cache, data[:min(len(data), 128)], 0o600)
+}
+
+// RecentFiles returns the merged recent list: pPriv entries (per
+// initiator) plus normal entries, as the patched app displays.
+func (e *EBookDroid) RecentFiles(ctx *ams.Context) []string {
+	normal := recents(ctx, ctx.DataDir(), "recent.db").List()
+	if !ctx.IsDelegate() {
+		return normal
+	}
+	persistent := recents(ctx, ctx.PPrivDir(), "recent.db").List()
+	return append(persistent, normal...)
+}
+
+// OnTransact lets tests query the recent list over Binder.
+func (e *EBookDroid) OnTransact(ctx *ams.Context, from binder.Caller, code string, data binder.Parcel) (binder.Parcel, error) {
+	if code == "recents" {
+		return binder.Parcel{"recents": strings.Join(e.RecentFiles(ctx), ",")}, nil
+	}
+	return nil, fmt.Errorf("ebookdroid: unknown code %s", code)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"errors"
+	"path"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/vfs"
+)
+
+// WrapperPkg is the package name of the wrapper app.
+const WrapperPkg = "org.maxoid.wrapper"
+
+// Wrapper is the paper's wrapper app (§7.1): "an app which does nothing
+// but holding sensitive documents. It can be used as an initiator to
+// force 'real apps' into a system-wide incognito mode by clearing the
+// volatile state after use."
+type Wrapper struct{}
+
+// Package implements ams.App.
+func (w *Wrapper) Package() string { return WrapperPkg }
+
+// Manifest returns the install manifest: every outgoing intent invokes
+// a delegate (empty-filter whitelist matches everything).
+func (w *Wrapper) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: WrapperPkg,
+		Maxoid: ams.MaxoidManifest{
+			Invoker: intent.InvokerPolicy{
+				Whitelist: true,
+				Filters:   []intent.Filter{{}}, // match all
+			},
+		},
+	}
+}
+
+// OnStart is a no-op; the app is driven by its methods.
+func (w *Wrapper) OnStart(ctx *ams.Context, in intent.Intent) error { return nil }
+
+// docPath is where a held document lives in internal private storage.
+func (w *Wrapper) docPath(ctx *ams.Context, name string) string {
+	return path.Join(ctx.DataDir(), "docs", name)
+}
+
+// Hold stores a sensitive document inside the wrapper.
+func (w *Wrapper) Hold(ctx *ams.Context, name string, content []byte) error {
+	p := w.docPath(ctx, name)
+	if err := ctx.FS().MkdirAll(ctx.Cred(), path.Dir(p), 0o700); err != nil {
+		return err
+	}
+	return vfs.WriteFile(ctx.FS(), ctx.Cred(), p, content, 0o600)
+}
+
+// OpenWith opens a held document with whatever app handles it; the
+// manifest forces the handler into the wrapper's confinement domain.
+func (w *Wrapper) OpenWith(ctx *ams.Context, name string, extras map[string]string) (*ams.Context, error) {
+	return ctx.StartActivity(intent.Intent{
+		Action: intent.ActionView,
+		Data:   w.docPath(ctx, name),
+		Extras: extras,
+	})
+}
+
+// NetApp models the three data-processing apps (DocuSign, EasySign,
+// ThinkTI Document Converter) that cannot work as delegates because
+// they must reach their servers (§7.1): its open path uploads the
+// document for processing, which fails with ENETUNREACH when confined.
+type NetApp struct{}
+
+// NetAppPkg is the package name.
+const NetAppPkg = "com.docusign.ink"
+
+// NetAppHost is the processing backend.
+const NetAppHost = "sign.example"
+
+// Package implements ams.App.
+func (n *NetApp) Package() string { return NetAppPkg }
+
+// Manifest returns the install manifest.
+func (n *NetApp) Manifest() ams.Manifest {
+	return ams.Manifest{
+		Package: NetAppPkg,
+		Filters: []intent.Filter{{
+			Actions:  []string{intent.ActionView},
+			Suffixes: []string{".sign"},
+		}},
+	}
+}
+
+// OnStart uploads the document to the signing service.
+func (n *NetApp) OnStart(ctx *ams.Context, in intent.Intent) error {
+	if in.Data == "" {
+		return nil
+	}
+	data, err := readTarget(ctx, in.Data)
+	if err != nil {
+		return err
+	}
+	conn, err := ctx.Connect(NetAppHost)
+	if err != nil {
+		return err // ENETUNREACH as a delegate: the app cannot work
+	}
+	_, err = conn.Do("/sign", data)
+	return err
+}
+
+// IsNetworkFailure reports whether an error is the delegate network cut.
+func IsNetworkFailure(err error) bool {
+	return errors.Is(err, kernel.ErrNetUnreachable)
+}

@@ -1,0 +1,367 @@
+// Package bench provides the workload generators and measurement
+// fixtures that regenerate the paper's evaluation (§7.2): the Table 3
+// microbenchmarks (CPU, internal file system, User Dictionary), the
+// Table 4 provider batches (downloads, media scans), and the Table 5
+// application tasks. Both the testing.B benchmarks at the repository
+// root and cmd/maxoid-bench drive these fixtures.
+//
+// Three configurations are measured, following the paper:
+//
+//   - Stock: the mount/database layout of unmodified Android — a single
+//     plain mount (no union), direct primary-table access.
+//   - Initiator: the Maxoid layout for apps running as themselves.
+//     By design it is a single branch too, so its overhead over Stock
+//     is the Maxoid bookkeeping only (the paper measures ~0%).
+//   - Delegate: the confined layout — two-branch unions for files,
+//     COW views and delta tables for providers.
+package bench
+
+import (
+	"fmt"
+
+	"maxoid/internal/cowproxy"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/mount"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+	"maxoid/internal/zygote"
+)
+
+// Config selects the execution context being measured.
+type Config int
+
+// The three measured configurations.
+const (
+	Stock Config = iota
+	Initiator
+	Delegate
+)
+
+// String names the configuration.
+func (c Config) String() string {
+	switch c {
+	case Stock:
+		return "stock"
+	case Initiator:
+		return "initiator"
+	default:
+		return "delegate"
+	}
+}
+
+// Configs lists all configurations in presentation order.
+var Configs = []Config{Stock, Initiator, Delegate}
+
+// MatMul multiplies two n×n matrices — the CPU-bound microbenchmark of
+// Table 3. The checksum keeps the work alive.
+func MatMul(n int) float64 {
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) + 0.5
+		b[i] = float64(i%5) + 0.25
+	}
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c[0] + c[n*n-1]
+}
+
+// FSWorld holds the three filesystem views of one app's internal
+// private directory, for the Table 3 file-system rows.
+type FSWorld struct {
+	Disk *vfs.FS
+	Zyg  *zygote.Zygote
+
+	views map[Config]vfs.FileSystem
+	creds map[Config]vfs.Cred
+	// DataDir is the client-visible private directory path used in the
+	// Initiator/Delegate views; the Stock view uses the same path.
+	DataDir string
+}
+
+// NewFSWorld builds a disk with app "bench.app" installed and the three
+// views of its internal private directory.
+func NewFSWorld() (*FSWorld, error) {
+	disk := vfs.New()
+	kern := kernel.New(nil)
+	zyg := zygote.New(disk, kern)
+	if err := zyg.InitDevice(); err != nil {
+		return nil, err
+	}
+	appB := zygote.AppInfo{Package: "bench.app", UID: kern.AssignUID("bench.app")}
+	appA := zygote.AppInfo{Package: "bench.initiator", UID: kern.AssignUID("bench.initiator")}
+	for _, a := range []zygote.AppInfo{appB, appA} {
+		if err := zyg.InstallApp(a); err != nil {
+			return nil, err
+		}
+	}
+
+	w := &FSWorld{
+		Disk:    disk,
+		Zyg:     zyg,
+		views:   make(map[Config]vfs.FileSystem),
+		creds:   make(map[Config]vfs.Cred),
+		DataDir: layout.AppData("bench.app"),
+	}
+
+	// Stock: a plain namespace with a single direct mount — exactly
+	// what unmodified Android gives the app.
+	stockNS := mount.New()
+	stockNS.Mount(w.DataDir, vfs.Sub(disk, layout.BackAppData("bench.app")))
+	w.views[Stock] = stockNS
+	w.creds[Stock] = vfs.Cred{UID: appB.UID}
+
+	initProc, err := zyg.ForkInitiator(appB)
+	if err != nil {
+		return nil, err
+	}
+	w.views[Initiator] = initProc.NS
+	w.creds[Initiator] = vfs.Cred{UID: initProc.UID}
+
+	delProc, err := zyg.ForkDelegate(appB, appA)
+	if err != nil {
+		return nil, err
+	}
+	w.views[Delegate] = delProc.NS
+	w.creds[Delegate] = vfs.Cred{UID: delProc.UID}
+	return w, nil
+}
+
+// View returns the filesystem and credential for a configuration.
+func (w *FSWorld) View(c Config) (vfs.FileSystem, vfs.Cred) {
+	return w.views[c], w.creds[c]
+}
+
+// SeedFile creates a file of the given size directly in the app's base
+// private branch, owned by the app, so for the Delegate view it sits on
+// the read-only branch (reads hit the lower layer; appends force
+// copy-up).
+func (w *FSWorld) SeedFile(name string, size int) error {
+	data := Payload(size)
+	backing := layout.BackAppData("bench.app") + "/" + name
+	if err := vfs.WriteFile(w.Disk, vfs.Root, backing, data, 0o600); err != nil {
+		return err
+	}
+	return w.Disk.Chown(vfs.Root, backing, w.creds[Stock].UID)
+}
+
+// ResetDelegateCopy removes the delegate's writable-branch copy (and
+// any whiteout) of a file, restoring the pre-copy-up state between
+// append trials.
+func (w *FSWorld) ResetDelegateCopy(name string) {
+	branch := layout.BackNPrivBranch("bench.app", "bench.initiator")
+	_ = w.Disk.Remove(vfs.Root, branch+"/"+name)
+	_ = w.Disk.Remove(vfs.Root, branch+"/.wh."+name)
+}
+
+// RemoveFile removes a file from a view (between write trials).
+func (w *FSWorld) RemoveFile(c Config, name string) {
+	fsys, cred := w.View(c)
+	_ = fsys.Remove(cred, w.DataDir+"/"+name)
+	if c == Delegate {
+		w.ResetDelegateCopy(name)
+	}
+}
+
+// Payload returns a deterministic byte slice of the given size.
+func Payload(size int) []byte {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*131 + 17)
+	}
+	return data
+}
+
+// ReadFile reads a whole file through a view (one Table 3 "read" op).
+func (w *FSWorld) ReadFile(c Config, name string) error {
+	fsys, cred := w.View(c)
+	_, err := vfs.ReadFile(fsys, cred, w.DataDir+"/"+name)
+	return err
+}
+
+// WriteFile creates and writes a file through a view (one "write" op).
+func (w *FSWorld) WriteFile(c Config, name string, data []byte) error {
+	fsys, cred := w.View(c)
+	return vfs.WriteFile(fsys, cred, w.DataDir+"/"+name, data, 0o600)
+}
+
+// AppendFile appends data to an existing file through a view, doubling
+// its size as in the paper's append benchmark.
+func (w *FSWorld) AppendFile(c Config, name string, data []byte) error {
+	fsys, cred := w.View(c)
+	return vfs.AppendFile(fsys, cred, w.DataDir+"/"+name, data, 0o600)
+}
+
+// DictWorld is the User Dictionary fixture: one database per
+// configuration, pre-seeded with the paper's 1000 rows.
+type DictWorld struct {
+	Rows int
+
+	stockDB *sqldb.DB
+
+	proxy *cowproxy.Proxy
+	inits *cowproxy.Conn // initiator-view connection
+	del   *cowproxy.Conn // delegate-view connection
+}
+
+const dictSchema = `CREATE TABLE words (
+	_id INTEGER PRIMARY KEY,
+	word TEXT NOT NULL,
+	frequency INTEGER DEFAULT 1,
+	locale TEXT,
+	appid INTEGER DEFAULT 0
+)`
+
+// NewDictWorld builds the fixture with the given table size.
+func NewDictWorld(rows int) (*DictWorld, error) {
+	w := &DictWorld{Rows: rows}
+
+	w.stockDB = sqldb.Open()
+	if _, err := w.stockDB.Exec(dictSchema); err != nil {
+		return nil, err
+	}
+
+	proxyDB := sqldb.Open()
+	if _, err := proxyDB.Exec(dictSchema); err != nil {
+		return nil, err
+	}
+	w.proxy = cowproxy.New(proxyDB)
+	if err := w.proxy.RegisterTable("words"); err != nil {
+		return nil, err
+	}
+	w.inits = w.proxy.For("")
+	w.del = w.proxy.For("bench.initiator")
+
+	for i := 0; i < rows; i++ {
+		word := fmt.Sprintf("word%04d", i)
+		if _, err := w.stockDB.Exec(
+			"INSERT INTO words (word, frequency) VALUES (?, ?)", word, i); err != nil {
+			return nil, err
+		}
+		if _, err := w.inits.Insert("words", map[string]sqldb.Value{
+			"word": word, "frequency": int64(i),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Per the paper, delegate queries run after updates so both primary
+	// and delta tables are involved: prime the delta with one COW row.
+	if _, err := w.del.Update("words", map[string]sqldb.Value{"frequency": int64(1)}, "_id = 1"); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Insert performs one insert in the configuration's view. The word is
+// derived from seq to stay unique.
+func (w *DictWorld) Insert(c Config, seq int) error {
+	word := fmt.Sprintf("new%08d", seq)
+	switch c {
+	case Stock:
+		_, err := w.stockDB.Exec("INSERT INTO words (word, frequency) VALUES (?, 1)", word)
+		return err
+	case Initiator:
+		_, err := w.inits.Insert("words", map[string]sqldb.Value{"word": word, "frequency": int64(1)})
+		return err
+	default:
+		_, err := w.del.Insert("words", map[string]sqldb.Value{"word": word, "frequency": int64(1)})
+		return err
+	}
+}
+
+// Update performs one update by primary key (cycling through the seeded
+// rows); for delegates this exercises per-row copy-on-write.
+func (w *DictWorld) Update(c Config, seq int) error {
+	id := int64(seq%w.Rows) + 1
+	switch c {
+	case Stock:
+		_, err := w.stockDB.Exec("UPDATE words SET frequency = ? WHERE _id = ?", seq, id)
+		return err
+	case Initiator:
+		_, err := w.inits.Update("words", map[string]sqldb.Value{"frequency": int64(seq)}, "_id = ?", id)
+		return err
+	default:
+		_, err := w.del.Update("words", map[string]sqldb.Value{"frequency": int64(seq)}, "_id = ?", id)
+		return err
+	}
+}
+
+// QueryOne queries a single word by ID (the "query 1 word" column).
+func (w *DictWorld) QueryOne(c Config, seq int) error {
+	id := int64(seq%w.Rows) + 1
+	switch c {
+	case Stock:
+		_, err := w.stockDB.Query("SELECT _id, word, frequency FROM words WHERE _id = ?", id)
+		return err
+	case Initiator:
+		_, err := w.inits.Query("words", []string{"_id", "word", "frequency"}, "_id = ?", "", id)
+		return err
+	default:
+		_, err := w.del.Query("words", []string{"_id", "word", "frequency"}, "_id = ?", "", id)
+		return err
+	}
+}
+
+// QueryAll selects every word ("query 1k words").
+func (w *DictWorld) QueryAll(c Config) error {
+	switch c {
+	case Stock:
+		_, err := w.stockDB.Query("SELECT _id, word, frequency FROM words ORDER BY _id")
+		return err
+	case Initiator:
+		_, err := w.inits.Query("words", []string{"_id", "word", "frequency"}, "", "_id")
+		return err
+	default:
+		_, err := w.del.Query("words", []string{"_id", "word", "frequency"}, "", "_id")
+		return err
+	}
+}
+
+// QueryAllMaterialized queries the delegate's COW view in a way that
+// defeats subquery flattening — an ORDER BY expression rather than a
+// projected column — forcing the view to be materialized. It is the
+// baseline for the flattening ablation benchmark.
+func (w *DictWorld) QueryAllMaterialized() error {
+	view := cowproxy.COWViewName("words", "bench.initiator")
+	_, err := w.proxy.DB().Query("SELECT _id, word FROM " + view + " ORDER BY frequency + 0")
+	return err
+}
+
+// Delete deletes one row by primary key; the row is restored afterwards
+// so the table size stays constant across trials. Only the delete is
+// the measured operation in spirit; the restore is identical across
+// configurations so relative overheads remain comparable.
+func (w *DictWorld) Delete(c Config, seq int) error {
+	id := int64(seq%w.Rows) + 1
+	word := fmt.Sprintf("word%04d", id-1)
+	switch c {
+	case Stock:
+		if _, err := w.stockDB.Exec("DELETE FROM words WHERE _id = ?", id); err != nil {
+			return err
+		}
+		_, err := w.stockDB.Exec("INSERT INTO words (_id, word) VALUES (?, ?)", id, word)
+		return err
+	case Initiator:
+		if _, err := w.inits.Delete("words", "_id = ?", id); err != nil {
+			return err
+		}
+		_, err := w.inits.Insert("words", map[string]sqldb.Value{"_id": id, "word": word})
+		return err
+	default:
+		// The delegate's delete writes a whiteout; restoring means
+		// removing the whiteout row from its view by re-inserting.
+		if _, err := w.del.Delete("words", "_id = ?", id); err != nil {
+			return err
+		}
+		_, err := w.del.Insert("words", map[string]sqldb.Value{"_id": id, "word": word})
+		return err
+	}
+}

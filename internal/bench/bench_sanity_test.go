@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"testing"
+)
+
+// These tests validate the harness itself: each fixture must produce
+// correct results in every configuration before its timings mean
+// anything.
+
+func TestMatMul(t *testing.T) {
+	if got := MatMul(8); got == 0 {
+		t.Error("MatMul returned zero checksum")
+	}
+}
+
+func TestFSWorldAllConfigs(t *testing.T) {
+	w, err := NewFSWorld()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SeedFile("seed.bin", 4096); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Configs {
+		if err := w.ReadFile(c, "seed.bin"); err != nil {
+			t.Errorf("%s read: %v", c, err)
+		}
+		if err := w.WriteFile(c, "new-"+c.String(), Payload(128)); err != nil {
+			t.Errorf("%s write: %v", c, err)
+		}
+		w.RemoveFile(c, "new-"+c.String())
+		if err := w.AppendFile(c, "seed.bin", Payload(128)); err != nil {
+			t.Errorf("%s append: %v", c, err)
+		}
+		if c == Delegate {
+			w.ResetDelegateCopy("seed.bin")
+		}
+	}
+	// Delegate writes must not have touched the base branch beyond the
+	// seeded file set; appends by stock/initiator mutate it directly.
+	if err := w.ReadFile(Delegate, "seed.bin"); err != nil {
+		t.Errorf("delegate re-read after reset: %v", err)
+	}
+}
+
+func TestDictWorldAllConfigs(t *testing.T) {
+	w, err := NewDictWorld(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Configs {
+		for seq := 0; seq < 5; seq++ {
+			if err := w.Insert(c, seq+1000*int(c)); err != nil {
+				t.Errorf("%s insert: %v", c, err)
+			}
+			if err := w.Update(c, seq); err != nil {
+				t.Errorf("%s update: %v", c, err)
+			}
+			if err := w.QueryOne(c, seq); err != nil {
+				t.Errorf("%s query1: %v", c, err)
+			}
+			if err := w.Delete(c, seq); err != nil {
+				t.Errorf("%s delete: %v", c, err)
+			}
+		}
+		if err := w.QueryAll(c); err != nil {
+			t.Errorf("%s queryAll: %v", c, err)
+		}
+	}
+}
+
+func TestAppWorldTable4(t *testing.T) {
+	w, err := NewAppWorld(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DownloadBatch(5, 1024, false); err != nil {
+		t.Errorf("public downloads: %v", err)
+	}
+	if err := w.DownloadBatch(5, 1024, true); err != nil {
+		t.Errorf("volatile downloads: %v", err)
+	}
+	paths, err := w.SeedImages(3, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.MediaScanBatch(paths, false); err != nil {
+		t.Errorf("public scans: %v", err)
+	}
+	if err := w.MediaScanBatch(paths, true); err != nil {
+		t.Errorf("volatile scans: %v", err)
+	}
+}
+
+func TestAppWorldTable5(t *testing.T) {
+	w, err := NewAppWorld(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdf, err := w.PreparePDF(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Configs {
+		if err := w.OpenPDF(c, pdf); err != nil {
+			t.Errorf("%s open pdf: %v", c, err)
+		}
+		if err := w.SearchPDF(c, pdf); err != nil {
+			t.Errorf("%s search pdf: %v", c, err)
+		}
+		if err := w.ScanPage(c, pdf); err != nil {
+			t.Errorf("%s scan page: %v", c, err)
+		}
+		photo, err := w.TakePhoto(c, 32*1024)
+		if err != nil {
+			t.Errorf("%s take photo: %v", c, err)
+			continue
+		}
+		if err := w.EditPhoto(c, photo); err != nil {
+			t.Errorf("%s edit photo: %v", c, err)
+		}
+	}
+}

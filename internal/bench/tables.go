@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/apps"
+	"maxoid/internal/binder"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider/downloads"
+	"maxoid/internal/provider/media"
+	"maxoid/internal/vfs"
+)
+
+// AppWorld is a booted device with the app suite, used by the Table 4
+// and Table 5 benchmarks.
+type AppWorld struct {
+	Sys   *core.System
+	Suite *apps.Suite
+
+	browserCtx *ams.Context
+	emailCtx   *ams.Context
+	dropboxCtx *ams.Context
+	seq        int
+}
+
+// NewAppWorld boots the device. Network latency parameters model the
+// transfer time component of Table 4 (zero for pure-overhead runs).
+func NewAppWorld(baseRTT, perKB time.Duration) (*AppWorld, error) {
+	sys, err := core.Boot(core.Options{NetworkBaseRTT: baseRTT, NetworkPerKB: perKB})
+	if err != nil {
+		return nil, err
+	}
+	suite, err := apps.InstallSuite(sys)
+	if err != nil {
+		return nil, err
+	}
+	w := &AppWorld{Sys: sys, Suite: suite}
+	if w.browserCtx, err = sys.Launch(apps.BrowserPkg, intent.Intent{}); err != nil {
+		return nil, err
+	}
+	if w.emailCtx, err = sys.Launch(apps.EmailPkg, intent.Intent{}); err != nil {
+		return nil, err
+	}
+	if w.dropboxCtx, err = sys.Launch(apps.DropboxPkg, intent.Intent{}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// DownloadBatch downloads n files of the given size (Table 4 row 1:
+// n=100, size=1KB), either to public or to volatile state. It returns
+// after every download reached a terminal state.
+func (w *AppWorld) DownloadBatch(n, size int, volatile bool) error {
+	payload := Payload(size)
+	dm := downloads.NewManager(w.browserCtx.Resolver())
+	ids := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		w.seq++
+		path := fmt.Sprintf("/bench/file%08d.bin", w.seq)
+		w.Suite.WebServer.Put(path, payload)
+		id, err := dm.Enqueue(downloads.Request{
+			URL:      "web.example" + path,
+			Title:    path,
+			Volatile: volatile,
+		})
+		if err != nil {
+			return err
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		status, _, err := dm.Wait(id)
+		if err != nil {
+			return err
+		}
+		if status != downloads.StatusSuccess {
+			return fmt.Errorf("bench: download %d failed with status %d", id, status)
+		}
+	}
+	return nil
+}
+
+// SeedImages writes n image files of the given size to the public SD
+// card, returning their client paths (Table 4 row 2 input: 100 files of
+// 780KB).
+func (w *AppWorld) SeedImages(n, size int) ([]string, error) {
+	payload := Payload(size)
+	out := make([]string, 0, n)
+	ctx := w.browserCtx
+	if err := ctx.FS().MkdirAll(ctx.Cred(), layout.ExtDir+"/DCIM/bench", 0o777); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		w.seq++
+		p := fmt.Sprintf("%s/DCIM/bench/img%08d.jpg", layout.ExtDir, w.seq)
+		if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), p, payload, 0o666); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// MediaScanBatch scans the given files into the Media provider,
+// publicly or volatilely (Table 4 row 2).
+func (w *AppWorld) MediaScanBatch(paths []string, volatile bool) error {
+	ctx := w.browserCtx
+	for i, p := range paths {
+		data := binder.Parcel{"path": p, "date": int64(i)}
+		if volatile {
+			data["volatile"] = true
+		}
+		if _, err := ctx.CallProvider(media.Authority, "scan", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// viewerCtx returns a PDF viewer context in the requested configuration
+// (Stock and Initiator are the same normal execution; Delegate runs on
+// behalf of Email).
+func (w *AppWorld) viewerCtx(c Config) (*ams.Context, error) {
+	if c == Delegate {
+		return w.Sys.LaunchAsDelegate(apps.PDFViewerPkg, apps.EmailPkg, intent.Intent{})
+	}
+	return w.Sys.Launch(apps.PDFViewerPkg, intent.Intent{})
+}
+
+// PreparePDF seeds a document of the given size readable in every
+// configuration (public SD card) and returns its path.
+func (w *AppWorld) PreparePDF(size int) (string, error) {
+	p := layout.ExtDir + "/bench-doc.pdf"
+	ctx := w.browserCtx
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), p, Payload(size), 0o666); err != nil {
+		return "", err
+	}
+	return p, nil
+}
+
+// OpenPDF is Table 5's "open a 1.6 MB file" task.
+func (w *AppWorld) OpenPDF(c Config, path string) error {
+	ctx, err := w.viewerCtx(c)
+	if err != nil {
+		return err
+	}
+	return w.Suite.PDFViewer.Open(ctx, path, false)
+}
+
+// SearchPDF is Table 5's "in-file search" task.
+func (w *AppWorld) SearchPDF(c Config, path string) error {
+	ctx, err := w.viewerCtx(c)
+	if err != nil {
+		return err
+	}
+	_, err = w.Suite.PDFViewer.Search(ctx, path, "needle")
+	return err
+}
+
+// scannerCtx returns the CamScanner context for a configuration.
+func (w *AppWorld) scannerCtx(c Config) (*ams.Context, error) {
+	if c == Delegate {
+		return w.Sys.LaunchAsDelegate(apps.CamScannerPkg, apps.EmailPkg, intent.Intent{})
+	}
+	return w.Sys.Launch(apps.CamScannerPkg, intent.Intent{})
+}
+
+// ScanPage is Table 5's "process a scanned page" task.
+func (w *AppWorld) ScanPage(c Config, source string) error {
+	ctx, err := w.scannerCtx(c)
+	if err != nil {
+		return err
+	}
+	return w.Suite.CamScanner.ScanPage(ctx, source)
+}
+
+// cameraCtx returns the CameraMX context for a configuration.
+func (w *AppWorld) cameraCtx(c Config) (*ams.Context, error) {
+	if c == Delegate {
+		return w.Sys.LaunchAsDelegate(apps.CameraMXPkg, apps.DropboxPkg, intent.Intent{})
+	}
+	return w.Sys.Launch(apps.CameraMXPkg, intent.Intent{})
+}
+
+// TakePhoto is Table 5's "take a photo" task; the returned path feeds
+// EditPhoto.
+func (w *AppWorld) TakePhoto(c Config, size int) (string, error) {
+	ctx, err := w.cameraCtx(c)
+	if err != nil {
+		return "", err
+	}
+	w.seq++
+	return w.Suite.CameraMX.TakePhoto(ctx, fmt.Sprintf("bench%08d", w.seq), Payload(size))
+}
+
+// EditPhoto is Table 5's "save an edited photo" task.
+func (w *AppWorld) EditPhoto(c Config, photo string) error {
+	ctx, err := w.cameraCtx(c)
+	if err != nil {
+		return err
+	}
+	_, err = w.Suite.CameraMX.EditPhoto(ctx, photo)
+	return err
+}

@@ -1,0 +1,139 @@
+// Package binder simulates Android's Binder IPC: a registry of named
+// endpoints and synchronous transactions between processes. Maxoid's
+// kernel-level Binder restriction (paper §3.4, §6.2) is enforced on
+// every transaction through the kernel's CheckBinder policy: a delegate
+// can only transact with trusted system services, its initiator, and
+// delegates of the same initiator.
+package binder
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"maxoid/internal/kernel"
+)
+
+// ErrNoEndpoint is returned for transactions to unregistered endpoints.
+var ErrNoEndpoint = errors.New("binder: no such endpoint")
+
+// Parcel is the transaction payload, a loosely typed key/value bag like
+// Android's Parcel/Bundle.
+type Parcel map[string]interface{}
+
+// String fetches a string field ("" if absent or wrong type).
+func (p Parcel) String(key string) string {
+	s, _ := p[key].(string)
+	return s
+}
+
+// Int fetches an int64 field (0 if absent or wrong type).
+func (p Parcel) Int(key string) int64 {
+	switch v := p[key].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	}
+	return 0
+}
+
+// Bytes fetches a []byte field (nil if absent).
+func (p Parcel) Bytes(key string) []byte {
+	b, _ := p[key].([]byte)
+	return b
+}
+
+// Bool fetches a bool field.
+func (p Parcel) Bool(key string) bool {
+	b, _ := p[key].(bool)
+	return b
+}
+
+// Caller identifies the sender of a transaction; endpoints use it for
+// their own access decisions (e.g. the COW proxy's view selection).
+type Caller struct {
+	PID  int
+	UID  int
+	Task kernel.Task
+}
+
+// Handler processes transactions addressed to one endpoint.
+type Handler interface {
+	OnTransact(from Caller, code string, data Parcel) (Parcel, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(from Caller, code string, data Parcel) (Parcel, error)
+
+// OnTransact calls f.
+func (f HandlerFunc) OnTransact(from Caller, code string, data Parcel) (Parcel, error) {
+	return f(from, code, data)
+}
+
+// endpoint couples a handler with the identity the policy checks.
+type endpoint struct {
+	handler Handler
+	system  bool
+	task    kernel.Task // meaningful when !system
+}
+
+// Router delivers transactions and enforces the Maxoid Binder policy.
+type Router struct {
+	mu        sync.RWMutex
+	endpoints map[string]endpoint
+}
+
+// NewRouter creates an empty router.
+func NewRouter() *Router {
+	return &Router{endpoints: make(map[string]endpoint)}
+}
+
+// RegisterSystem registers a trusted system service endpoint (Activity
+// Manager, content providers, Clipboard, ...). System endpoints are
+// reachable by everyone, including delegates.
+func (r *Router) RegisterSystem(name string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.endpoints[name] = endpoint{handler: h, system: true}
+}
+
+// RegisterApp registers an app instance endpoint owned by task.
+func (r *Router) RegisterApp(name string, task kernel.Task, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.endpoints[name] = endpoint{handler: h, task: task}
+}
+
+// Unregister removes an endpoint (app death).
+func (r *Router) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.endpoints, name)
+}
+
+// Call performs a synchronous transaction from the caller to the named
+// endpoint, enforcing the kernel Binder policy first.
+func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parcel, error) {
+	r.mu.RLock()
+	ep, ok := r.endpoints[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, name)
+	}
+	if err := kernel.CheckBinder(from.Task, ep.system, ep.task); err != nil {
+		return nil, err
+	}
+	return ep.handler.OnTransact(from, code, data)
+}
+
+// Endpoints returns the registered endpoint names (diagnostics).
+func (r *Router) Endpoints() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.endpoints))
+	for name := range r.endpoints {
+		out = append(out, name)
+	}
+	return out
+}

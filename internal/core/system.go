@@ -1,0 +1,208 @@
+// Package core assembles the full Maxoid system (paper Figure 3): the
+// simulated device — disk, kernel, network, Binder — plus Zygote with
+// the Aufs branch manager, the Maxoid-modified Activity Manager, the
+// three ported system content providers, and the gated system services
+// (Clipboard, Bluetooth, Telephony).
+//
+// It is the public entry point of the reproduction: boot a device with
+// Boot, install apps (ams.App implementations) with Install, start them
+// with Launch / the launcher drop targets, and manage volatile state
+// with ListVolatileFiles / CommitVolatileFile / ClearVol / ClearPriv.
+package core
+
+import (
+	"path"
+	"sort"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/netstack"
+	"maxoid/internal/provider"
+	"maxoid/internal/provider/downloads"
+	"maxoid/internal/provider/media"
+	"maxoid/internal/provider/userdict"
+	"maxoid/internal/unionfs"
+	"maxoid/internal/vfs"
+	"maxoid/internal/zygote"
+)
+
+// Context is the app-instance context type; re-exported so facade users
+// need not import the ams package.
+type Context = ams.Context
+
+// Options configure the simulated device.
+type Options struct {
+	// NetworkBaseRTT and NetworkPerKB set simulated network latency;
+	// zero disables delays (tests). Benchmarks set realistic values.
+	NetworkBaseRTT time.Duration
+	NetworkPerKB   time.Duration
+	// TrustedCloudHosts lists hosts delegates may reach despite the
+	// network cut — the paper's §2.4 trusted-cloud extension. Leave
+	// empty for the paper's base design.
+	TrustedCloudHosts []string
+}
+
+// System is a booted Maxoid device.
+type System struct {
+	Disk      *vfs.FS
+	Net       *netstack.Network
+	Kernel    *kernel.Kernel
+	Router    *binder.Router
+	Zygote    *zygote.Zygote
+	AM        *ams.Manager
+	Providers *provider.Registry
+
+	UserDict  *userdict.Provider
+	Downloads *downloads.Provider
+	Media     *media.Provider
+
+	Clipboard *ams.Clipboard
+	Bluetooth *ams.Bluetooth
+	Telephony *ams.Telephony
+}
+
+// Boot builds a device: global disk, kernel with network, Binder
+// router, Zygote, Activity Manager, the three system content providers
+// wired onto the COW proxy, and the system services.
+func Boot(opts Options) (*System, error) {
+	disk := vfs.New()
+	net := netstack.New(opts.NetworkBaseRTT, opts.NetworkPerKB)
+	kern := kernel.New(net)
+	router := binder.NewRouter()
+	zyg := zygote.New(disk, kern)
+	if err := zyg.InitDevice(); err != nil {
+		return nil, err
+	}
+	for _, h := range opts.TrustedCloudHosts {
+		kern.TrustHost(h)
+	}
+	am := ams.New(kern, zyg, router)
+	registry := provider.NewRegistry(router)
+
+	ud, err := userdict.New()
+	if err != nil {
+		return nil, err
+	}
+	dl, err := downloads.New(disk, net)
+	if err != nil {
+		return nil, err
+	}
+	md, err := media.New(disk)
+	if err != nil {
+		return nil, err
+	}
+	registry.Register(ud)
+	registry.Register(dl)
+	registry.Register(md)
+
+	clipboard := ams.NewClipboard()
+
+	// Everything holding volatile state participates in Clear-Vol.
+	am.AddVolatileStore(ud.Proxy())
+	am.AddVolatileStore(dl.Proxy())
+	am.AddVolatileStore(md.Proxy())
+	am.AddVolatileStore(clipboard)
+
+	return &System{
+		Disk:      disk,
+		Net:       net,
+		Kernel:    kern,
+		Router:    router,
+		Zygote:    zyg,
+		AM:        am,
+		Providers: registry,
+		UserDict:  ud,
+		Downloads: dl,
+		Media:     md,
+		Clipboard: clipboard,
+		Bluetooth: &ams.Bluetooth{},
+		Telephony: &ams.Telephony{},
+	}, nil
+}
+
+// Install installs an app with its manifest (including the Maxoid
+// manifest, typically parsed from XML with ParseMaxoidManifest).
+func (s *System) Install(app ams.App, manifest ams.Manifest) error {
+	return s.AM.Install(app, manifest)
+}
+
+// Launch starts an app from the launcher, running as itself.
+func (s *System) Launch(pkg string, in intent.Intent) (*ams.Context, error) {
+	in.Component = pkg
+	return s.AM.StartActivity(nil, in)
+}
+
+// LaunchAsDelegate starts app as a delegate of initiator via the
+// launcher's "Initiator" drop target (§6.3), without the initiator's
+// explicit invocation.
+func (s *System) LaunchAsDelegate(app, initiator string, in intent.Intent) (*ams.Context, error) {
+	return s.AM.StartDelegateFromLauncher(app, initiator, in)
+}
+
+// ClearVol discards Vol(A): the launcher's Clear-Vol drop target.
+func (s *System) ClearVol(initiator string) error {
+	return s.AM.ClearVol(initiator)
+}
+
+// ClearPriv discards Priv(x^A) for all x: the launcher's Clear-Priv
+// drop target.
+func (s *System) ClearPriv(initiator string) error {
+	return s.AM.ClearPriv(initiator)
+}
+
+// ListVolatileFiles returns the client-visible EXTDIR/tmp paths of all
+// files in initiator A's volatile state, sorted — what A (or the user)
+// inspects before committing or discarding (§3.3).
+func (s *System) ListVolatileFiles(initiator string) ([]string, error) {
+	branch := layout.ExtTmpBranch(initiator)
+	if !vfs.Exists(s.Disk, vfs.Root, branch) {
+		return nil, nil
+	}
+	var out []string
+	err := vfs.Walk(s.Disk, vfs.Root, branch, func(name string, info vfs.FileInfo) error {
+		if info.IsDir() || unionfs.IsWhiteout(name) {
+			return nil
+		}
+		rel := name[len(branch):]
+		out = append(out, path.Join(layout.ExtTmpDir, rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// CommitVolatileFile copies one file from Vol(A) to a public location —
+// the commit operation of §3.3 ("A can selectively commit the desired
+// change by copying it from Vol(A) to a non-volatile place"). volPath is
+// the initiator-visible EXTDIR/tmp path; destPath is an EXTDIR path.
+func (s *System) CommitVolatileFile(initiator, volPath, destPath string) error {
+	rel := volPath
+	if len(volPath) >= len(layout.ExtTmpDir) && volPath[:len(layout.ExtTmpDir)] == layout.ExtTmpDir {
+		rel = volPath[len(layout.ExtTmpDir):]
+	}
+	src := path.Join(layout.ExtTmpBranch(initiator), rel)
+	dst := layout.PublicBacking(destPath)
+	return vfs.CopyFile(s.Disk, s.Disk, vfs.Root, src, dst, 0o666)
+}
+
+// VolatileRecords returns initiator A's volatile records in a system
+// content provider table, via the provider's tmp-URI path.
+func (s *System) VolatileRecords(authority, table, initiator string) (int, error) {
+	if _, ok := s.Providers.Provider(authority); !ok {
+		return 0, provider.ErrNotFound
+	}
+	// Count through the provider's volatile URI as the initiator.
+	res := provider.NewResolver(s.Router, binder.Caller{Task: kernel.Task{App: initiator}})
+	rows, err := res.Query("content://"+authority+"/tmp/"+table, nil, "", "")
+	if err != nil {
+		return 0, err
+	}
+	return len(rows.Data), nil
+}

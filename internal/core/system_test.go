@@ -1,0 +1,466 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider"
+	"maxoid/internal/vfs"
+)
+
+// scriptApp is a minimal scriptable app for system tests.
+type scriptApp struct {
+	pkg     string
+	onStart func(ctx *ams.Context, in intent.Intent) error
+	lastCtx *ams.Context
+}
+
+func (a *scriptApp) Package() string { return a.pkg }
+
+func (a *scriptApp) OnStart(ctx *ams.Context, in intent.Intent) error {
+	a.lastCtx = ctx
+	if a.onStart != nil {
+		return a.onStart(ctx, in)
+	}
+	return nil
+}
+
+func (a *scriptApp) OnBroadcast(ctx *ams.Context, in intent.Intent) {
+	a.lastCtx = ctx
+}
+
+func boot(t *testing.T) *System {
+	t.Helper()
+	s, err := Boot(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func installScript(t *testing.T, s *System, pkg string, manifest ams.Manifest) *scriptApp {
+	t.Helper()
+	app := &scriptApp{pkg: pkg}
+	manifest.Package = pkg
+	if err := s.Install(app, manifest); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func viewFilter() []intent.Filter {
+	return []intent.Filter{{Actions: []string{intent.ActionView}}}
+}
+
+// writeAs / readAs are helpers for acting as an instance.
+func writeAs(t *testing.T, ctx *ams.Context, path string, data string) {
+	t.Helper()
+	if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), path, []byte(data), 0o666); err != nil {
+		t.Fatalf("write %s as %s: %v", path, ctx.Task(), err)
+	}
+}
+
+func readAs(ctx *ams.Context, path string) (string, error) {
+	b, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), path)
+	return string(b), err
+}
+
+func TestBootAndInstall(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "appB", ams.Manifest{Filters: viewFilter()})
+	installed := s.AM.Installed()
+	if len(installed) != 2 {
+		t.Errorf("installed = %v", installed)
+	}
+	ctx, err := s.Launch("appA", intent.Intent{Action: intent.ActionMain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.IsDelegate() {
+		t.Error("launched app is a delegate")
+	}
+}
+
+// TestS1SecrecyOfInitiator: only A and delegates of A can observe data
+// derived from Priv(A).
+func TestS1SecrecyOfInitiator(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "viewer", ams.Manifest{Filters: viewFilter()})
+	installScript(t, s, "appX", ams.Manifest{})
+
+	actx, _ := s.Launch("appA", intent.Intent{})
+	writeAs(t, actx, actx.DataDir()+"/secret.txt", "priv-A-data")
+
+	// Delegate reads the secret and writes a derived copy everywhere it
+	// can: public external storage and the User Dictionary.
+	vctx, err := actx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: actx.DataDir() + "/secret.txt", Flags: intent.FlagDelegate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := readAs(vctx, "/data/data/appA/secret.txt")
+	if err != nil || secret != "priv-A-data" {
+		t.Fatalf("delegate read of Priv(A): %q, %v", secret, err)
+	}
+	writeAs(t, vctx, layout.ExtDir+"/copied.txt", secret)
+	if _, err := vctx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": secret}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A third app sees neither the file nor the dictionary word.
+	xctx, _ := s.Launch("appX", intent.Intent{})
+	if _, err := readAs(xctx, layout.ExtDir+"/copied.txt"); err == nil {
+		t.Error("S1 violated: derived file visible to appX")
+	}
+	rows, _ := xctx.Resolver().Query("content://user_dictionary/words", []string{"word"}, "", "")
+	for _, row := range rows.Data {
+		if row[0] == secret {
+			t.Error("S1 violated: derived word visible to appX")
+		}
+	}
+	// The delegate cannot reach the network or unrelated apps either.
+	if _, err := vctx.Connect("evil.example"); !errors.Is(err, kernel.ErrNetUnreachable) {
+		t.Errorf("delegate network: %v", err)
+	}
+	if _, err := vctx.CallApp(kernel.Task{App: "appX"}, "leak", nil); !errors.Is(err, kernel.ErrPermissionDenied) {
+		t.Errorf("delegate IPC to appX: %v", err)
+	}
+}
+
+// TestS2IntegrityOfInitiator: delegate updates never overwrite A's data
+// in place; A must commit explicitly.
+func TestS2IntegrityOfInitiator(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "editor", ams.Manifest{Filters: viewFilter()})
+	installScript(t, s, "appX", ams.Manifest{})
+
+	actx, _ := s.Launch("appA", intent.Intent{})
+	if err := actx.FS().MkdirAll(actx.Cred(), layout.ExtDir+"/docs", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	writeAs(t, actx, layout.ExtDir+"/docs/report.txt", "v1")
+
+	ectx, _ := actx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: layout.ExtDir + "/docs/report.txt", Flags: intent.FlagDelegate,
+	})
+	writeAs(t, ectx, layout.ExtDir+"/docs/report.txt", "v2-edited")
+
+	// Original intact for A and everyone else.
+	if got, _ := readAs(actx, layout.ExtDir+"/docs/report.txt"); got != "v1" {
+		t.Errorf("original overwritten: %q", got)
+	}
+	// A sees the edit in Vol(A) and can commit it.
+	if got, _ := readAs(actx, layout.ExtTmpDir+"/docs/report.txt"); got != "v2-edited" {
+		t.Errorf("volatile version: %q", got)
+	}
+	vols, err := s.ListVolatileFiles("appA")
+	if err != nil || len(vols) != 1 || vols[0] != layout.ExtTmpDir+"/docs/report.txt" {
+		t.Fatalf("ListVolatileFiles = %v, %v", vols, err)
+	}
+	if err := s.CommitVolatileFile("appA", vols[0], layout.ExtDir+"/docs/report.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readAs(actx, layout.ExtDir+"/docs/report.txt"); got != "v2-edited" {
+		t.Errorf("commit did not apply: %q", got)
+	}
+	// And the remaining volatile state can be discarded wholesale.
+	if err := s.ClearVol("appA"); err != nil {
+		t.Fatal(err)
+	}
+	if vols, _ := s.ListVolatileFiles("appA"); len(vols) != 0 {
+		t.Errorf("volatile files after clear: %v", vols)
+	}
+}
+
+// TestS3S4DelegatePrivacy: A cannot read or write Priv(B^A); B's own
+// private state is untouched by delegate runs.
+func TestS3S4DelegatePrivacy(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "appB", ams.Manifest{Filters: viewFilter()})
+
+	// B (normal) has private state.
+	bctx, _ := s.Launch("appB", intent.Intent{})
+	writeAs(t, bctx, "/data/data/appB/settings", "b-settings")
+	before, err := vfs.Tree(s.Disk, vfs.Root, layout.BackAppData("appB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	actx, _ := s.Launch("appA", intent.Intent{})
+	dctx, _ := actx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	writeAs(t, dctx, "/data/data/appB/settings", "tampered")
+	writeAs(t, dctx, "/data/data/appB/delegate-only", "d")
+
+	// S4: B's backing private state is bit-identical.
+	after, err := vfs.Tree(s.Disk, vfs.Root, layout.BackAppData("appB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("B private file set changed: %v vs %v", before, after)
+	}
+	for name, data := range before {
+		if string(after[name]) != string(data) {
+			t.Errorf("B private file %s changed", name)
+		}
+	}
+	// S3: A cannot read Priv(B^A) — the delegate branch is root-only
+	// and not mounted anywhere in A's namespace.
+	if _, err := readAs(actx, "/data/data/appB/delegate-only"); err == nil {
+		t.Error("A read Priv(B^A) through its namespace")
+	}
+	branchPath := layout.BackNPrivBranch("appB", "appA") + "/delegate-only"
+	if _, err := vfs.ReadFile(s.Disk, actx.Cred(), branchPath); err == nil {
+		t.Error("A read the delegate branch directly")
+	}
+}
+
+// TestU1U2U3Views: initial state availability, update visibility, and
+// transparency.
+func TestU1U2U3Views(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "appB", ams.Manifest{Filters: viewFilter()})
+	installScript(t, s, "appC", ams.Manifest{
+		Filters: []intent.Filter{{Actions: []string{intent.ActionEdit}}},
+	})
+
+	// Public and private state exist before the delegate starts.
+	bctx, _ := s.Launch("appB", intent.Intent{})
+	writeAs(t, bctx, "/data/data/appB/prefs", "user-prefs")
+	writeAs(t, bctx, layout.ExtDir+"/shared.txt", "pub-1")
+	s.AM.StopInstance("appB", "")
+
+	actx, _ := s.Launch("appA", intent.Intent{})
+	dctx, _ := actx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+
+	// U1: delegate sees prior public data and its own private data.
+	if got, _ := readAs(dctx, layout.ExtDir+"/shared.txt"); got != "pub-1" {
+		t.Errorf("U1 public: %q", got)
+	}
+	if got, _ := readAs(dctx, "/data/data/appB/prefs"); got != "user-prefs" {
+		t.Errorf("U1 private: %q", got)
+	}
+
+	// U2 (first half): initiator updates remain visible to the delegate
+	// until per-name COW triggers.
+	writeAs(t, actx, layout.ExtDir+"/shared.txt", "pub-2")
+	if got, _ := readAs(dctx, layout.ExtDir+"/shared.txt"); got != "pub-2" {
+		t.Errorf("U2 initiator update: %q", got)
+	}
+
+	// U3: delegate writes with normal paths and reads its writes.
+	writeAs(t, dctx, layout.ExtDir+"/shared.txt", "delegate-version")
+	if got, _ := readAs(dctx, layout.ExtDir+"/shared.txt"); got != "delegate-version" {
+		t.Errorf("U3 read-your-writes: %q", got)
+	}
+	// After COW, initiator updates to that name are no longer visible.
+	writeAs(t, actx, layout.ExtDir+"/shared.txt", "pub-3")
+	if got, _ := readAs(dctx, layout.ExtDir+"/shared.txt"); got != "delegate-version" {
+		t.Errorf("per-name COW: %q", got)
+	}
+
+	// U2 (second half): another delegate of A sees the first delegate's
+	// update.
+	cctx, err := dctx.StartActivity(intent.Intent{Action: intent.ActionEdit, Data: "/x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cctx.Initiator() != "appA" {
+		t.Fatalf("transitivity: %v", cctx.Task())
+	}
+	if got, _ := readAs(cctx, layout.ExtDir+"/shared.txt"); got != "delegate-version" {
+		t.Errorf("U2 sibling delegate: %q", got)
+	}
+}
+
+// TestFigure1Flows encodes Figure 1's visibility matrix over the four
+// state boxes: Priv(A), Priv(B^A), Vol(A), Pub(all).
+func TestFigure1Flows(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "appB", ams.Manifest{Filters: viewFilter()})
+	installScript(t, s, "appX", ams.Manifest{})
+
+	actx, _ := s.Launch("appA", intent.Intent{})
+	writeAs(t, actx, "/data/data/appA/priv-a", "PRIV_A")
+	writeAs(t, actx, layout.ExtDir+"/pub-all", "PUB")
+	dctx, _ := actx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	writeAs(t, dctx, "/data/data/appB/priv-ba", "PRIV_BA")
+	writeAs(t, dctx, layout.ExtDir+"/vol-a", "VOL_A")
+	xctx, _ := s.Launch("appX", intent.Intent{})
+
+	read := func(ctx *ams.Context, p string) bool {
+		_, err := readAs(ctx, p)
+		return err == nil
+	}
+	cases := []struct {
+		name string
+		path string
+		a    bool // visible to A (possibly under the tmp name)
+		ba   bool // visible to B^A
+		x    bool // visible to X
+	}{
+		{"Priv(A)", "/data/data/appA/priv-a", true, true, false},
+		{"Priv(B^A)", "/data/data/appB/priv-ba", false, true, false},
+		{"Pub(all)", layout.ExtDir + "/pub-all", true, true, true},
+	}
+	for _, tc := range cases {
+		if got := read(actx, tc.path); got != tc.a {
+			t.Errorf("%s visible to A = %v, want %v", tc.name, got, tc.a)
+		}
+		if got := read(dctx, tc.path); got != tc.ba {
+			t.Errorf("%s visible to B^A = %v, want %v", tc.name, got, tc.ba)
+		}
+		if got := read(xctx, tc.path); got != tc.x {
+			t.Errorf("%s visible to X = %v, want %v", tc.name, got, tc.x)
+		}
+	}
+	// Vol(A): A sees it under tmp, B^A under the original name, X not
+	// at all.
+	if !read(actx, layout.ExtTmpDir+"/vol-a") {
+		t.Error("Vol(A) not visible to A under tmp")
+	}
+	if !read(dctx, layout.ExtDir+"/vol-a") {
+		t.Error("Vol(A) not visible to B^A")
+	}
+	if read(xctx, layout.ExtDir+"/vol-a") || read(xctx, layout.ExtTmpDir+"/vol-a") {
+		t.Error("Vol(A) visible to X")
+	}
+}
+
+// TestFigure2StateEvolution reproduces the nPriv/pPriv timeline of
+// Figure 2: nPriv is re-forked when B's private state diverges, pPriv
+// persists per initiator.
+func TestFigure2StateEvolution(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "appC", ams.Manifest{})
+	installScript(t, s, "appB", ams.Manifest{Filters: viewFilter()})
+
+	start := func(initiator string) *ams.Context {
+		ctx, err := s.LaunchAsDelegate("appB", initiator, intent.Intent{Action: intent.ActionView})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx
+	}
+
+	// B runs normally: nPriv version 1.
+	bctx, _ := s.Launch("appB", intent.Intent{})
+	writeAs(t, bctx, "/data/data/appB/npriv", "1")
+	s.AM.StopInstance("appB", "")
+
+	// B^A runs: sees 1, writes 2 to nPriv(B^A) and a1 to pPriv(B^A).
+	ba := start("appA")
+	if got, _ := readAs(ba, "/data/data/appB/npriv"); got != "1" {
+		t.Fatalf("fork: %q", got)
+	}
+	writeAs(t, ba, "/data/data/appB/npriv", "2")
+	writeAs(t, ba, ba.PPrivDir()+"/recent", "a1")
+	s.AM.StopInstance("appB", "appA")
+
+	// Consecutive delegate run for the same initiator: nPriv(B^A) kept.
+	ba = start("appA")
+	if got, _ := readAs(ba, "/data/data/appB/npriv"); got != "2" {
+		t.Errorf("consecutive delegate run lost nPriv: %q", got)
+	}
+	s.AM.StopInstance("appB", "appA")
+
+	// B runs normally and updates its private state: divergence.
+	bctx, _ = s.Launch("appB", intent.Intent{})
+	writeAs(t, bctx, "/data/data/appB/npriv", "3")
+	s.AM.StopInstance("appB", "")
+
+	// B^A runs again: nPriv re-forked from version 3 (the "2" write is
+	// discarded), but pPriv(B^A) survives.
+	ba = start("appA")
+	if got, _ := readAs(ba, "/data/data/appB/npriv"); got != "3" {
+		t.Errorf("re-fork after divergence: %q, want 3", got)
+	}
+	if got, _ := readAs(ba, ba.PPrivDir()+"/recent"); got != "a1" {
+		t.Errorf("pPriv lost: %q", got)
+	}
+	s.AM.StopInstance("appB", "appA")
+
+	// B^C has an independent pPriv.
+	bc := start("appC")
+	if _, err := readAs(bc, bc.PPrivDir()+"/recent"); err == nil {
+		t.Error("pPriv leaked across initiators")
+	}
+}
+
+func TestMaxoidManifestXML(t *testing.T) {
+	data := []byte(`<maxoid>
+		<private-dir path="Dropbox"/>
+		<private-dir path="Dropbox/.cache"/>
+		<invoker-filters mode="whitelist">
+			<filter>
+				<action>android.intent.action.VIEW</action>
+				<suffix>.pdf</suffix>
+				<suffix>.doc</suffix>
+			</filter>
+			<filter>
+				<action>android.intent.action.EDIT</action>
+			</filter>
+		</invoker-filters>
+	</maxoid>`)
+	m, err := ParseMaxoidManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PrivateExtDirs) != 2 || m.PrivateExtDirs[0] != "Dropbox" {
+		t.Errorf("private dirs: %v", m.PrivateExtDirs)
+	}
+	if !m.Invoker.Whitelist || len(m.Invoker.Filters) != 2 {
+		t.Errorf("invoker: %+v", m.Invoker)
+	}
+	if !m.Invoker.Private(intent.Intent{Action: intent.ActionView, Data: "/f.pdf"}) {
+		t.Error("VIEW .pdf should be private")
+	}
+	if m.Invoker.Private(intent.Intent{Action: intent.ActionView, Data: "/f.mp3"}) {
+		t.Error("VIEW .mp3 should be public")
+	}
+
+	if _, err := ParseMaxoidManifest([]byte("<maxoid><private-dir/></maxoid>")); err == nil {
+		t.Error("empty path should fail")
+	}
+	if _, err := ParseMaxoidManifest([]byte(`<maxoid><invoker-filters mode="bogus"/></maxoid>`)); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if _, err := ParseMaxoidManifest([]byte("not xml")); err == nil {
+		t.Error("malformed xml should fail")
+	}
+}
+
+func TestVolatileRecordsHelper(t *testing.T) {
+	s := boot(t)
+	installScript(t, s, "appA", ams.Manifest{})
+	installScript(t, s, "viewer", ams.Manifest{Filters: viewFilter()})
+	actx, _ := s.Launch("appA", intent.Intent{})
+	dctx, _ := actx.StartActivity(intent.Intent{Action: intent.ActionView, Data: "/x", Flags: intent.FlagDelegate})
+	if _, err := dctx.Resolver().Insert("content://user_dictionary/words", provider.Values{"word": "w"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.VolatileRecords("user_dictionary", "words", "appA")
+	if err != nil || n != 1 {
+		t.Errorf("VolatileRecords = %d, %v", n, err)
+	}
+	if err := s.ClearVol("appA"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = s.VolatileRecords("user_dictionary", "words", "appA")
+	if n != 0 {
+		t.Errorf("after ClearVol: %d", n)
+	}
+}

@@ -1,0 +1,304 @@
+package cowproxy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maxoid/internal/sqldb"
+)
+
+// Conn is a view-selected handle on the proxied database: the proxy
+// "uses a Maxoid API to get information about the calling process ...
+// then selects the correct Maxoid view" (§5.2). Content providers
+// obtain a Conn per request via Proxy.For and use it exactly like a
+// SQLite handle (U3 transparency: delegates use normal table names).
+type Conn struct {
+	p *Proxy
+	// initiator is empty for callers that are initiators (operate on
+	// primary tables) and the initiator's package for delegates
+	// (operate on COW views).
+	initiator string
+}
+
+// For returns a connection for a caller. Pass "" for initiators (and
+// for providers' own administrative work on public state); pass the
+// initiator package for a delegate of that initiator.
+func (p *Proxy) For(initiator string) *Conn {
+	return &Conn{p: p, initiator: initiator}
+}
+
+// target resolves the table/view name this connection must operate on,
+// creating delta tables and COW views on demand for delegates.
+func (c *Conn) target(table string) (string, error) {
+	key := strings.ToLower(table)
+	c.p.mu.Lock()
+	defer c.p.mu.Unlock()
+	if info, ok := c.p.primaries[key]; ok {
+		if c.initiator == "" {
+			return info.name, nil
+		}
+		if err := c.p.ensureDelta(info, c.initiator); err != nil {
+			return "", err
+		}
+		return COWViewName(info.name, c.initiator), nil
+	}
+	if v, ok := c.p.userViews[key]; ok {
+		if c.initiator == "" {
+			return v.name, nil
+		}
+		if err := c.p.ensureUserViewCOW(v, c.initiator); err != nil {
+			return "", err
+		}
+		return COWViewName(v.name, c.initiator), nil
+	}
+	return "", fmt.Errorf("%w: %s", ErrUnknownTable, table)
+}
+
+// sortedCols returns values' column names sorted for deterministic SQL.
+func sortedCols(values map[string]sqldb.Value) []string {
+	cols := make([]string, 0, len(values))
+	for k := range values {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// Insert inserts a row and returns its primary key. For initiators the
+// row goes to the primary table; for delegates it goes to the delta
+// table with a key allocated from DeltaKeyBase up.
+func (c *Conn) Insert(table string, values map[string]sqldb.Value) (int64, error) {
+	key := strings.ToLower(table)
+	c.p.mu.Lock()
+	info, isPrimary := c.p.primaries[key]
+	c.p.mu.Unlock()
+	if !isPrimary {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTable, table)
+	}
+	if c.initiator == "" {
+		return insertInto(c.p.db, info.name, values, "")
+	}
+	c.p.mu.Lock()
+	err := c.p.ensureDelta(info, c.initiator)
+	c.p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	delta := DeltaTableName(info.name, c.initiator)
+	// Keys for new volatile rows auto-increment from DeltaKeyBase: the
+	// delta table's allocator was seeded at creation, so no MAX() scan
+	// is needed here.
+	values = withValue(values, "_whiteout", int64(0))
+	return insertInto(c.p.db, delta, values, "OR REPLACE")
+}
+
+// InsertVolatile inserts a row directly into the initiator's own
+// volatile state — the isVolatile API initiators use for incognito
+// downloads (§6.1 API 4). The connection's initiator field is empty for
+// initiators, so the target initiator is explicit.
+func (c *Conn) InsertVolatile(table, initiator string, values map[string]sqldb.Value) (int64, error) {
+	if initiator == "" {
+		return 0, fmt.Errorf("cowproxy: InsertVolatile requires an initiator")
+	}
+	d := &Conn{p: c.p, initiator: initiator}
+	return d.Insert(table, values)
+}
+
+func withValue(values map[string]sqldb.Value, col string, v sqldb.Value) map[string]sqldb.Value {
+	out := make(map[string]sqldb.Value, len(values)+1)
+	for k, val := range values {
+		out[k] = val
+	}
+	out[col] = v
+	return out
+}
+
+func insertInto(db *sqldb.DB, table string, values map[string]sqldb.Value, conflict string) (int64, error) {
+	cols := sortedCols(values)
+	placeholders := make([]string, len(cols))
+	args := make([]sqldb.Value, len(cols))
+	for i, col := range cols {
+		placeholders[i] = "?"
+		args[i] = values[col]
+	}
+	verb := "INSERT"
+	if conflict != "" {
+		verb = "INSERT " + conflict
+	}
+	sql := fmt.Sprintf("%s INTO %s (%s) VALUES (%s)",
+		verb, table, strings.Join(cols, ", "), strings.Join(placeholders, ", "))
+	res, err := db.Exec(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.LastInsertID, nil
+}
+
+// Update updates rows matching the where clause, returning the number
+// affected. Delegate updates are redirected to the delta table by the
+// COW view's INSTEAD OF trigger.
+func (c *Conn) Update(table string, values map[string]sqldb.Value, where string, args ...sqldb.Value) (int64, error) {
+	target, err := c.target(table)
+	if err != nil {
+		return 0, err
+	}
+	cols := sortedCols(values)
+	sets := make([]string, len(cols))
+	setArgs := make([]sqldb.Value, 0, len(cols)+len(args))
+	for i, col := range cols {
+		sets[i] = col + " = ?"
+		setArgs = append(setArgs, values[col])
+	}
+	setArgs = append(setArgs, args...)
+	sql := fmt.Sprintf("UPDATE %s SET %s", target, strings.Join(sets, ", "))
+	if where != "" {
+		sql += " WHERE " + where
+	}
+	res, err := c.p.db.Exec(sql, setArgs...)
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+// Delete deletes rows matching the where clause. For delegates the COW
+// view's trigger emulates deletion with whiteout records.
+func (c *Conn) Delete(table string, where string, args ...sqldb.Value) (int64, error) {
+	target, err := c.target(table)
+	if err != nil {
+		return 0, err
+	}
+	sql := "DELETE FROM " + target
+	if where != "" {
+		sql += " WHERE " + where
+	}
+	res, err := c.p.db.Exec(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+// Query runs a select over the caller's view of the table. As the
+// paper's footnote 5 explains, SQLite 3.8.6 only flattens a UNION ALL
+// view under ORDER BY when the ORDER BY columns are included in the
+// query columns, so "our proxy adds ORDER BY columns to query columns
+// when necessary"; the extra columns are dropped from the result.
+func (c *Conn) Query(table string, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	target, err := c.target(table)
+	if err != nil {
+		return nil, err
+	}
+	extra := 0
+	colSQL := "*"
+	if len(columns) > 0 {
+		queryCols := append([]string{}, columns...)
+		if orderBy != "" {
+			for _, oc := range orderByColumns(orderBy) {
+				if indexOfFold(queryCols, oc) < 0 {
+					queryCols = append(queryCols, oc)
+					extra++
+				}
+			}
+		}
+		colSQL = strings.Join(queryCols, ", ")
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s", colSQL, target)
+	if where != "" {
+		sql += " WHERE " + where
+	}
+	if orderBy != "" {
+		sql += " ORDER BY " + orderBy
+	}
+	rows, err := c.p.db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if extra > 0 {
+		rows.Columns = rows.Columns[:len(rows.Columns)-extra]
+		for i := range rows.Data {
+			rows.Data[i] = rows.Data[i][:len(rows.Data[i])-extra]
+		}
+	}
+	return rows, nil
+}
+
+// QueryVolatile returns rows from the initiator's volatile state of a
+// table — what the tmp URIs expose (§5.1). Whiteout records are
+// included with their _whiteout flag so initiators can audit deletions.
+func (c *Conn) QueryVolatile(table, initiator string, where string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	key := strings.ToLower(table)
+	c.p.mu.Lock()
+	info, ok := c.p.primaries[key]
+	hasDelta := ok && c.p.deltas[key][initiator]
+	c.p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTable, table)
+	}
+	if !hasDelta {
+		return &sqldb.Rows{}, nil
+	}
+	sql := "SELECT * FROM " + DeltaTableName(info.name, initiator)
+	if where != "" {
+		sql += " WHERE " + where
+	}
+	return c.p.db.Query(sql, args...)
+}
+
+// QueryAdmin runs a select over the administrative view of a table,
+// which includes an _origin column (” for public rows, the initiator
+// package for volatile rows) and the _whiteout flag.
+func (c *Conn) QueryAdmin(table string, where string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	key := strings.ToLower(table)
+	c.p.mu.Lock()
+	info, ok := c.p.primaries[key]
+	if ok && c.p.deltas[key] == nil {
+		// No deltas yet: make sure the admin view exists.
+		if err := c.p.rebuildAdminView(info); err != nil {
+			c.p.mu.Unlock()
+			return nil, err
+		}
+		c.p.deltas[key] = make(map[string]bool)
+	}
+	c.p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTable, table)
+	}
+	sql := "SELECT * FROM " + adminViewName(info.name)
+	if where != "" {
+		sql += " WHERE " + where
+	}
+	return c.p.db.Query(sql, args...)
+}
+
+// orderByColumns extracts plain column names from an ORDER BY clause.
+func orderByColumns(orderBy string) []string {
+	var out []string
+	for _, term := range strings.Split(orderBy, ",") {
+		fields := strings.Fields(strings.TrimSpace(term))
+		if len(fields) == 0 {
+			continue
+		}
+		col := fields[0]
+		// Skip expressions and numeric indexes; only bare identifiers
+		// need the footnote-5 workaround.
+		if strings.ContainsAny(col, "()+-*/%'\"") {
+			continue
+		}
+		if col >= "0" && col <= "99999" {
+			continue
+		}
+		out = append(out, col)
+	}
+	return out
+}
+
+func indexOfFold(list []string, s string) int {
+	for i, x := range list {
+		if strings.EqualFold(x, s) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,187 @@
+package cowproxy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maxoid/internal/sqldb"
+)
+
+// modelRow is one row in the reference model.
+type modelRow struct {
+	word string
+	gone bool // whiteout in a delegate view
+}
+
+// proxyModel tracks what each view of the words table should contain:
+// the public view plus one view per initiator.
+type proxyModel struct {
+	public map[int64]string
+	views  map[string]map[int64]modelRow // initiator -> id -> row
+}
+
+// viewOf computes the expected merged view for an initiator.
+func (m *proxyModel) viewOf(initiator string) map[int64]string {
+	out := make(map[int64]string)
+	delta := m.views[initiator]
+	for id, w := range m.public {
+		if _, shadowed := delta[id]; !shadowed {
+			out[id] = w
+		}
+	}
+	for id, r := range delta {
+		if !r.gone {
+			out[id] = r.word
+		}
+	}
+	return out
+}
+
+// TestPropMultiInitiatorViews drives random operations from the public
+// connection and two delegate connections against the proxy and a
+// reference model, checking after each step that all three views match
+// and that delta state never crosses initiators.
+func TestPropMultiInitiatorViews(t *testing.T) {
+	initiators := []string{"alpha", "beta"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := sqldb.Open()
+		if _, err := db.Exec("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT)"); err != nil {
+			return false
+		}
+		p := New(db)
+		if err := p.RegisterTable("words"); err != nil {
+			return false
+		}
+		pub := p.For("")
+		conns := map[string]*Conn{"": pub}
+		for _, init := range initiators {
+			conns[init] = p.For(init)
+		}
+		model := &proxyModel{
+			public: make(map[int64]string),
+			views: map[string]map[int64]modelRow{
+				"alpha": {}, "beta": {},
+			},
+		}
+		nextDeltaID := map[string]int64{"alpha": DeltaKeyBase, "beta": DeltaKeyBase}
+
+		check := func(step int) bool {
+			// Public view.
+			rows, err := pub.Query("words", []string{"_id", "word"}, "", "")
+			if err != nil {
+				t.Logf("step %d public query: %v", step, err)
+				return false
+			}
+			if len(rows.Data) != len(model.public) {
+				t.Logf("step %d public rows = %d, want %d", step, len(rows.Data), len(model.public))
+				return false
+			}
+			for _, row := range rows.Data {
+				id, _ := sqldb.AsInt(row[0])
+				if model.public[id] != sqldb.AsString(row[1]) {
+					t.Logf("step %d public row %d mismatch", step, id)
+					return false
+				}
+			}
+			// Each initiator's merged view.
+			for _, init := range initiators {
+				want := model.viewOf(init)
+				rows, err := conns[init].Query("words", []string{"_id", "word"}, "", "")
+				if err != nil {
+					t.Logf("step %d %s query: %v", step, init, err)
+					return false
+				}
+				if len(rows.Data) != len(want) {
+					t.Logf("step %d %s rows = %d, want %d", step, init, len(rows.Data), len(want))
+					return false
+				}
+				for _, row := range rows.Data {
+					id, _ := sqldb.AsInt(row[0])
+					if want[id] != sqldb.AsString(row[1]) {
+						t.Logf("step %d %s row %d = %q, want %q", step, init, id, sqldb.AsString(row[1]), want[id])
+						return false
+					}
+				}
+			}
+			return true
+		}
+
+		for step := 0; step < 40; step++ {
+			who := []string{"", "alpha", "beta"}[r.Intn(3)]
+			conn := conns[who]
+			word := fmt.Sprintf("w%d", r.Intn(1000))
+			switch r.Intn(3) {
+			case 0: // insert
+				id, err := conn.Insert("words", map[string]sqldb.Value{"word": word})
+				if err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				if who == "" {
+					model.public[id] = word
+				} else {
+					if id != nextDeltaID[who] {
+						t.Logf("delta id = %d, want %d", id, nextDeltaID[who])
+						return false
+					}
+					nextDeltaID[who]++
+					model.views[who][id] = modelRow{word: word}
+				}
+			case 1: // update an id visible in the actor's view
+				ids := visibleIDs(model, who)
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[r.Intn(len(ids))]
+				if _, err := conn.Update("words", map[string]sqldb.Value{"word": word}, "_id = ?", id); err != nil {
+					t.Logf("update: %v", err)
+					return false
+				}
+				if who == "" {
+					model.public[id] = word
+				} else {
+					model.views[who][id] = modelRow{word: word}
+				}
+			case 2: // delete an id visible in the actor's view
+				ids := visibleIDs(model, who)
+				if len(ids) == 0 {
+					continue
+				}
+				id := ids[r.Intn(len(ids))]
+				if _, err := conn.Delete("words", "_id = ?", id); err != nil {
+					t.Logf("delete: %v", err)
+					return false
+				}
+				if who == "" {
+					delete(model.public, id)
+				} else {
+					model.views[who][id] = modelRow{gone: true}
+				}
+			}
+			if !check(step) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func visibleIDs(m *proxyModel, who string) []int64 {
+	var view map[int64]string
+	if who == "" {
+		view = m.public
+	} else {
+		view = m.viewOf(who)
+	}
+	out := make([]int64, 0, len(view))
+	for id := range view {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package intent models Android intents and intent filters.
+//
+// Intents are the inter-app invocation mechanism Maxoid mediates: an
+// initiator sends an intent, Activity Manager resolves it to a target
+// app, and Maxoid decides whether the invoked instance runs normally or
+// as a delegate (paper §3.4, §6.1). The package also implements the
+// Maxoid-manifest invoker filters — white/blacklists of intent filters
+// that let an unmodified initiator mark classes of invocations private.
+package intent
+
+import "strings"
+
+// Standard actions used by the case-study apps.
+const (
+	ActionView = "android.intent.action.VIEW"
+	ActionEdit = "android.intent.action.EDIT"
+	ActionSend = "android.intent.action.SEND"
+	ActionMain = "android.intent.action.MAIN"
+	ActionPick = "android.intent.action.PICK"
+)
+
+// Intent flags.
+const (
+	// FlagDelegate asks Activity Manager to run the invoked app as a
+	// delegate of the sender (Maxoid API 2.1 in §6.1).
+	FlagDelegate = 1 << iota
+	// FlagGrantReadURIPermission grants the receiver one-time read
+	// access to the intent's data URI (Android's per-URI permission).
+	FlagGrantReadURIPermission
+)
+
+// Intent describes an invocation of an app component.
+type Intent struct {
+	// Action is what the sender wants done (ActionView etc.).
+	Action string
+	// Data is the target resource: a file path or content:// URI.
+	Data string
+	// Component explicitly names the target package; empty means
+	// resolve by action/data against installed apps' filters.
+	Component string
+	// Extras carries auxiliary key/value payload.
+	Extras map[string]string
+	// Flags is a bitmask of Flag* values.
+	Flags int
+}
+
+// HasFlag reports whether all bits in f are set.
+func (in Intent) HasFlag(f int) bool { return in.Flags&f == f }
+
+// Extra returns the named extra ("" if absent).
+func (in Intent) Extra(key string) string {
+	return in.Extras[key]
+}
+
+// WithExtra returns a copy of the intent with one extra added.
+func (in Intent) WithExtra(key, val string) Intent {
+	out := in
+	out.Extras = make(map[string]string, len(in.Extras)+1)
+	for k, v := range in.Extras {
+		out.Extras[k] = v
+	}
+	out.Extras[key] = val
+	return out
+}
+
+// scheme extracts the URI scheme of the intent data ("file" for bare
+// paths, which is how Android treats file URIs here).
+func (in Intent) scheme() string {
+	if i := strings.Index(in.Data, "://"); i > 0 {
+		return in.Data[:i]
+	}
+	if strings.HasPrefix(in.Data, "/") {
+		return "file"
+	}
+	return ""
+}
+
+// Filter matches intents by action, data scheme, and path suffix
+// (standing in for MIME types, which our simulated apps derive from
+// file extensions).
+type Filter struct {
+	// Actions matched; empty matches any action.
+	Actions []string
+	// Schemes matched ("file", "content", "http"); empty matches any.
+	Schemes []string
+	// Suffixes matched against the data path (".pdf"); empty matches any.
+	Suffixes []string
+}
+
+// Matches reports whether the filter accepts the intent.
+func (f Filter) Matches(in Intent) bool {
+	if len(f.Actions) > 0 && !containsFold(f.Actions, in.Action) {
+		return false
+	}
+	if len(f.Schemes) > 0 && !containsFold(f.Schemes, in.scheme()) {
+		return false
+	}
+	if len(f.Suffixes) > 0 {
+		ok := false
+		for _, s := range f.Suffixes {
+			if strings.HasSuffix(strings.ToLower(in.Data), strings.ToLower(s)) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// InvokerPolicy is the Maxoid-manifest filter set deciding whether an
+// outgoing intent from an initiator should invoke a delegate (paper
+// §6.1, API 2.2). Exactly one of Whitelist/Blacklist semantics applies:
+// with Whitelist true, intents matching any filter are private; with
+// Whitelist false, intents matching any filter are public and all
+// others private.
+type InvokerPolicy struct {
+	Whitelist bool
+	Filters   []Filter
+}
+
+// Private reports whether the policy marks the intent as a private
+// (delegate) invocation. A zero policy marks nothing private.
+func (p InvokerPolicy) Private(in Intent) bool {
+	if len(p.Filters) == 0 {
+		return false
+	}
+	matched := false
+	for _, f := range p.Filters {
+		if f.Matches(in) {
+			matched = true
+			break
+		}
+	}
+	if p.Whitelist {
+		return matched
+	}
+	return !matched
+}

@@ -1,0 +1,124 @@
+package intent
+
+import "testing"
+
+func TestFilterMatching(t *testing.T) {
+	cases := []struct {
+		name   string
+		filter Filter
+		in     Intent
+		want   bool
+	}{
+		{
+			name:   "action match",
+			filter: Filter{Actions: []string{ActionView}},
+			in:     Intent{Action: ActionView, Data: "/sdcard/a.pdf"},
+			want:   true,
+		},
+		{
+			name:   "action mismatch",
+			filter: Filter{Actions: []string{ActionView}},
+			in:     Intent{Action: ActionEdit, Data: "/sdcard/a.pdf"},
+			want:   false,
+		},
+		{
+			name:   "empty filter matches everything",
+			filter: Filter{},
+			in:     Intent{Action: ActionSend},
+			want:   true,
+		},
+		{
+			name:   "scheme file from bare path",
+			filter: Filter{Schemes: []string{"file"}},
+			in:     Intent{Action: ActionView, Data: "/sdcard/doc.txt"},
+			want:   true,
+		},
+		{
+			name:   "scheme content",
+			filter: Filter{Schemes: []string{"content"}},
+			in:     Intent{Action: ActionView, Data: "content://media/files/3"},
+			want:   true,
+		},
+		{
+			name:   "scheme mismatch",
+			filter: Filter{Schemes: []string{"content"}},
+			in:     Intent{Action: ActionView, Data: "/sdcard/doc.txt"},
+			want:   false,
+		},
+		{
+			name:   "suffix match case-insensitive",
+			filter: Filter{Suffixes: []string{".PDF"}},
+			in:     Intent{Action: ActionView, Data: "/sdcard/report.pdf"},
+			want:   true,
+		},
+		{
+			name:   "suffix mismatch",
+			filter: Filter{Suffixes: []string{".pdf"}},
+			in:     Intent{Action: ActionView, Data: "/sdcard/a.jpg"},
+			want:   false,
+		},
+		{
+			name:   "combined action+suffix",
+			filter: Filter{Actions: []string{ActionView}, Suffixes: []string{".pdf", ".doc"}},
+			in:     Intent{Action: ActionView, Data: "/x/y.doc"},
+			want:   true,
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.filter.Matches(tc.in); got != tc.want {
+			t.Errorf("%s: Matches = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestInvokerPolicyWhitelist(t *testing.T) {
+	// The paper's Dropbox manifest: any VIEW intent is private.
+	p := InvokerPolicy{
+		Whitelist: true,
+		Filters:   []Filter{{Actions: []string{ActionView}}},
+	}
+	if !p.Private(Intent{Action: ActionView, Data: "/sdcard/Dropbox/f.pdf"}) {
+		t.Error("VIEW intent should be private under whitelist")
+	}
+	if p.Private(Intent{Action: ActionSend, Data: "/sdcard/x"}) {
+		t.Error("SEND intent should be public under whitelist")
+	}
+}
+
+func TestInvokerPolicyBlacklist(t *testing.T) {
+	// Blacklist: everything private except SEND intents.
+	p := InvokerPolicy{
+		Whitelist: false,
+		Filters:   []Filter{{Actions: []string{ActionSend}}},
+	}
+	if p.Private(Intent{Action: ActionSend}) {
+		t.Error("blacklisted action should be public")
+	}
+	if !p.Private(Intent{Action: ActionView}) {
+		t.Error("non-blacklisted action should be private")
+	}
+}
+
+func TestZeroPolicyIsPublic(t *testing.T) {
+	var p InvokerPolicy
+	if p.Private(Intent{Action: ActionView}) {
+		t.Error("zero policy should mark nothing private")
+	}
+}
+
+func TestFlagsAndExtras(t *testing.T) {
+	in := Intent{Action: ActionView, Flags: FlagDelegate | FlagGrantReadURIPermission}
+	if !in.HasFlag(FlagDelegate) || !in.HasFlag(FlagGrantReadURIPermission) {
+		t.Error("flags not set")
+	}
+	if in.HasFlag(1 << 10) {
+		t.Error("unknown flag reported set")
+	}
+	in2 := in.WithExtra("k", "v")
+	if in2.Extra("k") != "v" {
+		t.Error("extra not set")
+	}
+	if in.Extra("k") != "" {
+		t.Error("WithExtra mutated the original")
+	}
+}

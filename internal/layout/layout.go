@@ -1,0 +1,110 @@
+// Package layout fixes the storage layout of the simulated device: the
+// client-visible mount points apps use (internal private data, external
+// storage) and the backing directories on the global disk that Zygote's
+// Aufs branch manager composes into per-instance views (paper §4.2,
+// Table 2).
+//
+// Client-visible paths (inside every app's mount namespace):
+//
+//	/data/data/<pkg>         internal private storage (Priv / nPriv)
+//	/data/data/ppriv/<pkg>   persistent private storage (pPriv)
+//	/storage/sdcard          external storage (EXTDIR)
+//	/storage/sdcard/tmp      the initiator's volatile files (Vol(A))
+//
+// Backing paths (on the global disk, only root-accessible):
+//
+//	/disk/data/<pkg>             app internal private branch
+//	/disk/npriv/<B>-<A>          writable nPriv branch of delegate B^A
+//	/disk/ppriv/<B>-<A>          pPriv branch of delegate B^A
+//	/disk/ext/pub                public external branch
+//	/disk/ext/<A>/tmp            volatile external branch of initiator A
+//	/disk/ext/<A>/data/<dir>     A's private external dirs
+//	/disk/ext/<B>-<A>/data/<dir> B^A's writes to B's own private ext dirs
+package layout
+
+import "path"
+
+// Client-visible mount points.
+const (
+	// DataDir is where internal app-private directories live.
+	DataDir = "/data/data"
+	// PPrivDir is the persistent-private-state directory root (§6.1).
+	PPrivDir = "/data/data/ppriv"
+	// ExtDir is the external storage mount point, the paper's EXTDIR.
+	ExtDir = "/storage/sdcard"
+	// ExtTmpDir is where an initiator sees its volatile files.
+	ExtTmpDir = "/storage/sdcard/tmp"
+)
+
+// Backing directory roots on the global disk.
+const (
+	BackData  = "/disk/data"
+	BackNPriv = "/disk/npriv"
+	BackPPriv = "/disk/ppriv"
+	BackExt   = "/disk/ext"
+)
+
+// AppData returns the client-visible internal private directory of pkg.
+func AppData(pkg string) string { return path.Join(DataDir, pkg) }
+
+// AppPPriv returns the client-visible persistent private directory.
+func AppPPriv(pkg string) string { return path.Join(PPrivDir, pkg) }
+
+// BackAppData returns the backing branch of pkg's internal private dir.
+func BackAppData(pkg string) string { return path.Join(BackData, pkg) }
+
+// DelegateKey names the (app, initiator) pair used for per-delegate
+// backing branches, the paper's "B-A" naming in Table 2.
+func DelegateKey(app, initiator string) string { return app + "-" + initiator }
+
+// BackNPrivBranch returns the writable nPriv branch of delegate B^A.
+func BackNPrivBranch(app, initiator string) string {
+	return path.Join(BackNPriv, DelegateKey(app, initiator))
+}
+
+// BackPPrivBranch returns the pPriv branch of delegate B^A.
+func BackPPrivBranch(app, initiator string) string {
+	return path.Join(BackPPriv, DelegateKey(app, initiator))
+}
+
+// ExtPubBranch is the public external storage branch.
+func ExtPubBranch() string { return path.Join(BackExt, "pub") }
+
+// ExtTmpBranch returns initiator A's volatile external branch, the
+// backing store of Vol(A)'s files.
+func ExtTmpBranch(initiator string) string {
+	return path.Join(BackExt, initiator, "tmp")
+}
+
+// ExtPrivBranch returns A's private external branch for one of its
+// declared private directories (relative to ExtDir).
+func ExtPrivBranch(owner, dir string) string {
+	return path.Join(BackExt, owner, "data", dir)
+}
+
+// ExtDelegatePrivBranch returns the branch capturing B^A's writes to
+// B's own private external directory (Table 2 row "EXTDIR/data/B").
+func ExtDelegatePrivBranch(app, initiator, dir string) string {
+	return path.Join(BackExt, DelegateKey(app, initiator), "data", dir)
+}
+
+// VolatileBacking maps a client-visible external path written by a
+// delegate of A to its backing location in A's volatile branch. The
+// client path must be under ExtDir.
+func VolatileBacking(initiator, clientPath string) string {
+	rel := clientPath
+	if len(clientPath) >= len(ExtDir) && clientPath[:len(ExtDir)] == ExtDir {
+		rel = clientPath[len(ExtDir):]
+	}
+	return path.Join(ExtTmpBranch(initiator), rel)
+}
+
+// PublicBacking maps a client-visible external path to the public
+// branch location.
+func PublicBacking(clientPath string) string {
+	rel := clientPath
+	if len(clientPath) >= len(ExtDir) && clientPath[:len(ExtDir)] == ExtDir {
+		rel = clientPath[len(ExtDir):]
+	}
+	return path.Join(ExtPubBranch(), rel)
+}

@@ -1,0 +1,65 @@
+package layout
+
+import "testing"
+
+func TestAppPaths(t *testing.T) {
+	if AppData("com.example") != "/data/data/com.example" {
+		t.Errorf("AppData = %s", AppData("com.example"))
+	}
+	if AppPPriv("com.example") != "/data/data/ppriv/com.example" {
+		t.Errorf("AppPPriv = %s", AppPPriv("com.example"))
+	}
+	if BackAppData("com.example") != "/disk/data/com.example" {
+		t.Errorf("BackAppData = %s", BackAppData("com.example"))
+	}
+}
+
+func TestDelegateBranches(t *testing.T) {
+	if DelegateKey("b", "a") != "b-a" {
+		t.Errorf("DelegateKey = %s", DelegateKey("b", "a"))
+	}
+	if BackNPrivBranch("b", "a") != "/disk/npriv/b-a" {
+		t.Errorf("BackNPrivBranch = %s", BackNPrivBranch("b", "a"))
+	}
+	if BackPPrivBranch("b", "a") != "/disk/ppriv/b-a" {
+		t.Errorf("BackPPrivBranch = %s", BackPPrivBranch("b", "a"))
+	}
+}
+
+func TestExternalBranches(t *testing.T) {
+	if ExtPubBranch() != "/disk/ext/pub" {
+		t.Errorf("ExtPubBranch = %s", ExtPubBranch())
+	}
+	if ExtTmpBranch("a") != "/disk/ext/a/tmp" {
+		t.Errorf("ExtTmpBranch = %s", ExtTmpBranch("a"))
+	}
+	if ExtPrivBranch("a", "Dropbox") != "/disk/ext/a/data/Dropbox" {
+		t.Errorf("ExtPrivBranch = %s", ExtPrivBranch("a", "Dropbox"))
+	}
+	if ExtDelegatePrivBranch("b", "a", "d") != "/disk/ext/b-a/data/d" {
+		t.Errorf("ExtDelegatePrivBranch = %s", ExtDelegatePrivBranch("b", "a", "d"))
+	}
+}
+
+func TestBackingMaps(t *testing.T) {
+	// Volatile backing mirrors the client path under the tmp branch.
+	got := VolatileBacking("a", ExtDir+"/Download/f.pdf")
+	if got != "/disk/ext/a/tmp/Download/f.pdf" {
+		t.Errorf("VolatileBacking = %s", got)
+	}
+	// Paths not under ExtDir are treated as relative.
+	got = VolatileBacking("a", "/weird/path")
+	if got != "/disk/ext/a/tmp/weird/path" {
+		t.Errorf("VolatileBacking non-ext = %s", got)
+	}
+	got = PublicBacking(ExtDir + "/doc.txt")
+	if got != "/disk/ext/pub/doc.txt" {
+		t.Errorf("PublicBacking = %s", got)
+	}
+	// Round trip: a client path and its tmp-visible counterpart map to
+	// the same backing file.
+	client := ExtDir + "/x/y.bin"
+	if VolatileBacking("a", client) != ExtTmpBranch("a")+"/x/y.bin" {
+		t.Error("volatile backing mismatch")
+	}
+}

@@ -1,0 +1,231 @@
+// Package mount implements per-process mount namespaces.
+//
+// A Namespace maps mount points (absolute paths) to filesystems
+// (vfs.FileSystem implementations: plain disk sub-trees or unionfs
+// unions). Path resolution picks the longest-prefix mount, mimicking how
+// the Linux VFS dispatches across mounts. Zygote gives every app process
+// its own namespace (the paper's unshare() call) and the Aufs branch
+// manager populates it; this is what makes Maxoid views per-app-instance
+// rather than global.
+//
+// A Namespace itself implements vfs.FileSystem, so app code is written
+// against one interface regardless of what is mounted where.
+package mount
+
+import (
+	"errors"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"maxoid/internal/vfs"
+)
+
+// ErrNoMount is returned when a path resolves to no mounted filesystem.
+var ErrNoMount = errors.New("mount: no filesystem mounted for path")
+
+// ErrCrossDevice is returned for renames spanning two mounts.
+var ErrCrossDevice = errors.New("mount: cross-device rename")
+
+// Entry is one row of the mount table.
+type Entry struct {
+	Point string
+	FS    vfs.FileSystem
+}
+
+// Namespace is a mount table. The zero value is an empty namespace.
+// Namespaces are safe for concurrent use.
+type Namespace struct {
+	mu     sync.RWMutex
+	mounts []Entry // kept sorted by descending point length
+}
+
+// New returns an empty namespace.
+func New() *Namespace { return &Namespace{} }
+
+// Mount attaches fsys at point, replacing any existing mount at exactly
+// that point (mount shadowing within a point is not needed by Maxoid).
+func (ns *Namespace) Mount(point string, fsys vfs.FileSystem) {
+	cleaned := vfs.Clean(point)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for i := range ns.mounts {
+		if ns.mounts[i].Point == cleaned {
+			ns.mounts[i].FS = fsys
+			return
+		}
+	}
+	ns.mounts = append(ns.mounts, Entry{Point: cleaned, FS: fsys})
+	sort.Slice(ns.mounts, func(i, j int) bool {
+		return len(ns.mounts[i].Point) > len(ns.mounts[j].Point)
+	})
+}
+
+// Unmount removes the mount at exactly point. It is not an error if no
+// such mount exists.
+func (ns *Namespace) Unmount(point string) {
+	cleaned := vfs.Clean(point)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	for i := range ns.mounts {
+		if ns.mounts[i].Point == cleaned {
+			ns.mounts = append(ns.mounts[:i], ns.mounts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clone returns a copy of the namespace sharing the mounted filesystems
+// but with an independent mount table — the semantics of unshare(2) with
+// CLONE_NEWNS.
+func (ns *Namespace) Clone() *Namespace {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	out := &Namespace{mounts: make([]Entry, len(ns.mounts))}
+	copy(out.mounts, ns.mounts)
+	return out
+}
+
+// Table returns the mount table sorted by mount point, for display
+// (the Table 2 dump in the paper).
+func (ns *Namespace) Table() []Entry {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	out := make([]Entry, len(ns.mounts))
+	copy(out, ns.mounts)
+	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
+	return out
+}
+
+// Resolve maps an absolute path to (filesystem, path-within-filesystem)
+// using longest-prefix matching.
+func (ns *Namespace) Resolve(name string) (vfs.FileSystem, string, error) {
+	cleaned := vfs.Clean(name)
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	for _, e := range ns.mounts { // sorted longest first
+		if cleaned == e.Point {
+			return e.FS, "/", nil
+		}
+		prefix := e.Point
+		if prefix != "/" {
+			prefix += "/"
+		}
+		if strings.HasPrefix(cleaned, prefix) {
+			return e.FS, "/" + strings.TrimPrefix(cleaned, prefix), nil
+		}
+	}
+	return nil, "", &fs.PathError{Op: "resolve", Path: cleaned, Err: ErrNoMount}
+}
+
+// --- vfs.FileSystem implementation, dispatching through Resolve ---
+
+// Open opens the named file in whatever filesystem is mounted there.
+func (ns *Namespace) Open(c vfs.Cred, name string, flags int, perm fs.FileMode) (vfs.Handle, error) {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.Open(c, rel, flags, perm)
+}
+
+// Stat stats the named file.
+func (ns *Namespace) Stat(c vfs.Cred, name string) (vfs.FileInfo, error) {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	return fsys.Stat(c, rel)
+}
+
+// ReadDir lists the named directory.
+func (ns *Namespace) ReadDir(c vfs.Cred, name string) ([]vfs.DirEntry, error) {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return fsys.ReadDir(c, rel)
+}
+
+// Mkdir creates the named directory.
+func (ns *Namespace) Mkdir(c vfs.Cred, name string, perm fs.FileMode) error {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return err
+	}
+	return fsys.Mkdir(c, rel, perm)
+}
+
+// MkdirAll creates the named directory and missing parents.
+func (ns *Namespace) MkdirAll(c vfs.Cred, name string, perm fs.FileMode) error {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return err
+	}
+	return fsys.MkdirAll(c, rel, perm)
+}
+
+// Remove deletes the named file or empty directory.
+func (ns *Namespace) Remove(c vfs.Cred, name string) error {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return err
+	}
+	return fsys.Remove(c, rel)
+}
+
+// RemoveAll deletes the named tree.
+func (ns *Namespace) RemoveAll(c vfs.Cred, name string) error {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return err
+	}
+	return fsys.RemoveAll(c, rel)
+}
+
+// Rename moves oldname to newname. Renames within a single mount
+// delegate to it; cross-mount renames fall back to copy + delete, like
+// a userspace mv across devices.
+func (ns *Namespace) Rename(c vfs.Cred, oldname, newname string) error {
+	srcFS, srcRel, err := ns.Resolve(oldname)
+	if err != nil {
+		return err
+	}
+	dstFS, dstRel, err := ns.Resolve(newname)
+	if err != nil {
+		return err
+	}
+	if srcFS == dstFS {
+		return srcFS.Rename(c, srcRel, dstRel)
+	}
+	info, err := srcFS.Stat(c, srcRel)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return ErrCrossDevice
+	}
+	if err := vfs.CopyFile(srcFS, dstFS, c, srcRel, dstRel, info.Mode.Perm()); err != nil {
+		return err
+	}
+	return srcFS.Remove(c, srcRel)
+}
+
+// Chown changes ownership of the named file.
+func (ns *Namespace) Chown(c vfs.Cred, name string, uid int) error {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return err
+	}
+	return fsys.Chown(c, rel, uid)
+}
+
+// Chmod changes the mode of the named file.
+func (ns *Namespace) Chmod(c vfs.Cred, name string, perm fs.FileMode) error {
+	fsys, rel, err := ns.Resolve(name)
+	if err != nil {
+		return err
+	}
+	return fsys.Chmod(c, rel, perm)
+}

@@ -1,0 +1,107 @@
+package mount
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"maxoid/internal/vfs"
+)
+
+// TestPropResolutionLongestPrefix: for random mount trees, Resolve
+// always picks the longest matching mount point, and reads through the
+// namespace agree with direct reads of the backing directory.
+func TestPropResolutionLongestPrefix(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		disk := vfs.New()
+		ns := New()
+
+		// Random nested mount points, each backed by its own directory.
+		points := []string{"/"}
+		for i := 0; i < 4; i++ {
+			parent := points[r.Intn(len(points))]
+			point := strings.TrimSuffix(parent, "/") + fmt.Sprintf("/m%d", i)
+			points = append(points, point)
+		}
+		backing := make(map[string]string, len(points))
+		for i, point := range points {
+			dir := fmt.Sprintf("/back%d", i)
+			if err := disk.MkdirAll(vfs.Root, dir, 0o777); err != nil {
+				return false
+			}
+			backing[point] = dir
+			ns.Mount(point, vfs.Sub(disk, dir))
+		}
+
+		// Write through the namespace at paths under each mount point;
+		// verify the data landed in the longest-prefix backing dir.
+		for i := 0; i < 20; i++ {
+			point := points[r.Intn(len(points))]
+			rel := fmt.Sprintf("/f%d", r.Intn(5))
+			full := strings.TrimSuffix(point, "/") + rel
+			payload := []byte(fmt.Sprintf("%s|%d", full, i))
+			if err := vfs.WriteFile(ns, vfs.Root, full, payload, 0o666); err != nil {
+				return false
+			}
+			// Find the expected mount: longest point that prefixes full.
+			best := ""
+			for _, p := range points {
+				prefix := p
+				if prefix != "/" {
+					prefix += "/"
+				}
+				if (full == p || strings.HasPrefix(full, prefix)) && len(p) > len(best) {
+					best = p
+				}
+			}
+			relInMount := strings.TrimPrefix(full, strings.TrimSuffix(best, "/"))
+			direct, err := vfs.ReadFile(disk, vfs.Root, backing[best]+relInMount)
+			if err != nil || !bytes.Equal(direct, payload) {
+				t.Logf("write to %s landed wrong (best %s): %q, %v", full, best, direct, err)
+				return false
+			}
+			// And the namespace reads it back.
+			got, err := vfs.ReadFile(ns, vfs.Root, full)
+			if err != nil || !bytes.Equal(got, payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCloneIsSnapshot: mounts added to a clone never affect the
+// parent, and vice versa, for random mount/unmount sequences.
+func TestPropCloneIsSnapshot(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		disk := vfs.New()
+		if err := disk.MkdirAll(vfs.Root, "/d", 0o777); err != nil {
+			return false
+		}
+		parent := New()
+		parent.Mount("/", vfs.Sub(disk, "/d"))
+		child := parent.Clone()
+		parentBefore := len(parent.Table())
+
+		for i := 0; i < 10; i++ {
+			point := fmt.Sprintf("/p%d", r.Intn(5))
+			if r.Intn(2) == 0 {
+				child.Mount(point, vfs.Sub(disk, "/d"))
+			} else {
+				child.Unmount(point)
+			}
+		}
+		return len(parent.Table()) == parentBefore
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

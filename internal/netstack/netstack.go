@@ -1,0 +1,148 @@
+// Package netstack simulates the network the device reaches.
+//
+// The paper's evaluation needs a network for two things: Downloads
+// Provider fetching files (Table 4) and backend servers for apps like
+// Dropbox. We model the network as a registry of named hosts with
+// request/response handlers plus a configurable per-KB latency so
+// download benchmarks have a realistic time component. Reachability is
+// enforced elsewhere: the kernel's Connect gate returns ENETUNREACH for
+// delegates (paper §6.2) before a request ever reaches this package.
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrNoHost is returned for requests to unregistered hosts.
+var ErrNoHost = errors.New("netstack: no such host")
+
+// Request is a simplified HTTP-like request.
+type Request struct {
+	Host string
+	Path string
+	Body []byte
+}
+
+// Response is a simplified HTTP-like response.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Handler serves requests for one host.
+type Handler interface {
+	Serve(req Request) (Response, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req Request) (Response, error)
+
+// Serve calls f.
+func (f HandlerFunc) Serve(req Request) (Response, error) { return f(req) }
+
+// Network is the set of reachable hosts.
+type Network struct {
+	mu       sync.RWMutex
+	hosts    map[string]Handler
+	perKB    time.Duration
+	baseRTT  time.Duration
+	requests int64
+}
+
+// New creates a network with the given base round-trip latency and
+// additional latency per KB transferred. Zero values disable delays,
+// which tests use; benchmarks set realistic values.
+func New(baseRTT, perKB time.Duration) *Network {
+	return &Network{
+		hosts:   make(map[string]Handler),
+		baseRTT: baseRTT,
+		perKB:   perKB,
+	}
+}
+
+// Register makes a host reachable.
+func (n *Network) Register(host string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[host] = h
+}
+
+// Requests returns the total number of requests served, for asserting
+// in tests that confined apps generated no network traffic.
+func (n *Network) Requests() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.requests
+}
+
+// RoundTrip delivers a request to its host and simulates transfer time.
+func (n *Network) RoundTrip(req Request) (Response, error) {
+	n.mu.RLock()
+	h, ok := n.hosts[req.Host]
+	n.mu.RUnlock()
+	if !ok {
+		return Response{}, fmt.Errorf("%w: %s", ErrNoHost, req.Host)
+	}
+	resp, err := h.Serve(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if n.baseRTT > 0 || n.perKB > 0 {
+		kb := (len(req.Body) + len(resp.Body)) / 1024
+		time.Sleep(n.baseRTT + time.Duration(kb)*n.perKB)
+	}
+	n.mu.Lock()
+	n.requests++
+	n.mu.Unlock()
+	return resp, nil
+}
+
+// StaticFileServer is a Handler serving an in-memory path→content map;
+// used as the web server behind Downloads benchmarks and the Dropbox
+// backend.
+type StaticFileServer struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewStaticFileServer creates an empty file server.
+func NewStaticFileServer() *StaticFileServer {
+	return &StaticFileServer{files: make(map[string][]byte)}
+}
+
+// Put stores content at path.
+func (s *StaticFileServer) Put(path string, content []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[path] = content
+}
+
+// Get retrieves the content stored at path.
+func (s *StaticFileServer) Get(path string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.files[path]
+	return b, ok
+}
+
+// Serve implements Handler: GET-like semantics with an optional upload
+// when the request carries a body (PUT-like), which the Dropbox app
+// uses to sync files.
+func (s *StaticFileServer) Serve(req Request) (Response, error) {
+	if len(req.Body) > 0 {
+		s.Put(req.Path, req.Body)
+		return Response{Status: 200}, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	content, ok := s.files[req.Path]
+	if !ok {
+		return Response{Status: 404}, nil
+	}
+	out := make([]byte, len(content))
+	copy(out, content)
+	return Response{Status: 200, Body: out}, nil
+}

@@ -1,0 +1,132 @@
+package netstack
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundTripToStaticServer(t *testing.T) {
+	net := New(0, 0)
+	srv := NewStaticFileServer()
+	srv.Put("/a.txt", []byte("hello"))
+	net.Register("files.example", srv)
+
+	resp, err := net.RoundTrip(Request{Host: "files.example", Path: "/a.txt"})
+	if err != nil || resp.Status != 200 || string(resp.Body) != "hello" {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	resp, err = net.RoundTrip(Request{Host: "files.example", Path: "/missing"})
+	if err != nil || resp.Status != 404 {
+		t.Errorf("missing file: %+v, %v", resp, err)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	net := New(0, 0)
+	if _, err := net.RoundTrip(Request{Host: "nowhere"}); !errors.Is(err, ErrNoHost) {
+		t.Errorf("err = %v, want ErrNoHost", err)
+	}
+}
+
+func TestUploadSemantics(t *testing.T) {
+	net := New(0, 0)
+	srv := NewStaticFileServer()
+	net.Register("store", srv)
+	if _, err := net.RoundTrip(Request{Host: "store", Path: "/f", Body: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := srv.Get("/f")
+	if !ok || string(got) != "payload" {
+		t.Errorf("upload stored %q, %v", got, ok)
+	}
+}
+
+func TestResponseBodyIsACopy(t *testing.T) {
+	net := New(0, 0)
+	srv := NewStaticFileServer()
+	srv.Put("/f", []byte("original"))
+	net.Register("h", srv)
+	resp, err := net.RoundTrip(Request{Host: "h", Path: "/f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body[0] = 'X'
+	again, _ := net.RoundTrip(Request{Host: "h", Path: "/f"})
+	if string(again.Body) != "original" {
+		t.Error("response body aliases server storage")
+	}
+}
+
+func TestRequestCounter(t *testing.T) {
+	net := New(0, 0)
+	srv := NewStaticFileServer()
+	srv.Put("/f", []byte("x"))
+	net.Register("h", srv)
+	for i := 0; i < 5; i++ {
+		if _, err := net.RoundTrip(Request{Host: "h", Path: "/f"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Failed lookups (no host) do not count.
+	_, _ = net.RoundTrip(Request{Host: "nope"})
+	if net.Requests() != 5 {
+		t.Errorf("Requests = %d, want 5", net.Requests())
+	}
+}
+
+func TestSimulatedLatency(t *testing.T) {
+	net := New(2*time.Millisecond, 0)
+	srv := NewStaticFileServer()
+	srv.Put("/f", []byte("x"))
+	net.Register("h", srv)
+	start := time.Now()
+	if _, err := net.RoundTrip(Request{Host: "h", Path: "/f"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	net := New(0, 0)
+	net.Register("echo", HandlerFunc(func(req Request) (Response, error) {
+		return Response{Status: 200, Body: append([]byte("echo:"), req.Body...)}, nil
+	}))
+	resp, err := net.RoundTrip(Request{Host: "echo", Path: "/", Body: []byte("hi")})
+	if err != nil || string(resp.Body) != "echo:hi" {
+		t.Errorf("echo = %q, %v", resp.Body, err)
+	}
+}
+
+func TestConcurrentRoundTrips(t *testing.T) {
+	net := New(0, 0)
+	srv := NewStaticFileServer()
+	srv.Put("/f", []byte("x"))
+	net.Register("h", srv)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if i%2 == 0 {
+					if _, err := net.RoundTrip(Request{Host: "h", Path: "/f"}); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					srv.Put("/f2", []byte{byte(j)})
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package downloads
+
+import (
+	"maxoid/internal/binder"
+	"maxoid/internal/provider"
+	"maxoid/internal/sqldb"
+)
+
+// Manager is the client-side DownloadManager API, a wrapper over the
+// Downloads provider's content URIs. Maxoid extends it so an initiator
+// can request that a download be stored in its volatile state instead
+// of public state (§7.1 "Enhancing Browser's incognito mode" — the
+// one-line change apps make is passing Volatile: true).
+type Manager struct {
+	res *provider.Resolver
+}
+
+// NewManager creates a DownloadManager for one app context's resolver.
+func NewManager(res *provider.Resolver) *Manager {
+	return &Manager{res: res}
+}
+
+// Request describes one download.
+type Request struct {
+	// URL is the source, "host/path" or "http://host/path".
+	URL string
+	// Title is the user-visible name.
+	Title string
+	// Hint overrides the target filename (defaults to the URL's base).
+	Hint string
+	// Volatile asks for the download to land in the requesting
+	// initiator's volatile state (the Maxoid extension).
+	Volatile bool
+}
+
+// Enqueue submits the request and returns the download record's ID.
+func (m *Manager) Enqueue(req Request) (int64, error) {
+	values := provider.Values{
+		"uri":   req.URL,
+		"title": req.Title,
+	}
+	if req.Hint != "" {
+		values["hint"] = req.Hint
+	}
+	if req.Volatile {
+		values[provider.IsVolatileKey] = true
+	}
+	uriStr, err := m.res.Insert(DownloadsURI, values)
+	if err != nil {
+		return 0, err
+	}
+	u, err := provider.ParseURI(uriStr)
+	if err != nil {
+		return 0, err
+	}
+	id, _ := u.ID()
+	return id, nil
+}
+
+// Wait blocks until the download reaches a terminal state and returns
+// its status and the client-visible file path.
+func (m *Manager) Wait(id int64) (status int64, clientPath string, err error) {
+	reply, err := m.res.Call(Authority, "wait", binder.Parcel{"id": id})
+	if err != nil {
+		return 0, "", err
+	}
+	return reply.Int("status"), reply.String("path"), nil
+}
+
+// Status queries the current status of a download record through the
+// caller's view.
+func (m *Manager) Status(id int64) (int64, error) {
+	rows, err := m.res.Query(DownloadsURI, []string{"status"}, "_id = ?", "", id)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows.Data) == 0 {
+		return 0, provider.ErrNotFound
+	}
+	n, _ := sqldb.AsInt(rows.Data[0][0])
+	return n, nil
+}

@@ -1,0 +1,316 @@
+package media
+
+import (
+	"testing"
+
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+)
+
+var (
+	camera     = provider.Caller{Task: kernel.Task{App: "cameramx"}}
+	delegateCD = provider.Caller{Task: kernel.Task{App: "cameramx", Initiator: "dropbox"}}
+	otherApp   = provider.Caller{Task: kernel.Task{App: "gallery"}}
+)
+
+func newTestProvider(t *testing.T) (*Provider, *vfs.FS) {
+	t.Helper()
+	disk := vfs.New()
+	if err := disk.MkdirAll(vfs.Root, layout.ExtPubBranch()+"/DCIM", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, disk
+}
+
+func mustURI(t *testing.T, s string) provider.URI {
+	t.Helper()
+	u, err := provider.ParseURI(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func putPublicFile(t *testing.T, disk *vfs.FS, clientPath string, data []byte) {
+	t.Helper()
+	backing := layout.PublicBacking(clientPath)
+	if err := disk.MkdirAll(vfs.Root, backing[:len(backing)-len("/x")], 0o777); err != nil {
+		// Parent may already exist; MkdirAll of the dir itself below.
+	}
+	if err := disk.MkdirAll(vfs.Root, layout.PublicBacking(clientPath[:lastSlash(clientPath)]), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, backing, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return 0
+}
+
+func TestPublicScanCreatesEntryAndThumbnail(t *testing.T) {
+	p, disk := newTestProvider(t)
+	photo := layout.ExtDir + "/DCIM/photo.jpg"
+	putPublicFile(t, disk, photo, make([]byte, 780*1024))
+
+	id, err := p.ScanFile(camera, photo, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry visible to everyone via images view.
+	rows, err := p.Query(otherApp, mustURI(t, "content://media/images"), []string{"_data", "size"}, "", "")
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("images view: %v, %v", rows, err)
+	}
+	if rows.Data[0][0] != photo || rows.Data[0][1] != int64(780*1024) {
+		t.Errorf("scanned row: %v", rows.Data[0])
+	}
+	// Thumbnail in the public branch.
+	thumb := layout.PublicBacking(ThumbnailDir) + "/" + itoa(id) + ".jpg"
+	if !vfs.Exists(disk, vfs.Root, thumb) {
+		t.Errorf("no public thumbnail at %s", thumb)
+	}
+}
+
+func itoa(n int64) string {
+	return sqldb.AsString(n)
+}
+
+func TestDelegateScanIsVolatile(t *testing.T) {
+	p, disk := newTestProvider(t)
+	photo := layout.ExtDir + "/DCIM/private.jpg"
+	// The delegate took the photo: it lives in the initiator's volatile
+	// branch (written through the delegate's union mount).
+	backing := layout.VolatileBacking("dropbox", photo)
+	if err := disk.MkdirAll(vfs.Root, backing[:lastSlash(backing)], 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, backing, []byte("jpegdata"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := p.ScanFile(delegateCD, photo, 200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Public images view stays empty (S1).
+	rows, _ := p.Query(otherApp, mustURI(t, "content://media/images"), nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Errorf("delegate scan leaked publicly: %v", rows.Data)
+	}
+	// Delegate (and the initiator's other delegates) see it.
+	rows, err = p.Query(delegateCD, mustURI(t, "content://media/images"), []string{"_data"}, "", "")
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("delegate view: %v, %v", rows, err)
+	}
+	// Thumbnail is in dropbox's volatile branch.
+	thumbClient := ThumbnailDir + "/" + itoa(id) + ".jpg"
+	if !vfs.Exists(disk, vfs.Root, layout.VolatileBacking("dropbox", thumbClient)) {
+		t.Error("thumbnail not in volatile branch")
+	}
+	if vfs.Exists(disk, vfs.Root, layout.PublicBacking(thumbClient)) {
+		t.Error("thumbnail leaked into public branch")
+	}
+	// Initiator audits it via the tmp URI.
+	rows, err = p.Query(provider.Caller{Task: kernel.Task{App: "dropbox"}},
+		mustURI(t, "content://media/tmp/files"), nil, "", "")
+	if err != nil || len(rows.Data) != 1 {
+		t.Errorf("tmp URI: %v, %v", rows, err)
+	}
+}
+
+func TestDelegateScanOfPublicFile(t *testing.T) {
+	p, disk := newTestProvider(t)
+	photo := layout.ExtDir + "/DCIM/shared.jpg"
+	putPublicFile(t, disk, photo, []byte("shared-bytes"))
+	// Delegate scans a file it read from Pub(all) but never modified —
+	// the scanner falls back to the public branch for content.
+	if _, err := p.ScanFile(delegateCD, photo, 1, false); err != nil {
+		t.Fatalf("delegate scan of public file: %v", err)
+	}
+	rows, _ := p.Query(otherApp, mustURI(t, "content://media/images"), nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Error("metadata leaked to public state")
+	}
+}
+
+func TestVolatileScanByInitiator(t *testing.T) {
+	p, disk := newTestProvider(t)
+	photo := layout.ExtDir + "/DCIM/incog.jpg"
+	backing := layout.VolatileBacking("browser", photo)
+	if err := disk.MkdirAll(vfs.Root, backing[:lastSlash(backing)], 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, backing, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	browser := provider.Caller{Task: kernel.Task{App: "browser"}}
+	if _, err := p.ScanFile(browser, photo, 5, true); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := p.Query(otherApp, mustURI(t, FilesURI), nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Error("volatile scan leaked")
+	}
+	rows, _ = p.Query(browser, mustURI(t, "content://media/tmp/files"), nil, "", "")
+	if len(rows.Data) != 1 {
+		t.Error("volatile scan not in tmp view")
+	}
+}
+
+func TestAudioJoinViews(t *testing.T) {
+	p, _ := newTestProvider(t)
+	files := mustURI(t, FilesURI)
+	if _, err := p.Insert(camera, mustURI(t, "content://media/artists"), provider.Values{"artist": "Ann"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(camera, mustURI(t, "content://media/albums"), provider.Values{"album": "Hits"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(camera, files, provider.Values{
+		"_data": "/storage/sdcard/Music/s.mp3", "media_type": int64(MediaTypeAudio),
+		"title": "song", "duration": int64(180), "artist_id": int64(1), "album_id": int64(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.Query(otherApp, mustURI(t, "content://media/audio"), []string{"title", "artist", "album"}, "", "")
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("audio view: %v, %v", rows, err)
+	}
+	if rows.Data[0][1] != "Ann" || rows.Data[0][2] != "Hits" {
+		t.Errorf("join result: %v", rows.Data[0])
+	}
+}
+
+func TestDelegateSeesAudioHierarchyWithVolatileRows(t *testing.T) {
+	p, _ := newTestProvider(t)
+	del := provider.Caller{Task: kernel.Task{App: "player", Initiator: "email"}}
+	if _, err := p.Insert(del, mustURI(t, "content://media/artists"), provider.Values{"artist": "Priv"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(del, mustURI(t, FilesURI), provider.Values{
+		"_data": "/x.mp3", "media_type": int64(MediaTypeAudio), "title": "t",
+		"artist_id": int64(10000001),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.Query(del, mustURI(t, "content://media/audio"), []string{"title", "artist"}, "", "")
+	if err != nil || len(rows.Data) != 1 || rows.Data[0][1] != "Priv" {
+		t.Fatalf("delegate audio hierarchy: %v, %v", rows, err)
+	}
+	// Public audio view is empty.
+	rows, _ = p.Query(otherApp, mustURI(t, "content://media/audio"), nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Error("delegate audio rows leaked")
+	}
+}
+
+func TestMediaTypeForExt(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mt   int64
+	}{
+		{"a.jpg", MediaTypeImage}, {"b.PNG", MediaTypeImage},
+		{"c.mp3", MediaTypeAudio}, {"d.mp4", MediaTypeVideo},
+	} {
+		mt, _ := mediaTypeForExt(tc.name)
+		if mt != tc.mt {
+			t.Errorf("%s: type %d, want %d", tc.name, mt, tc.mt)
+		}
+	}
+}
+
+func TestScanMissingFile(t *testing.T) {
+	p, _ := newTestProvider(t)
+	if _, err := p.ScanFile(camera, layout.ExtDir+"/nope.jpg", 0, false); err == nil {
+		t.Error("scan of missing file should fail")
+	}
+}
+
+func TestThumbnailDeterministic(t *testing.T) {
+	data := []byte("the same image bytes")
+	a := makeThumbnail(data)
+	b := makeThumbnail(data)
+	if len(a) != ThumbnailSize || len(b) != ThumbnailSize {
+		t.Fatalf("thumbnail sizes: %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("thumbnail not deterministic")
+		}
+	}
+	// Different inputs give different thumbnails (with high likelihood).
+	c := makeThumbnail([]byte("different image bytes!!"))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct inputs produced identical thumbnails")
+	}
+	// Empty input yields a zeroed thumbnail, not a panic.
+	if z := makeThumbnail(nil); len(z) != ThumbnailSize {
+		t.Errorf("empty thumbnail size: %d", len(z))
+	}
+}
+
+func TestMediaUpdateDeleteThroughViews(t *testing.T) {
+	p, _ := newTestProvider(t)
+	if _, err := p.Insert(camera, mustURI(t, FilesURI), provider.Values{
+		"_data": "/a.jpg", "media_type": int64(MediaTypeImage), "title": "orig",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	del := provider.Caller{Task: kernel.Task{App: "editor", Initiator: "gallery2"}}
+	// Delegate updates through the images view (a user-defined view!).
+	n, err := p.Update(del, mustURI(t, "content://media/images"), provider.Values{"title": "edited"}, "_id = 1")
+	if err != nil || n != 1 {
+		t.Fatalf("view update: %d, %v", n, err)
+	}
+	rows, _ := p.Query(del, mustURI(t, "content://media/images"), []string{"title"}, "", "")
+	if len(rows.Data) != 1 || rows.Data[0][0] != "edited" {
+		t.Errorf("delegate view: %v", rows.Data)
+	}
+	rows, _ = p.Query(otherApp, mustURI(t, "content://media/images"), []string{"title"}, "", "")
+	if rows.Data[0][0] != "orig" {
+		t.Errorf("public mutated: %v", rows.Data)
+	}
+	// Delegate deletes through the files table.
+	if _, err := p.Delete(del, mustURI(t, FilesURI+"/1"), ""); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = p.Query(del, mustURI(t, "content://media/images"), nil, "", "")
+	if len(rows.Data) != 0 {
+		t.Errorf("delegate still sees deleted: %v", rows.Data)
+	}
+	rows, _ = p.Query(otherApp, mustURI(t, "content://media/images"), nil, "", "")
+	if len(rows.Data) != 1 {
+		t.Errorf("public row deleted: %v", rows.Data)
+	}
+}
+
+func TestMediaBadURIs(t *testing.T) {
+	p, _ := newTestProvider(t)
+	if _, err := p.Query(camera, mustURI(t, "content://media/bogus"), nil, "", ""); err == nil {
+		t.Error("bogus table should fail")
+	}
+	if _, err := p.Insert(camera, mustURI(t, "content://media/a/b/c"), nil); err == nil {
+		t.Error("deep path should fail")
+	}
+}

@@ -1,0 +1,311 @@
+// Package provider implements Android-style content providers: URI
+// parsing, ContentValues, a provider registry exposed over Binder, and
+// the client-side ContentResolver apps use.
+//
+// System content providers (subpackages userdict, downloads, media) are
+// the paper's three ported providers (§5.3). Each uses the COW proxy to
+// switch views per caller: an initiator's operations hit primary
+// tables, a delegate's hit its initiator's COW views, and initiators
+// can address volatile records via "tmp" URIs (§5.1).
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"maxoid/internal/binder"
+	"maxoid/internal/sqldb"
+)
+
+// Errors shared across providers.
+var (
+	ErrBadURI       = errors.New("provider: malformed content URI")
+	ErrNotFound     = errors.New("provider: no such record")
+	ErrNotSupported = errors.New("provider: operation not supported")
+)
+
+// IsVolatileKey is the ContentValues flag an initiator asserts to create
+// a record in its own volatile state (paper §6.1 API 4).
+const IsVolatileKey = "isVolatile"
+
+// Values is the ContentValues map passed to insert/update.
+type Values map[string]sqldb.Value
+
+// Clone returns a copy with the given keys removed.
+func (v Values) Clone(drop ...string) Values {
+	out := make(Values, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	for _, k := range drop {
+		delete(out, k)
+	}
+	return out
+}
+
+// URI is a parsed content:// URI.
+type URI struct {
+	Authority string
+	Segments  []string
+}
+
+// ParseURI parses "content://authority/seg/seg...".
+func ParseURI(s string) (URI, error) {
+	const prefix = "content://"
+	if !strings.HasPrefix(s, prefix) {
+		return URI{}, fmt.Errorf("%w: %s", ErrBadURI, s)
+	}
+	rest := strings.TrimPrefix(s, prefix)
+	parts := strings.Split(rest, "/")
+	if parts[0] == "" {
+		return URI{}, fmt.Errorf("%w: %s", ErrBadURI, s)
+	}
+	var segs []string
+	for _, p := range parts[1:] {
+		if p != "" {
+			segs = append(segs, p)
+		}
+	}
+	return URI{Authority: parts[0], Segments: segs}, nil
+}
+
+// String renders the URI back to content:// form.
+func (u URI) String() string {
+	return "content://" + u.Authority + "/" + strings.Join(u.Segments, "/")
+}
+
+// ID returns the trailing numeric segment, if any.
+func (u URI) ID() (int64, bool) {
+	if len(u.Segments) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(u.Segments[len(u.Segments)-1], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// IsVolatile reports whether the URI addresses volatile state — a "tmp"
+// path component, e.g. content://user_dictionary/tmp/words (§5.1).
+func (u URI) IsVolatile() bool {
+	for _, s := range u.Segments {
+		if s == "tmp" {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns the path segments with any "tmp" component and trailing
+// numeric ID removed: the provider-level table path.
+func (u URI) Path() []string {
+	var out []string
+	segs := u.Segments
+	if _, ok := u.ID(); ok {
+		segs = segs[:len(segs)-1]
+	}
+	for _, s := range segs {
+		if s == "tmp" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WithID returns a copy of the URI with a numeric ID appended.
+func (u URI) WithID(id int64) URI {
+	segs := make([]string, 0, len(u.Segments)+1)
+	segs = append(segs, u.Segments...)
+	segs = append(segs, strconv.FormatInt(id, 10))
+	return URI{Authority: u.Authority, Segments: segs}
+}
+
+// Caller aliases the binder caller identity.
+type Caller = binder.Caller
+
+// InitiatorOf returns the initiator context for view selection: the
+// caller's initiator if it is a delegate, else "" (operate on public
+// state).
+func InitiatorOf(c Caller) string {
+	if c.Task.IsDelegate() {
+		return c.Task.Initiator
+	}
+	return ""
+}
+
+// Provider is a content provider: the four Android operations.
+type Provider interface {
+	Authority() string
+	Insert(c Caller, uri URI, values Values) (URI, error)
+	Update(c Caller, uri URI, values Values, where string, args ...sqldb.Value) (int64, error)
+	Delete(c Caller, uri URI, where string, args ...sqldb.Value) (int64, error)
+	Query(c Caller, uri URI, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error)
+}
+
+// Registry installs providers as Binder system endpoints so the kernel
+// Binder policy allows delegates to reach them (content providers are
+// trusted system processes in the paper's model).
+type Registry struct {
+	router    *binder.Router
+	providers map[string]Provider
+}
+
+// NewRegistry creates a registry on the router.
+func NewRegistry(router *binder.Router) *Registry {
+	return &Registry{router: router, providers: make(map[string]Provider)}
+}
+
+// endpointName is the binder endpoint for a provider authority.
+func endpointName(authority string) string { return "provider:" + authority }
+
+// Register installs a provider.
+func (r *Registry) Register(p Provider) {
+	r.providers[p.Authority()] = p
+	r.router.RegisterSystem(endpointName(p.Authority()), &providerEndpoint{p: p})
+}
+
+// Provider returns a registered provider by authority.
+func (r *Registry) Provider(authority string) (Provider, bool) {
+	p, ok := r.providers[authority]
+	return p, ok
+}
+
+// providerEndpoint adapts a Provider to the binder Handler interface.
+type providerEndpoint struct {
+	p Provider
+}
+
+func (e *providerEndpoint) OnTransact(from binder.Caller, code string, data binder.Parcel) (binder.Parcel, error) {
+	switch code {
+	case "insert", "update", "delete", "query":
+	default:
+		// Provider-specific transaction: no URI envelope.
+		if caller, ok := e.p.(Callable); ok {
+			return caller.OnCall(from, code, data)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrNotSupported, code)
+	}
+	uri, err := ParseURI(data.String("uri"))
+	if err != nil {
+		return nil, err
+	}
+	values, _ := data["values"].(Values)
+	where := data.String("where")
+	args, _ := data["args"].([]sqldb.Value)
+	switch code {
+	case "insert":
+		out, err := e.p.Insert(from, uri, values)
+		if err != nil {
+			return nil, err
+		}
+		return binder.Parcel{"uri": out.String()}, nil
+	case "update":
+		n, err := e.p.Update(from, uri, values, where, args...)
+		if err != nil {
+			return nil, err
+		}
+		return binder.Parcel{"count": n}, nil
+	case "delete":
+		n, err := e.p.Delete(from, uri, where, args...)
+		if err != nil {
+			return nil, err
+		}
+		return binder.Parcel{"count": n}, nil
+	case "query":
+		columns, _ := data["columns"].([]string)
+		rows, err := e.p.Query(from, uri, columns, where, data.String("orderBy"), args...)
+		if err != nil {
+			return nil, err
+		}
+		return binder.Parcel{"rows": rows}, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotSupported, code)
+}
+
+// Callable is implemented by providers with operations beyond the four
+// standard ones (e.g. the Media scanner's "scan").
+type Callable interface {
+	OnCall(from Caller, code string, data binder.Parcel) (binder.Parcel, error)
+}
+
+// Resolver is the client-side ContentResolver bound to one caller
+// identity. All calls go through Binder, so the kernel policy applies.
+type Resolver struct {
+	router *binder.Router
+	caller binder.Caller
+}
+
+// NewResolver creates a resolver for a caller.
+func NewResolver(router *binder.Router, caller binder.Caller) *Resolver {
+	return &Resolver{router: router, caller: caller}
+}
+
+// Insert inserts values at the URI, returning the new record's URI.
+func (r *Resolver) Insert(uri string, values Values) (string, error) {
+	u, err := ParseURI(uri)
+	if err != nil {
+		return "", err
+	}
+	reply, err := r.router.Call(r.caller, endpointName(u.Authority), "insert",
+		binder.Parcel{"uri": uri, "values": values})
+	if err != nil {
+		return "", err
+	}
+	return reply.String("uri"), nil
+}
+
+// Update updates records matching where at the URI.
+func (r *Resolver) Update(uri string, values Values, where string, args ...sqldb.Value) (int64, error) {
+	u, err := ParseURI(uri)
+	if err != nil {
+		return 0, err
+	}
+	reply, err := r.router.Call(r.caller, endpointName(u.Authority), "update",
+		binder.Parcel{"uri": uri, "values": values, "where": where, "args": args})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Int("count"), nil
+}
+
+// Delete deletes records matching where at the URI.
+func (r *Resolver) Delete(uri string, where string, args ...sqldb.Value) (int64, error) {
+	u, err := ParseURI(uri)
+	if err != nil {
+		return 0, err
+	}
+	reply, err := r.router.Call(r.caller, endpointName(u.Authority), "delete",
+		binder.Parcel{"uri": uri, "where": where, "args": args})
+	if err != nil {
+		return 0, err
+	}
+	return reply.Int("count"), nil
+}
+
+// Query queries records at the URI.
+func (r *Resolver) Query(uri string, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	u, err := ParseURI(uri)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := r.router.Call(r.caller, endpointName(u.Authority), "query",
+		binder.Parcel{"uri": uri, "columns": columns, "where": where, "orderBy": orderBy, "args": args})
+	if err != nil {
+		return nil, err
+	}
+	rows, _ := reply["rows"].(*sqldb.Rows)
+	if rows == nil {
+		rows = &sqldb.Rows{}
+	}
+	return rows, nil
+}
+
+// Call performs a provider-specific transaction beyond the standard
+// four operations.
+func (r *Resolver) Call(authority, code string, data binder.Parcel) (binder.Parcel, error) {
+	return r.router.Call(r.caller, endpointName(authority), code, data)
+}

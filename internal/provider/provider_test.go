@@ -1,0 +1,151 @@
+package provider
+
+import (
+	"errors"
+	"testing"
+
+	"maxoid/internal/binder"
+	"maxoid/internal/kernel"
+	"maxoid/internal/sqldb"
+)
+
+func TestParseURI(t *testing.T) {
+	cases := []struct {
+		in        string
+		authority string
+		segs      int
+		id        int64
+		hasID     bool
+		volatile  bool
+	}{
+		{"content://user_dictionary/words", "user_dictionary", 1, 0, false, false},
+		{"content://user_dictionary/words/5", "user_dictionary", 2, 5, true, false},
+		{"content://user_dictionary/tmp/words/7", "user_dictionary", 3, 7, true, true},
+		{"content://media/files", "media", 1, 0, false, false},
+	}
+	for _, tc := range cases {
+		u, err := ParseURI(tc.in)
+		if err != nil {
+			t.Fatalf("ParseURI(%s): %v", tc.in, err)
+		}
+		if u.Authority != tc.authority || len(u.Segments) != tc.segs {
+			t.Errorf("%s: parsed %+v", tc.in, u)
+		}
+		id, ok := u.ID()
+		if ok != tc.hasID || (ok && id != tc.id) {
+			t.Errorf("%s: ID = %d, %v", tc.in, id, ok)
+		}
+		if u.IsVolatile() != tc.volatile {
+			t.Errorf("%s: IsVolatile = %v", tc.in, u.IsVolatile())
+		}
+		if u.String() != tc.in {
+			t.Errorf("round trip: %s -> %s", tc.in, u.String())
+		}
+	}
+	for _, bad := range []string{"http://x/y", "content://", "words/5"} {
+		if _, err := ParseURI(bad); !errors.Is(err, ErrBadURI) {
+			t.Errorf("ParseURI(%q) = %v, want ErrBadURI", bad, err)
+		}
+	}
+}
+
+func TestURIPathStripsTmpAndID(t *testing.T) {
+	u, _ := ParseURI("content://downloads/tmp/my_downloads/12")
+	p := u.Path()
+	if len(p) != 1 || p[0] != "my_downloads" {
+		t.Errorf("Path = %v", p)
+	}
+	u2 := u.WithID(99)
+	if id, ok := u2.ID(); !ok || id != 99 {
+		t.Errorf("WithID: %v", u2)
+	}
+}
+
+func TestInitiatorOf(t *testing.T) {
+	if InitiatorOf(Caller{Task: kernel.Task{App: "a"}}) != "" {
+		t.Error("initiator caller should map to public view")
+	}
+	if InitiatorOf(Caller{Task: kernel.Task{App: "b", Initiator: "a"}}) != "a" {
+		t.Error("delegate caller should map to initiator view")
+	}
+}
+
+// fakeProvider records calls for registry/resolver testing.
+type fakeProvider struct {
+	lastOp string
+}
+
+func (f *fakeProvider) Authority() string { return "fake" }
+
+func (f *fakeProvider) Insert(c Caller, uri URI, values Values) (URI, error) {
+	f.lastOp = "insert"
+	return uri.WithID(42), nil
+}
+
+func (f *fakeProvider) Update(c Caller, uri URI, values Values, where string, args ...sqldb.Value) (int64, error) {
+	f.lastOp = "update"
+	return 3, nil
+}
+
+func (f *fakeProvider) Delete(c Caller, uri URI, where string, args ...sqldb.Value) (int64, error) {
+	f.lastOp = "delete"
+	return 1, nil
+}
+
+func (f *fakeProvider) Query(c Caller, uri URI, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	f.lastOp = "query"
+	return &sqldb.Rows{Columns: []string{"x"}, Data: [][]sqldb.Value{{int64(1)}}}, nil
+}
+
+func TestRegistryAndResolver(t *testing.T) {
+	router := binder.NewRouter()
+	reg := NewRegistry(router)
+	fake := &fakeProvider{}
+	reg.Register(fake)
+
+	res := NewResolver(router, Caller{Task: kernel.Task{App: "client"}})
+	uri, err := res.Insert("content://fake/things", Values{"a": int64(1)})
+	if err != nil || uri != "content://fake/things/42" {
+		t.Errorf("Insert: %q, %v", uri, err)
+	}
+	n, err := res.Update("content://fake/things/42", Values{"a": int64(2)}, "")
+	if err != nil || n != 3 {
+		t.Errorf("Update: %d, %v", n, err)
+	}
+	n, err = res.Delete("content://fake/things/42", "")
+	if err != nil || n != 1 {
+		t.Errorf("Delete: %d, %v", n, err)
+	}
+	rows, err := res.Query("content://fake/things", nil, "", "")
+	if err != nil || len(rows.Data) != 1 {
+		t.Errorf("Query: %v, %v", rows, err)
+	}
+	if _, ok := reg.Provider("fake"); !ok {
+		t.Error("registry lookup failed")
+	}
+}
+
+// TestResolverReachableByDelegates checks providers register as system
+// endpoints so the kernel Binder policy admits delegates.
+func TestResolverReachableByDelegates(t *testing.T) {
+	router := binder.NewRouter()
+	reg := NewRegistry(router)
+	reg.Register(&fakeProvider{})
+	delegate := Caller{Task: kernel.Task{App: "b", Initiator: "a"}}
+	res := NewResolver(router, delegate)
+	if _, err := res.Query("content://fake/things", nil, "", ""); err != nil {
+		t.Errorf("delegate query via binder: %v", err)
+	}
+}
+
+func TestValuesClone(t *testing.T) {
+	v := Values{"a": int64(1), IsVolatileKey: true}
+	c := v.Clone(IsVolatileKey)
+	if _, ok := c[IsVolatileKey]; ok {
+		t.Error("Clone did not drop key")
+	}
+	c["a"] = int64(9)
+	if v["a"] != int64(1) {
+		t.Error("Clone shares storage with original")
+	}
+}

@@ -1,0 +1,148 @@
+// Package userdict implements the User Dictionary system content
+// provider, the paper's simplest ported provider (§5.3): a purely
+// passive storage service mapping URIs to rows of the words table.
+//
+// URIs:
+//
+//	content://user_dictionary/words          all words
+//	content://user_dictionary/words/<id>     one word
+//	content://user_dictionary/tmp/words      the caller's volatile words
+//	content://user_dictionary/tmp/words/<id> one volatile word
+package userdict
+
+import (
+	"fmt"
+
+	"maxoid/internal/cowproxy"
+	"maxoid/internal/provider"
+	"maxoid/internal/sqldb"
+)
+
+// Authority is the provider's content authority.
+const Authority = "user_dictionary"
+
+// WordsURI is the collection URI for words.
+const WordsURI = "content://" + Authority + "/words"
+
+// VolatileWordsURI addresses the caller's volatile words (initiators
+// only; §5.1 "volatile URIs").
+const VolatileWordsURI = "content://" + Authority + "/tmp/words"
+
+// Provider is the User Dictionary content provider.
+type Provider struct {
+	proxy *cowproxy.Proxy
+}
+
+// New creates the provider with its backing database and COW proxy.
+func New() (*Provider, error) {
+	db := sqldb.Open()
+	if _, err := db.Exec(`CREATE TABLE words (
+		_id INTEGER PRIMARY KEY,
+		word TEXT NOT NULL,
+		frequency INTEGER DEFAULT 1,
+		locale TEXT,
+		appid INTEGER DEFAULT 0
+	)`); err != nil {
+		return nil, err
+	}
+	proxy := cowproxy.New(db)
+	if err := proxy.RegisterTable("words"); err != nil {
+		return nil, err
+	}
+	return &Provider{proxy: proxy}, nil
+}
+
+// Authority implements provider.Provider.
+func (p *Provider) Authority() string { return Authority }
+
+// Proxy exposes the COW proxy for Maxoid administrative operations
+// (Clear-Vol).
+func (p *Provider) Proxy() *cowproxy.Proxy { return p.proxy }
+
+// conn selects the Maxoid view for the caller.
+func (p *Provider) conn(c provider.Caller) *cowproxy.Conn {
+	return p.proxy.For(provider.InitiatorOf(c))
+}
+
+// validate checks the URI addresses the words table.
+func (p *Provider) validate(uri provider.URI) error {
+	path := uri.Path()
+	if len(path) != 1 || path[0] != "words" {
+		return fmt.Errorf("%w: %s", provider.ErrBadURI, uri)
+	}
+	return nil
+}
+
+// whereFor augments a where clause with the URI's ID constraint.
+func whereFor(uri provider.URI, where string, args []sqldb.Value) (string, []sqldb.Value) {
+	if id, ok := uri.ID(); ok {
+		idClause := "_id = ?"
+		args = append(args, id)
+		if where == "" {
+			return idClause, args
+		}
+		return "(" + where + ") AND " + idClause, args
+	}
+	return where, args
+}
+
+// Insert adds a word. Initiators may assert isVolatile in the values to
+// create the record in their own volatile state.
+func (p *Provider) Insert(c provider.Caller, uri provider.URI, values provider.Values) (provider.URI, error) {
+	if err := p.validate(uri); err != nil {
+		return provider.URI{}, err
+	}
+	vals := map[string]sqldb.Value(values.Clone(provider.IsVolatileKey))
+	volatile, _ := values[provider.IsVolatileKey].(bool)
+	var id int64
+	var err error
+	switch {
+	case volatile && !c.Task.IsDelegate():
+		id, err = p.conn(c).InsertVolatile("words", c.Task.App, vals)
+	default:
+		id, err = p.conn(c).Insert("words", vals)
+	}
+	if err != nil {
+		return provider.URI{}, err
+	}
+	return uri.WithID(id), nil
+}
+
+// Update updates matching words in the caller's view.
+func (p *Provider) Update(c provider.Caller, uri provider.URI, values provider.Values, where string, args ...sqldb.Value) (int64, error) {
+	if err := p.validate(uri); err != nil {
+		return 0, err
+	}
+	where, args = whereFor(uri, where, args)
+	if uri.IsVolatile() && !c.Task.IsDelegate() {
+		// Operate on the initiator's own volatile records through a
+		// delegate-view connection.
+		return p.proxy.For(c.Task.App).Update("words", values.Clone(), where, args...)
+	}
+	return p.conn(c).Update("words", values.Clone(), where, args...)
+}
+
+// Delete deletes matching words in the caller's view.
+func (p *Provider) Delete(c provider.Caller, uri provider.URI, where string, args ...sqldb.Value) (int64, error) {
+	if err := p.validate(uri); err != nil {
+		return 0, err
+	}
+	where, args = whereFor(uri, where, args)
+	if uri.IsVolatile() && !c.Task.IsDelegate() {
+		return p.proxy.For(c.Task.App).Delete("words", where, args...)
+	}
+	return p.conn(c).Delete("words", where, args...)
+}
+
+// Query returns matching words from the caller's view. Volatile URIs
+// let an initiator read its volatile records (tmp URIs, §5.1).
+func (p *Provider) Query(c provider.Caller, uri provider.URI, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	if err := p.validate(uri); err != nil {
+		return nil, err
+	}
+	where, args = whereFor(uri, where, args)
+	if uri.IsVolatile() && !c.Task.IsDelegate() {
+		return p.conn(c).QueryVolatile("words", c.Task.App, where, args...)
+	}
+	return p.conn(c).Query("words", columns, where, orderBy, args...)
+}

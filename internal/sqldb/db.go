@@ -1,0 +1,287 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Result reports the outcome of a data-modifying statement.
+type Result struct {
+	LastInsertID int64
+	RowsAffected int64
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Stats counts planner decisions, used to verify the subquery-flattening
+// behavior the paper's footnote 5 describes.
+type Stats struct {
+	FlattenedQueries  int64 // UNION ALL view queries flattened
+	MaterializedViews int64 // view scans that had to materialize
+}
+
+// table is a base table with an optional integer primary key.
+type table struct {
+	name   string
+	cols   []ColumnDef
+	pk     int // index of PRIMARY KEY column, -1 if none
+	rows   [][]Value
+	byPK   map[int64]int // pk value -> index into rows
+	nextID int64
+}
+
+func (t *table) colIndex(name string) int {
+	for i, c := range t.cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// clone deep-copies the table for transaction snapshots: row slices
+// are copied because UPDATE mutates them in place.
+func (t *table) clone() *table {
+	out := &table{
+		name:   t.name,
+		cols:   t.cols,
+		pk:     t.pk,
+		rows:   make([][]Value, len(t.rows)),
+		byPK:   make(map[int64]int, len(t.byPK)),
+		nextID: t.nextID,
+	}
+	for i, r := range t.rows {
+		row := make([]Value, len(r))
+		copy(row, r)
+		out.rows[i] = row
+	}
+	for k, v := range t.byPK {
+		out.byPK[k] = v
+	}
+	return out
+}
+
+// reindex rebuilds byPK after structural changes.
+func (t *table) reindex() {
+	if t.pk < 0 {
+		return
+	}
+	t.byPK = make(map[int64]int, len(t.rows))
+	for i, r := range t.rows {
+		if id, ok := AsInt(r[t.pk]); ok {
+			t.byPK[id] = i
+		}
+	}
+}
+
+// view is a named stored SELECT.
+type view struct {
+	name string
+	def  *SelectStmt
+	cols []string // output column names, computed at creation
+}
+
+// trigger is an INSTEAD OF trigger on a view.
+type trigger struct {
+	name  string
+	event string
+	view  string
+	body  []Stmt
+}
+
+// DB is an in-memory SQL database. All methods are safe for concurrent
+// use; writers are serialized by a single lock, like SQLite.
+type DB struct {
+	mu       sync.RWMutex
+	tables   map[string]*table
+	views    map[string]*view
+	triggers map[string][]*trigger // keyed by lowercase view name
+	byName   map[string]*trigger   // keyed by lowercase trigger name
+	lastID   int64
+	stats    Stats
+
+	// txn holds the active transaction's rollback snapshot, nil when
+	// autocommitting. Guarded by mu.
+	txn *txnSnapshot
+
+	stmtMu    sync.RWMutex
+	stmtCache map[string][]Stmt
+
+	// planCache memoizes planner output per statement AST (ASTs are
+	// stable thanks to stmtCache). Guarded by mu; cleared on DDL.
+	planCache map[*SelectStmt]*SelectStmt
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{
+		tables:    make(map[string]*table),
+		views:     make(map[string]*view),
+		triggers:  make(map[string][]*trigger),
+		byName:    make(map[string]*trigger),
+		stmtCache: make(map[string][]Stmt),
+		planCache: make(map[*SelectStmt]*SelectStmt),
+	}
+}
+
+// maxCachedStmts bounds the prepared-statement cache; beyond it the
+// cache is reset (workloads with unbounded distinct SQL).
+const maxCachedStmts = 4096
+
+// parseCached parses SQL with memoization — the moral equivalent of
+// SQLite's prepared-statement reuse, which real content providers rely
+// on. Parsed ASTs are never mutated after parsing, so sharing is safe.
+func (db *DB) parseCached(sql string) ([]Stmt, error) {
+	db.stmtMu.RLock()
+	stmts, ok := db.stmtCache[sql]
+	db.stmtMu.RUnlock()
+	if ok {
+		return stmts, nil
+	}
+	stmts, err := parseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	if len(db.stmtCache) >= maxCachedStmts {
+		db.stmtCache = make(map[string][]Stmt)
+	}
+	db.stmtCache[sql] = stmts
+	db.stmtMu.Unlock()
+	return stmts, nil
+}
+
+// Stats returns a snapshot of planner statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// TableNames returns the names of all base tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns the names of all views, sorted.
+func (db *DB) ViewNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.views))
+	for _, v := range db.views {
+		out = append(out, v.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasTable reports whether a base table with the given name exists.
+func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[strings.ToLower(name)]
+	return ok
+}
+
+// HasView reports whether a view with the given name exists.
+func (db *DB) HasView(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.views[strings.ToLower(name)]
+	return ok
+}
+
+// TableColumns returns the column definitions of a base table.
+func (db *DB) TableColumns(name string) ([]ColumnDef, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	cols := make([]ColumnDef, len(t.cols))
+	copy(cols, t.cols)
+	return cols, true
+}
+
+// Exec parses and executes one or more semicolon-separated statements,
+// binding ? placeholders to args in order across the whole batch. The
+// Result of the last statement is returned.
+func (db *DB) Exec(sql string, args ...Value) (Result, error) {
+	stmts, err := db.parseCached(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	nargs := make([]Value, len(args))
+	for i, a := range args {
+		nargs[i] = normalize(a)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ex := &executor{db: db, args: nargs}
+	var res Result
+	for _, s := range stmts {
+		r, err := ex.execStmt(s, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		res = r
+	}
+	return res, nil
+}
+
+// Query parses and executes a single SELECT statement.
+func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	stmts, err := db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqldb: Query requires exactly one statement")
+	}
+	sel, ok := stmts[0].(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	nargs := make([]Value, len(args))
+	for i, a := range args {
+		nargs[i] = normalize(a)
+	}
+	db.mu.Lock() // write lock: planner updates stats; SQLite serializes too
+	defer db.mu.Unlock()
+	ex := &executor{db: db, args: nargs}
+	return ex.execSelect(sel, nil)
+}
+
+// QueryScalar runs a single-row, single-column query and returns the
+// value (nil if no rows).
+func (db *DB) QueryScalar(sql string, args ...Value) (Value, error) {
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows.Data) == 0 || len(rows.Data[0]) == 0 {
+		return nil, nil
+	}
+	return rows.Data[0][0], nil
+}
+
+// LastInsertID returns the rowid of the most recent successful INSERT.
+func (db *DB) LastInsertID() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lastID
+}

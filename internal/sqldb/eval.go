@@ -1,0 +1,630 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// eval evaluates an expression. grp is non-nil when evaluating a select
+// list in aggregate context; aggregates then compute over grp's rows.
+func (ex *executor) eval(e Expr, sc *scope, grp *groupData) (Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.Val, nil
+	case *Param:
+		if x.Index >= len(ex.args) {
+			return nil, fmt.Errorf("sqldb: missing argument for placeholder %d", x.Index+1)
+		}
+		return ex.args[x.Index], nil
+	case *ColRef:
+		if sc == nil {
+			return nil, fmt.Errorf("sqldb: no such column: %s", x.Col)
+		}
+		v, ok := sc.lookup(x.Table, x.Col)
+		if !ok {
+			if x.Table != "" {
+				return nil, fmt.Errorf("sqldb: no such column: %s.%s", x.Table, x.Col)
+			}
+			return nil, fmt.Errorf("sqldb: no such column: %s", x.Col)
+		}
+		return v, nil
+	case *Unary:
+		return ex.evalUnary(x, sc, grp)
+	case *Binary:
+		return ex.evalBinary(x, sc, grp)
+	case *InExpr:
+		return ex.evalIn(x, sc, grp)
+	case *IsNull:
+		v, err := ex.eval(x.X, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		isNull := v == nil
+		if x.Not {
+			isNull = !isNull
+		}
+		return boolVal(isNull), nil
+	case *Between:
+		v, err := ex.eval(x.X, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := ex.eval(x.Lo, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := ex.eval(x.Hi, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return nil, nil
+		}
+		in := compare(v, lo) >= 0 && compare(v, hi) <= 0
+		if x.Not {
+			in = !in
+		}
+		return boolVal(in), nil
+	case *Call:
+		return ex.evalCall(x, sc, grp)
+	case *SubqueryExpr:
+		rows, err := ex.execSelect(x.Select, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows.Data) == 0 || len(rows.Data[0]) == 0 {
+			return nil, nil
+		}
+		return rows.Data[0][0], nil
+	case *ExistsExpr:
+		rows, err := ex.execSelect(x.Select, sc)
+		if err != nil {
+			return nil, err
+		}
+		exists := len(rows.Data) > 0
+		if x.Not {
+			exists = !exists
+		}
+		return boolVal(exists), nil
+	case *CaseExpr:
+		return ex.evalCase(x, sc, grp)
+	}
+	return nil, fmt.Errorf("sqldb: unsupported expression %T", e)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return int64(1)
+	}
+	return int64(0)
+}
+
+func (ex *executor) evalUnary(x *Unary, sc *scope, grp *groupData) (Value, error) {
+	v, err := ex.eval(x.X, sc, grp)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		switch n := v.(type) {
+		case nil:
+			return nil, nil
+		case int64:
+			return -n, nil
+		case float64:
+			return -n, nil
+		}
+		return nil, fmt.Errorf("sqldb: cannot negate %T", v)
+	case "NOT":
+		if v == nil {
+			return nil, nil
+		}
+		return boolVal(!truthy(v)), nil
+	}
+	return nil, fmt.Errorf("sqldb: unsupported unary op %s", x.Op)
+}
+
+func (ex *executor) evalBinary(x *Binary, sc *scope, grp *groupData) (Value, error) {
+	// AND/OR use three-valued logic with short-circuiting.
+	switch x.Op {
+	case "AND":
+		l, err := ex.eval(x.L, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil && !truthy(l) {
+			return boolVal(false), nil
+		}
+		r, err := ex.eval(x.R, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && !truthy(r) {
+			return boolVal(false), nil
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return boolVal(true), nil
+	case "OR":
+		l, err := ex.eval(x.L, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil && truthy(l) {
+			return boolVal(true), nil
+		}
+		r, err := ex.eval(x.R, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil && truthy(r) {
+			return boolVal(true), nil
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return boolVal(false), nil
+	}
+
+	l, err := ex.eval(x.L, sc, grp)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ex.eval(x.R, sc, grp)
+	if err != nil {
+		return nil, err
+	}
+
+	switch x.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		c := compare(l, r)
+		switch x.Op {
+		case "=":
+			return boolVal(c == 0), nil
+		case "!=":
+			return boolVal(c != 0), nil
+		case "<":
+			return boolVal(c < 0), nil
+		case "<=":
+			return boolVal(c <= 0), nil
+		case ">":
+			return boolVal(c > 0), nil
+		case ">=":
+			return boolVal(c >= 0), nil
+		}
+	case "||":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return AsString(l) + AsString(r), nil
+	case "LIKE":
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return boolVal(likeMatch(AsString(l), AsString(r))), nil
+	case "+", "-", "*", "/", "%":
+		return arith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("sqldb: unsupported binary op %s", x.Op)
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, nil // SQLite: division by zero yields NULL
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, nil
+			}
+			return li % ri, nil
+		}
+	}
+	if !isNumeric(l) || !isNumeric(r) {
+		// SQLite applies numeric affinity; treat non-numerics as 0.
+		lf, rf := coerceNumeric(l), coerceNumeric(r)
+		return arith(op, lf, rf)
+	}
+	lf, rf := asFloat(l), asFloat(r)
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, nil
+		}
+		return lf / rf, nil
+	case "%":
+		if rf == 0 {
+			return nil, nil
+		}
+		return math.Mod(lf, rf), nil
+	}
+	return nil, fmt.Errorf("sqldb: unsupported arithmetic op %s", op)
+}
+
+// coerceNumeric converts any value to a numeric value (0 on failure).
+func coerceNumeric(v Value) Value {
+	if isNumeric(v) {
+		return v
+	}
+	if n, ok := AsInt(v); ok {
+		return n
+	}
+	return int64(0)
+}
+
+func (ex *executor) evalIn(x *InExpr, sc *scope, grp *groupData) (Value, error) {
+	v, err := ex.eval(x.X, sc, grp)
+	if err != nil {
+		return nil, err
+	}
+	if x.Sub != nil {
+		if v == nil {
+			return nil, nil
+		}
+		// "pk IN (SELECT pk FROM table)" answers straight from the
+		// primary-key index — the COW views' NOT IN shape.
+		if t, ok := ex.pkScanTable(x.Sub); ok {
+			found := false
+			if id, isInt := AsInt(v); isInt {
+				_, found = t.byPK[id]
+			}
+			if x.Not {
+				found = !found
+			}
+			return boolVal(found), nil
+		}
+		set, err := ex.inSubquerySet(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		found := set[valueKey(v)]
+		if x.Not {
+			found = !found
+		}
+		return boolVal(found), nil
+	}
+	var candidates []Value
+	for _, le := range x.List {
+		lv, err := ex.eval(le, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, lv)
+	}
+	if v == nil {
+		return nil, nil
+	}
+	found := false
+	for _, c := range candidates {
+		if c != nil && valuesEqual(v, c) {
+			found = true
+			break
+		}
+	}
+	if x.Not {
+		found = !found
+	}
+	return boolVal(found), nil
+}
+
+// inSubquerySet returns the value set of an IN subquery. A subquery of
+// the exact shape "SELECT <pk> FROM <table>" answers membership through
+// the table's primary-key index with no set construction at all — the
+// shape the COW views use. Other non-correlated subqueries are
+// evaluated once per statement and memoized; correlated ones (which
+// reference outer columns) re-run against the row scope.
+func (ex *executor) inSubquerySet(x *InExpr, sc *scope) (map[string]bool, error) {
+	if set, ok := ex.inCache[x]; ok {
+		return set, nil
+	}
+	if !ex.correlated[x] {
+		// Try evaluating without the outer scope: success means the
+		// subquery is self-contained and cacheable.
+		rows, err := ex.execSelect(x.Sub, nil)
+		if err == nil {
+			set, serr := rowsToSet(rows)
+			if serr != nil {
+				return nil, serr
+			}
+			if ex.inCache == nil {
+				ex.inCache = make(map[*InExpr]map[string]bool)
+			}
+			ex.inCache[x] = set
+			return set, nil
+		}
+		if ex.correlated == nil {
+			ex.correlated = make(map[*InExpr]bool)
+		}
+		ex.correlated[x] = true
+	}
+	rows, err := ex.execSelect(x.Sub, sc)
+	if err != nil {
+		return nil, err
+	}
+	return rowsToSet(rows)
+}
+
+// pkScanTable recognizes "SELECT <pkcol> FROM <basetable>" subqueries.
+func (ex *executor) pkScanTable(sel *SelectStmt) (*table, bool) {
+	if sel == nil || len(sel.Cores) != 1 {
+		return nil, false
+	}
+	core := sel.Cores[0]
+	if core.From == nil || core.From.Sub != nil || len(core.Joins) > 0 ||
+		core.Where != nil || core.GroupBy != nil || core.Distinct || len(core.Cols) != 1 {
+		return nil, false
+	}
+	ref, ok := core.Cols[0].Expr.(*ColRef)
+	if !ok {
+		return nil, false
+	}
+	t, ok := ex.db.tables[strings.ToLower(core.From.Name)]
+	if !ok || t.pk < 0 || !strings.EqualFold(ref.Col, t.cols[t.pk].Name) {
+		return nil, false
+	}
+	return t, true
+}
+
+func rowsToSet(rows *Rows) (map[string]bool, error) {
+	set := make(map[string]bool, len(rows.Data))
+	for _, row := range rows.Data {
+		if len(row) != 1 {
+			return nil, fmt.Errorf("sqldb: IN subquery must return one column")
+		}
+		if row[0] != nil {
+			set[valueKey(row[0])] = true
+		}
+	}
+	return set, nil
+}
+
+func (ex *executor) evalCase(x *CaseExpr, sc *scope, grp *groupData) (Value, error) {
+	var operand Value
+	var err error
+	if x.Operand != nil {
+		operand, err = ex.eval(x.Operand, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range x.Whens {
+		cond, err := ex.eval(w.Cond, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if x.Operand != nil {
+			matched = operand != nil && cond != nil && valuesEqual(operand, cond)
+		} else {
+			matched = truthy(cond)
+		}
+		if matched {
+			return ex.eval(w.Result, sc, grp)
+		}
+	}
+	if x.Else != nil {
+		return ex.eval(x.Else, sc, grp)
+	}
+	return nil, nil
+}
+
+func (ex *executor) evalCall(x *Call, sc *scope, grp *groupData) (Value, error) {
+	// Aggregates in aggregate context.
+	if grp != nil {
+		switch x.Name {
+		case "COUNT":
+			if x.Star {
+				return int64(len(grp.rows)), nil
+			}
+			var n int64
+			for _, row := range grp.rows {
+				rowScope := &scope{parent: sc.parent, cols: grp.cols, row: row}
+				v, err := ex.eval(x.Args[0], rowScope, nil)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil {
+					n++
+				}
+			}
+			return n, nil
+		case "MAX", "MIN":
+			if len(x.Args) == 1 {
+				var best Value
+				for _, row := range grp.rows {
+					rowScope := &scope{parent: sc.parent, cols: grp.cols, row: row}
+					v, err := ex.eval(x.Args[0], rowScope, nil)
+					if err != nil {
+						return nil, err
+					}
+					if v == nil {
+						continue
+					}
+					if best == nil ||
+						(x.Name == "MAX" && compare(v, best) > 0) ||
+						(x.Name == "MIN" && compare(v, best) < 0) {
+						best = v
+					}
+				}
+				return best, nil
+			}
+		case "SUM", "TOTAL", "AVG":
+			var sum float64
+			var n int64
+			allInt := true
+			for _, row := range grp.rows {
+				rowScope := &scope{parent: sc.parent, cols: grp.cols, row: row}
+				v, err := ex.eval(x.Args[0], rowScope, nil)
+				if err != nil {
+					return nil, err
+				}
+				if v == nil {
+					continue
+				}
+				if _, ok := v.(int64); !ok {
+					allInt = false
+				}
+				sum += asFloat(coerceNumeric(v))
+				n++
+			}
+			switch x.Name {
+			case "SUM":
+				if n == 0 {
+					return nil, nil
+				}
+				if allInt {
+					return int64(sum), nil
+				}
+				return sum, nil
+			case "TOTAL":
+				return sum, nil
+			case "AVG":
+				if n == 0 {
+					return nil, nil
+				}
+				return sum / float64(n), nil
+			}
+		}
+	}
+
+	// Scalar functions.
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := ex.eval(a, sc, grp)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "LENGTH":
+		if len(args) != 1 || args[0] == nil {
+			return nil, nil
+		}
+		return int64(len(AsString(args[0]))), nil
+	case "UPPER":
+		if len(args) != 1 || args[0] == nil {
+			return nil, nil
+		}
+		return strings.ToUpper(AsString(args[0])), nil
+	case "LOWER":
+		if len(args) != 1 || args[0] == nil {
+			return nil, nil
+		}
+		return strings.ToLower(AsString(args[0])), nil
+	case "ABS":
+		if len(args) != 1 || args[0] == nil {
+			return nil, nil
+		}
+		switch n := args[0].(type) {
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			return math.Abs(n), nil
+		}
+		return nil, nil
+	case "COALESCE", "IFNULL":
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	case "SUBSTR":
+		if len(args) < 2 || args[0] == nil {
+			return nil, nil
+		}
+		s := AsString(args[0])
+		start, _ := AsInt(args[1])
+		if start < 1 {
+			start = 1
+		}
+		if int(start) > len(s) {
+			return "", nil
+		}
+		rest := s[start-1:]
+		if len(args) >= 3 {
+			n, _ := AsInt(args[2])
+			if n < int64(len(rest)) {
+				rest = rest[:n]
+			}
+		}
+		return rest, nil
+	case "REPLACE":
+		if len(args) != 3 || args[0] == nil {
+			return nil, nil
+		}
+		return strings.ReplaceAll(AsString(args[0]), AsString(args[1]), AsString(args[2])), nil
+	case "MAX": // scalar form max(a, b, ...)
+		var best Value
+		for _, a := range args {
+			if a == nil {
+				return nil, nil
+			}
+			if best == nil || compare(a, best) > 0 {
+				best = a
+			}
+		}
+		return best, nil
+	case "MIN":
+		var best Value
+		for _, a := range args {
+			if a == nil {
+				return nil, nil
+			}
+			if best == nil || compare(a, best) < 0 {
+				best = a
+			}
+		}
+		return best, nil
+	case "COUNT":
+		return nil, fmt.Errorf("sqldb: misuse of aggregate COUNT()")
+	case "LAST_INSERT_ROWID":
+		return ex.db.lastID, nil
+	case "CAST_INTEGER", "CAST_INT":
+		if args[0] == nil {
+			return nil, nil
+		}
+		n, _ := AsInt(args[0])
+		return n, nil
+	case "CAST_TEXT":
+		if args[0] == nil {
+			return nil, nil
+		}
+		return AsString(args[0]), nil
+	case "CAST_REAL":
+		if args[0] == nil {
+			return nil, nil
+		}
+		return asFloat(coerceNumeric(args[0])), nil
+	}
+	return nil, fmt.Errorf("sqldb: no such function: %s", x.Name)
+}

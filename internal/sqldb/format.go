@@ -1,0 +1,383 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatSelect renders a select statement back to SQL. Together with
+// RewriteTables it lets the COW proxy re-derive a user-defined view's
+// definition with base tables replaced by their COW views (paper §5.2,
+// "User-defined SQL views").
+func FormatSelect(sel *SelectStmt) string {
+	var b strings.Builder
+	writeSelect(&b, sel)
+	return b.String()
+}
+
+// RewriteTables parses a single SELECT statement and renames every
+// table/view reference (in FROM clauses, joins, and subqueries) through
+// the rename function, returning the rewritten SQL.
+func RewriteTables(sql string, rename func(name string) string) (string, error) {
+	stmts, err := parseAll(sql)
+	if err != nil {
+		return "", err
+	}
+	if len(stmts) != 1 {
+		return "", fmt.Errorf("sqldb: RewriteTables requires exactly one statement")
+	}
+	sel, ok := stmts[0].(*SelectStmt)
+	if !ok {
+		return "", fmt.Errorf("sqldb: RewriteTables requires a SELECT statement")
+	}
+	rewriteSelectTables(sel, rename)
+	return FormatSelect(sel), nil
+}
+
+// SelectTables returns the distinct table/view names referenced by a
+// SELECT statement, in first-appearance order.
+func SelectTables(sql string) ([]string, error) {
+	stmts, err := parseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqldb: SelectTables requires exactly one statement")
+	}
+	sel, ok := stmts[0].(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: SelectTables requires a SELECT statement")
+	}
+	var names []string
+	seen := map[string]bool{}
+	rewriteSelectTables(sel, func(name string) string {
+		key := strings.ToLower(name)
+		if !seen[key] {
+			seen[key] = true
+			names = append(names, name)
+		}
+		return name
+	})
+	return names, nil
+}
+
+func rewriteSelectTables(sel *SelectStmt, rename func(string) string) {
+	for _, core := range sel.Cores {
+		if core.From != nil {
+			rewriteRefTables(core.From, rename)
+			for i := range core.Joins {
+				rewriteRefTables(&core.Joins[i].Ref, rename)
+				rewriteExprTables(core.Joins[i].On, rename)
+			}
+		}
+		for _, rc := range core.Cols {
+			rewriteExprTables(rc.Expr, rename)
+		}
+		rewriteExprTables(core.Where, rename)
+		for _, g := range core.GroupBy {
+			rewriteExprTables(g, rename)
+		}
+	}
+	for _, o := range sel.OrderBy {
+		rewriteExprTables(o.Expr, rename)
+	}
+}
+
+func rewriteRefTables(ref *TableRef, rename func(string) string) {
+	if ref.Sub != nil {
+		rewriteSelectTables(ref.Sub, rename)
+		return
+	}
+	orig := ref.Name
+	ref.Name = rename(ref.Name)
+	// Keep qualified column references (orig.col) resolving by aliasing
+	// the renamed table back to the original name.
+	if ref.Alias == "" && !strings.EqualFold(ref.Name, orig) {
+		ref.Alias = orig
+	}
+}
+
+func rewriteExprTables(e Expr, rename func(string) string) {
+	switch x := e.(type) {
+	case *Unary:
+		rewriteExprTables(x.X, rename)
+	case *Binary:
+		rewriteExprTables(x.L, rename)
+		rewriteExprTables(x.R, rename)
+	case *InExpr:
+		rewriteExprTables(x.X, rename)
+		for _, le := range x.List {
+			rewriteExprTables(le, rename)
+		}
+		if x.Sub != nil {
+			rewriteSelectTables(x.Sub, rename)
+		}
+	case *IsNull:
+		rewriteExprTables(x.X, rename)
+	case *Between:
+		rewriteExprTables(x.X, rename)
+		rewriteExprTables(x.Lo, rename)
+		rewriteExprTables(x.Hi, rename)
+	case *Call:
+		for _, a := range x.Args {
+			rewriteExprTables(a, rename)
+		}
+	case *SubqueryExpr:
+		rewriteSelectTables(x.Select, rename)
+	case *ExistsExpr:
+		rewriteSelectTables(x.Select, rename)
+	case *CaseExpr:
+		rewriteExprTables(x.Operand, rename)
+		for _, w := range x.Whens {
+			rewriteExprTables(w.Cond, rename)
+			rewriteExprTables(w.Result, rename)
+		}
+		rewriteExprTables(x.Else, rename)
+	}
+}
+
+// --- SQL rendering ---
+
+func writeSelect(b *strings.Builder, sel *SelectStmt) {
+	for i, core := range sel.Cores {
+		if i > 0 {
+			b.WriteString(" UNION ALL ")
+		}
+		writeCore(b, core)
+	}
+	if len(sel.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range sel.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if sel.Limit != nil {
+		b.WriteString(" LIMIT ")
+		writeExpr(b, sel.Limit)
+		if sel.Offset != nil {
+			b.WriteString(" OFFSET ")
+			writeExpr(b, sel.Offset)
+		}
+	}
+}
+
+func writeCore(b *strings.Builder, core *SelectCore) {
+	b.WriteString("SELECT ")
+	if core.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, rc := range core.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case rc.Star:
+			b.WriteString("*")
+		case rc.TableStar != "":
+			b.WriteString(rc.TableStar + ".*")
+		default:
+			writeExpr(b, rc.Expr)
+			if rc.Alias != "" {
+				b.WriteString(" AS " + quoteIdent(rc.Alias))
+			}
+		}
+	}
+	if core.From != nil {
+		b.WriteString(" FROM ")
+		writeRef(b, *core.From)
+		for _, j := range core.Joins {
+			if j.Left {
+				b.WriteString(" LEFT OUTER JOIN ")
+			} else {
+				b.WriteString(" JOIN ")
+			}
+			writeRef(b, j.Ref)
+			if j.On != nil {
+				b.WriteString(" ON ")
+				writeExpr(b, j.On)
+			}
+		}
+	}
+	if core.Where != nil {
+		b.WriteString(" WHERE ")
+		writeExpr(b, core.Where)
+	}
+	if len(core.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range core.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, g)
+		}
+	}
+}
+
+func writeRef(b *strings.Builder, ref TableRef) {
+	if ref.Sub != nil {
+		b.WriteString("(")
+		writeSelect(b, ref.Sub)
+		b.WriteString(")")
+	} else {
+		b.WriteString(quoteIdent(ref.Name))
+	}
+	if ref.Alias != "" {
+		b.WriteString(" AS " + quoteIdent(ref.Alias))
+	}
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *Lit:
+		writeLit(b, x.Val)
+	case *Param:
+		b.WriteString("?")
+	case *ColRef:
+		if x.Table != "" {
+			b.WriteString(quoteIdent(x.Table) + ".")
+		}
+		b.WriteString(quoteIdent(x.Col))
+	case *Unary:
+		if x.Op == "NOT" {
+			b.WriteString("NOT (")
+			writeExpr(b, x.X)
+			b.WriteString(")")
+		} else {
+			b.WriteString(x.Op + "(")
+			writeExpr(b, x.X)
+			b.WriteString(")")
+		}
+	case *Binary:
+		b.WriteString("(")
+		writeExpr(b, x.L)
+		b.WriteString(" " + x.Op + " ")
+		writeExpr(b, x.R)
+		b.WriteString(")")
+	case *InExpr:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Sub != nil {
+			writeSelect(b, x.Sub)
+		} else {
+			for i, le := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, le)
+			}
+		}
+		b.WriteString("))")
+	case *IsNull:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" IS NOT NULL)")
+		} else {
+			b.WriteString(" IS NULL)")
+		}
+	case *Between:
+		b.WriteString("(")
+		writeExpr(b, x.X)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		writeExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		writeExpr(b, x.Hi)
+		b.WriteString(")")
+	case *Call:
+		if strings.HasPrefix(x.Name, "CAST_") {
+			b.WriteString("CAST(")
+			writeExpr(b, x.Args[0])
+			b.WriteString(" AS " + strings.TrimPrefix(x.Name, "CAST_") + ")")
+			return
+		}
+		b.WriteString(x.Name + "(")
+		if x.Star {
+			b.WriteString("*")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteString(")")
+	case *SubqueryExpr:
+		b.WriteString("(")
+		writeSelect(b, x.Select)
+		b.WriteString(")")
+	case *ExistsExpr:
+		if x.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS (")
+		writeSelect(b, x.Select)
+		b.WriteString(")")
+	case *CaseExpr:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteString(" ")
+			writeExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			writeExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			writeExpr(b, w.Result)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			writeExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	default:
+		b.WriteString("?unknown?")
+	}
+}
+
+func writeLit(b *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case nil:
+		b.WriteString("NULL")
+	case string:
+		b.WriteString("'" + strings.ReplaceAll(x, "'", "''") + "'")
+	default:
+		fmt.Fprintf(b, "%v", x)
+	}
+}
+
+// quoteIdent quotes identifiers that collide with keywords or contain
+// special characters.
+func quoteIdent(s string) string {
+	if s == "" {
+		return s
+	}
+	needs := keywords[strings.ToUpper(s)]
+	if !needs {
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+				needs = true
+				break
+			}
+		}
+	}
+	if needs {
+		return `"` + s + `"`
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatRoundTrip checks that formatting a parsed SELECT yields SQL
+// that parses and executes to the same result.
+func TestFormatRoundTrip(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER, w TEXT)")
+	mustExec(t, db, "INSERT INTO t (v, w) VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+
+	queries := []string{
+		"SELECT v, w FROM t WHERE v > 1 ORDER BY v DESC LIMIT 2",
+		"SELECT * FROM t WHERE w LIKE 'b%'",
+		"SELECT v FROM t WHERE v IN (1, 3)",
+		"SELECT v FROM t WHERE v IN (SELECT v FROM t WHERE v > 1)",
+		"SELECT v FROM t WHERE v BETWEEN 1 AND 2",
+		"SELECT COUNT(*) FROM t",
+		"SELECT CASE WHEN v > 2 THEN 'hi' ELSE 'lo' END FROM t ORDER BY v",
+		"SELECT v FROM t WHERE w IS NOT NULL",
+		"SELECT v + 1 AS vv FROM t ORDER BY vv",
+		"SELECT v, w FROM t UNION ALL SELECT v, w FROM t ORDER BY v",
+	}
+	for _, q := range queries {
+		stmts, err := parseAll(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		formatted := FormatSelect(stmts[0].(*SelectStmt))
+		want, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("orig %q: %v", q, err)
+		}
+		got, err := db.Query(formatted)
+		if err != nil {
+			t.Fatalf("formatted %q (from %q): %v", formatted, q, err)
+		}
+		if len(got.Data) != len(want.Data) {
+			t.Errorf("%q: formatted result %d rows, want %d", q, len(got.Data), len(want.Data))
+			continue
+		}
+		for i := range want.Data {
+			for j := range want.Data[i] {
+				if got.Data[i][j] != want.Data[i][j] {
+					t.Errorf("%q row %d col %d: %v != %v", q, i, j, got.Data[i][j], want.Data[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRewriteTables(t *testing.T) {
+	sql := "SELECT a.x, b.y FROM files AS a JOIN artists AS b ON a.k = b.k WHERE a.x IN (SELECT x FROM files)"
+	out, err := RewriteTables(sql, func(name string) string {
+		return name + "_view_A"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "files_view_A") || !strings.Contains(out, "artists_view_A") {
+		t.Errorf("rewrite missing renames: %s", out)
+	}
+	if strings.Contains(out, "FROM files ") || strings.Contains(out, "FROM files)") {
+		t.Errorf("unrenamed reference remains: %s", out)
+	}
+}
+
+func TestSelectTables(t *testing.T) {
+	names, err := SelectTables("SELECT * FROM audio_meta LEFT OUTER JOIN artists ON a = b LEFT OUTER JOIN albums ON c = d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"audio_meta", "artists", "albums"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRewritePreservesSemantics(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE orig (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "CREATE TABLE renamed (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO renamed (v) VALUES (10), (20)")
+	out, err := RewriteTables("SELECT v FROM orig WHERE v > 5 ORDER BY v", func(string) string { return "renamed" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(out)
+	if err != nil {
+		t.Fatalf("rewritten query %q: %v", out, err)
+	}
+	if len(rows.Data) != 2 || rows.Data[0][0] != int64(10) {
+		t.Errorf("rewritten rows: %v", rows.Data)
+	}
+}

@@ -1,0 +1,253 @@
+package sqldb
+
+import (
+	"strings"
+)
+
+// plan applies the subquery-flattening optimization for queries over
+// UNION ALL compound views, mirroring the SQLite query planner behavior
+// the paper's COW proxy depends on (§5.2 and footnote 5):
+//
+//   - A simple SELECT over a UNION ALL view is rewritten into a compound
+//     SELECT with the outer WHERE pushed into each arm, so the query
+//     never materializes the whole view.
+//   - As in SQLite 3.8.6, if the outer query has an ORDER BY clause,
+//     flattening is only performed when the query selects "*" or the
+//     ORDER BY columns are a subset of the selected columns. Otherwise
+//     the view is materialized (the slow path the proxy works around by
+//     adding ORDER BY columns to the query columns).
+func (ex *executor) plan(sel *SelectStmt) *SelectStmt {
+	if cached, ok := ex.db.planCache[sel]; ok {
+		if cached != sel {
+			ex.db.stats.FlattenedQueries++
+		}
+		return cached
+	}
+	planned := ex.planUncached(sel)
+	if len(ex.db.planCache) >= maxCachedStmts {
+		// Synthesized statements (view UPDATE/DELETE planning) have
+		// unique ASTs; bound the cache like the statement cache.
+		ex.db.planCache = make(map[*SelectStmt]*SelectStmt)
+	}
+	ex.db.planCache[sel] = planned
+	return planned
+}
+
+func (ex *executor) planUncached(sel *SelectStmt) *SelectStmt {
+	if len(sel.Cores) != 1 {
+		return sel
+	}
+	core := sel.Cores[0]
+	if core.From == nil || core.From.Name == "" || core.From.Sub != nil {
+		return sel
+	}
+	if len(core.Joins) > 0 || core.GroupBy != nil || core.Distinct || ex.hasAggregate(core.Cols) {
+		return sel
+	}
+	v, ok := ex.db.views[strings.ToLower(core.From.Name)]
+	if !ok || len(v.def.Cores) < 2 {
+		return sel
+	}
+	if len(v.def.OrderBy) > 0 || v.def.Limit != nil {
+		return sel
+	}
+	// All view arms must have explicit (non-star) projections matching
+	// the view's column list; the COW proxy always generates these.
+	for _, arm := range v.def.Cores {
+		if len(arm.Cols) != len(v.cols) {
+			return sel
+		}
+		for _, rc := range arm.Cols {
+			if rc.Star || rc.TableStar != "" {
+				return sel
+			}
+		}
+		if arm.Distinct || arm.GroupBy != nil || ex.hasAggregate(arm.Cols) {
+			return sel
+		}
+	}
+
+	quals := viewQualifiers(core, v)
+
+	// The 3.8.6 ORDER BY restriction.
+	if len(sel.OrderBy) > 0 && !orderByFlattenable(sel, core, v, quals) {
+		return sel
+	}
+
+	// Build output projection column names for the rewritten arms.
+	outNames := outputNames(core, v)
+
+	newSel := &SelectStmt{
+		OrderBy: stripOrderQualifiers(sel.OrderBy, quals),
+		Limit:   sel.Limit,
+		Offset:  sel.Offset,
+	}
+	for _, arm := range v.def.Cores {
+		subst := make(map[string]Expr, len(v.cols))
+		for i, name := range v.cols {
+			subst[strings.ToLower(name)] = arm.Cols[i].Expr
+		}
+		newCore := &SelectCore{
+			From:  arm.From,
+			Joins: arm.Joins,
+		}
+		// Push the outer WHERE into the arm, AND-ed with the arm's own.
+		where := arm.Where
+		if core.Where != nil {
+			pushed := substExpr(core.Where, quals, subst)
+			if where == nil {
+				where = pushed
+			} else {
+				where = &Binary{Op: "AND", L: where, R: pushed}
+			}
+		}
+		newCore.Where = where
+		// Outer projection, rewritten in terms of the arm's expressions.
+		if isStarOnly(core.Cols) {
+			for i, name := range v.cols {
+				newCore.Cols = append(newCore.Cols, ResultCol{Expr: arm.Cols[i].Expr, Alias: name})
+			}
+		} else {
+			for ci, rc := range core.Cols {
+				newCore.Cols = append(newCore.Cols, ResultCol{
+					Expr:  substExpr(rc.Expr, quals, subst),
+					Alias: outNames[ci],
+				})
+			}
+		}
+		newSel.Cores = append(newSel.Cores, newCore)
+	}
+	ex.db.stats.FlattenedQueries++
+	return newSel
+}
+
+// viewQualifiers returns the qualifiers that refer to the view in the
+// outer query (its name and alias).
+func viewQualifiers(core *SelectCore, v *view) []string {
+	quals := []string{strings.ToLower(v.name)}
+	if core.From.Alias != "" {
+		quals = append(quals, strings.ToLower(core.From.Alias))
+	}
+	return quals
+}
+
+func isStarOnly(cols []ResultCol) bool {
+	return len(cols) == 1 && cols[0].Star
+}
+
+// outputNames computes the output column names of the outer query.
+func outputNames(core *SelectCore, v *view) []string {
+	if isStarOnly(core.Cols) {
+		return v.cols
+	}
+	names := make([]string, len(core.Cols))
+	for i, rc := range core.Cols {
+		names[i] = exprName(rc)
+	}
+	return names
+}
+
+// orderByFlattenable implements the SQLite 3.8.6 rule: with an ORDER BY
+// present, flattening requires SELECT * or that every ORDER BY term is a
+// plain column reference contained in the selected columns (or a 1-based
+// output column index).
+func orderByFlattenable(sel *SelectStmt, core *SelectCore, v *view, quals []string) bool {
+	if isStarOnly(core.Cols) {
+		return true
+	}
+	outNames := outputNames(core, v)
+	for _, term := range sel.OrderBy {
+		switch t := term.Expr.(type) {
+		case *Lit:
+			if n, ok := t.Val.(int64); ok && n >= 1 && int(n) <= len(outNames) {
+				continue
+			}
+			return false
+		case *ColRef:
+			if t.Table != "" && !containsFold(quals, t.Table) {
+				return false
+			}
+			if indexOfFold(outNames, t.Col) < 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// stripOrderQualifiers removes view qualifiers from ORDER BY column
+// references so they resolve against the compound output columns.
+func stripOrderQualifiers(terms []OrderTerm, quals []string) []OrderTerm {
+	out := make([]OrderTerm, len(terms))
+	for i, t := range terms {
+		out[i] = t
+		if ref, ok := t.Expr.(*ColRef); ok && ref.Table != "" && containsFold(quals, ref.Table) {
+			out[i].Expr = &ColRef{Col: ref.Col}
+		}
+	}
+	return out
+}
+
+// substExpr rewrites references to the view's columns using subst,
+// leaving everything else shared (expressions are immutable once parsed).
+func substExpr(e Expr, quals []string, subst map[string]Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Lit, *Param:
+		return e
+	case *ColRef:
+		if x.Table == "" || containsFold(quals, x.Table) {
+			if repl, ok := subst[strings.ToLower(x.Col)]; ok {
+				return repl
+			}
+		}
+		return x
+	case *Unary:
+		return &Unary{Op: x.Op, X: substExpr(x.X, quals, subst)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: substExpr(x.L, quals, subst), R: substExpr(x.R, quals, subst)}
+	case *InExpr:
+		out := &InExpr{X: substExpr(x.X, quals, subst), Not: x.Not, Sub: x.Sub}
+		for _, le := range x.List {
+			out.List = append(out.List, substExpr(le, quals, subst))
+		}
+		return out
+	case *IsNull:
+		return &IsNull{X: substExpr(x.X, quals, subst), Not: x.Not}
+	case *Between:
+		return &Between{
+			X:   substExpr(x.X, quals, subst),
+			Not: x.Not,
+			Lo:  substExpr(x.Lo, quals, subst),
+			Hi:  substExpr(x.Hi, quals, subst),
+		}
+	case *Call:
+		out := &Call{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, substExpr(a, quals, subst))
+		}
+		return out
+	case *CaseExpr:
+		out := &CaseExpr{Operand: substExpr(x.Operand, quals, subst), Else: substExpr(x.Else, quals, subst)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, struct{ Cond, Result Expr }{
+				substExpr(w.Cond, quals, subst),
+				substExpr(w.Result, quals, subst),
+			})
+		}
+		return out
+	}
+	return e
+}

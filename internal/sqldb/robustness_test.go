@@ -1,0 +1,154 @@
+package sqldb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds mutated fragments of valid SQL to the
+// parser; it must return an error or a statement, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT a, b FROM t WHERE x = ? ORDER BY a DESC LIMIT 5",
+		"CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL DEFAULT 'x')",
+		"CREATE VIEW v AS SELECT * FROM t UNION ALL SELECT * FROM u",
+		"CREATE TRIGGER tr INSTEAD OF UPDATE ON v BEGIN INSERT INTO t (a) VALUES (new.a); END",
+		"INSERT OR REPLACE INTO t (a, b) VALUES (1, 'two'), (3, 'four')",
+		"UPDATE t SET a = a + 1 WHERE b IN (SELECT b FROM u) AND c BETWEEN 1 AND 2",
+		"DELETE FROM t WHERE a IS NOT NULL",
+		"SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t GROUP BY b HAVING COUNT(*) > 2",
+		"BEGIN TRANSACTION",
+	}
+	r := rand.New(rand.NewSource(99))
+	mutate := func(s string) string {
+		b := []byte(s)
+		if len(b) == 0 {
+			return "x"
+		}
+		switch r.Intn(4) {
+		case 0: // truncate
+			if len(b) > 1 {
+				b = b[:r.Intn(len(b))]
+			}
+		case 1: // delete a char
+			if len(b) > 1 {
+				i := r.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			}
+		case 2: // swap two chars
+			if len(b) > 2 {
+				i, j := r.Intn(len(b)), r.Intn(len(b))
+				b[i], b[j] = b[j], b[i]
+			}
+		case 3: // inject noise
+			noise := []string{"(", ")", ",", "'", "SELECT", ";", "??", "0x"}
+			i := r.Intn(len(b))
+			b = append(b[:i], append([]byte(noise[r.Intn(len(noise))]), b[i:]...)...)
+		}
+		return string(b)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("parser panicked: %v", p)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		s := seeds[r.Intn(len(seeds))]
+		n := 1 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			s = mutate(s)
+		}
+		_, _ = parseAll(s)
+	}
+}
+
+// TestExecutorNeverPanicsOnWeirdButValidSQL runs odd-but-parsable
+// statements against a live schema.
+func TestExecutorNeverPanicsOnWeirdButValidSQL(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, a INTEGER, b TEXT)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL), (NULL, 'z')")
+	weird := []string{
+		"SELECT * FROM t WHERE a = a",
+		"SELECT b || b || b FROM t",
+		"SELECT -a, +a, NOT a FROM t",
+		"SELECT a FROM t WHERE b LIKE '%'",
+		"SELECT a FROM t WHERE b LIKE '_'",
+		"SELECT a FROM t ORDER BY 1 DESC, 1 ASC",
+		"SELECT a FROM t LIMIT 0",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT COUNT(*) FROM t WHERE 1 = 0",
+		"SELECT a/0, a%0 FROM t",
+		"SELECT CAST(b AS INTEGER) FROM t",
+		"SELECT MAX(a), MIN(b), SUM(a), AVG(a), TOTAL(a) FROM t",
+		"SELECT t1.a FROM t AS t1 JOIN t AS t2 ON t1._id = t2._id",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM t WHERE a > 100)",
+		"SELECT (SELECT MAX(a) FROM t) + 1",
+		"SELECT a FROM (SELECT a FROM t WHERE a IS NOT NULL) sub WHERE a > 0",
+		"SELECT COALESCE(a, -1) AS c FROM t ORDER BY c",
+		"SELECT SUBSTR(b, 1, 1) FROM t WHERE b IS NOT NULL",
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("executor panicked: %v", p)
+		}
+	}()
+	for _, q := range weird {
+		if _, err := db.Query(q); err != nil {
+			// Errors are fine; panics are not. But log surprising ones.
+			if !strings.Contains(q, "IN ()") {
+				t.Logf("%s -> %v", q, err)
+			}
+		}
+	}
+}
+
+// TestDeepNesting guards the recursive parser against stack abuse with
+// a reasonable depth.
+func TestDeepNesting(t *testing.T) {
+	db := Open()
+	expr := "1"
+	for i := 0; i < 200; i++ {
+		expr = "(" + expr + " + 1)"
+	}
+	v, err := db.QueryScalar("SELECT " + expr)
+	if err != nil || v != int64(201) {
+		t.Errorf("deep nesting: %v, %v", v, err)
+	}
+}
+
+// TestValueEdgeCases exercises the dynamic typing corners.
+func TestValueEdgeCases(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v)")
+	// Column without a declared type accepts anything.
+	mustExec(t, db, "INSERT INTO t (v) VALUES (?)", 3.5)
+	mustExec(t, db, "INSERT INTO t (v) VALUES (?)", "text")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (?)", []byte{1, 2})
+	mustExec(t, db, "INSERT INTO t (v) VALUES (?)", nil)
+	mustExec(t, db, "INSERT INTO t (v) VALUES (?)", true)
+
+	rows := mustQuery(t, db, "SELECT v FROM t ORDER BY _id")
+	if rows.Data[0][0] != 3.5 {
+		t.Errorf("float: %v", rows.Data[0][0])
+	}
+	if rows.Data[1][0] != "text" {
+		t.Errorf("string: %v", rows.Data[1][0])
+	}
+	if rows.Data[3][0] != nil {
+		t.Errorf("nil: %v", rows.Data[3][0])
+	}
+	if rows.Data[4][0] != int64(1) {
+		t.Errorf("bool normalization: %v", rows.Data[4][0])
+	}
+	// Mixed-type ordering follows NULL < numbers < text < blob.
+	rows = mustQuery(t, db, "SELECT v FROM t ORDER BY v")
+	if rows.Data[0][0] != nil {
+		t.Errorf("NULL should sort first: %v", rows.Data)
+	}
+	if _, isBlob := rows.Data[4][0].([]byte); !isBlob {
+		t.Errorf("blob should sort last: %v", rows.Data)
+	}
+}

@@ -1,0 +1,599 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustExec(t *testing.T, db *DB, sql string, args ...Value) Result {
+	t.Helper()
+	res, err := db.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("Exec(%s): %v", sql, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *DB, sql string, args ...Value) *Rows {
+	t.Helper()
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", sql, err)
+	}
+	return rows
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER)")
+	res := mustExec(t, db, "INSERT INTO words (word, frequency) VALUES ('hello', 10)")
+	if res.LastInsertID != 1 {
+		t.Errorf("LastInsertID = %d, want 1", res.LastInsertID)
+	}
+	mustExec(t, db, "INSERT INTO words (word, frequency) VALUES ('world', 5), ('maxoid', 7)")
+	rows := mustQuery(t, db, "SELECT word, frequency FROM words ORDER BY frequency DESC")
+	if len(rows.Data) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows.Data))
+	}
+	if rows.Data[0][0] != "hello" || rows.Data[1][0] != "maxoid" || rows.Data[2][0] != "world" {
+		t.Errorf("order wrong: %v", rows.Data)
+	}
+	if rows.Columns[0] != "word" || rows.Columns[1] != "frequency" {
+		t.Errorf("columns = %v", rows.Columns)
+	}
+}
+
+func TestWhereAndParams(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, a TEXT, b INTEGER)")
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO t (a, b) VALUES (?, ?)", "row", i)
+	}
+	rows := mustQuery(t, db, "SELECT _id FROM t WHERE b > ? AND b <= ?", 3, 7)
+	if len(rows.Data) != 4 {
+		t.Errorf("got %d rows, want 4", len(rows.Data))
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t WHERE b IN (2, 4, 6)")
+	if len(rows.Data) != 3 {
+		t.Errorf("IN list: got %d rows, want 3", len(rows.Data))
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t WHERE b BETWEEN 8 AND 10")
+	if len(rows.Data) != 3 {
+		t.Errorf("BETWEEN: got %d rows, want 3", len(rows.Data))
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t WHERE a LIKE 'RO%'")
+	if len(rows.Data) != 10 {
+		t.Errorf("LIKE: got %d rows, want 10", len(rows.Data))
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (1), (2), (3)")
+	res := mustExec(t, db, "UPDATE t SET v = v * 10 WHERE v >= 2")
+	if res.RowsAffected != 2 {
+		t.Errorf("update affected %d, want 2", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT v FROM t ORDER BY v")
+	if rows.Data[0][0] != int64(1) || rows.Data[1][0] != int64(20) || rows.Data[2][0] != int64(30) {
+		t.Errorf("after update: %v", rows.Data)
+	}
+	res = mustExec(t, db, "DELETE FROM t WHERE v = 20")
+	if res.RowsAffected != 1 {
+		t.Errorf("delete affected %d, want 1", res.RowsAffected)
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	if rows.Data[0][0] != int64(2) {
+		t.Errorf("count after delete = %v", rows.Data[0][0])
+	}
+}
+
+func TestInsertOrReplace(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "INSERT INTO t (_id, v) VALUES (5, 'first')")
+	if _, err := db.Exec("INSERT INTO t (_id, v) VALUES (5, 'dup')"); err == nil {
+		t.Error("duplicate pk insert should fail")
+	}
+	mustExec(t, db, "INSERT OR REPLACE INTO t (_id, v) VALUES (5, 'second')")
+	rows := mustQuery(t, db, "SELECT v FROM t WHERE _id = 5")
+	if len(rows.Data) != 1 || rows.Data[0][0] != "second" {
+		t.Errorf("after replace: %v", rows.Data)
+	}
+	// Auto-increment continues above explicit keys.
+	res := mustExec(t, db, "INSERT INTO t (v) VALUES ('auto')")
+	if res.LastInsertID != 6 {
+		t.Errorf("auto id = %d, want 6", res.LastInsertID)
+	}
+}
+
+func TestNotNullAndDefault(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, a TEXT NOT NULL, b INTEGER DEFAULT 42)")
+	if _, err := db.Exec("INSERT INTO t (b) VALUES (1)"); err == nil {
+		t.Error("NOT NULL violation should fail")
+	}
+	mustExec(t, db, "INSERT INTO t (a) VALUES ('x')")
+	rows := mustQuery(t, db, "SELECT b FROM t")
+	if rows.Data[0][0] != int64(42) {
+		t.Errorf("default = %v, want 42", rows.Data[0][0])
+	}
+}
+
+func TestSimpleView(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE files (_id INTEGER PRIMARY KEY, media_type INTEGER, title TEXT)")
+	mustExec(t, db, "INSERT INTO files (media_type, title) VALUES (1, 'img1'), (2, 'aud1'), (1, 'img2')")
+	mustExec(t, db, "CREATE VIEW images AS SELECT _id, title FROM files WHERE media_type = 1")
+	rows := mustQuery(t, db, "SELECT title FROM images ORDER BY title")
+	if len(rows.Data) != 2 || rows.Data[0][0] != "img1" || rows.Data[1][0] != "img2" {
+		t.Errorf("view rows: %v", rows.Data)
+	}
+	// Views are read-only without triggers.
+	if _, err := db.Exec("INSERT INTO images (title) VALUES ('x')"); err == nil {
+		t.Error("insert into trigger-less view should fail")
+	}
+}
+
+func TestViewOnView(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE files (_id INTEGER PRIMARY KEY, media_type INTEGER, title TEXT, duration INTEGER)")
+	mustExec(t, db, "INSERT INTO files (media_type, title, duration) VALUES (2, 'song-a', 100), (2, 'song-b', 300), (1, 'pic', 0)")
+	mustExec(t, db, "CREATE VIEW audio_meta AS SELECT _id, title, duration FROM files WHERE media_type = 2")
+	mustExec(t, db, "CREATE VIEW long_audio AS SELECT _id, title FROM audio_meta WHERE duration > 200")
+	rows := mustQuery(t, db, "SELECT title FROM long_audio")
+	if len(rows.Data) != 1 || rows.Data[0][0] != "song-b" {
+		t.Errorf("nested view: %v", rows.Data)
+	}
+}
+
+// TestCOWViewFigure6 reproduces the exact delta-table/COW-view structure
+// from Figure 6 of the paper and checks the merged result.
+func TestCOWViewFigure6(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE tab1 (_id INTEGER PRIMARY KEY, data TEXT)")
+	mustExec(t, db, "INSERT INTO tab1 (_id, data) VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+	mustExec(t, db, "CREATE TABLE tab1_delta_A (_id INTEGER PRIMARY KEY, data TEXT, _whiteout BOOLEAN)")
+	mustExec(t, db, "INSERT INTO tab1_delta_A (_id, data, _whiteout) VALUES (2, 'b', 1), (3, 'd', 0), (10000001, 'e', 0)")
+	mustExec(t, db, `CREATE VIEW tab1_view_A AS
+		SELECT _id, data FROM tab1 WHERE _id NOT IN (SELECT _id FROM tab1_delta_A)
+		UNION ALL
+		SELECT _id, data FROM tab1_delta_A WHERE _whiteout = 0`)
+
+	rows := mustQuery(t, db, "SELECT _id, data FROM tab1_view_A ORDER BY _id")
+	want := [][]Value{{int64(1), "a"}, {int64(3), "d"}, {int64(10000001), "e"}}
+	if len(rows.Data) != len(want) {
+		t.Fatalf("COW view rows = %v, want %v", rows.Data, want)
+	}
+	for i := range want {
+		if rows.Data[i][0] != want[i][0] || rows.Data[i][1] != want[i][1] {
+			t.Errorf("row %d = %v, want %v", i, rows.Data[i], want[i])
+		}
+	}
+}
+
+// TestInsteadOfTriggers checks the paper's INSTEAD OF UPDATE trigger
+// pattern: updates to the COW view are redirected into the delta table.
+func TestInsteadOfTriggers(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE tab1 (_id INTEGER PRIMARY KEY, data TEXT)")
+	mustExec(t, db, "INSERT INTO tab1 (_id, data) VALUES (1, 'a'), (2, 'b')")
+	mustExec(t, db, "CREATE TABLE tab1_delta_A (_id INTEGER PRIMARY KEY, data TEXT, _whiteout BOOLEAN DEFAULT 0)")
+	mustExec(t, db, `CREATE VIEW tab1_view_A AS
+		SELECT _id, data FROM tab1 WHERE _id NOT IN (SELECT _id FROM tab1_delta_A)
+		UNION ALL
+		SELECT _id, data FROM tab1_delta_A WHERE _whiteout = 0`)
+	mustExec(t, db, `CREATE TRIGGER tab1_A_update INSTEAD OF UPDATE ON tab1_view_A BEGIN
+		INSERT OR REPLACE INTO tab1_delta_A (_id, data, _whiteout) VALUES (new._id, new.data, 0);
+	END`)
+	mustExec(t, db, `CREATE TRIGGER tab1_A_delete INSTEAD OF DELETE ON tab1_view_A BEGIN
+		INSERT OR REPLACE INTO tab1_delta_A (_id, data, _whiteout) VALUES (old._id, old.data, 1);
+	END`)
+
+	// Update through the view: primary table untouched, delta updated.
+	mustExec(t, db, "UPDATE tab1_view_A SET data = 'B' WHERE _id = 2")
+	prim := mustQuery(t, db, "SELECT data FROM tab1 WHERE _id = 2")
+	if prim.Data[0][0] != "b" {
+		t.Errorf("primary table mutated: %v", prim.Data)
+	}
+	view := mustQuery(t, db, "SELECT data FROM tab1_view_A WHERE _id = 2")
+	if len(view.Data) != 1 || view.Data[0][0] != "B" {
+		t.Errorf("view after update: %v", view.Data)
+	}
+
+	// Delete through the view: whiteout row created.
+	mustExec(t, db, "DELETE FROM tab1_view_A WHERE _id = 1")
+	view = mustQuery(t, db, "SELECT _id FROM tab1_view_A ORDER BY _id")
+	if len(view.Data) != 1 || view.Data[0][0] != int64(2) {
+		t.Errorf("view after delete: %v", view.Data)
+	}
+	wh := mustQuery(t, db, "SELECT _whiteout FROM tab1_delta_A WHERE _id = 1")
+	if len(wh.Data) != 1 || wh.Data[0][0] != int64(1) {
+		t.Errorf("whiteout row: %v", wh.Data)
+	}
+	prim = mustQuery(t, db, "SELECT COUNT(*) FROM tab1")
+	if prim.Data[0][0] != int64(2) {
+		t.Errorf("primary table row count changed: %v", prim.Data)
+	}
+}
+
+func TestInsteadOfInsertTrigger(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE base (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE TABLE delta (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE VIEW merged AS SELECT _id, v FROM base UNION ALL SELECT _id, v FROM delta")
+	mustExec(t, db, `CREATE TRIGGER ins INSTEAD OF INSERT ON merged BEGIN
+		INSERT INTO delta (_id, v) VALUES (new._id, new.v);
+	END`)
+	mustExec(t, db, "INSERT INTO merged (_id, v) VALUES (7, 'x')")
+	rows := mustQuery(t, db, "SELECT v FROM delta WHERE _id = 7")
+	if len(rows.Data) != 1 || rows.Data[0][0] != "x" {
+		t.Errorf("trigger insert: %v", rows.Data)
+	}
+	if n, _ := db.QueryScalar("SELECT COUNT(*) FROM base"); n != int64(0) {
+		t.Errorf("base table written: %v", n)
+	}
+}
+
+func TestSubqueryFlattening(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE a (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "CREATE TABLE b (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO a (v) VALUES (1), (2)")
+	mustExec(t, db, "INSERT INTO b (v) VALUES (3), (4)")
+	mustExec(t, db, "CREATE VIEW u AS SELECT _id, v FROM a UNION ALL SELECT _id, v FROM b")
+
+	before := db.Stats()
+	rows := mustQuery(t, db, "SELECT v FROM u WHERE v > 1")
+	after := db.Stats()
+	if len(rows.Data) != 3 {
+		t.Errorf("rows = %v", rows.Data)
+	}
+	if after.FlattenedQueries != before.FlattenedQueries+1 {
+		t.Errorf("flattened = %d -> %d, want +1", before.FlattenedQueries, after.FlattenedQueries)
+	}
+	if after.MaterializedViews != before.MaterializedViews {
+		t.Errorf("materialized changed: %d -> %d", before.MaterializedViews, after.MaterializedViews)
+	}
+}
+
+// TestFlatteningOrderByRestriction reproduces footnote 5: a query with
+// ORDER BY on a column not in the select list cannot be flattened and
+// falls back to materializing the view, while adding the ORDER BY column
+// to the query columns (the proxy's workaround) restores flattening.
+func TestFlatteningOrderByRestriction(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE a (_id INTEGER PRIMARY KEY, v INTEGER, w TEXT)")
+	mustExec(t, db, "CREATE TABLE b (_id INTEGER PRIMARY KEY, v INTEGER, w TEXT)")
+	mustExec(t, db, "INSERT INTO a (v, w) VALUES (2, 'x'), (1, 'y')")
+	mustExec(t, db, "INSERT INTO b (v, w) VALUES (3, 'z')")
+	mustExec(t, db, "CREATE VIEW u AS SELECT _id, v, w FROM a UNION ALL SELECT _id, v, w FROM b")
+
+	// ORDER BY column not selected: must materialize.
+	before := db.Stats()
+	rows := mustQuery(t, db, "SELECT w FROM u ORDER BY v")
+	after := db.Stats()
+	if after.FlattenedQueries != before.FlattenedQueries {
+		t.Error("query with non-selected ORDER BY column was flattened")
+	}
+	if after.MaterializedViews == before.MaterializedViews {
+		t.Error("expected view materialization")
+	}
+	if len(rows.Data) != 3 || rows.Data[0][0] != "y" || rows.Data[1][0] != "x" || rows.Data[2][0] != "z" {
+		t.Errorf("materialized path rows: %v", rows.Data)
+	}
+
+	// Proxy workaround: include the ORDER BY column in the select list.
+	before = db.Stats()
+	rows = mustQuery(t, db, "SELECT w, v FROM u ORDER BY v")
+	after = db.Stats()
+	if after.FlattenedQueries != before.FlattenedQueries+1 {
+		t.Error("workaround query was not flattened")
+	}
+	if len(rows.Data) != 3 || rows.Data[0][0] != "y" {
+		t.Errorf("workaround rows: %v", rows.Data)
+	}
+
+	// SELECT * with ORDER BY is always flattenable.
+	before = db.Stats()
+	mustQuery(t, db, "SELECT * FROM u ORDER BY v")
+	after = db.Stats()
+	if after.FlattenedQueries != before.FlattenedQueries+1 {
+		t.Error("SELECT * with ORDER BY was not flattened")
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE artists (artist_id INTEGER PRIMARY KEY, artist TEXT)")
+	mustExec(t, db, "CREATE TABLE songs (_id INTEGER PRIMARY KEY, title TEXT, artist_id INTEGER)")
+	mustExec(t, db, "INSERT INTO artists (artist_id, artist) VALUES (1, 'Ann'), (2, 'Bob')")
+	mustExec(t, db, "INSERT INTO songs (title, artist_id) VALUES ('s1', 1), ('s2', 2), ('s3', NULL)")
+
+	rows := mustQuery(t, db, "SELECT title, artist FROM songs JOIN artists ON songs.artist_id = artists.artist_id ORDER BY title")
+	if len(rows.Data) != 2 {
+		t.Fatalf("inner join rows: %v", rows.Data)
+	}
+	if rows.Data[0][1] != "Ann" || rows.Data[1][1] != "Bob" {
+		t.Errorf("inner join: %v", rows.Data)
+	}
+
+	rows = mustQuery(t, db, "SELECT title, artist FROM songs LEFT OUTER JOIN artists ON songs.artist_id = artists.artist_id ORDER BY title")
+	if len(rows.Data) != 3 {
+		t.Fatalf("left join rows: %v", rows.Data)
+	}
+	if rows.Data[2][0] != "s3" || rows.Data[2][1] != nil {
+		t.Errorf("left join null row: %v", rows.Data[2])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, grp TEXT, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (grp, v) VALUES ('a', 1), ('a', 2), ('b', 10), ('b', NULL)")
+
+	rows := mustQuery(t, db, "SELECT COUNT(*), MAX(v), MIN(v), SUM(v) FROM t")
+	r := rows.Data[0]
+	if r[0] != int64(4) || r[1] != int64(10) || r[2] != int64(1) || r[3] != int64(13) {
+		t.Errorf("aggregates: %v", r)
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(v) FROM t")
+	if rows.Data[0][0] != int64(3) {
+		t.Errorf("COUNT(v) skips NULL: %v", rows.Data[0][0])
+	}
+	rows = mustQuery(t, db, "SELECT grp, SUM(v) AS total FROM t GROUP BY grp ORDER BY grp")
+	if len(rows.Data) != 2 || rows.Data[0][1] != int64(3) || rows.Data[1][1] != int64(10) {
+		t.Errorf("group by: %v", rows.Data)
+	}
+	// Aggregate over empty table.
+	mustExec(t, db, "DELETE FROM t")
+	rows = mustQuery(t, db, "SELECT COUNT(*), MAX(v) FROM t")
+	if rows.Data[0][0] != int64(0) || rows.Data[0][1] != nil {
+		t.Errorf("empty aggregates: %v", rows.Data[0])
+	}
+}
+
+func TestScalarSubqueryAndExists(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (1), (5), (3)")
+	v, err := db.QueryScalar("SELECT (SELECT MAX(v) FROM t)")
+	if err != nil || v != int64(5) {
+		t.Errorf("scalar subquery = %v, %v", v, err)
+	}
+	rows := mustQuery(t, db, "SELECT _id FROM t WHERE EXISTS (SELECT _id FROM t WHERE v = 5) ORDER BY _id")
+	if len(rows.Data) != 3 {
+		t.Errorf("EXISTS: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t WHERE v IN (SELECT v FROM t WHERE v > 2)")
+	if len(rows.Data) != 2 {
+		t.Errorf("IN subquery: %v", rows.Data)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (1), (NULL)")
+	// NULL = NULL is NULL, so WHERE filters it out.
+	rows := mustQuery(t, db, "SELECT _id FROM t WHERE v = NULL")
+	if len(rows.Data) != 0 {
+		t.Errorf("v = NULL matched: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t WHERE v IS NULL")
+	if len(rows.Data) != 1 {
+		t.Errorf("IS NULL: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t WHERE v IS NOT NULL")
+	if len(rows.Data) != 1 {
+		t.Errorf("IS NOT NULL: %v", rows.Data)
+	}
+	// COALESCE picks first non-null.
+	v, _ := db.QueryScalar("SELECT COALESCE(NULL, NULL, 7)")
+	if v != int64(7) {
+		t.Errorf("COALESCE = %v", v)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	db := Open()
+	cases := []struct {
+		sql  string
+		want Value
+	}{
+		{"SELECT 1 + 2 * 3", int64(7)},
+		{"SELECT (1 + 2) * 3", int64(9)},
+		{"SELECT 7 / 2", int64(3)},
+		{"SELECT 7.0 / 2", 3.5},
+		{"SELECT 7 % 3", int64(1)},
+		{"SELECT -5", int64(-5)},
+		{"SELECT 'a' || 'b' || 'c'", "abc"},
+		{"SELECT LENGTH('hello')", int64(5)},
+		{"SELECT UPPER('abc')", "ABC"},
+		{"SELECT LOWER('ABC')", "abc"},
+		{"SELECT ABS(-3)", int64(3)},
+		{"SELECT SUBSTR('hello', 2, 3)", "ell"},
+		{"SELECT REPLACE('aXbXc', 'X', '-')", "a-b-c"},
+		{"SELECT CASE WHEN 1 > 0 THEN 'yes' ELSE 'no' END", "yes"},
+		{"SELECT CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END", "two"},
+		{"SELECT CAST('12' AS INTEGER)", int64(12)},
+		{"SELECT CAST(12 AS TEXT)", "12"},
+		{"SELECT 1 = 1 AND 2 = 2", int64(1)},
+		{"SELECT NOT 0", int64(1)},
+		{"SELECT 1 / 0", nil}, // SQLite yields NULL
+		{"SELECT MAX(3, 7)", int64(7)},
+	}
+	for _, tc := range cases {
+		got, err := db.QueryScalar(tc.sql)
+		if err != nil {
+			t.Errorf("%s: %v", tc.sql, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v (%T), want %v", tc.sql, got, got, tc.want)
+		}
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "INSERT INTO t (_id) VALUES (?)", i+1)
+	}
+	rows := mustQuery(t, db, "SELECT _id FROM t ORDER BY _id LIMIT 3")
+	if len(rows.Data) != 3 || rows.Data[0][0] != int64(1) {
+		t.Errorf("LIMIT: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT _id FROM t ORDER BY _id LIMIT 3 OFFSET 8")
+	if len(rows.Data) != 2 || rows.Data[0][0] != int64(9) {
+		t.Errorf("LIMIT OFFSET: %v", rows.Data)
+	}
+}
+
+func TestOrderByMultipleKeysAndDesc(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, a INTEGER, b TEXT)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 'z'), (1, 'a'), (2, 'm')")
+	rows := mustQuery(t, db, "SELECT a, b FROM t ORDER BY a DESC, b ASC")
+	if rows.Data[0][0] != int64(2) || rows.Data[1][1] != "a" || rows.Data[2][1] != "z" {
+		t.Errorf("multi-key order: %v", rows.Data)
+	}
+	// ORDER BY output index.
+	rows = mustQuery(t, db, "SELECT b FROM t ORDER BY 1")
+	if rows.Data[0][0] != "a" {
+		t.Errorf("ORDER BY 1: %v", rows.Data)
+	}
+}
+
+func TestDropStatements(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY)")
+	mustExec(t, db, "CREATE VIEW v AS SELECT _id FROM t")
+	mustExec(t, db, "CREATE TABLE d (_id INTEGER PRIMARY KEY)")
+	mustExec(t, db, "CREATE TRIGGER tr INSTEAD OF INSERT ON v BEGIN INSERT INTO d (_id) VALUES (new._id); END")
+
+	mustExec(t, db, "DROP TRIGGER tr")
+	if _, err := db.Exec("INSERT INTO v (_id) VALUES (1)"); err == nil {
+		t.Error("trigger still firing after drop")
+	}
+	mustExec(t, db, "DROP VIEW v")
+	if _, err := db.Query("SELECT * FROM v"); err == nil {
+		t.Error("view still queryable after drop")
+	}
+	mustExec(t, db, "DROP TABLE t")
+	if db.HasTable("t") {
+		t.Error("table still present after drop")
+	}
+	// IF EXISTS variants are idempotent.
+	mustExec(t, db, "DROP TABLE IF EXISTS t")
+	mustExec(t, db, "DROP VIEW IF EXISTS v")
+	mustExec(t, db, "DROP TRIGGER IF EXISTS tr")
+}
+
+func TestInsertFromSelect(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE src (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE TABLE dst (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "INSERT INTO src (v) VALUES ('a'), ('b')")
+	mustExec(t, db, "INSERT INTO dst (_id, v) SELECT _id, v FROM src")
+	rows := mustQuery(t, db, "SELECT v FROM dst ORDER BY _id")
+	if len(rows.Data) != 2 || rows.Data[0][0] != "a" {
+		t.Errorf("insert-select: %v", rows.Data)
+	}
+}
+
+func TestMultiStatementExec(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `
+		CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER);
+		INSERT INTO t (v) VALUES (1);
+		INSERT INTO t (v) VALUES (2);
+	`)
+	n, _ := db.QueryScalar("SELECT COUNT(*) FROM t")
+	if n != int64(2) {
+		t.Errorf("multi-statement: count = %v", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := Open()
+	bad := []string{
+		"SELEC 1",
+		"SELECT FROM",
+		"CREATE TABLE",
+		"INSERT INTO t VALUES",
+		"SELECT 'unterminated",
+		"SELECT * FROM t WHERE",
+		"UPDATE t",
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("expected parse error for %q", sql)
+		}
+	}
+}
+
+func TestErrorsForMissingObjects(t *testing.T) {
+	db := Open()
+	if _, err := db.Query("SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "no such table") {
+		t.Errorf("missing table: %v", err)
+	}
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY)")
+	if _, err := db.Query("SELECT bogus FROM t"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := db.Exec("INSERT INTO t (bogus) VALUES (1)"); err == nil {
+		t.Error("insert into missing column should fail")
+	}
+}
+
+func TestQualifiedColumnRefs(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (9)")
+	rows := mustQuery(t, db, "SELECT t.v FROM t WHERE t._id = 1")
+	if rows.Data[0][0] != int64(9) {
+		t.Errorf("qualified ref: %v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT x.v FROM t AS x WHERE x._id = 1")
+	if rows.Data[0][0] != int64(9) {
+		t.Errorf("aliased ref: %v", rows.Data)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (1), (1), (2)")
+	rows := mustQuery(t, db, "SELECT DISTINCT v FROM t ORDER BY v")
+	if len(rows.Data) != 2 {
+		t.Errorf("DISTINCT: %v", rows.Data)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, "INSERT INTO t (v) VALUES (?)", i)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				if _, err := db.Query("SELECT COUNT(*) FROM t WHERE v < 50"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

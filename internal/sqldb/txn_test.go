@@ -1,0 +1,145 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransactionCommit(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (1), (2)")
+	mustExec(t, db, "COMMIT")
+	n, _ := db.QueryScalar("SELECT COUNT(*) FROM t")
+	if n != int64(2) {
+		t.Errorf("after commit: %v", n)
+	}
+}
+
+func TestTransactionRollbackRestoresRows(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (10)")
+	mustExec(t, db, "BEGIN TRANSACTION")
+	mustExec(t, db, "INSERT INTO t (v) VALUES (20)")
+	mustExec(t, db, "UPDATE t SET v = 99 WHERE _id = 1")
+	mustExec(t, db, "DELETE FROM t WHERE _id = 1")
+	mustExec(t, db, "ROLLBACK")
+
+	rows := mustQuery(t, db, "SELECT _id, v FROM t ORDER BY _id")
+	if len(rows.Data) != 1 || rows.Data[0][1] != int64(10) {
+		t.Errorf("after rollback: %v", rows.Data)
+	}
+	// Auto-increment also restored: the next insert reuses id 2.
+	res := mustExec(t, db, "INSERT INTO t (v) VALUES (30)")
+	if res.LastInsertID != 2 {
+		t.Errorf("id after rollback = %d, want 2", res.LastInsertID)
+	}
+}
+
+func TestTransactionRollbackRestoresDDL(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE keep (_id INTEGER PRIMARY KEY)")
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "CREATE TABLE temp_t (_id INTEGER PRIMARY KEY)")
+	mustExec(t, db, "CREATE VIEW temp_v AS SELECT _id FROM temp_t")
+	mustExec(t, db, "ROLLBACK")
+	if db.HasTable("temp_t") || db.HasView("temp_v") {
+		t.Error("DDL survived rollback")
+	}
+	if !db.HasTable("keep") {
+		t.Error("pre-existing table lost")
+	}
+	// DROP inside a transaction also rolls back.
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "DROP TABLE keep")
+	mustExec(t, db, "ROLLBACK")
+	if !db.HasTable("keep") {
+		t.Error("dropped table not restored by rollback")
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec("COMMIT"); err == nil || !strings.Contains(err.Error(), "no transaction") {
+		t.Errorf("commit without begin: %v", err)
+	}
+	if _, err := db.Exec("ROLLBACK"); err == nil {
+		t.Error("rollback without begin should fail")
+	}
+	mustExec(t, db, "BEGIN")
+	if _, err := db.Exec("BEGIN"); err == nil {
+		t.Error("nested begin should fail")
+	}
+	mustExec(t, db, "COMMIT")
+}
+
+func TestTransactionIsolatesSnapshotFromLiveRows(t *testing.T) {
+	// Mutating rows after BEGIN must not corrupt the snapshot (rows are
+	// deep-copied).
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "INSERT INTO t (v) VALUES ('original')")
+	mustExec(t, db, "BEGIN")
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "UPDATE t SET v = ? WHERE _id = 1", "mutation")
+	}
+	mustExec(t, db, "ROLLBACK")
+	v, _ := db.QueryScalar("SELECT v FROM t WHERE _id = 1")
+	if v != "original" {
+		t.Errorf("snapshot corrupted: %v", v)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE sales (_id INTEGER PRIMARY KEY, region TEXT, amount INTEGER)")
+	mustExec(t, db, `INSERT INTO sales (region, amount) VALUES
+		('east', 100), ('east', 200), ('west', 50), ('north', 500), ('north', 1)`)
+	rows := mustQuery(t, db, "SELECT region, SUM(amount) AS total FROM sales GROUP BY region HAVING SUM(amount) > 100 ORDER BY region")
+	if len(rows.Data) != 2 {
+		t.Fatalf("HAVING rows: %v", rows.Data)
+	}
+	if rows.Data[0][0] != "east" || rows.Data[0][1] != int64(300) {
+		t.Errorf("row 0: %v", rows.Data[0])
+	}
+	if rows.Data[1][0] != "north" || rows.Data[1][1] != int64(501) {
+		t.Errorf("row 1: %v", rows.Data[1])
+	}
+	// HAVING over COUNT.
+	rows = mustQuery(t, db, "SELECT region FROM sales GROUP BY region HAVING COUNT(*) = 1")
+	if len(rows.Data) != 1 || rows.Data[0][0] != "west" {
+		t.Errorf("count having: %v", rows.Data)
+	}
+}
+
+func TestTransactionWithCOWProxyShapes(t *testing.T) {
+	// The content providers batch delta mutations inside transactions;
+	// verify triggers + transactions compose.
+	db := Open()
+	mustExec(t, db, "CREATE TABLE base (_id INTEGER PRIMARY KEY, v TEXT)")
+	mustExec(t, db, "CREATE TABLE delta (_id INTEGER PRIMARY KEY, v TEXT, _whiteout BOOLEAN DEFAULT 0)")
+	mustExec(t, db, `CREATE VIEW merged AS
+		SELECT _id, v FROM base WHERE _id NOT IN (SELECT _id FROM delta)
+		UNION ALL SELECT _id, v FROM delta WHERE _whiteout = 0`)
+	mustExec(t, db, `CREATE TRIGGER m_upd INSTEAD OF UPDATE ON merged BEGIN
+		INSERT OR REPLACE INTO delta (_id, v, _whiteout) VALUES (new._id, new.v, 0);
+	END`)
+	mustExec(t, db, "INSERT INTO base (v) VALUES ('a'), ('b')")
+
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE merged SET v = 'A' WHERE _id = 1")
+	mustExec(t, db, "ROLLBACK")
+	n, _ := db.QueryScalar("SELECT COUNT(*) FROM delta")
+	if n != int64(0) {
+		t.Errorf("delta rows after rollback: %v", n)
+	}
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "UPDATE merged SET v = 'A' WHERE _id = 1")
+	mustExec(t, db, "COMMIT")
+	v, _ := db.QueryScalar("SELECT v FROM merged WHERE _id = 1")
+	if v != "A" {
+		t.Errorf("after committed COW update: %v", v)
+	}
+}

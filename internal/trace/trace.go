@@ -1,0 +1,234 @@
+// Package trace audits the state apps leave behind, reproducing the
+// methodology of the paper's Table 1: snapshot the device, run an app
+// operation, diff. The diff is split by where state landed — app
+// private state, public state (SD card, provider records), and Maxoid
+// volatile state — so the same harness shows both the stock-Android
+// leak (traces in private/public state) and Maxoid's confinement
+// (traces redirected into Vol(A) and per-delegate private branches).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maxoid/internal/binder"
+	"maxoid/internal/core"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/provider"
+	"maxoid/internal/unionfs"
+	"maxoid/internal/vfs"
+)
+
+// Snapshot captures observable device state at one instant.
+type Snapshot struct {
+	// Private maps app package -> private backing file set.
+	Private map[string]map[string]string
+	// Public is the public external branch file set.
+	Public map[string]string
+	// PublicRecords maps "authority/table" -> public row count.
+	PublicRecords map[string]int
+	// Volatile maps initiator -> volatile branch file set.
+	Volatile map[string]map[string]string
+	// VolatileRecords maps "authority/table/initiator" -> row count.
+	VolatileRecords map[string]int
+	// DelegatePrivate maps "app-initiator" -> nPriv branch file set.
+	DelegatePrivate map[string]map[string]string
+}
+
+// auditTables lists the provider tables the auditor tracks.
+var auditTables = []struct{ authority, table string }{
+	{"user_dictionary", "words"},
+	{"downloads", "my_downloads"},
+	{"media", "files"},
+}
+
+// Capture snapshots the device state for the given app packages and
+// initiators.
+func Capture(s *core.System, pkgs, initiators []string) (*Snapshot, error) {
+	snap := &Snapshot{
+		Private:         make(map[string]map[string]string),
+		PublicRecords:   make(map[string]int),
+		Volatile:        make(map[string]map[string]string),
+		VolatileRecords: make(map[string]int),
+		DelegatePrivate: make(map[string]map[string]string),
+	}
+	var err error
+	snap.Public, err = fileSet(s, layout.ExtPubBranch())
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		snap.Private[pkg], err = fileSet(s, layout.BackAppData(pkg))
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, init := range initiators {
+		snap.Volatile[init], err = fileSet(s, layout.ExtTmpBranch(init))
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			if pkg == init {
+				continue
+			}
+			key := layout.DelegateKey(pkg, init)
+			snap.DelegatePrivate[key], err = fileSet(s, layout.BackNPrivBranch(pkg, init))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Provider rows: public rows via a neutral observer, volatile rows
+	// via each initiator's tmp URIs.
+	observer := provider.NewResolver(s.Router, binder.Caller{Task: kernel.Task{App: "auditor"}})
+	for _, at := range auditTables {
+		rows, err := observer.Query(collectionURI(at.authority, at.table), nil, "", "")
+		if err != nil {
+			return nil, err
+		}
+		snap.PublicRecords[at.authority+"/"+at.table] = len(rows.Data)
+		for _, init := range initiators {
+			n, err := s.VolatileRecords(at.authority, at.table, init)
+			if err != nil {
+				return nil, err
+			}
+			snap.VolatileRecords[at.authority+"/"+at.table+"/"+init] = n
+		}
+	}
+	return snap, nil
+}
+
+func collectionURI(authority, table string) string {
+	return "content://" + authority + "/" + table
+}
+
+// fileSet returns path -> content digest under root ("" set if the root
+// does not exist).
+func fileSet(s *core.System, root string) (map[string]string, error) {
+	out := make(map[string]string)
+	if !vfs.Exists(s.Disk, vfs.Root, root) {
+		return out, nil
+	}
+	err := vfs.Walk(s.Disk, vfs.Root, root, func(name string, info vfs.FileInfo) error {
+		if info.IsDir() || unionfs.IsWhiteout(name) {
+			return nil
+		}
+		out[strings.TrimPrefix(name, root)] = fmt.Sprintf("%d", info.Size)
+		return nil
+	})
+	return out, err
+}
+
+// Delta is what changed between two snapshots.
+type Delta struct {
+	// PrivateAdded maps app package -> new private files.
+	PrivateAdded map[string][]string
+	// PublicAdded lists new public files.
+	PublicAdded []string
+	// PublicRecordsAdded maps authority/table -> new public rows.
+	PublicRecordsAdded map[string]int
+	// VolatileAdded maps initiator -> new volatile files.
+	VolatileAdded map[string][]string
+	// VolatileRecordsAdded maps authority/table/initiator -> new rows.
+	VolatileRecordsAdded map[string]int
+	// DelegatePrivateAdded maps app-initiator -> new nPriv files.
+	DelegatePrivateAdded map[string][]string
+}
+
+// Diff computes after - before.
+func Diff(before, after *Snapshot) Delta {
+	d := Delta{
+		PrivateAdded:         map[string][]string{},
+		PublicRecordsAdded:   map[string]int{},
+		VolatileAdded:        map[string][]string{},
+		VolatileRecordsAdded: map[string]int{},
+		DelegatePrivateAdded: map[string][]string{},
+	}
+	for pkg, files := range after.Private {
+		if added := newFiles(before.Private[pkg], files); len(added) > 0 {
+			d.PrivateAdded[pkg] = added
+		}
+	}
+	d.PublicAdded = newFiles(before.Public, after.Public)
+	for key, n := range after.PublicRecords {
+		if delta := n - before.PublicRecords[key]; delta > 0 {
+			d.PublicRecordsAdded[key] = delta
+		}
+	}
+	for init, files := range after.Volatile {
+		if added := newFiles(before.Volatile[init], files); len(added) > 0 {
+			d.VolatileAdded[init] = added
+		}
+	}
+	for key, n := range after.VolatileRecords {
+		if delta := n - before.VolatileRecords[key]; delta > 0 {
+			d.VolatileRecordsAdded[key] = delta
+		}
+	}
+	for key, files := range after.DelegatePrivate {
+		if added := newFiles(before.DelegatePrivate[key], files); len(added) > 0 {
+			d.DelegatePrivateAdded[key] = added
+		}
+	}
+	return d
+}
+
+// newFiles returns paths present (or changed) in after but not before.
+func newFiles(before, after map[string]string) []string {
+	var out []string
+	for p, digest := range after {
+		if prev, ok := before[p]; !ok || prev != digest {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeakedPublicly reports whether the delta contains any publicly
+// observable trace (files or provider records) — the Table 1 problem.
+func (d Delta) LeakedPublicly() bool {
+	return len(d.PublicAdded) > 0 || len(d.PublicRecordsAdded) > 0
+}
+
+// Summary renders the delta in a compact human-readable form.
+func (d Delta) Summary() string {
+	var b strings.Builder
+	writeFileMap(&b, "private", d.PrivateAdded)
+	if len(d.PublicAdded) > 0 {
+		fmt.Fprintf(&b, "  public files: %s\n", strings.Join(d.PublicAdded, ", "))
+	}
+	writeCountMap(&b, "public records", d.PublicRecordsAdded)
+	writeFileMap(&b, "volatile", d.VolatileAdded)
+	writeCountMap(&b, "volatile records", d.VolatileRecordsAdded)
+	writeFileMap(&b, "delegate-private", d.DelegatePrivateAdded)
+	if b.Len() == 0 {
+		return "  (no state changes)\n"
+	}
+	return b.String()
+}
+
+func writeFileMap(b *strings.Builder, label string, m map[string][]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %s[%s]: %s\n", label, k, strings.Join(m[k], ", "))
+	}
+}
+
+func writeCountMap(b *strings.Builder, label string, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %s[%s]: +%d\n", label, k, m[k])
+	}
+}

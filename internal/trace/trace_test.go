@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"testing"
+
+	"maxoid/internal/apps"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+func setup(t *testing.T) (*core.System, *apps.Suite) {
+	t.Helper()
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := apps.InstallSuite(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, suite
+}
+
+var auditPkgs = []string{apps.PDFViewerPkg, apps.CamScannerPkg, apps.EmailPkg}
+var auditInitiators = []string{apps.EmailPkg}
+
+// TestTable1StockBehavior reproduces the Table 1 observation: a data
+// processing app run normally (= stock Android behavior) leaves traces
+// in its private state and on the public SD card.
+func TestTable1StockBehavior(t *testing.T) {
+	s, suite := setup(t)
+	// Seed a public document.
+	ectx, _ := s.Launch(apps.EmailPkg, intent.Intent{})
+	if err := vfs.WriteFile(ectx.FS(), ectx.Cred(), layout.ExtDir+"/doc.pdf", []byte("pdf-content"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Capture(s, auditPkgs, auditInitiators)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vctx, _ := s.Launch(apps.PDFViewerPkg, intent.Intent{})
+	if err := suite.PDFViewer.Open(vctx, layout.ExtDir+"/doc.pdf", true); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Capture(s, auditPkgs, auditInitiators)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(before, after)
+
+	if len(d.PrivateAdded[apps.PDFViewerPkg]) == 0 {
+		t.Error("no private traces recorded (expected recent-files entries)")
+	}
+	if !d.LeakedPublicly() {
+		t.Error("stock run should leak publicly (SD-card copy)")
+	}
+	if len(d.VolatileAdded) != 0 {
+		t.Errorf("stock run has volatile traces: %v", d.VolatileAdded)
+	}
+	if d.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestTable1ConfinedBehavior shows the same operation as a delegate:
+// every trace lands in Vol(A) or the delegate's private branch, and
+// nothing is publicly observable.
+func TestTable1ConfinedBehavior(t *testing.T) {
+	s, suite := setup(t)
+	ectx, _ := s.Launch(apps.EmailPkg, intent.Intent{})
+	if err := suite.Email.Receive(ectx, "doc.pdf", []byte("secret-pdf")); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Capture(s, auditPkgs, auditInitiators)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := suite.Email.ViewAttachment(ectx, "doc.pdf", map[string]string{"from_content_uri": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Capture(s, auditPkgs, auditInitiators)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(before, after)
+
+	if d.LeakedPublicly() {
+		t.Errorf("confined run leaked publicly: public=%v records=%v", d.PublicAdded, d.PublicRecordsAdded)
+	}
+	if len(d.PrivateAdded[apps.PDFViewerPkg]) != 0 {
+		t.Errorf("delegate traces in real private state: %v", d.PrivateAdded)
+	}
+	key := layout.DelegateKey(apps.PDFViewerPkg, apps.EmailPkg)
+	if len(d.DelegatePrivateAdded[key]) == 0 {
+		t.Error("no delegate-private traces (expected recent files in nPriv branch)")
+	}
+	if len(d.VolatileAdded[apps.EmailPkg]) == 0 {
+		t.Error("no volatile traces (expected SD-card copy in Vol(Email))")
+	}
+}
+
+// TestTable1ScannerRow covers the scanner category (CamScanner): stock
+// run leaves image, thumbnail, and log on the SD card.
+func TestTable1ScannerRow(t *testing.T) {
+	s, suite := setup(t)
+	cctx, _ := s.Launch(apps.CamScannerPkg, intent.Intent{})
+	if err := vfs.WriteFile(cctx.FS(), cctx.Cred(), layout.ExtDir+"/page.raw", []byte("page-bits"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := Capture(s, auditPkgs, auditInitiators)
+	if err := suite.CamScanner.ScanPage(cctx, layout.ExtDir+"/page.raw"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := Capture(s, auditPkgs, auditInitiators)
+	d := Diff(before, after)
+	if len(d.PublicAdded) < 3 {
+		t.Errorf("CamScanner should leave >=3 public files (image, thumb, log): %v", d.PublicAdded)
+	}
+	if len(d.PrivateAdded[apps.CamScannerPkg]) == 0 {
+		t.Error("CamScanner should record scans in private DB")
+	}
+}
+
+// TestDiffIsStable: capturing twice without activity yields no delta.
+func TestDiffIsStable(t *testing.T) {
+	s, _ := setup(t)
+	a, err := Capture(s, auditPkgs, auditInitiators)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Capture(s, auditPkgs, auditInitiators)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, b)
+	if d.LeakedPublicly() || len(d.PrivateAdded) != 0 || len(d.VolatileAdded) != 0 {
+		t.Errorf("idle diff not empty: %s", d.Summary())
+	}
+}

@@ -1,0 +1,160 @@
+package unionfs
+
+import (
+	"errors"
+	"testing"
+
+	"maxoid/internal/vfs"
+)
+
+func TestChmodCopiesUp(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Chmod(vfs.Root, "/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Lower branch keeps the old mode; the upper copy has the new one.
+	low, _ := disk.Stat(vfs.Root, "/lower/f")
+	if low.Mode.Perm() != 0o600 {
+		t.Errorf("lower mode mutated: %v", low.Mode)
+	}
+	up, err := disk.Stat(vfs.Root, "/upper/f")
+	if err != nil || up.Mode.Perm() != 0o644 {
+		t.Errorf("upper mode = %v, %v", up.Mode, err)
+	}
+	merged, _ := u.Stat(vfs.Root, "/f")
+	if merged.Mode.Perm() != 0o644 {
+		t.Errorf("merged mode = %v", merged.Mode)
+	}
+}
+
+func TestChownCopiesUp(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Chown(vfs.Root, "/f", 4242); err != nil {
+		t.Fatal(err)
+	}
+	merged, _ := u.Stat(vfs.Root, "/f")
+	if merged.UID != 4242 {
+		t.Errorf("merged UID = %d", merged.UID)
+	}
+	low, _ := disk.Stat(vfs.Root, "/lower/f")
+	if low.UID == 4242 {
+		t.Error("chown leaked into lower branch")
+	}
+}
+
+func TestNonOwnerCannotChangeMetadata(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	alice, bob := vfs.Cred{UID: 100}, vfs.Cred{UID: 200}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Chown(vfs.Root, "/lower/f", alice.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Chmod(bob, "/f", 0o777); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("bob chmod: %v", err)
+	}
+	if err := u.Chown(bob, "/f", bob.UID); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("bob chown: %v", err)
+	}
+}
+
+func TestCopyUpPreservesOwnership(t *testing.T) {
+	disk, u := newTestUnion(t, Options{AllowAllReads: true, AllowAllWrites: true})
+	owner := vfs.Cred{UID: 777}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("v1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Chown(vfs.Root, "/lower/f", owner.UID); err != nil {
+		t.Fatal(err)
+	}
+	// A different-UID write triggers copy-up; the copy keeps the
+	// original owner so the owner can keep reading it.
+	writer := vfs.Cred{UID: 888}
+	if err := vfs.AppendFile(u, writer, "/f", []byte("-v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	up, err := disk.Stat(vfs.Root, "/upper/f")
+	if err != nil || up.UID != owner.UID {
+		t.Errorf("copy-up owner = %d, %v; want %d", up.UID, err, owner.UID)
+	}
+}
+
+func TestMkdirThenFileInNewDir(t *testing.T) {
+	_, u := newTestUnion(t, Options{})
+	if err := u.Mkdir(vfs.Root, "/newdir", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Mkdir(vfs.Root, "/newdir", 0o777); !errors.Is(err, vfs.ErrExist) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	if err := vfs.WriteFile(u, vfs.Root, "/newdir/f", []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := u.ReadDir(vfs.Root, "/newdir")
+	if err != nil || len(entries) != 1 {
+		t.Errorf("new dir listing: %v, %v", entries, err)
+	}
+}
+
+func TestRemoveNonEmptyMergedDir(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := disk.MkdirAll(vfs.Root, "/lower/d", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/d/f", []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove(vfs.Root, "/d"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Errorf("remove merged non-empty dir: %v", err)
+	}
+	// After whiteouting the child, the dir removes cleanly.
+	if err := u.Remove(vfs.Root, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove(vfs.Root, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/d") {
+		t.Error("dir visible after remove")
+	}
+}
+
+func TestStatMissing(t *testing.T) {
+	_, u := newTestUnion(t, Options{})
+	if _, err := u.Stat(vfs.Root, "/nope"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("stat missing: %v", err)
+	}
+	if _, err := u.ReadDir(vfs.Root, "/nope"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Errorf("readdir missing: %v", err)
+	}
+}
+
+func TestReadOnlyUnionMetadataOps(t *testing.T) {
+	disk := vfs.New()
+	if err := disk.MkdirAll(vfs.Root, "/ro", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/ro/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(Options{}, Branch{FS: vfs.Sub(disk, "/ro")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Chmod(vfs.Root, "/f", 0o600); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Errorf("chmod on ro union: %v", err)
+	}
+	if err := u.Mkdir(vfs.Root, "/d", 0o755); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Errorf("mkdir on ro union: %v", err)
+	}
+	if err := u.Remove(vfs.Root, "/f"); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Errorf("remove on ro union: %v", err)
+	}
+}

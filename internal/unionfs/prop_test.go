@@ -1,0 +1,192 @@
+package unionfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"maxoid/internal/vfs"
+)
+
+// modelWorld pairs a union filesystem with a flat model of what the
+// merged view should contain, plus a model of the read-only branch that
+// must never change.
+type modelWorld struct {
+	disk  *vfs.FS
+	union *Union
+	// merged models the union view: path -> content.
+	merged map[string][]byte
+	// lowerBefore snapshots the read-only branch at creation.
+	lowerBefore map[string][]byte
+}
+
+func newModelWorld(t *testing.T, seed int64) *modelWorld {
+	t.Helper()
+	disk := vfs.New()
+	for _, d := range []string{"/upper", "/lower"} {
+		if err := disk.MkdirAll(vfs.Root, d, 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Random initial lower-branch contents.
+	r := rand.New(rand.NewSource(seed))
+	merged := map[string][]byte{}
+	for i := 0; i < r.Intn(8); i++ {
+		name := fmt.Sprintf("/f%d", r.Intn(6))
+		data := make([]byte, r.Intn(32))
+		r.Read(data)
+		if err := vfs.WriteFile(disk, vfs.Root, "/lower"+name, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		merged[name] = data
+	}
+	u, err := New(Options{AllowAllReads: true, AllowAllWrites: true},
+		Branch{FS: vfs.Sub(disk, "/upper"), Writable: true},
+		Branch{FS: vfs.Sub(disk, "/lower")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowerBefore, err := vfs.Tree(disk, vfs.Root, "/lower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &modelWorld{disk: disk, union: u, merged: merged, lowerBefore: lowerBefore}
+}
+
+// check verifies the union view matches the model and the lower branch
+// is untouched (the copy-on-write invariant).
+func (w *modelWorld) check(t *testing.T, step int) {
+	t.Helper()
+	for name, want := range w.merged {
+		got, err := vfs.ReadFile(w.union, vfs.Root, name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("step %d: union %s = %q, %v; want %q", step, name, got, err, want)
+		}
+	}
+	// Nothing extra visible.
+	entries, err := w.union.ReadDir(vfs.Root, "/")
+	if err != nil {
+		t.Fatalf("step %d: readdir: %v", step, err)
+	}
+	visible := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			visible++
+		}
+	}
+	if visible != len(w.merged) {
+		t.Fatalf("step %d: %d visible files, model has %d (%v)", step, visible, len(w.merged), entries)
+	}
+	// The read-only branch never changes — S2/S4's filesystem backbone.
+	lowerNow, err := vfs.Tree(w.disk, vfs.Root, "/lower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lowerNow) != len(w.lowerBefore) {
+		t.Fatalf("step %d: lower branch file set changed", step)
+	}
+	for name, data := range w.lowerBefore {
+		if !bytes.Equal(lowerNow[name], data) {
+			t.Fatalf("step %d: lower branch file %s mutated", step, name)
+		}
+	}
+}
+
+// TestPropUnionMatchesModel drives random write/append/remove/recreate
+// sequences against the union and a flat model; after every operation
+// the merged view must match the model and the lower branch must be
+// byte-identical to its snapshot.
+func TestPropUnionMatchesModel(t *testing.T) {
+	prop := func(seed int64) bool {
+		w := newModelWorld(t, seed)
+		r := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for step := 0; step < 40; step++ {
+			name := fmt.Sprintf("/f%d", r.Intn(6))
+			switch r.Intn(4) {
+			case 0: // write (create or overwrite)
+				data := make([]byte, r.Intn(32))
+				r.Read(data)
+				if err := vfs.WriteFile(w.union, vfs.Root, name, data, 0o666); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				w.merged[name] = data
+			case 1: // append
+				if _, ok := w.merged[name]; !ok {
+					continue
+				}
+				extra := make([]byte, 1+r.Intn(16))
+				r.Read(extra)
+				if err := vfs.AppendFile(w.union, vfs.Root, name, extra, 0o666); err != nil {
+					t.Logf("append: %v", err)
+					return false
+				}
+				w.merged[name] = append(append([]byte{}, w.merged[name]...), extra...)
+			case 2: // remove
+				if _, ok := w.merged[name]; !ok {
+					continue
+				}
+				if err := w.union.Remove(vfs.Root, name); err != nil {
+					t.Logf("remove: %v", err)
+					return false
+				}
+				delete(w.merged, name)
+			case 3: // read of a missing file must fail
+				if _, ok := w.merged[name]; ok {
+					continue
+				}
+				if _, err := vfs.ReadFile(w.union, vfs.Root, name); err == nil {
+					t.Logf("read of deleted %s succeeded", name)
+					return false
+				}
+			}
+			w.check(t, step)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRenameChains: arbitrary rename chains preserve content and
+// never resurrect deleted names.
+func TestPropRenameChains(t *testing.T) {
+	prop := func(seed int64) bool {
+		w := newModelWorld(t, seed)
+		r := rand.New(rand.NewSource(seed * 31))
+		for step := 0; step < 20; step++ {
+			var names []string
+			for n := range w.merged {
+				names = append(names, n)
+			}
+			if len(names) == 0 {
+				data := []byte{1, 2, 3}
+				if err := vfs.WriteFile(w.union, vfs.Root, "/seed", data, 0o666); err != nil {
+					return false
+				}
+				w.merged["/seed"] = data
+				continue
+			}
+			src := names[r.Intn(len(names))]
+			dst := fmt.Sprintf("/r%d", r.Intn(8))
+			if src == dst {
+				continue
+			}
+			if err := w.union.Rename(vfs.Root, src, dst); err != nil {
+				t.Logf("rename %s->%s: %v", src, dst, err)
+				return false
+			}
+			w.merged[dst] = w.merged[src]
+			delete(w.merged, src)
+			w.check(t, step)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,550 @@
+// Package unionfs implements an Aufs-like union filesystem over vfs
+// branches.
+//
+// A Union presents a merged view of an ordered list of branches
+// (directories in an underlying filesystem). The first branch is the
+// only writable one; all writes are confined to it. Modifying a file
+// that exists only in a lower (read-only) branch first copies it up to
+// the writable branch ("copy-up"), which is the mechanism behind
+// Maxoid's per-file copy-on-write (§4.2 of the paper). Deleting a file
+// that exists in a lower branch creates a whiteout entry in the
+// writable branch so the lower file is hidden from the merged view.
+//
+// Maxoid's modification to Aufs — "always allow read access", so a
+// delegate with a different UID can read its initiator's private files
+// through the mount — is modeled by the AllowAllReads option. Security
+// then rests on the mount only being set up by trusted code (Zygote)
+// in contexts where that read is safe, exactly as in the paper.
+package unionfs
+
+import (
+	"errors"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+
+	"maxoid/internal/vfs"
+)
+
+// whPrefix marks whiteout entries in the writable branch, following the
+// Aufs on-disk convention.
+const whPrefix = ".wh."
+
+// Branch is one layer of a union.
+type Branch struct {
+	// FS is the branch content, typically vfs.Sub(disk, dir).
+	FS vfs.FileSystem
+	// Writable marks the single top-priority writable branch.
+	Writable bool
+}
+
+// Options configure union-level permission behavior.
+type Options struct {
+	// AllowAllReads bypasses per-file read permission checks — the
+	// paper's modified-Aufs behavior used for exposing an initiator's
+	// private files to its delegates.
+	AllowAllReads bool
+	// AllowAllWrites bypasses per-file write permission checks. Writes
+	// remain confined to the writable branch, which is the actual
+	// security boundary for delegate mounts.
+	AllowAllWrites bool
+}
+
+// Union is the merged filesystem. It implements vfs.FileSystem.
+type Union struct {
+	branches []Branch
+	opts     Options
+}
+
+// New builds a union from branches ordered highest-priority first. At
+// most one branch may be writable and it must be the first; a union
+// with no writable branch is read-only.
+func New(opts Options, branches ...Branch) (*Union, error) {
+	if len(branches) == 0 {
+		return nil, errors.New("unionfs: need at least one branch")
+	}
+	for i, b := range branches {
+		if b.Writable && i != 0 {
+			return nil, errors.New("unionfs: writable branch must be first")
+		}
+		if b.FS == nil {
+			return nil, errors.New("unionfs: nil branch filesystem")
+		}
+	}
+	return &Union{branches: branches, opts: opts}, nil
+}
+
+// Branches returns the branch list (for mount-table dumps, Table 2).
+func (u *Union) Branches() []Branch { return u.branches }
+
+func (u *Union) writable() (Branch, bool) {
+	if u.branches[0].Writable {
+		return u.branches[0], true
+	}
+	return Branch{}, false
+}
+
+// IsWhiteout reports whether a file name is a whiteout marker. Tools
+// that walk backing branches directly (volatile-state listing, the
+// state auditor) use it to skip union-internal entries.
+func IsWhiteout(name string) bool {
+	return strings.HasPrefix(path.Base(vfs.Clean(name)), whPrefix)
+}
+
+// whiteoutName returns the whiteout path for name.
+func whiteoutName(name string) string {
+	cleaned := vfs.Clean(name)
+	return path.Join(path.Dir(cleaned), whPrefix+path.Base(cleaned))
+}
+
+// hasWhiteout reports whether branch b contains a whiteout for name.
+func hasWhiteout(b Branch, name string) bool {
+	return vfs.Exists(b.FS, vfs.Root, whiteoutName(name))
+}
+
+// hiddenAbove reports whether name (or any ancestor of it) is whiteouted
+// in a branch strictly above index i.
+func (u *Union) hiddenAbove(name string, i int) bool {
+	cleaned := vfs.Clean(name)
+	for j := 0; j < i; j++ {
+		p := cleaned
+		for p != "/" {
+			if hasWhiteout(u.branches[j], p) {
+				return true
+			}
+			p = path.Dir(p)
+		}
+	}
+	return false
+}
+
+// resolve finds the highest-priority branch where name is visible.
+func (u *Union) resolve(name string) (int, vfs.FileInfo, error) {
+	cleaned := vfs.Clean(name)
+	for i, b := range u.branches {
+		if u.hiddenAbove(cleaned, i) {
+			break
+		}
+		info, err := b.FS.Stat(vfs.Root, cleaned)
+		if err == nil {
+			return i, info, nil
+		}
+		if !errors.Is(err, vfs.ErrNotExist) {
+			return 0, vfs.FileInfo{}, err
+		}
+		// A whiteout at this branch hides lower branches too.
+		if hasWhiteout(b, cleaned) {
+			break
+		}
+	}
+	return 0, vfs.FileInfo{}, &fs.PathError{Op: "union", Path: cleaned, Err: vfs.ErrNotExist}
+}
+
+func (u *Union) checkRead(c vfs.Cred, info vfs.FileInfo) error {
+	if u.opts.AllowAllReads || c.UID == 0 {
+		return nil
+	}
+	bit := fs.FileMode(0o4)
+	if c.UID == info.UID {
+		if info.Mode.Perm()&(bit<<6) != 0 {
+			return nil
+		}
+		return vfs.ErrPermission
+	}
+	if info.Mode.Perm()&bit != 0 {
+		return nil
+	}
+	return vfs.ErrPermission
+}
+
+func (u *Union) checkWrite(c vfs.Cred, info vfs.FileInfo) error {
+	if u.opts.AllowAllWrites || c.UID == 0 {
+		return nil
+	}
+	bit := fs.FileMode(0o2)
+	if c.UID == info.UID {
+		if info.Mode.Perm()&(bit<<6) != 0 {
+			return nil
+		}
+		return vfs.ErrPermission
+	}
+	if info.Mode.Perm()&bit != 0 {
+		return nil
+	}
+	return vfs.ErrPermission
+}
+
+// ensureParent creates name's parent directories in the writable branch.
+func ensureParent(b Branch, name string) error {
+	dir := path.Dir(vfs.Clean(name))
+	if dir == "/" {
+		return nil
+	}
+	return b.FS.MkdirAll(vfs.Root, dir, 0o755)
+}
+
+// copyUp copies the file at name from branch src into the writable
+// branch, preserving content and mode. If truncate is set, an empty
+// file is created instead (no data copy needed).
+func (u *Union) copyUp(name string, src int, info vfs.FileInfo, truncate bool) error {
+	w, ok := u.writable()
+	if !ok {
+		return vfs.ErrReadOnly
+	}
+	if err := ensureParent(w, name); err != nil {
+		return err
+	}
+	var data []byte
+	if !truncate {
+		var err error
+		data, err = vfs.ReadFile(u.branches[src].FS, vfs.Root, name)
+		if err != nil {
+			return err
+		}
+	}
+	if err := vfs.WriteFile(w.FS, vfs.Root, name, data, info.Mode.Perm()); err != nil {
+		return err
+	}
+	// The copy keeps the original file's ownership, as Aufs does.
+	return w.FS.Chown(vfs.Root, name, info.UID)
+}
+
+// Open opens name in the merged view with POSIX-like semantics.
+func (u *Union) Open(c vfs.Cred, name string, flags int, perm fs.FileMode) (vfs.Handle, error) {
+	wantWrite := flags&0x3 == vfs.O_WRONLY || flags&0x3 == vfs.O_RDWR
+	wantRead := flags&0x3 == vfs.O_RDONLY || flags&0x3 == vfs.O_RDWR
+
+	src, info, err := u.resolve(name)
+	found := err == nil
+	if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return nil, err
+	}
+
+	if found {
+		if flags&vfs.O_CREATE != 0 && flags&vfs.O_EXCL != 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: vfs.ErrExist}
+		}
+		if info.IsDir() {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: vfs.ErrIsDir}
+		}
+		if wantRead {
+			if err := u.checkRead(c, info); err != nil {
+				return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+			}
+		}
+		if !wantWrite {
+			return u.branches[src].FS.Open(vfs.Root, name, flags, perm)
+		}
+		if err := u.checkWrite(c, info); err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+		w, ok := u.writable()
+		if !ok {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: vfs.ErrReadOnly}
+		}
+		if src != 0 || !u.branches[0].Writable {
+			// Copy-up into the writable branch, then operate there.
+			if err := u.copyUp(name, src, info, flags&vfs.O_TRUNC != 0); err != nil {
+				return nil, err
+			}
+		}
+		return w.FS.Open(vfs.Root, name, flags, perm)
+	}
+
+	// Not found anywhere.
+	if flags&vfs.O_CREATE == 0 {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: vfs.ErrNotExist}
+	}
+	w, ok := u.writable()
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: vfs.ErrReadOnly}
+	}
+	// Creating requires write access to the visible parent directory.
+	if dirInfo, _, derr := u.statVisibleDir(path.Dir(vfs.Clean(name))); derr == nil {
+		if err := u.checkWrite(c, dirInfo); err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+	} else {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: vfs.ErrNotExist}
+	}
+	if err := ensureParent(w, name); err != nil {
+		return nil, err
+	}
+	// Remove any stale whiteout so the new file becomes visible.
+	_ = w.FS.Remove(vfs.Root, whiteoutName(name))
+	h, err := w.FS.Open(vfs.Root, name, flags, perm)
+	if err != nil {
+		return nil, err
+	}
+	// The created file belongs to the caller.
+	_ = w.FS.Chown(vfs.Root, name, c.UID)
+	return h, nil
+}
+
+// statVisibleDir resolves a directory in the merged view.
+func (u *Union) statVisibleDir(dir string) (vfs.FileInfo, int, error) {
+	i, info, err := u.resolve(dir)
+	if err != nil {
+		return vfs.FileInfo{}, 0, err
+	}
+	if !info.IsDir() {
+		return vfs.FileInfo{}, 0, vfs.ErrNotDir
+	}
+	return info, i, nil
+}
+
+// Stat returns metadata for name in the merged view.
+func (u *Union) Stat(c vfs.Cred, name string) (vfs.FileInfo, error) {
+	_, info, err := u.resolve(name)
+	return info, err
+}
+
+// ReadDir lists the merged directory, honoring whiteouts and hiding the
+// whiteout entries themselves.
+func (u *Union) ReadDir(c vfs.Cred, name string) ([]vfs.DirEntry, error) {
+	cleaned := vfs.Clean(name)
+	if _, _, err := u.statVisibleDir(cleaned); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]vfs.DirEntry)
+	hidden := make(map[string]bool)
+	anyBranchListed := false
+	for i, b := range u.branches {
+		if u.hiddenAbove(cleaned, i) {
+			break
+		}
+		entries, err := b.FS.ReadDir(vfs.Root, cleaned)
+		if errors.Is(err, vfs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		anyBranchListed = true
+		// First pass: real entries at this branch, hidden only by
+		// whiteouts from strictly higher branches.
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name, whPrefix) {
+				continue
+			}
+			if hidden[e.Name] {
+				continue
+			}
+			if _, ok := seen[e.Name]; !ok {
+				seen[e.Name] = e
+			}
+		}
+		// Second pass: whiteouts at this branch hide lower branches.
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name, whPrefix) {
+				hidden[strings.TrimPrefix(e.Name, whPrefix)] = true
+			}
+		}
+	}
+	if !anyBranchListed {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: vfs.ErrNotExist}
+	}
+	out := make([]vfs.DirEntry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Mkdir creates a directory in the writable branch.
+func (u *Union) Mkdir(c vfs.Cred, name string, perm fs.FileMode) error {
+	if _, _, err := u.resolve(name); err == nil {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: vfs.ErrExist}
+	}
+	w, ok := u.writable()
+	if !ok {
+		return vfs.ErrReadOnly
+	}
+	if dirInfo, _, derr := u.statVisibleDir(path.Dir(vfs.Clean(name))); derr == nil {
+		if err := u.checkWrite(c, dirInfo); err != nil {
+			return &fs.PathError{Op: "mkdir", Path: name, Err: err}
+		}
+	} else {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: vfs.ErrNotExist}
+	}
+	if err := ensureParent(w, name); err != nil {
+		return err
+	}
+	_ = w.FS.Remove(vfs.Root, whiteoutName(name))
+	if err := w.FS.Mkdir(vfs.Root, name, perm); err != nil {
+		return err
+	}
+	return w.FS.Chown(vfs.Root, name, c.UID)
+}
+
+// MkdirAll creates name and missing parents in the writable branch.
+func (u *Union) MkdirAll(c vfs.Cred, name string, perm fs.FileMode) error {
+	cleaned := vfs.Clean(name)
+	if cleaned == "/" {
+		return nil
+	}
+	elems := strings.Split(cleaned[1:], "/")
+	cur := "/"
+	for _, elem := range elems {
+		cur = path.Join(cur, elem)
+		_, info, err := u.resolve(cur)
+		if err == nil {
+			if !info.IsDir() {
+				return &fs.PathError{Op: "mkdir", Path: cur, Err: vfs.ErrNotDir}
+			}
+			continue
+		}
+		if err := u.Mkdir(c, cur, perm); err != nil && !errors.Is(err, vfs.ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes name from the merged view. If the name exists in a
+// lower branch, a whiteout is created so it stays hidden.
+func (u *Union) Remove(c vfs.Cred, name string) error {
+	src, info, err := u.resolve(name)
+	if err != nil {
+		return err
+	}
+	if err := u.checkWrite(c, info); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	w, ok := u.writable()
+	if !ok {
+		return vfs.ErrReadOnly
+	}
+	if info.IsDir() {
+		entries, err := u.ReadDir(c, name)
+		if err != nil {
+			return err
+		}
+		if len(entries) > 0 {
+			return &fs.PathError{Op: "remove", Path: name, Err: vfs.ErrNotEmpty}
+		}
+	}
+	if src == 0 && u.branches[0].Writable {
+		if info.IsDir() {
+			if err := w.FS.RemoveAll(vfs.Root, name); err != nil {
+				return err
+			}
+		} else if err := w.FS.Remove(vfs.Root, name); err != nil {
+			return err
+		}
+	}
+	// Hide any copy in lower branches.
+	if u.existsBelow(name, 1) {
+		if err := ensureParent(w, name); err != nil {
+			return err
+		}
+		if err := vfs.WriteFile(w.FS, vfs.Root, whiteoutName(name), nil, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// existsBelow reports whether name exists in any branch at or below idx.
+func (u *Union) existsBelow(name string, idx int) bool {
+	for i := idx; i < len(u.branches); i++ {
+		if vfs.Exists(u.branches[i].FS, vfs.Root, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveAll deletes the subtree rooted at name from the merged view.
+func (u *Union) RemoveAll(c vfs.Cred, name string) error {
+	_, info, err := u.resolve(name)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		entries, err := u.ReadDir(c, name)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := u.RemoveAll(c, path.Join(vfs.Clean(name), e.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return u.Remove(c, name)
+}
+
+// Rename moves oldname to newname within the merged view. It is
+// implemented as copy + delete, which matches Aufs behavior when the
+// source lives in a read-only branch.
+func (u *Union) Rename(c vfs.Cred, oldname, newname string) error {
+	_, info, err := u.resolve(oldname)
+	if err != nil {
+		return err
+	}
+	if info.IsDir() {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: vfs.ErrIsDir}
+	}
+	data, err := vfs.ReadFile(u, c, oldname)
+	if err != nil {
+		return err
+	}
+	if err := vfs.WriteFile(u, c, newname, data, info.Mode.Perm()); err != nil {
+		return err
+	}
+	return u.Remove(c, oldname)
+}
+
+// Chown changes ownership of the writable copy of name (copy-up first).
+func (u *Union) Chown(c vfs.Cred, name string, uid int) error {
+	src, info, err := u.resolve(name)
+	if err != nil {
+		return err
+	}
+	if c.UID != 0 && c.UID != info.UID {
+		return &fs.PathError{Op: "chown", Path: name, Err: vfs.ErrPermission}
+	}
+	w, ok := u.writable()
+	if !ok {
+		return vfs.ErrReadOnly
+	}
+	if src != 0 || !u.branches[0].Writable {
+		if info.IsDir() {
+			return &fs.PathError{Op: "chown", Path: name, Err: vfs.ErrReadOnly}
+		}
+		if err := u.copyUp(name, src, info, false); err != nil {
+			return err
+		}
+	}
+	return w.FS.Chown(vfs.Root, name, uid)
+}
+
+// Chmod changes the mode of the writable copy of name (copy-up first).
+func (u *Union) Chmod(c vfs.Cred, name string, perm fs.FileMode) error {
+	src, info, err := u.resolve(name)
+	if err != nil {
+		return err
+	}
+	if c.UID != 0 && c.UID != info.UID {
+		return &fs.PathError{Op: "chmod", Path: name, Err: vfs.ErrPermission}
+	}
+	w, ok := u.writable()
+	if !ok {
+		return vfs.ErrReadOnly
+	}
+	if src != 0 || !u.branches[0].Writable {
+		if info.IsDir() {
+			return &fs.PathError{Op: "chmod", Path: name, Err: vfs.ErrReadOnly}
+		}
+		if err := u.copyUp(name, src, info, false); err != nil {
+			return err
+		}
+	}
+	return w.FS.Chmod(vfs.Root, name, perm)
+}

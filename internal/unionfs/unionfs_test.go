@@ -1,0 +1,413 @@
+package unionfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"maxoid/internal/vfs"
+)
+
+// newTestUnion builds a disk with a writable branch at /upper and a
+// read-only branch at /lower, returning the disk and the union.
+func newTestUnion(t *testing.T, opts Options) (*vfs.FS, *Union) {
+	t.Helper()
+	disk := vfs.New()
+	for _, d := range []string{"/upper", "/lower"} {
+		if err := disk.MkdirAll(vfs.Root, d, 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := New(opts,
+		Branch{FS: vfs.Sub(disk, "/upper"), Writable: true},
+		Branch{FS: vfs.Sub(disk, "/lower")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return disk, u
+}
+
+func TestReadFromLowerBranch(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("low"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/f")
+	if err != nil || string(got) != "low" {
+		t.Errorf("read lower = %q, %v", got, err)
+	}
+}
+
+func TestUpperShadowsLower(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("low"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/upper/f", []byte("up"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/f")
+	if err != nil || string(got) != "up" {
+		t.Errorf("read = %q, %v; want upper copy", got, err)
+	}
+}
+
+func TestWriteGoesToWritableBranch(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(u, vfs.Root, "/new", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(disk, vfs.Root, "/upper/new") {
+		t.Error("write did not land in writable branch")
+	}
+	if vfs.Exists(disk, vfs.Root, "/lower/new") {
+		t.Error("write leaked into read-only branch")
+	}
+}
+
+func TestCopyUpOnModify(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/doc", []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(u, vfs.Root, "/doc", []byte("edited"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Lower branch is untouched — this is Maxoid property S2.
+	low, _ := vfs.ReadFile(disk, vfs.Root, "/lower/doc")
+	if string(low) != "original" {
+		t.Errorf("lower branch mutated to %q", low)
+	}
+	up, err := vfs.ReadFile(disk, vfs.Root, "/upper/doc")
+	if err != nil || string(up) != "edited" {
+		t.Errorf("upper copy = %q, %v", up, err)
+	}
+	// Merged view reads its own write (U3: read-your-writes).
+	merged, _ := vfs.ReadFile(u, vfs.Root, "/doc")
+	if string(merged) != "edited" {
+		t.Errorf("merged view = %q, want edited", merged)
+	}
+}
+
+func TestCopyUpOnAppendPreservesData(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/log", []byte("head-"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.AppendFile(u, vfs.Root, "/log", []byte("tail"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/log")
+	if err != nil || string(got) != "head-tail" {
+		t.Errorf("append result = %q, %v", got, err)
+	}
+	low, _ := vfs.ReadFile(disk, vfs.Root, "/lower/log")
+	if string(low) != "head-" {
+		t.Errorf("lower mutated: %q", low)
+	}
+}
+
+func TestCopyUpInNestedDir(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := disk.MkdirAll(vfs.Root, "/lower/a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/a/b/f", []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(u, vfs.Root, "/a/b/f", []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	up, err := vfs.ReadFile(disk, vfs.Root, "/upper/a/b/f")
+	if err != nil || string(up) != "v2" {
+		t.Errorf("nested copy-up = %q, %v", up, err)
+	}
+}
+
+func TestWhiteoutOnDelete(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove(vfs.Root, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/f") {
+		t.Error("file still visible after delete")
+	}
+	if !vfs.Exists(disk, vfs.Root, "/upper/.wh.f") {
+		t.Error("no whiteout created in writable branch")
+	}
+	if !vfs.Exists(disk, vfs.Root, "/lower/f") {
+		t.Error("delete mutated the read-only branch")
+	}
+	// Recreate after delete: whiteout must be cleared.
+	if err := vfs.WriteFile(u, vfs.Root, "/f", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/f")
+	if err != nil || string(got) != "y" {
+		t.Errorf("recreate after delete = %q, %v", got, err)
+	}
+}
+
+func TestDeleteUpperRevealsNothingWhenWhiteouted(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("low"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Modify (copy-up), then delete: lower copy must NOT reappear.
+	if err := vfs.WriteFile(u, vfs.Root, "/f", []byte("up"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove(vfs.Root, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/f") {
+		t.Error("lower copy reappeared after deleting upper copy")
+	}
+}
+
+func TestReadDirMerges(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/a", []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/b", []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/upper/b", []byte("2up"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/upper/c", []byte("3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := u.ReadDir(vfs.Root, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	want := []string{"a", "b", "c"}
+	if len(names) != len(want) {
+		t.Fatalf("ReadDir = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ReadDir = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestReadDirHidesWhiteoutsAndWhiteoutedEntries(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/gone", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/kept", []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove(vfs.Root, "/gone"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := u.ReadDir(vfs.Root, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "kept" {
+		t.Errorf("ReadDir = %v, want only 'kept'", entries)
+	}
+}
+
+func TestWhiteoutedDirHidesChildren(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := disk.MkdirAll(vfs.Root, "/lower/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/d/child", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Whiteout the directory itself (as RemoveAll would).
+	if err := u.RemoveAll(vfs.Root, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/d/child") {
+		t.Error("child of whiteouted dir still visible")
+	}
+	if vfs.Exists(u, vfs.Root, "/d") {
+		t.Error("whiteouted dir still visible")
+	}
+}
+
+func TestRename(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/src", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Rename(vfs.Root, "/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/src") {
+		t.Error("src visible after rename")
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/dst")
+	if err != nil || string(got) != "data" {
+		t.Errorf("dst = %q, %v", got, err)
+	}
+	if !vfs.Exists(disk, vfs.Root, "/lower/src") {
+		t.Error("rename mutated read-only branch")
+	}
+}
+
+func TestReadOnlyUnion(t *testing.T) {
+	disk := vfs.New()
+	if err := disk.MkdirAll(vfs.Root, "/ro", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/ro/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := New(Options{}, Branch{FS: vfs.Sub(disk, "/ro")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.ReadFile(u, vfs.Root, "/f"); err != nil {
+		t.Errorf("read from ro union: %v", err)
+	}
+	if err := vfs.WriteFile(u, vfs.Root, "/f", []byte("y"), 0o644); !errors.Is(err, vfs.ErrReadOnly) {
+		t.Errorf("write to ro union: %v, want ErrReadOnly", err)
+	}
+}
+
+func TestWritableBranchMustBeFirst(t *testing.T) {
+	disk := vfs.New()
+	_, err := New(Options{},
+		Branch{FS: vfs.Sub(disk, "/a")},
+		Branch{FS: vfs.Sub(disk, "/b"), Writable: true},
+	)
+	if err == nil {
+		t.Error("expected error for writable branch not first")
+	}
+	if _, err := New(Options{}); err == nil {
+		t.Error("expected error for empty branch list")
+	}
+}
+
+func TestAllowAllReadsCrossUID(t *testing.T) {
+	disk := vfs.New()
+	initiator := vfs.Cred{UID: 100}
+	delegate := vfs.Cred{UID: 200}
+	if err := disk.MkdirAll(vfs.Root, "/privA", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Chown(vfs.Root, "/privA", initiator.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, initiator, "/privA/secret", []byte("s3cret"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.MkdirAll(vfs.Root, "/tmpA", 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without AllowAllReads the delegate is denied.
+	strict, err := New(Options{},
+		Branch{FS: vfs.Sub(disk, "/tmpA"), Writable: true},
+		Branch{FS: vfs.Sub(disk, "/privA")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.ReadFile(strict, delegate, "/secret"); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("strict union read: %v, want ErrPermission", err)
+	}
+
+	// With the paper's modified-Aufs behavior the read succeeds.
+	relaxed, err := New(Options{AllowAllReads: true, AllowAllWrites: true},
+		Branch{FS: vfs.Sub(disk, "/tmpA"), Writable: true},
+		Branch{FS: vfs.Sub(disk, "/privA")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(relaxed, delegate, "/secret")
+	if err != nil || string(got) != "s3cret" {
+		t.Errorf("relaxed union read = %q, %v", got, err)
+	}
+	// And writes land in the volatile branch only.
+	if err := vfs.WriteFile(relaxed, delegate, "/secret", []byte("mod"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := vfs.ReadFile(disk, initiator, "/privA/secret")
+	if string(orig) != "s3cret" {
+		t.Errorf("initiator private file mutated: %q", orig)
+	}
+	vol, err := vfs.ReadFile(disk, vfs.Root, "/tmpA/secret")
+	if err != nil || string(vol) != "mod" {
+		t.Errorf("volatile copy = %q, %v", vol, err)
+	}
+}
+
+func TestMkdirAllAcrossBranches(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := disk.MkdirAll(vfs.Root, "/lower/x/y", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// /x/y exists in lower; extending it with /z lands in upper.
+	if err := u.MkdirAll(vfs.Root, "/x/y/z", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(disk, vfs.Root, "/upper/x/y/z") {
+		t.Error("new dir not in writable branch")
+	}
+	if vfs.Exists(disk, vfs.Root, "/lower/x/y/z") {
+		t.Error("mkdir leaked into read-only branch")
+	}
+	info, err := u.Stat(vfs.Root, "/x/y/z")
+	if err != nil || !info.IsDir() {
+		t.Errorf("merged stat = %+v, %v", info, err)
+	}
+}
+
+func TestStatPrefersUpper(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", bytes.Repeat([]byte("a"), 10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(disk, vfs.Root, "/upper/f", bytes.Repeat([]byte("b"), 20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := u.Stat(vfs.Root, "/f")
+	if err != nil || info.Size != 20 {
+		t.Errorf("Stat = %+v, %v; want size 20", info, err)
+	}
+}
+
+func TestOpenExclusiveOnLowerFile(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Open(vfs.Root, "/f", vfs.O_WRONLY|vfs.O_CREATE|vfs.O_EXCL, 0o644); !errors.Is(err, vfs.ErrExist) {
+		t.Errorf("O_EXCL over lower file: %v, want ErrExist", err)
+	}
+}
+
+func TestTruncOpenSkipsDataCopy(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/big", bytes.Repeat([]byte("z"), 1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := u.Open(vfs.Root, "/big", vfs.O_WRONLY|vfs.O_TRUNC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	info, err := u.Stat(vfs.Root, "/big")
+	if err != nil || info.Size != 0 {
+		t.Errorf("size after O_TRUNC = %d, %v", info.Size, err)
+	}
+}

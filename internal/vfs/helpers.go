@@ -1,0 +1,179 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+)
+
+// ReadFile reads the entire named file.
+func ReadFile(fsys FileSystem, c Cred, name string) ([]byte, error) {
+	h, err := fsys.Open(c, name, O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	return io.ReadAll(h)
+}
+
+// WriteFile creates or truncates the named file and writes data to it.
+func WriteFile(fsys FileSystem, c Cred, name string, data []byte, perm fs.FileMode) error {
+	h, err := fsys.Open(c, name, O_WRONLY|O_CREATE|O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := h.Write(data)
+	cerr := h.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// AppendFile appends data to the named file, creating it if necessary.
+func AppendFile(fsys FileSystem, c Cred, name string, data []byte, perm fs.FileMode) error {
+	h, err := fsys.Open(c, name, O_WRONLY|O_CREATE|O_APPEND, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := h.Write(data)
+	cerr := h.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Exists reports whether the named file or directory exists (for the
+// given credential's view; permission errors count as existing).
+func Exists(fsys FileSystem, c Cred, name string) bool {
+	_, err := fsys.Stat(c, name)
+	return err == nil || !errors.Is(err, ErrNotExist)
+}
+
+// CopyFile copies src to dst within (possibly different) filesystems,
+// creating parent directories of dst as needed.
+func CopyFile(srcFS FileSystem, dstFS FileSystem, c Cred, src, dst string, perm fs.FileMode) error {
+	data, err := ReadFile(srcFS, c, src)
+	if err != nil {
+		return err
+	}
+	if dir := path.Dir(Clean(dst)); dir != "/" {
+		if err := dstFS.MkdirAll(c, dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return WriteFile(dstFS, c, dst, data, perm)
+}
+
+// WalkFunc is invoked by Walk for every file and directory visited.
+type WalkFunc func(name string, info FileInfo) error
+
+// Walk traverses the tree rooted at name in lexical order, invoking fn
+// for each file and directory including the root. Errors from fn abort
+// the walk.
+func Walk(fsys FileSystem, c Cred, name string, fn WalkFunc) error {
+	info, err := fsys.Stat(c, name)
+	if err != nil {
+		return err
+	}
+	cleaned := Clean(name)
+	if err := fn(cleaned, info); err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return nil
+	}
+	entries, err := fsys.ReadDir(c, cleaned)
+	if err != nil {
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, e := range entries {
+		if err := Walk(fsys, c, path.Join(cleaned, e.Name), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tree returns the set of file paths (not directories) under root,
+// mapped to their contents. Useful for snapshot/diff in tests and the
+// state auditor.
+func Tree(fsys FileSystem, c Cred, root string) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	err := Walk(fsys, c, root, func(name string, info FileInfo) error {
+		if info.IsDir() {
+			return nil
+		}
+		data, err := ReadFile(fsys, c, name)
+		if err != nil {
+			return err
+		}
+		out[name] = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sub returns a FileSystem view rooted at dir within base. All paths
+// passed to the returned filesystem are interpreted relative to dir.
+// The directory need not exist at call time, but operations will fail
+// until it does.
+func Sub(base FileSystem, dir string) FileSystem {
+	return &subFS{base: base, prefix: Clean(dir)}
+}
+
+type subFS struct {
+	base   FileSystem
+	prefix string
+}
+
+func (s *subFS) abs(name string) string {
+	return path.Join(s.prefix, Clean(name))
+}
+
+func (s *subFS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, error) {
+	return s.base.Open(c, s.abs(name), flags, perm)
+}
+
+func (s *subFS) Stat(c Cred, name string) (FileInfo, error) {
+	return s.base.Stat(c, s.abs(name))
+}
+
+func (s *subFS) ReadDir(c Cred, name string) ([]DirEntry, error) {
+	return s.base.ReadDir(c, s.abs(name))
+}
+
+func (s *subFS) Mkdir(c Cred, name string, perm fs.FileMode) error {
+	return s.base.Mkdir(c, s.abs(name), perm)
+}
+
+func (s *subFS) MkdirAll(c Cred, name string, perm fs.FileMode) error {
+	return s.base.MkdirAll(c, s.abs(name), perm)
+}
+
+func (s *subFS) Remove(c Cred, name string) error {
+	return s.base.Remove(c, s.abs(name))
+}
+
+func (s *subFS) RemoveAll(c Cred, name string) error {
+	return s.base.RemoveAll(c, s.abs(name))
+}
+
+func (s *subFS) Rename(c Cred, oldname, newname string) error {
+	return s.base.Rename(c, s.abs(oldname), s.abs(newname))
+}
+
+func (s *subFS) Chown(c Cred, name string, uid int) error {
+	return s.base.Chown(c, s.abs(name), uid)
+}
+
+func (s *subFS) Chmod(c Cred, name string, perm fs.FileMode) error {
+	return s.base.Chmod(c, s.abs(name), perm)
+}

@@ -1,0 +1,192 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path"
+	"testing"
+	"testing/quick"
+)
+
+// randPath derives a small random path from r so that collisions between
+// operations are likely, exercising interesting interleavings.
+func randPath(r *rand.Rand) string {
+	depth := 1 + r.Intn(3)
+	p := ""
+	for i := 0; i < depth; i++ {
+		p += fmt.Sprintf("/d%d", r.Intn(4))
+	}
+	return p
+}
+
+// TestPropWriteThenRead checks the fundamental read-your-writes property:
+// any byte slice written to any path is read back identically.
+func TestPropWriteThenRead(t *testing.T) {
+	f := New()
+	prop := func(data []byte, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		name := randPath(r) + "/file"
+		if err := f.MkdirAll(Root, path.Dir(name), 0o755); err != nil {
+			return false
+		}
+		if err := WriteFile(f, Root, name, data, 0o644); err != nil {
+			return false
+		}
+		got, err := ReadFile(f, Root, name)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropTruncateIdempotent checks Truncate(n);Truncate(n) equals a
+// single Truncate(n), and size is always exactly n afterwards.
+func TestPropTruncateIdempotent(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/t", make([]byte, 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(n uint16) bool {
+		size := int64(n % 2048)
+		h, err := f.Open(Root, "/t", O_RDWR, 0)
+		if err != nil {
+			return false
+		}
+		defer h.Close()
+		if err := h.Truncate(size); err != nil {
+			return false
+		}
+		if err := h.Truncate(size); err != nil {
+			return false
+		}
+		info, err := h.Stat()
+		return err == nil && info.Size == size
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRenamePreservesContent checks that rename never corrupts data
+// and always removes the source.
+func TestPropRenamePreservesContent(t *testing.T) {
+	prop := func(data []byte, a, b uint8) bool {
+		f := New()
+		src := fmt.Sprintf("/s%d", a%8)
+		dst := fmt.Sprintf("/t%d", b%8)
+		if src == dst {
+			return true
+		}
+		if err := WriteFile(f, Root, src, data, 0o644); err != nil {
+			return false
+		}
+		if err := f.Rename(Root, src, dst); err != nil {
+			return false
+		}
+		if Exists(f, Root, src) {
+			return false
+		}
+		got, err := ReadFile(f, Root, dst)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropPermissionIsolation: files created 0600 by one UID are never
+// readable or writable by a different non-root UID.
+func TestPropPermissionIsolation(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/p", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	counter := 0
+	prop := func(owner, other uint8, data []byte) bool {
+		o := Cred{UID: 1000 + int(owner)}
+		x := Cred{UID: 2000 + int(other)}
+		counter++
+		name := fmt.Sprintf("/p/f%d", counter)
+		if err := WriteFile(f, o, name, data, 0o600); err != nil {
+			return false
+		}
+		if _, err := ReadFile(f, x, name); err == nil {
+			return false
+		}
+		if err := WriteFile(f, x, name, []byte("x"), 0o600); err == nil {
+			return false
+		}
+		got, err := ReadFile(f, o, name)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRandomOps applies a random sequence of operations against both
+// the vfs and a flat model map, then checks the observable file set and
+// contents agree. This is a model-based property test of the whole API.
+func TestPropRandomOps(t *testing.T) {
+	const ops = 2000
+	r := rand.New(rand.NewSource(42))
+	f := New()
+	model := make(map[string][]byte)
+
+	for i := 0; i < ops; i++ {
+		name := randPath(r) + fmt.Sprintf("/f%d", r.Intn(6))
+		switch r.Intn(4) {
+		case 0: // write
+			data := make([]byte, r.Intn(64))
+			r.Read(data)
+			if err := f.MkdirAll(Root, path.Dir(name), 0o755); err != nil {
+				t.Fatalf("op %d MkdirAll(%s): %v", i, name, err)
+			}
+			if err := WriteFile(f, Root, name, data, 0o644); err != nil {
+				t.Fatalf("op %d WriteFile(%s): %v", i, name, err)
+			}
+			model[name] = data
+		case 1: // append
+			if _, ok := model[name]; !ok {
+				continue
+			}
+			extra := make([]byte, r.Intn(16))
+			r.Read(extra)
+			if err := AppendFile(f, Root, name, extra, 0o644); err != nil {
+				t.Fatalf("op %d AppendFile(%s): %v", i, name, err)
+			}
+			model[name] = append(model[name], extra...)
+		case 2: // remove
+			if _, ok := model[name]; !ok {
+				continue
+			}
+			if err := f.Remove(Root, name); err != nil {
+				t.Fatalf("op %d Remove(%s): %v", i, name, err)
+			}
+			delete(model, name)
+		case 3: // read + verify
+			want, ok := model[name]
+			got, err := ReadFile(f, Root, name)
+			if ok {
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("op %d Read(%s) = %v, %v; want %v", i, name, got, err, want)
+				}
+			} else if err == nil {
+				t.Fatalf("op %d Read(%s) succeeded on deleted/missing file", i, name)
+			}
+		}
+	}
+
+	// Final sweep: every model file must be present with exact contents.
+	for name, want := range model {
+		got, err := ReadFile(f, Root, name)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("final %s = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}

@@ -1,0 +1,663 @@
+// Package vfs implements an in-memory, hierarchical, POSIX-like virtual
+// filesystem with per-file ownership and permission checks.
+//
+// It is the storage substrate for the Maxoid reproduction: Android's
+// internal storage, external storage (SD card), and all private app
+// directories are directories inside a single shared *FS ("the disk").
+// Union filesystems (package unionfs) and mount namespaces (package
+// mount) are layered on top of the FileSystem interface defined here.
+//
+// Paths are slash-separated and interpreted relative to the filesystem
+// root; a leading slash is optional and ignored. Path elements "." and
+// ".." are resolved lexically.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Error values mirror the POSIX error conditions Maxoid's enforcement
+// relies on. They satisfy errors.Is against their io/fs counterparts
+// where one exists.
+var (
+	ErrNotExist   = fs.ErrNotExist
+	ErrExist      = fs.ErrExist
+	ErrPermission = fs.ErrPermission
+	ErrInvalid    = fs.ErrInvalid
+	ErrIsDir      = errors.New("is a directory")
+	ErrNotDir     = errors.New("not a directory")
+	ErrNotEmpty   = errors.New("directory not empty")
+	ErrReadOnly   = errors.New("read-only file system")
+	ErrClosed     = errors.New("file already closed")
+)
+
+// Open flags, a subset of the POSIX open(2) flags.
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+	O_CREATE = 0x40
+	O_EXCL   = 0x80
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+
+	accessMask = 0x3
+)
+
+// Cred identifies the subject performing a filesystem operation.
+// UID 0 is root and bypasses permission checks, as in Unix.
+type Cred struct {
+	UID int
+}
+
+// Root is the all-powerful credential used by trusted system services
+// (Zygote, the branch manager, system content providers).
+var Root = Cred{UID: 0}
+
+// FileInfo describes a file, analogous to io/fs.FileInfo but with
+// ownership attached.
+type FileInfo struct {
+	Name    string
+	Size    int64
+	Mode    fs.FileMode
+	ModTime time.Time
+	UID     int
+}
+
+// IsDir reports whether the entry is a directory.
+func (fi FileInfo) IsDir() bool { return fi.Mode.IsDir() }
+
+// DirEntry is a single directory listing entry.
+type DirEntry struct {
+	Name string
+	Mode fs.FileMode
+	UID  int
+}
+
+// IsDir reports whether the entry is a directory.
+func (de DirEntry) IsDir() bool { return de.Mode.IsDir() }
+
+// Handle is an open file. Handles are not safe for concurrent use by
+// multiple goroutines; open one handle per goroutine instead.
+type Handle interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	io.ReaderAt
+	io.WriterAt
+	// Truncate changes the size of the open file.
+	Truncate(size int64) error
+	// Stat returns metadata for the open file.
+	Stat() (FileInfo, error)
+}
+
+// FileSystem is the interface shared by the plain in-memory filesystem,
+// sub-directory views (Sub), and union mounts (package unionfs). All
+// methods take the caller's credential so permission enforcement happens
+// at the lowest layer.
+type FileSystem interface {
+	Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, error)
+	Stat(c Cred, name string) (FileInfo, error)
+	ReadDir(c Cred, name string) ([]DirEntry, error)
+	Mkdir(c Cred, name string, perm fs.FileMode) error
+	MkdirAll(c Cred, name string, perm fs.FileMode) error
+	Remove(c Cred, name string) error
+	RemoveAll(c Cred, name string) error
+	Rename(c Cred, oldname, newname string) error
+	Chown(c Cred, name string, uid int) error
+	Chmod(c Cred, name string, perm fs.FileMode) error
+}
+
+// node is a file or directory in the tree.
+type node struct {
+	name     string
+	mode     fs.FileMode
+	uid      int
+	mtime    time.Time
+	data     []byte           // file content (nil for directories)
+	children map[string]*node // directory entries (nil for files)
+}
+
+func (n *node) isDir() bool { return n.mode.IsDir() }
+
+func (n *node) info() FileInfo {
+	return FileInfo{
+		Name:    n.name,
+		Size:    int64(len(n.data)),
+		Mode:    n.mode,
+		ModTime: n.mtime,
+		UID:     n.uid,
+	}
+}
+
+// FS is the in-memory filesystem. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	root  *node
+	clock func() time.Time
+}
+
+// New returns an empty filesystem whose root directory is owned by root
+// with mode 0755.
+func New() *FS {
+	f := &FS{clock: time.Now}
+	f.root = &node{
+		name:     "/",
+		mode:     fs.ModeDir | 0o755,
+		uid:      0,
+		mtime:    f.clock(),
+		children: make(map[string]*node),
+	}
+	return f
+}
+
+// SetClock replaces the timestamp source; used by tests for determinism.
+func (f *FS) SetClock(clock func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock = clock
+}
+
+// split cleans name into path elements. An empty slice means the root.
+func split(name string) []string {
+	cleaned := path.Clean("/" + name)
+	if cleaned == "/" {
+		return nil
+	}
+	return strings.Split(cleaned[1:], "/")
+}
+
+// Clean normalizes a path to the canonical absolute form used by this
+// package ("/a/b"; "/" for the root).
+func Clean(name string) string {
+	return path.Clean("/" + name)
+}
+
+type permClass int
+
+const (
+	permRead permClass = iota
+	permWrite
+	permExec
+)
+
+// allowed reports whether cred may perform the given class of access on n.
+func allowed(c Cred, n *node, class permClass) bool {
+	if c.UID == 0 {
+		return true
+	}
+	perm := n.mode.Perm()
+	var bit fs.FileMode
+	switch class {
+	case permRead:
+		bit = 0o4
+	case permWrite:
+		bit = 0o2
+	case permExec:
+		bit = 0o1
+	}
+	if c.UID == n.uid {
+		return perm&(bit<<6) != 0
+	}
+	return perm&bit != 0
+}
+
+// lookup walks the tree to name, enforcing search (execute) permission
+// on every intermediate directory, as Unix does. This is what makes
+// "a path that only root can directly access" (paper §4.2) effective
+// for the delegate branch directories. The caller must hold f.mu.
+func (f *FS) lookup(name string) (*node, error) {
+	return f.lookupAs(Root, name)
+}
+
+// lookupAs is lookup with the caller's credential for traversal checks.
+func (f *FS) lookupAs(c Cred, name string) (*node, error) {
+	cur := f.root
+	for _, elem := range split(name) {
+		if !cur.isDir() {
+			return nil, &fs.PathError{Op: "lookup", Path: name, Err: ErrNotDir}
+		}
+		if !allowed(c, cur, permExec) {
+			return nil, &fs.PathError{Op: "lookup", Path: name, Err: ErrPermission}
+		}
+		next, ok := cur.children[elem]
+		if !ok {
+			return nil, &fs.PathError{Op: "lookup", Path: name, Err: ErrNotExist}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupParent returns the parent directory of name and the final path
+// element. The caller must hold f.mu.
+func (f *FS) lookupParent(c Cred, name string) (*node, string, error) {
+	elems := split(name)
+	if len(elems) == 0 {
+		return nil, "", &fs.PathError{Op: "lookup", Path: name, Err: ErrInvalid}
+	}
+	parent, err := f.lookupAs(c, path.Dir(Clean(name)))
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.isDir() {
+		return nil, "", &fs.PathError{Op: "lookup", Path: name, Err: ErrNotDir}
+	}
+	return parent, elems[len(elems)-1], nil
+}
+
+// Stat returns metadata for the named file.
+func (f *FS) Stat(c Cred, name string) (FileInfo, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookupAs(c, name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return n.info(), nil
+}
+
+// ReadDir lists the named directory, sorted by entry name.
+func (f *FS) ReadDir(c Cred, name string) ([]DirEntry, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, err := f.lookupAs(c, name)
+	if err != nil {
+		return nil, err
+	}
+	if !n.isDir() {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: ErrNotDir}
+	}
+	if !allowed(c, n, permRead) {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: ErrPermission}
+	}
+	entries := make([]DirEntry, 0, len(n.children))
+	for _, child := range n.children {
+		entries = append(entries, DirEntry{Name: child.name, Mode: child.mode, UID: child.uid})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// Mkdir creates the named directory.
+func (f *FS) Mkdir(c Cred, name string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mkdirLocked(c, name, perm)
+}
+
+func (f *FS) mkdirLocked(c Cred, name string, perm fs.FileMode) error {
+	parent, base, err := f.lookupParent(c, name)
+	if err != nil {
+		return err
+	}
+	if !allowed(c, parent, permWrite) {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: ErrPermission}
+	}
+	if _, ok := parent.children[base]; ok {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: ErrExist}
+	}
+	parent.children[base] = &node{
+		name:     base,
+		mode:     fs.ModeDir | perm.Perm(),
+		uid:      c.UID,
+		mtime:    f.clock(),
+		children: make(map[string]*node),
+	}
+	parent.mtime = f.clock()
+	return nil
+}
+
+// MkdirAll creates the named directory and any missing parents. Existing
+// directories along the path are left untouched.
+func (f *FS) MkdirAll(c Cred, name string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	elems := split(name)
+	cur := "/"
+	for _, elem := range elems {
+		cur = path.Join(cur, elem)
+		n, err := f.lookupAs(c, cur)
+		if err == nil {
+			if !n.isDir() {
+				return &fs.PathError{Op: "mkdir", Path: cur, Err: ErrNotDir}
+			}
+			continue
+		}
+		if mkErr := f.mkdirLocked(c, cur, perm); mkErr != nil {
+			return mkErr
+		}
+	}
+	return nil
+}
+
+// Remove deletes the named file or empty directory.
+func (f *FS) Remove(c Cred, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, base, err := f.lookupParent(c, name)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[base]
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
+	}
+	if !allowed(c, parent, permWrite) {
+		return &fs.PathError{Op: "remove", Path: name, Err: ErrPermission}
+	}
+	if n.isDir() && len(n.children) > 0 {
+		return &fs.PathError{Op: "remove", Path: name, Err: ErrNotEmpty}
+	}
+	delete(parent.children, base)
+	parent.mtime = f.clock()
+	return nil
+}
+
+// RemoveAll deletes name and, if it is a directory, everything beneath
+// it. It is not an error if the path does not exist.
+func (f *FS) RemoveAll(c Cred, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	parent, base, err := f.lookupParent(c, name)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if _, ok := parent.children[base]; !ok {
+		return nil
+	}
+	if !allowed(c, parent, permWrite) {
+		return &fs.PathError{Op: "removeall", Path: name, Err: ErrPermission}
+	}
+	delete(parent.children, base)
+	parent.mtime = f.clock()
+	return nil
+}
+
+// Rename moves oldname to newname, replacing any existing file at
+// newname. Renaming over a non-empty directory fails.
+func (f *FS) Rename(c Cred, oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	oldParent, oldBase, err := f.lookupParent(c, oldname)
+	if err != nil {
+		return err
+	}
+	n, ok := oldParent.children[oldBase]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: ErrNotExist}
+	}
+	newParent, newBase, err := f.lookupParent(c, newname)
+	if err != nil {
+		return err
+	}
+	if !allowed(c, oldParent, permWrite) || !allowed(c, newParent, permWrite) {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: ErrPermission}
+	}
+	if existing, ok := newParent.children[newBase]; ok {
+		if existing.isDir() && len(existing.children) > 0 {
+			return &fs.PathError{Op: "rename", Path: newname, Err: ErrNotEmpty}
+		}
+	}
+	delete(oldParent.children, oldBase)
+	n.name = newBase
+	newParent.children[newBase] = n
+	now := f.clock()
+	oldParent.mtime = now
+	newParent.mtime = now
+	return nil
+}
+
+// Chown changes the owner of the named file. Only root or the current
+// owner may change ownership.
+func (f *FS) Chown(c Cred, name string, uid int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.lookupAs(c, name)
+	if err != nil {
+		return err
+	}
+	if c.UID != 0 && c.UID != n.uid {
+		return &fs.PathError{Op: "chown", Path: name, Err: ErrPermission}
+	}
+	n.uid = uid
+	return nil
+}
+
+// Chmod changes the permission bits of the named file.
+func (f *FS) Chmod(c Cred, name string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.lookupAs(c, name)
+	if err != nil {
+		return err
+	}
+	if c.UID != 0 && c.UID != n.uid {
+		return &fs.PathError{Op: "chmod", Path: name, Err: ErrPermission}
+	}
+	n.mode = (n.mode &^ fs.ModePerm) | perm.Perm()
+	return nil
+}
+
+// Open opens the named file with POSIX-like flag semantics.
+func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	n, lookupErr := f.lookupAs(c, name)
+	switch {
+	case lookupErr == nil:
+		if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrExist}
+		}
+	case errors.Is(lookupErr, ErrNotExist) && flags&O_CREATE != 0:
+		parent, base, err := f.lookupParent(c, name)
+		if err != nil {
+			return nil, err
+		}
+		if !allowed(c, parent, permWrite) {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrPermission}
+		}
+		n = &node{name: base, mode: perm.Perm(), uid: c.UID, mtime: f.clock()}
+		parent.children[base] = n
+		parent.mtime = f.clock()
+	default:
+		return nil, lookupErr
+	}
+
+	if n.isDir() {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: ErrIsDir}
+	}
+	wantRead := flags&accessMask == O_RDONLY || flags&accessMask == O_RDWR
+	wantWrite := flags&accessMask == O_WRONLY || flags&accessMask == O_RDWR
+	if wantRead && !allowed(c, n, permRead) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: ErrPermission}
+	}
+	if wantWrite && !allowed(c, n, permWrite) {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: ErrPermission}
+	}
+	if flags&O_TRUNC != 0 {
+		if !wantWrite {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrInvalid}
+		}
+		n.data = nil
+		n.mtime = f.clock()
+	}
+	h := &handle{fs: f, node: n, read: wantRead, write: wantWrite, app: flags&O_APPEND != 0}
+	return h, nil
+}
+
+// handle implements Handle over a node.
+type handle struct {
+	fs     *FS
+	node   *node
+	offset int64
+	read   bool
+	write  bool
+	app    bool
+	closed bool
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if !h.read {
+		return 0, ErrPermission
+	}
+	if h.offset >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.offset:])
+	h.offset += int64(n)
+	return n, nil
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if !h.read {
+		return 0, ErrPermission
+	}
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	if off >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if !h.write {
+		return 0, ErrPermission
+	}
+	if h.app {
+		h.offset = int64(len(h.node.data))
+	}
+	return h.writeAtLocked(p, h.offset, true)
+}
+
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if !h.write {
+		return 0, ErrPermission
+	}
+	if off < 0 {
+		return 0, ErrInvalid
+	}
+	return h.writeAtLocked(p, off, false)
+}
+
+// writeAtLocked writes p at off, growing the file if needed. advance
+// moves the handle offset (sequential writes). Caller holds fs.mu.
+func (h *handle) writeAtLocked(p []byte, off int64, advance bool) (int, error) {
+	end := off + int64(len(p))
+	if end > int64(len(h.node.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.node.data)
+		h.node.data = grown
+	}
+	copy(h.node.data[off:], p)
+	h.node.mtime = h.fs.clock()
+	if advance {
+		h.offset = end
+	}
+	return len(p), nil
+}
+
+func (h *handle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.offset
+	case io.SeekEnd:
+		base = int64(len(h.node.data))
+	default:
+		return 0, ErrInvalid
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, ErrInvalid
+	}
+	h.offset = pos
+	return pos, nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	if !h.write {
+		return ErrPermission
+	}
+	if size < 0 {
+		return ErrInvalid
+	}
+	switch {
+	case size <= int64(len(h.node.data)):
+		h.node.data = h.node.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, h.node.data)
+		h.node.data = grown
+	}
+	h.node.mtime = h.fs.clock()
+	return nil
+}
+
+func (h *handle) Stat() (FileInfo, error) {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.closed {
+		return FileInfo{}, ErrClosed
+	}
+	return h.node.info(), nil
+}
+
+func (h *handle) Close() error {
+	if h.closed {
+		return ErrClosed
+	}
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,550 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestMkdirAndStat(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/data/data/app", 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	info, err := f.Stat(Root, "/data/data/app")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if !info.IsDir() {
+		t.Errorf("expected directory, got mode %v", info.Mode)
+	}
+	if info.Name != "app" {
+		t.Errorf("Name = %q, want %q", info.Name, "app")
+	}
+}
+
+func TestMkdirExisting(t *testing.T) {
+	f := New()
+	if err := f.Mkdir(Root, "/a", 0o755); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if err := f.Mkdir(Root, "/a", 0o755); !errors.Is(err, ErrExist) {
+		t.Errorf("second Mkdir error = %v, want ErrExist", err)
+	}
+	// MkdirAll over existing path is fine.
+	if err := f.MkdirAll(Root, "/a", 0o755); err != nil {
+		t.Errorf("MkdirAll over existing: %v", err)
+	}
+}
+
+func TestMkdirMissingParent(t *testing.T) {
+	f := New()
+	if err := f.Mkdir(Root, "/no/such/dir", 0o755); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Mkdir error = %v, want ErrNotExist", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	f := New()
+	want := []byte("hello maxoid")
+	if err := WriteFile(f, Root, "/f.txt", want, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(f, Root, "/f.txt")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ReadFile = %q, want %q", got, want)
+	}
+}
+
+func TestOpenFlags(t *testing.T) {
+	f := New()
+	if _, err := f.Open(Root, "/missing", O_RDONLY, 0); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open missing: %v, want ErrNotExist", err)
+	}
+	h, err := f.Open(Root, "/new", O_WRONLY|O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	h.Close()
+	if _, err := f.Open(Root, "/new", O_WRONLY|O_CREATE|O_EXCL, 0o644); !errors.Is(err, ErrExist) {
+		t.Errorf("O_EXCL on existing: %v, want ErrExist", err)
+	}
+}
+
+func TestTruncateOnOpen(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open(Root, "/f", O_WRONLY|O_TRUNC, 0)
+	if err != nil {
+		t.Fatalf("open trunc: %v", err)
+	}
+	h.Close()
+	info, _ := f.Stat(Root, "/f")
+	if info.Size != 0 {
+		t.Errorf("size after O_TRUNC = %d, want 0", info.Size)
+	}
+}
+
+func TestAppendMode(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/log", []byte("aa"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendFile(f, Root, "/log", []byte("bb"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadFile(f, Root, "/log")
+	if string(got) != "aabb" {
+		t.Errorf("append result = %q, want %q", got, "aabb")
+	}
+}
+
+func TestSeekAndReadAt(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open(Root, "/f", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Seek(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := h.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "456" {
+		t.Errorf("read after seek = %q, want 456", buf)
+	}
+	n, err := h.ReadAt(buf, 7)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "789" {
+		t.Errorf("ReadAt(7) = %q, want 789", buf[:n])
+	}
+}
+
+func TestWriteAtSparse(t *testing.T) {
+	f := New()
+	h, err := f.Open(Root, "/f", O_RDWR|O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte("xy"), 5); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	got, _ := ReadFile(f, Root, "/f")
+	want := append(make([]byte, 5), 'x', 'y')
+	if !bytes.Equal(got, want) {
+		t.Errorf("sparse write = %v, want %v", got, want)
+	}
+}
+
+func TestHandleTruncate(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open(Root, "/f", O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Truncate(6); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	got, _ := ReadFile(f, Root, "/f")
+	want := []byte{'0', '1', '2', '3', 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Errorf("truncate grow = %v, want %v", got, want)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/d/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, Root, "/d/sub/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(Root, "/d/sub"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty dir: %v, want ErrNotEmpty", err)
+	}
+	if err := f.Remove(Root, "/d/sub/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(Root, "/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if Exists(f, Root, "/d/sub") {
+		t.Error("dir still exists after remove")
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/d/a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, Root, "/d/a/b/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RemoveAll(Root, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if Exists(f, Root, "/d") {
+		t.Error("tree still exists after RemoveAll")
+	}
+	// RemoveAll of a missing path is not an error.
+	if err := f.RemoveAll(Root, "/nope/deep"); err != nil {
+		t.Errorf("RemoveAll missing: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MkdirAll(Root, "/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, Root, "/a/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(Root, "/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	if Exists(f, Root, "/a/f") {
+		t.Error("source still exists after rename")
+	}
+	got, err := ReadFile(f, Root, "/b/g")
+	if err != nil || string(got) != "data" {
+		t.Errorf("dest = %q, %v", got, err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	f := New()
+	for _, name := range []string{"/c", "/a", "/b"} {
+		if err := WriteFile(f, Root, name, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := f.ReadDir(Root, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ReadDir order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestPermissionsOwnerAndOther(t *testing.T) {
+	f := New()
+	alice, bob := Cred{UID: 100}, Cred{UID: 200}
+	if err := f.MkdirAll(Root, "/home", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, alice, "/home/secret", []byte("s"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(f, bob, "/home/secret"); !errors.Is(err, ErrPermission) {
+		t.Errorf("bob read 0600 file: %v, want ErrPermission", err)
+	}
+	if _, err := ReadFile(f, alice, "/home/secret"); err != nil {
+		t.Errorf("alice read own file: %v", err)
+	}
+	if _, err := ReadFile(f, Root, "/home/secret"); err != nil {
+		t.Errorf("root read: %v", err)
+	}
+	// World-readable file is readable by bob but not writable.
+	if err := WriteFile(f, alice, "/home/pub", []byte("p"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(f, bob, "/home/pub"); err != nil {
+		t.Errorf("bob read 0644: %v", err)
+	}
+	if err := WriteFile(f, bob, "/home/pub", []byte("x"), 0o644); !errors.Is(err, ErrPermission) {
+		t.Errorf("bob write 0644 file: %v, want ErrPermission", err)
+	}
+}
+
+func TestDirWritePermission(t *testing.T) {
+	f := New()
+	alice, bob := Cred{UID: 100}, Cred{UID: 200}
+	if err := f.MkdirAll(Root, "/priv", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Chown(Root, "/priv", alice.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, bob, "/priv/f", []byte("x"), 0o644); !errors.Is(err, ErrPermission) {
+		t.Errorf("bob create in alice dir: %v, want ErrPermission", err)
+	}
+	if err := WriteFile(f, alice, "/priv/f", []byte("x"), 0o644); err != nil {
+		t.Errorf("alice create in own dir: %v", err)
+	}
+	if err := f.Remove(bob, "/priv/f"); !errors.Is(err, ErrPermission) {
+		t.Errorf("bob remove from alice dir: %v, want ErrPermission", err)
+	}
+}
+
+func TestChmodChown(t *testing.T) {
+	f := New()
+	alice, bob := Cred{UID: 100}, Cred{UID: 200}
+	if err := f.MkdirAll(Root, "/d", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, alice, "/d/f", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Chmod(bob, "/d/f", 0o666); !errors.Is(err, ErrPermission) {
+		t.Errorf("bob chmod alice file: %v, want ErrPermission", err)
+	}
+	if err := f.Chmod(alice, "/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(f, bob, "/d/f"); err != nil {
+		t.Errorf("bob read after chmod 644: %v", err)
+	}
+	if err := f.Chown(alice, "/d/f", bob.UID); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Stat(Root, "/d/f")
+	if info.UID != bob.UID {
+		t.Errorf("UID after chown = %d, want %d", info.UID, bob.UID)
+	}
+}
+
+func TestOpenDirectoryFails(t *testing.T) {
+	f := New()
+	if err := f.Mkdir(Root, "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Open(Root, "/d", O_RDONLY, 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("open dir: %v, want ErrIsDir", err)
+	}
+	if _, err := f.ReadDir(Root, "/d/.."); err != nil {
+		t.Errorf("readdir with dotdot: %v", err)
+	}
+}
+
+func TestPathCleaning(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/a/b", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, Root, "a/b/../b/./f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(f, Root, "/a/b/f")
+	if err != nil || string(got) != "x" {
+		t.Errorf("cleaned path read = %q, %v", got, err)
+	}
+	// Escaping above root clamps at root.
+	if _, err := f.Stat(Root, "/../../a"); err != nil {
+		t.Errorf("stat above-root path: %v", err)
+	}
+}
+
+func TestSubFS(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/data/app1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	sub := Sub(f, "/data/app1")
+	if err := WriteFile(sub, Root, "/cfg", []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(f, Root, "/data/app1/cfg")
+	if err != nil || string(got) != "v" {
+		t.Errorf("sub write visible at base = %q, %v", got, err)
+	}
+	// Sub cannot escape its prefix.
+	if err := WriteFile(sub, Root, "/../escape", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if Exists(f, Root, "/data/escape") {
+		t.Error("sub escaped its prefix via ..")
+	}
+	if !Exists(f, Root, "/data/app1/escape") {
+		t.Error("escape attempt not clamped into prefix")
+	}
+}
+
+func TestWalkAndTree(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/r/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, Root, "/r/a/f1", []byte("1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, Root, "/r/f2", []byte("2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Tree(f, Root, "/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 2 || string(tree["/r/a/f1"]) != "1" || string(tree["/r/f2"]) != "2" {
+		t.Errorf("Tree = %v", tree)
+	}
+}
+
+func TestCopyFile(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/src", []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyFile(f, f, Root, "/src", "/deep/dir/dst", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(f, Root, "/deep/dir/dst")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("copy dst = %q, %v", got, err)
+	}
+}
+
+func TestClosedHandle(t *testing.T) {
+	f := New()
+	h, err := f.Open(Root, "/f", O_RDWR|O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v, want ErrClosed", err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close: %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	f := New()
+	if err := f.MkdirAll(Root, "/d", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			name := string(rune('a' + i))
+			for j := 0; j < 50; j++ {
+				if err := WriteFile(f, Root, "/d/"+name, []byte{byte(j)}, 0o644); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := f.ReadDir(Root, "/d")
+	if err != nil || len(entries) != 8 {
+		t.Errorf("entries = %d, %v", len(entries), err)
+	}
+}
+
+func TestHandleSurvivesRemove(t *testing.T) {
+	// POSIX: an open file stays readable after unlink; the inode lives
+	// until the last handle closes. Delegates killed mid-operation rely
+	// on this not corrupting state.
+	f := New()
+	if err := WriteFile(f, Root, "/f", []byte("content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open(Root, "/f", O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := f.Remove(Root, "/f"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(h)
+	if err != nil || string(got) != "content" {
+		t.Errorf("read after remove = %q, %v", got, err)
+	}
+	if Exists(f, Root, "/f") {
+		t.Error("file still visible after remove")
+	}
+}
+
+func TestHandleFollowsRename(t *testing.T) {
+	f := New()
+	if err := WriteFile(f, Root, "/old", []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.Open(Root, "/old", O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := f.Rename(Root, "/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	// Writes through the open handle land in the renamed file.
+	if _, err := h.Write([]byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(f, Root, "/new")
+	if err != nil || string(got) != "2" {
+		t.Errorf("renamed file = %q, %v", got, err)
+	}
+}
+
+func TestTraversalPermission(t *testing.T) {
+	f := New()
+	secret := Cred{UID: 42}
+	if err := f.MkdirAll(Root, "/vault", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Chown(Root, "/vault", secret.UID); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(f, secret, "/vault/f", []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	// The file itself is world-readable, but the directory blocks
+	// traversal for other UIDs — the property delegate branches rely on.
+	other := Cred{UID: 43}
+	if _, err := ReadFile(f, other, "/vault/f"); !errors.Is(err, ErrPermission) {
+		t.Errorf("traversal through 0700 dir: %v, want ErrPermission", err)
+	}
+	if _, err := f.Stat(other, "/vault/f"); !errors.Is(err, ErrPermission) {
+		t.Errorf("stat through 0700 dir: %v, want ErrPermission", err)
+	}
+	if _, err := ReadFile(f, secret, "/vault/f"); err != nil {
+		t.Errorf("owner traversal: %v", err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package zygote simulates Android's Zygote process augmented with
+// Maxoid's Aufs branch manager (paper §4.2, Figure 3).
+//
+// When Activity Manager starts an app component, Zygote "forks" the
+// process (kernel.Spawn here), unshares its mount namespace, and the
+// branch manager selects and mounts the relevant branches:
+//
+//	Initiator A:
+//	  /data/data/A          -> its private branch (single branch, no
+//	                           union: initiators pay no overhead)
+//	  EXTDIR                -> pub branch (rw)
+//	  EXTDIR/<privdir>      -> A/data/<privdir> (rw)
+//	  EXTDIR/tmp            -> A/tmp (rw)  — Vol(A)'s files
+//
+//	Delegate B^A:
+//	  /data/data/B          -> union [npriv/B-A (rw), data/B (ro)]  (nPriv)
+//	  /data/data/ppriv/B    -> ppriv/B-A (single writable branch)   (pPriv)
+//	  /data/data/A          -> union [A/tmp/internal (rw), data/A (ro)]
+//	                           with reads always allowed (modified Aufs)
+//	  EXTDIR                -> union [A/tmp (rw), pub (ro)]
+//	  EXTDIR/<A's privdir>  -> union [A/tmp/<d> (rw), A/data/<d> (ro)]
+//	  EXTDIR/<B's privdir>  -> union [B-A/data/<d> (rw), B/data/<d> (ro)]
+//
+// The directory name "internal" under A/tmp is reserved for volatile
+// copies of A's internal private files.
+package zygote
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"strings"
+
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/mount"
+	"maxoid/internal/unionfs"
+	"maxoid/internal/vfs"
+)
+
+// InternalVolDir is the reserved subdirectory of an initiator's volatile
+// branch holding volatile copies of its internal private files.
+const InternalVolDir = "internal"
+
+// AppInfo is what the branch manager needs to know about an app.
+type AppInfo struct {
+	Package string
+	UID     int
+	// PrivateExtDirs are the app's Maxoid-manifest private directories
+	// on external storage, relative to EXTDIR (§4.2).
+	PrivateExtDirs []string
+}
+
+// Zygote spawns app processes with Maxoid mount namespaces.
+type Zygote struct {
+	disk *vfs.FS
+	kern *kernel.Kernel
+}
+
+// New creates a Zygote over the global disk.
+func New(disk *vfs.FS, kern *kernel.Kernel) *Zygote {
+	return &Zygote{disk: disk, kern: kern}
+}
+
+// Disk returns the global backing disk (trusted components only).
+func (z *Zygote) Disk() *vfs.FS { return z.disk }
+
+// InitDevice creates the base backing directories. Call once at boot.
+// The delegate branch roots (npriv, ppriv) and per-initiator volatile
+// roots are only root-accessible; apps reach their contents exclusively
+// through the Aufs mount points Zygote sets up (§4.2).
+func (z *Zygote) InitDevice() error {
+	for _, d := range []string{layout.BackData, layout.ExtPubBranch()} {
+		if err := z.disk.MkdirAll(vfs.Root, d, 0o777); err != nil {
+			return err
+		}
+	}
+	for _, d := range []string{layout.BackNPriv, layout.BackPPriv} {
+		if err := z.disk.MkdirAll(vfs.Root, d, 0o700); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureInitiatorRoot creates the root-only per-initiator directory
+// under /disk/ext that holds its tmp and private branches.
+func (z *Zygote) ensureInitiatorRoot(initiator string) error {
+	return z.disk.MkdirAll(vfs.Root, path.Join(layout.BackExt, initiator), 0o700)
+}
+
+// InstallApp prepares an app's backing directories at install time: the
+// internal private dir owned by the app's UID, and its private external
+// branches.
+func (z *Zygote) InstallApp(app AppInfo) error {
+	priv := layout.BackAppData(app.Package)
+	if err := z.disk.MkdirAll(vfs.Root, priv, 0o700); err != nil {
+		return err
+	}
+	if err := z.disk.Chown(vfs.Root, priv, app.UID); err != nil {
+		return err
+	}
+	// The app's area under /disk/ext (private branches, tmp branch) is
+	// owned by the app: it can reach its own branches directly, others
+	// cannot.
+	extRoot := path.Join(layout.BackExt, app.Package)
+	if err := z.disk.MkdirAll(vfs.Root, extRoot, 0o700); err != nil {
+		return err
+	}
+	if err := z.disk.Chown(vfs.Root, extRoot, app.UID); err != nil {
+		return err
+	}
+	for _, d := range app.PrivateExtDirs {
+		if err := z.ensureDir(layout.ExtPrivBranch(app.Package, d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureDir creates a backing directory. Directories under /disk/ext
+// that are not the public branch get a root-only per-owner root first,
+// so volatile and private branches cannot be reached except through the
+// mounts.
+func (z *Zygote) ensureDir(p string) error {
+	if strings.HasPrefix(p, layout.BackExt+"/") {
+		owner := strings.SplitN(strings.TrimPrefix(p, layout.BackExt+"/"), "/", 2)[0]
+		if owner != "pub" {
+			if err := z.ensureInitiatorRoot(owner); err != nil {
+				return err
+			}
+		}
+	}
+	return z.disk.MkdirAll(vfs.Root, p, 0o777)
+}
+
+// ForkInitiator spawns app A running on behalf of itself.
+func (z *Zygote) ForkInitiator(app AppInfo) (*kernel.Process, error) {
+	ns := mount.New()
+	// Internal private storage: single branch, no union (§7.2: "Maxoid
+	// uses a single branch at any internal or external mount point for
+	// initiators, thus incurs no overhead").
+	ns.Mount(layout.AppData(app.Package), vfs.Sub(z.disk, layout.BackAppData(app.Package)))
+
+	// External storage: public branch.
+	ns.Mount(layout.ExtDir, vfs.Sub(z.disk, layout.ExtPubBranch()))
+
+	// Private external directories.
+	for _, d := range app.PrivateExtDirs {
+		if err := z.ensureDir(layout.ExtPrivBranch(app.Package, d)); err != nil {
+			return nil, err
+		}
+		ns.Mount(path.Join(layout.ExtDir, d), vfs.Sub(z.disk, layout.ExtPrivBranch(app.Package, d)))
+	}
+
+	// Vol(A)'s files, named EXTDIR/tmp/<path> for the initiator (§4.1).
+	// The paper mounts this as Aufs with reads always allowed so the
+	// initiator can read files its delegates (different UIDs) created.
+	if err := z.ensureDir(layout.ExtTmpBranch(app.Package)); err != nil {
+		return nil, err
+	}
+	vol, err := unionfs.New(unionfs.Options{AllowAllReads: true, AllowAllWrites: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, layout.ExtTmpBranch(app.Package)), Writable: true})
+	if err != nil {
+		return nil, err
+	}
+	ns.Mount(layout.ExtTmpDir, vol)
+
+	return z.kern.Spawn(kernel.Task{App: app.Package}, app.UID, ns), nil
+}
+
+// ForkDelegate spawns app B running on behalf of initiator A.
+func (z *Zygote) ForkDelegate(app, initiator AppInfo) (*kernel.Process, error) {
+	if app.Package == initiator.Package {
+		return nil, fmt.Errorf("zygote: %s cannot be a delegate of itself", app.Package)
+	}
+	ns := mount.New()
+
+	// nPriv(B^A): writable branch over B's private dir (copy-on-write,
+	// S4: B's real private state is never modified).
+	nprivBranch := layout.BackNPrivBranch(app.Package, initiator.Package)
+	if err := z.ensureDir(nprivBranch); err != nil {
+		return nil, err
+	}
+	npriv, err := unionfs.New(unionfs.Options{},
+		unionfs.Branch{FS: vfs.Sub(z.disk, nprivBranch), Writable: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, layout.BackAppData(app.Package))},
+	)
+	if err != nil {
+		return nil, err
+	}
+	ns.Mount(layout.AppData(app.Package), npriv)
+
+	// pPriv(B^A): a single writable branch per (delegate, initiator).
+	// The branch root is root-only, so the mount mediates all access.
+	pprivBranch := layout.BackPPrivBranch(app.Package, initiator.Package)
+	if err := z.ensureDir(pprivBranch); err != nil {
+		return nil, err
+	}
+	ppriv, err := unionfs.New(unionfs.Options{AllowAllReads: true, AllowAllWrites: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, pprivBranch), Writable: true})
+	if err != nil {
+		return nil, err
+	}
+	ns.Mount(layout.AppPPriv(app.Package), ppriv)
+
+	// The initiator's internal private dir, exposed read-only with
+	// writes redirected to Vol(A) ("Internal private files exposed to
+	// delegates", §4.2). Reads must be allowed despite the UID
+	// difference — the paper's Aufs modification.
+	internalVol := path.Join(layout.ExtTmpBranch(initiator.Package), InternalVolDir)
+	if err := z.ensureDir(internalVol); err != nil {
+		return nil, err
+	}
+	initiatorPriv, err := unionfs.New(unionfs.Options{AllowAllReads: true, AllowAllWrites: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, internalVol), Writable: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, layout.BackAppData(initiator.Package))},
+	)
+	if err != nil {
+		return nil, err
+	}
+	ns.Mount(layout.AppData(initiator.Package), initiatorPriv)
+
+	// EXTDIR: volatile branch over the public branch (Table 2).
+	if err := z.ensureDir(layout.ExtTmpBranch(initiator.Package)); err != nil {
+		return nil, err
+	}
+	ext, err := unionfs.New(unionfs.Options{AllowAllReads: true, AllowAllWrites: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, layout.ExtTmpBranch(initiator.Package)), Writable: true},
+		unionfs.Branch{FS: vfs.Sub(z.disk, layout.ExtPubBranch())},
+	)
+	if err != nil {
+		return nil, err
+	}
+	ns.Mount(layout.ExtDir, ext)
+
+	// A's private external dirs: readable by the delegate, writes go to
+	// Vol(A) under the same relative path (Table 2 row EXTDIR/data/A).
+	for _, d := range initiator.PrivateExtDirs {
+		volBranch := path.Join(layout.ExtTmpBranch(initiator.Package), d)
+		if err := z.ensureDir(volBranch); err != nil {
+			return nil, err
+		}
+		if err := z.ensureDir(layout.ExtPrivBranch(initiator.Package, d)); err != nil {
+			return nil, err
+		}
+		u, err := unionfs.New(unionfs.Options{AllowAllReads: true, AllowAllWrites: true},
+			unionfs.Branch{FS: vfs.Sub(z.disk, volBranch), Writable: true},
+			unionfs.Branch{FS: vfs.Sub(z.disk, layout.ExtPrivBranch(initiator.Package, d))},
+		)
+		if err != nil {
+			return nil, err
+		}
+		ns.Mount(path.Join(layout.ExtDir, d), u)
+	}
+
+	// B's own private external dirs: writes go to a branch invisible to
+	// both A and B (Table 2 row EXTDIR/data/B).
+	for _, d := range app.PrivateExtDirs {
+		delegateBranch := layout.ExtDelegatePrivBranch(app.Package, initiator.Package, d)
+		if err := z.ensureDir(delegateBranch); err != nil {
+			return nil, err
+		}
+		if err := z.ensureDir(layout.ExtPrivBranch(app.Package, d)); err != nil {
+			return nil, err
+		}
+		u, err := unionfs.New(unionfs.Options{AllowAllReads: true, AllowAllWrites: true},
+			unionfs.Branch{FS: vfs.Sub(z.disk, delegateBranch), Writable: true},
+			unionfs.Branch{FS: vfs.Sub(z.disk, layout.ExtPrivBranch(app.Package, d))},
+		)
+		if err != nil {
+			return nil, err
+		}
+		ns.Mount(path.Join(layout.ExtDir, d), u)
+	}
+
+	task := kernel.Task{App: app.Package, Initiator: initiator.Package}
+	return z.kern.Spawn(task, app.UID, ns), nil
+}
+
+// DiscardNPriv deletes the delegate's forked normal private state, used
+// when nPriv(B^A) diverged from Priv(B) and must be re-forked (§3.2),
+// and by the launcher's Clear-Priv target.
+func (z *Zygote) DiscardNPriv(app, initiator string) error {
+	if err := z.disk.RemoveAll(vfs.Root, layout.BackNPrivBranch(app, initiator)); err != nil {
+		return err
+	}
+	return z.disk.RemoveAll(vfs.Root, z.forkMarker(app, initiator))
+}
+
+// DiscardPPriv deletes the delegate's persistent private state for one
+// initiator (only on the initiator's explicit request, §3.2).
+func (z *Zygote) DiscardPPriv(app, initiator string) error {
+	return z.disk.RemoveAll(vfs.Root, layout.BackPPrivBranch(app, initiator))
+}
+
+// DiscardVolFiles deletes the file part of Vol(A): the initiator's
+// volatile branch, including internal volatile copies and delegate
+// writes to A's private external dirs.
+func (z *Zygote) DiscardVolFiles(initiator string) error {
+	if err := z.disk.RemoveAll(vfs.Root, layout.ExtTmpBranch(initiator)); err != nil {
+		return err
+	}
+	return z.ensureDir(layout.ExtTmpBranch(initiator))
+}
+
+// NPrivDiverged reports whether B's private state changed after
+// nPriv(B^A) was forked — i.e. the delegate's writable branch exists and
+// B's base dir has newer modifications. Maxoid's policy (§3.2) is to
+// discard nPriv(B^A) and re-fork when the two diverge. We approximate
+// divergence by comparing the base dir's latest mtime to the writable
+// branch's creation-time marker.
+func (z *Zygote) NPrivDiverged(app, initiator string) (bool, error) {
+	info, err := z.disk.Stat(vfs.Root, z.forkMarker(app, initiator))
+	if err != nil {
+		return false, nil // never forked: nothing to diverge
+	}
+	forkedAt := info.ModTime
+	diverged := false
+	walkErr := vfs.Walk(z.disk, vfs.Root, layout.BackAppData(app), func(name string, fi vfs.FileInfo) error {
+		if fi.ModTime.After(forkedAt) {
+			diverged = true
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return false, walkErr
+	}
+	return diverged, nil
+}
+
+// forkMarker is the fork-time marker path for a delegate's nPriv. It
+// lives outside the branch so it never appears in the delegate's view.
+func (z *Zygote) forkMarker(app, initiator string) string {
+	return path.Join(layout.BackNPriv, ".forked-"+layout.DelegateKey(app, initiator))
+}
+
+// MarkNPrivForked writes the fork-time marker used by NPrivDiverged.
+func (z *Zygote) MarkNPrivForked(app, initiator string) error {
+	return vfs.WriteFile(z.disk, vfs.Root, z.forkMarker(app, initiator), nil, fs.FileMode(0o600))
+}

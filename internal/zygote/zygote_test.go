@@ -1,0 +1,369 @@
+package zygote
+
+import (
+	"testing"
+	"time"
+
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/vfs"
+)
+
+// newWorld builds a booted device with apps A (dropbox-like, one
+// private ext dir) and B (editor-like, one private ext dir) installed.
+func newWorld(t *testing.T) (*Zygote, AppInfo, AppInfo) {
+	t.Helper()
+	disk := vfs.New()
+	kern := kernel.New(nil)
+	z := New(disk, kern)
+	if err := z.InitDevice(); err != nil {
+		t.Fatal(err)
+	}
+	a := AppInfo{Package: "appA", UID: kern.AssignUID("appA"), PrivateExtDirs: []string{"data/A"}}
+	b := AppInfo{Package: "appB", UID: kern.AssignUID("appB"), PrivateExtDirs: []string{"data/B"}}
+	for _, app := range []AppInfo{a, b} {
+		if err := z.InstallApp(app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return z, a, b
+}
+
+func cred(p *kernel.Process) vfs.Cred { return vfs.Cred{UID: p.UID} }
+
+func TestInitiatorMounts(t *testing.T) {
+	z, a, _ := newWorld(t)
+	pa, err := z.ForkInitiator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Private internal dir works and maps to the backing branch.
+	if err := vfs.WriteFile(pa.NS, cred(pa), "/data/data/appA/prefs.xml", []byte("cfg"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(z.Disk(), vfs.Root, layout.BackAppData("appA")+"/prefs.xml")
+	if err != nil || string(got) != "cfg" {
+		t.Errorf("internal backing = %q, %v", got, err)
+	}
+	// External public dir maps to pub branch.
+	if err := pa.NS.MkdirAll(cred(pa), layout.ExtDir+"/Download", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(pa.NS, cred(pa), layout.ExtDir+"/Download/f", []byte("pub"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(z.Disk(), vfs.Root, layout.ExtPubBranch()+"/Download/f") {
+		t.Error("public ext write not in pub branch")
+	}
+	// Private ext dir maps to A's private branch.
+	if err := vfs.WriteFile(pa.NS, cred(pa), layout.ExtDir+"/data/A/secret.doc", []byte("s"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if !vfs.Exists(z.Disk(), vfs.Root, layout.ExtPrivBranch("appA", "data/A")+"/secret.doc") {
+		t.Error("private ext write not in private branch")
+	}
+	if vfs.Exists(z.Disk(), vfs.Root, layout.ExtPubBranch()+"/data/A/secret.doc") {
+		t.Error("private ext write leaked to pub branch")
+	}
+}
+
+func TestTable2DelegateMounts(t *testing.T) {
+	z, a, b := newWorld(t)
+	pa, err := z.ForkInitiator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed state: A's private ext file, B's private ext file, pub file.
+	if err := vfs.WriteFile(pa.NS, cred(pa), layout.ExtDir+"/data/A/b.doc", []byte("original-b"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(z.Disk(), vfs.Root, layout.ExtPubBranch()+"/c.txt", []byte("original-c"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(z.Disk(), vfs.Root, layout.ExtPrivBranch("appB", "data/B")+"/own.cfg", []byte("b-own"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	pba, err := z.ForkDelegate(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := cred(pba)
+
+	// B^A reads A's private ext file (augmented access right).
+	got, err := vfs.ReadFile(pba.NS, dc, layout.ExtDir+"/data/A/b.doc")
+	if err != nil || string(got) != "original-b" {
+		t.Fatalf("delegate read of A's private file: %q, %v", got, err)
+	}
+	// B^A edits it: A sees both versions, original intact (Figure 4).
+	if err := vfs.WriteFile(pba.NS, dc, layout.ExtDir+"/data/A/b.doc", []byte("edited-b"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := vfs.ReadFile(pa.NS, cred(pa), layout.ExtDir+"/data/A/b.doc")
+	if string(orig) != "original-b" {
+		t.Errorf("A's original mutated: %q", orig)
+	}
+	edited, err := vfs.ReadFile(pa.NS, cred(pa), layout.ExtTmpDir+"/data/A/b.doc")
+	if err != nil || string(edited) != "edited-b" {
+		t.Errorf("A's view of volatile edit: %q, %v", edited, err)
+	}
+	// B^A reads its own write back under the original name (U3).
+	rr, _ := vfs.ReadFile(pba.NS, dc, layout.ExtDir+"/data/A/b.doc")
+	if string(rr) != "edited-b" {
+		t.Errorf("delegate read-your-write: %q", rr)
+	}
+
+	// B^A's side write to public file c: redirected to Vol(A).
+	if err := vfs.WriteFile(pba.NS, dc, layout.ExtDir+"/c.txt", []byte("side-effect"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := vfs.ReadFile(z.Disk(), vfs.Root, layout.ExtPubBranch()+"/c.txt")
+	if string(pub) != "original-c" {
+		t.Errorf("public file mutated: %q", pub)
+	}
+	vol, err := vfs.ReadFile(pa.NS, cred(pa), layout.ExtTmpDir+"/c.txt")
+	if err != nil || string(vol) != "side-effect" {
+		t.Errorf("A's view of side effect: %q, %v", vol, err)
+	}
+
+	// B^A writes to its own private ext dir: invisible to A and B.
+	if err := vfs.WriteFile(pba.NS, dc, layout.ExtDir+"/data/B/own.cfg", []byte("delegate-cfg"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	bOwn, _ := vfs.ReadFile(z.Disk(), vfs.Root, layout.ExtPrivBranch("appB", "data/B")+"/own.cfg")
+	if string(bOwn) != "b-own" {
+		t.Errorf("B's own private ext file mutated: %q", bOwn)
+	}
+	if vfs.Exists(pa.NS, cred(pa), layout.ExtTmpDir+"/data/B/own.cfg") {
+		t.Error("B^A's private-dir write leaked into Vol(A)")
+	}
+	got, _ = vfs.ReadFile(z.Disk(), vfs.Root, layout.ExtDelegatePrivBranch("appB", "appA", "data/B")+"/own.cfg")
+	if string(got) != "delegate-cfg" {
+		t.Errorf("delegate private branch: %q", got)
+	}
+}
+
+func TestNPrivCopyOnWrite(t *testing.T) {
+	z, a, b := newWorld(t)
+	// B (normal) writes a preference.
+	pb, err := z.ForkInitiator(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(pb.NS, cred(pb), "/data/data/appB/prefs", []byte("v1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// B^A sees B's preference (U1: initial state availability).
+	pba, err := z.ForkDelegate(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(pba.NS, cred(pba), "/data/data/appB/prefs")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("delegate initial nPriv: %q, %v", got, err)
+	}
+	// B^A modifies it; B's copy is untouched (S4).
+	if err := vfs.WriteFile(pba.NS, cred(pba), "/data/data/appB/prefs", []byte("v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := vfs.ReadFile(pb.NS, cred(pb), "/data/data/appB/prefs")
+	if string(orig) != "v1" {
+		t.Errorf("B's private state mutated by delegate: %q", orig)
+	}
+	// Delegate private writes land in the npriv branch, root-only space.
+	branch, _ := vfs.ReadFile(z.Disk(), vfs.Root, layout.BackNPrivBranch("appB", "appA")+"/prefs")
+	if string(branch) != "v2" {
+		t.Errorf("npriv branch: %q", branch)
+	}
+}
+
+func TestInitiatorInternalExposedToDelegate(t *testing.T) {
+	z, a, b := newWorld(t)
+	pa, _ := z.ForkInitiator(a)
+	if err := vfs.WriteFile(pa.NS, cred(pa), "/data/data/appA/attachment.pdf", []byte("secret-pdf"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	pba, _ := z.ForkDelegate(b, a)
+	// The delegate (different UID) can read A's internal private file
+	// through the modified-Aufs mount.
+	got, err := vfs.ReadFile(pba.NS, cred(pba), "/data/data/appA/attachment.pdf")
+	if err != nil || string(got) != "secret-pdf" {
+		t.Fatalf("delegate read of initiator internal file: %q, %v", got, err)
+	}
+	// Delegate modifications go to Vol(A), visible to A under tmp.
+	if err := vfs.WriteFile(pba.NS, cred(pba), "/data/data/appA/attachment.pdf", []byte("annotated"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := vfs.ReadFile(pa.NS, cred(pa), "/data/data/appA/attachment.pdf")
+	if string(orig) != "secret-pdf" {
+		t.Errorf("initiator internal file mutated: %q", orig)
+	}
+	vol, err := vfs.ReadFile(pa.NS, cred(pa), layout.ExtTmpDir+"/"+InternalVolDir+"/attachment.pdf")
+	if err != nil || string(vol) != "annotated" {
+		t.Errorf("volatile copy of internal file: %q, %v", vol, err)
+	}
+}
+
+func TestDelegateCannotBeSelf(t *testing.T) {
+	z, a, _ := newWorld(t)
+	if _, err := z.ForkDelegate(a, a); err == nil {
+		t.Error("self-delegation should fail")
+	}
+}
+
+func TestPPrivIsolationPerInitiator(t *testing.T) {
+	z, a, b := newWorld(t)
+	c := AppInfo{Package: "appC", UID: 10099}
+	if err := z.InstallApp(c); err != nil {
+		t.Fatal(err)
+	}
+	pba, _ := z.ForkDelegate(b, a)
+	pbc, _ := z.ForkDelegate(b, c)
+	// Same client path, different views (pPriv(B^A) vs pPriv(B^C)).
+	if err := vfs.WriteFile(pba.NS, cred(pba), "/data/data/ppriv/appB/recent.db", []byte("from-A"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(pbc.NS, cred(pbc), "/data/data/ppriv/appB/recent.db") {
+		t.Error("pPriv leaked across initiators")
+	}
+	if err := vfs.WriteFile(pbc.NS, cred(pbc), "/data/data/ppriv/appB/recent.db", []byte("from-C"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	gotA, _ := vfs.ReadFile(pba.NS, cred(pba), "/data/data/ppriv/appB/recent.db")
+	gotC, _ := vfs.ReadFile(pbc.NS, cred(pbc), "/data/data/ppriv/appB/recent.db")
+	if string(gotA) != "from-A" || string(gotC) != "from-C" {
+		t.Errorf("pPriv views: %q / %q", gotA, gotC)
+	}
+}
+
+func TestNPrivDivergenceAndDiscard(t *testing.T) {
+	z, a, b := newWorld(t)
+	base := time.Now()
+	clock := base
+	z.Disk().SetClock(func() time.Time { return clock })
+
+	pb, _ := z.ForkInitiator(b)
+	if err := vfs.WriteFile(pb.NS, cred(pb), "/data/data/appB/prefs", []byte("v1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Second)
+	if err := z.MarkNPrivForked("appB", "appA"); err != nil {
+		t.Fatal(err)
+	}
+	pba, _ := z.ForkDelegate(b, a)
+	if err := vfs.WriteFile(pba.NS, cred(pba), "/data/data/appB/delegate-note", []byte("d"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// No divergence yet: only the delegate wrote (to its branch).
+	div, err := z.NPrivDiverged("appB", "appA")
+	if err != nil || div {
+		t.Fatalf("diverged = %v, %v; want false", div, err)
+	}
+	// B itself updates its private state later: now diverged.
+	clock = clock.Add(time.Second)
+	if err := vfs.WriteFile(pb.NS, cred(pb), "/data/data/appB/prefs", []byte("v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	div, err = z.NPrivDiverged("appB", "appA")
+	if err != nil || !div {
+		t.Fatalf("diverged = %v, %v; want true", div, err)
+	}
+	// Discard and re-fork: the delegate branch is empty again.
+	if err := z.DiscardNPriv("appB", "appA"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(z.Disk(), vfs.Root, layout.BackNPrivBranch("appB", "appA")+"/delegate-note") {
+		t.Error("discard left delegate writes behind")
+	}
+	div, _ = z.NPrivDiverged("appB", "appA")
+	if div {
+		t.Error("fresh state reported diverged")
+	}
+}
+
+func TestDiscardVolFiles(t *testing.T) {
+	z, a, b := newWorld(t)
+	pba, _ := z.ForkDelegate(b, a)
+	if err := vfs.WriteFile(pba.NS, cred(pba), layout.ExtDir+"/leak.txt", []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.DiscardVolFiles("appA"); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := z.ForkInitiator(a)
+	entries, err := pa.NS.ReadDir(cred(pa), layout.ExtTmpDir)
+	if err != nil || len(entries) != 0 {
+		t.Errorf("Vol(A) after discard: %v, %v", entries, err)
+	}
+}
+
+func TestDelegateTaskTagging(t *testing.T) {
+	z, a, b := newWorld(t)
+	pba, _ := z.ForkDelegate(b, a)
+	if !pba.Task.IsDelegate() || pba.Task.Initiator != "appA" {
+		t.Errorf("task = %+v", pba.Task)
+	}
+	pa, _ := z.ForkInitiator(a)
+	if pa.Task.IsDelegate() {
+		t.Errorf("initiator tagged as delegate: %+v", pa.Task)
+	}
+}
+
+// TestBranchDirectoriesAreRootOnly checks that the backing directories
+// holding delegate and volatile state cannot be traversed by app
+// credentials directly — "a path that only root can directly access"
+// (§4.2). Apps reach their contents only through Zygote's mounts.
+func TestBranchDirectoriesAreRootOnly(t *testing.T) {
+	z, a, b := newWorld(t)
+	pa, _ := z.ForkInitiator(a)
+	pba, _ := z.ForkDelegate(b, a)
+	// Populate some protected state.
+	if err := vfs.WriteFile(pba.NS, cred(pba), "/data/data/appB/private", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(pba.NS, cred(pba), layout.ExtDir+"/vol.txt", []byte("y"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	nosy := vfs.Cred{UID: 10777} // some other app's UID
+	blocked := []string{
+		layout.BackNPrivBranch("appB", "appA") + "/private",
+		layout.ExtTmpBranch("appA") + "/vol.txt",
+		layout.BackPPrivBranch("appB", "appA"),
+	}
+	for _, p := range blocked {
+		if _, err := z.Disk().Stat(nosy, p); err == nil {
+			t.Errorf("raw disk path %s reachable by an app credential", p)
+		}
+	}
+	// Even the initiator itself cannot reach the delegate's nPriv branch
+	// directly (S3 needs the mount to be the only door).
+	if _, err := z.Disk().Stat(cred(pa), blocked[0]); err == nil {
+		t.Error("initiator can read delegate branch directly")
+	}
+	// The public branch stays reachable, of course.
+	if _, err := z.Disk().Stat(nosy, layout.ExtPubBranch()); err != nil {
+		t.Errorf("public branch unreachable: %v", err)
+	}
+}
+
+// TestDelegateForkIsCheap sanity-checks that repeated delegate forks
+// reuse install-time directories rather than erroring or duplicating.
+func TestRepeatedDelegateForks(t *testing.T) {
+	z, a, b := newWorld(t)
+	for i := 0; i < 5; i++ {
+		p, err := z.ForkDelegate(b, a)
+		if err != nil {
+			t.Fatalf("fork %d: %v", i, err)
+		}
+		if err := vfs.WriteFile(p.NS, cred(p), "/data/data/appB/marker", []byte{byte(i)}, 0o600); err != nil {
+			t.Fatalf("fork %d write: %v", i, err)
+		}
+	}
+	// All forks shared the same branch: the marker persisted.
+	p, _ := z.ForkDelegate(b, a)
+	got, err := vfs.ReadFile(p.NS, cred(p), "/data/data/appB/marker")
+	if err != nil || got[0] != 4 {
+		t.Errorf("marker = %v, %v", got, err)
+	}
+}
