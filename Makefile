@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench tables audit demo examples clean
+.PHONY: all build test race vet check bench tables audit demo examples clean
 
 all: build test
 
@@ -17,6 +17,9 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The full gate: what CI runs on every push.
+check: build vet test race
 
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:

@@ -6,8 +6,11 @@
 // Usage:
 //
 //	maxoid-bench [-table3] [-table4] [-table5] [-trials N]
+//	maxoid-bench -contention [-workers N] [-ops N]
 //
-// With no table flag, all tables are produced.
+// With no table flag, all tables are produced. -contention runs a
+// concurrent multi-instance workload instead and reports the lock
+// contention counters of the filesystem and SQL layers.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -28,8 +32,18 @@ func main() {
 	t3 := flag.Bool("table3", false, "run the Table 3 microbenchmarks")
 	t4 := flag.Bool("table4", false, "run the Table 4 provider batches")
 	t5 := flag.Bool("table5", false, "run the Table 5 application tasks")
+	contention := flag.Bool("contention", false, "run the concurrent-instance contention report")
+	workers := flag.Int("workers", 8, "concurrent instances for -contention")
+	ops := flag.Int("ops", 2000, "mixed ops per instance for -contention")
 	flag.Parse()
 	all := !*t3 && !*t4 && !*t5
+
+	if *contention {
+		if err := runContention(*workers, *ops); err != nil {
+			log.Fatalf("contention: %v", err)
+		}
+		return
+	}
 
 	if *t3 || all {
 		if err := runTable3(); err != nil {
@@ -342,4 +356,59 @@ func runTable5() error {
 	printRows("Application tasks (stock column = unmodified layout)", rows)
 	*trials = saved
 	return nil
+}
+
+// runContention drives the same mixed FS + User Dictionary workload as
+// BenchmarkConcurrentInstances from n concurrent instances, then dumps
+// the contention counters the fine-grained locking layers accumulate
+// (DESIGN.md "Locking model"): lock acquisitions, how many had to
+// block, and how many SQL batches fell back to the exclusive path.
+func runContention(n, ops int) error {
+	if n < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", n)
+	}
+	if ops < 1 {
+		return fmt.Errorf("-ops must be >= 1 (got %d)", ops)
+	}
+	w, err := bench.NewMultiWorld(n)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst := w.Instance(i)
+			for seq := 0; seq < ops; seq++ {
+				if err := w.MixedOp(inst, i<<20+seq); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	elapsed := time.Since(start)
+	total := n * ops
+
+	fs := w.Disk.LockStats()
+	db := w.Proxy.DB().LockStats()
+	fmt.Printf("Contention report: %d instances x %d mixed ops in %v (%.0f ops/s aggregate)\n\n",
+		n, ops, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "layer\tcounter\tvalue\n")
+	fmt.Fprintf(tw, "vfs\tnode lock acquisitions\t%d\n", fs.NodeAcquisitions)
+	fmt.Fprintf(tw, "vfs\tnode acquisitions blocked\t%d\n", fs.NodeBlocked)
+	fmt.Fprintf(tw, "vfs\trename barriers\t%d\n", fs.RenameBarriers)
+	fmt.Fprintf(tw, "sqldb\ttable lock acquisitions\t%d\n", db.TableAcquisitions)
+	fmt.Fprintf(tw, "sqldb\ttable acquisitions blocked\t%d\n", db.TableBlocked)
+	fmt.Fprintf(tw, "sqldb\texclusive-path batches\t%d\n", db.ExclusiveBatches)
+	return tw.Flush()
 }

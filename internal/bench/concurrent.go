@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxoid/internal/cowproxy"
+	"maxoid/internal/kernel"
+	"maxoid/internal/layout"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+	"maxoid/internal/zygote"
+)
+
+// MultiWorld is the multi-instance throughput fixture: N confined
+// delegate instances sharing one disk and one User-Dictionary-style
+// provider database. Each instance is a delegate of a distinct
+// initiator, so its file writes land in a distinct volatile branch
+// subtree and its dictionary writes land in a distinct per-initiator
+// delta table. With fine-grained locking the instances should proceed
+// mostly in parallel; under global locks they serialize on the shared
+// disk and database.
+type MultiWorld struct {
+	Disk  *vfs.FS
+	Proxy *cowproxy.Proxy
+
+	// DictRows is the number of seeded primary-table rows.
+	DictRows int
+
+	insts   []*Instance
+	payload []byte
+}
+
+// Instance is one running delegate: its mount namespace view, its
+// credential, its private data directory, and its provider connection.
+type Instance struct {
+	ID      int
+	FS      vfs.FileSystem
+	Cred    vfs.Cred
+	DataDir string
+	Dict    *cowproxy.Conn
+}
+
+// NewMultiWorld builds n delegate instances (app load.workerI confined
+// to initiator load.initI) over a shared disk and a shared dictionary
+// database seeded with 128 rows.
+func NewMultiWorld(n int) (*MultiWorld, error) {
+	disk := vfs.New()
+	kern := kernel.New(nil)
+	zyg := zygote.New(disk, kern)
+	if err := zyg.InitDevice(); err != nil {
+		return nil, err
+	}
+
+	dictDB := sqldb.Open()
+	if _, err := dictDB.Exec(dictSchema); err != nil {
+		return nil, err
+	}
+	proxy := cowproxy.New(dictDB)
+	if err := proxy.RegisterTable("words"); err != nil {
+		return nil, err
+	}
+
+	w := &MultiWorld{
+		Disk:     disk,
+		Proxy:    proxy,
+		DictRows: 128,
+		payload:  Payload(1024),
+	}
+	seed := proxy.For("")
+	for i := 0; i < w.DictRows; i++ {
+		if _, err := seed.Insert("words", map[string]sqldb.Value{
+			"word": fmt.Sprintf("word%04d", i), "frequency": int64(i),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		workerPkg := fmt.Sprintf("load.worker%d", i)
+		initPkg := fmt.Sprintf("load.init%d", i)
+		worker := zygote.AppInfo{Package: workerPkg, UID: kern.AssignUID(workerPkg)}
+		initApp := zygote.AppInfo{Package: initPkg, UID: kern.AssignUID(initPkg)}
+		for _, a := range []zygote.AppInfo{worker, initApp} {
+			if err := zyg.InstallApp(a); err != nil {
+				return nil, err
+			}
+		}
+		proc, err := zyg.ForkDelegate(worker, initApp)
+		if err != nil {
+			return nil, err
+		}
+		inst := &Instance{
+			ID:      i,
+			FS:      proc.NS,
+			Cred:    vfs.Cred{UID: proc.UID},
+			DataDir: layout.AppData(workerPkg),
+			Dict:    proxy.For(initPkg),
+		}
+		w.insts = append(w.insts, inst)
+		// Warm up: create the per-initiator delta tables and views now so
+		// the measured loop never executes DDL.
+		if err := w.MixedOp(inst, 0); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Instances returns the number of instances.
+func (w *MultiWorld) Instances() int { return len(w.insts) }
+
+// Instance returns instance i.
+func (w *MultiWorld) Instance(i int) *Instance { return w.insts[i] }
+
+// MixedOp performs one mixed unit of work for an instance: a private
+// file write + read, and a dictionary insert, copy-on-write update, and
+// single-row query. seq individualizes the touched file and rows; the
+// file set is bounded so the tree does not grow without limit.
+func (w *MultiWorld) MixedOp(inst *Instance, seq int) error {
+	name := fmt.Sprintf("%s/f%03d.dat", inst.DataDir, seq%64)
+	if err := vfs.WriteFile(inst.FS, inst.Cred, name, w.payload, 0o600); err != nil {
+		return fmt.Errorf("instance %d write: %w", inst.ID, err)
+	}
+	if _, err := vfs.ReadFile(inst.FS, inst.Cred, name); err != nil {
+		return fmt.Errorf("instance %d read: %w", inst.ID, err)
+	}
+	if _, err := inst.Dict.Insert("words", map[string]sqldb.Value{
+		"word": fmt.Sprintf("w%d.%d", inst.ID, seq), "frequency": int64(1),
+	}); err != nil {
+		return fmt.Errorf("instance %d insert: %w", inst.ID, err)
+	}
+	id := int64(seq%w.DictRows) + 1
+	if _, err := inst.Dict.Update("words",
+		map[string]sqldb.Value{"frequency": int64(seq)}, "_id = ?", id); err != nil {
+		return fmt.Errorf("instance %d update: %w", inst.ID, err)
+	}
+	if _, err := inst.Dict.Query("words",
+		[]string{"_id", "word", "frequency"}, "_id = ?", "", id); err != nil {
+		return fmt.Errorf("instance %d query: %w", inst.ID, err)
+	}
+	return nil
+}

@@ -9,9 +9,9 @@ package binder
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"maxoid/internal/kernel"
+	"maxoid/internal/shard"
 )
 
 // ErrNoEndpoint is returned for transactions to unregistered endpoints.
@@ -79,45 +79,38 @@ type endpoint struct {
 }
 
 // Router delivers transactions and enforces the Maxoid Binder policy.
+// The endpoint registry is sharded by name so transactions from
+// independent instances do not serialize on one registry lock.
 type Router struct {
-	mu        sync.RWMutex
-	endpoints map[string]endpoint
+	endpoints *shard.Map[string, endpoint]
 }
 
 // NewRouter creates an empty router.
 func NewRouter() *Router {
-	return &Router{endpoints: make(map[string]endpoint)}
+	return &Router{endpoints: shard.NewMap[string, endpoint](shard.StringHash)}
 }
 
 // RegisterSystem registers a trusted system service endpoint (Activity
 // Manager, content providers, Clipboard, ...). System endpoints are
 // reachable by everyone, including delegates.
 func (r *Router) RegisterSystem(name string, h Handler) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.endpoints[name] = endpoint{handler: h, system: true}
+	r.endpoints.Store(name, endpoint{handler: h, system: true})
 }
 
 // RegisterApp registers an app instance endpoint owned by task.
 func (r *Router) RegisterApp(name string, task kernel.Task, h Handler) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.endpoints[name] = endpoint{handler: h, task: task}
+	r.endpoints.Store(name, endpoint{handler: h, task: task})
 }
 
 // Unregister removes an endpoint (app death).
 func (r *Router) Unregister(name string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	delete(r.endpoints, name)
+	r.endpoints.Delete(name)
 }
 
 // Call performs a synchronous transaction from the caller to the named
 // endpoint, enforcing the kernel Binder policy first.
 func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parcel, error) {
-	r.mu.RLock()
-	ep, ok := r.endpoints[name]
-	r.mu.RUnlock()
+	ep, ok := r.endpoints.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, name)
 	}
@@ -129,11 +122,10 @@ func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parce
 
 // Endpoints returns the registered endpoint names (diagnostics).
 func (r *Router) Endpoints() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.endpoints))
-	for name := range r.endpoints {
+	out := make([]string, 0, r.endpoints.Len())
+	r.endpoints.Range(func(name string, _ endpoint) bool {
 		out = append(out, name)
-	}
+		return true
+	})
 	return out
 }

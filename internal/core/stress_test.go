@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/layout"
+	"maxoid/internal/netstack"
+	"maxoid/internal/provider"
+	"maxoid/internal/vfs"
+)
+
+// TestStressConcurrentInstances hammers one booted device from 16
+// concurrent instances — 8 initiators plus a delegate per initiator —
+// mixing filesystem writes, User Dictionary and Downloads provider
+// inserts, and intent launches. It is the fine-grained-locking gauntlet:
+// run under -race it exercises the vfs crabbing, per-table SQL locks,
+// sharded kernel/binder registries, and snapshot mount tables all at
+// once, and it verifies no goroutine outlives System.Shutdown.
+func TestStressConcurrentInstances(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	s := boot(t)
+	srv := netstack.NewStaticFileServer()
+	srv.Put("/blob", []byte("stress-payload"))
+	s.Net.Register("files.example", srv)
+
+	installScript(t, s, "viewer", ams.Manifest{Filters: viewFilter()})
+	const initiators = 8
+	const iters = 40
+	for i := 0; i < initiators; i++ {
+		installScript(t, s, fmt.Sprintf("stress%d", i), ams.Manifest{})
+	}
+
+	type instance struct {
+		ctx      *ams.Context
+		delegate bool
+		id       int
+	}
+	var instances []instance
+	for i := 0; i < initiators; i++ {
+		actx, err := s.Launch(fmt.Sprintf("stress%d", i), intent.Intent{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := actx.DataDir() + "/seed.txt"
+		writeAs(t, actx, seed, "seed")
+		vctx, err := actx.StartActivity(intent.Intent{
+			Action: intent.ActionView, Data: seed, Flags: intent.FlagDelegate,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances,
+			instance{ctx: actx, id: i},
+			instance{ctx: vctx, delegate: true, id: i})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(instances))
+	fail := func(err error) { errs <- err }
+	for _, inst := range instances {
+		wg.Add(1)
+		go func(inst instance) {
+			defer wg.Done()
+			ctx := inst.ctx
+			res := ctx.Resolver()
+			for n := 0; n < iters; n++ {
+				// FS write + read-back. Initiators use their private data
+				// dir; delegates write through their volatile external view.
+				path := fmt.Sprintf("%s/s%02d-%03d.dat", ctx.DataDir(), inst.id, n)
+				if inst.delegate {
+					path = fmt.Sprintf("%s/s%02d-%03d.dat", layout.ExtDir, inst.id, n)
+				}
+				payload := fmt.Sprintf("payload-%d-%d", inst.id, n)
+				if err := vfs.WriteFile(ctx.FS(), ctx.Cred(), path, []byte(payload), 0o666); err != nil {
+					fail(fmt.Errorf("inst %d write: %w", inst.id, err))
+					return
+				}
+				got, err := vfs.ReadFile(ctx.FS(), ctx.Cred(), path)
+				if err != nil || string(got) != payload {
+					fail(fmt.Errorf("inst %d read-back: %q, %v", inst.id, got, err))
+					return
+				}
+				// Provider insert (lands in the instance's view: shared
+				// state for initiators, the initiator's delta for delegates).
+				if _, err := res.Insert("content://user_dictionary/words",
+					provider.Values{"word": fmt.Sprintf("w-%d-%d-%v", inst.id, n, inst.delegate)}); err != nil {
+					fail(fmt.Errorf("inst %d dict insert: %w", inst.id, err))
+					return
+				}
+				// Initiators also enqueue real downloads and launch fresh
+				// delegate activities mid-flight.
+				if !inst.delegate && n%8 == 0 {
+					if _, err := res.Insert("content://downloads/my_downloads",
+						provider.Values{"uri": "files.example/blob",
+							"hint": fmt.Sprintf("dl-%d-%d.bin", inst.id, n)}); err != nil {
+						fail(fmt.Errorf("inst %d download insert: %w", inst.id, err))
+						return
+					}
+				}
+				if !inst.delegate && n%10 == 5 {
+					if _, err := ctx.StartActivity(intent.Intent{
+						Action: intent.ActionView,
+						Data:   ctx.DataDir() + "/seed.txt",
+						Flags:  intent.FlagDelegate,
+					}); err != nil {
+						fail(fmt.Errorf("inst %d launch: %w", inst.id, err))
+						return
+					}
+				}
+			}
+		}(inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every initiator's words survived in its own view; isolation held
+	// under load.
+	for i := 0; i < initiators; i++ {
+		rows, err := instances[2*i].ctx.Resolver().Query(
+			"content://user_dictionary/words", []string{"word"}, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Data) < 2*iters {
+			t.Errorf("initiator %d sees %d words, want >= %d", i, len(rows.Data), 2*iters)
+		}
+	}
+
+	// Shutdown joins the download workers; nothing may leak past it.
+	s.Shutdown()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseGoroutines {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutine leak: %d running, %d at start\n%s",
+			n, baseGoroutines, buf[:runtime.Stack(buf, true)])
+	}
+}

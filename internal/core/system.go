@@ -126,6 +126,12 @@ func Boot(opts Options) (*System, error) {
 
 // Install installs an app with its manifest (including the Maxoid
 // manifest, typically parsed from XML with ParseMaxoidManifest).
+// Shutdown stops background work: it joins the download worker pool so
+// no provider goroutine outlives the system (tests assert leak-freedom).
+func (s *System) Shutdown() {
+	s.Downloads.Close()
+}
+
 func (s *System) Install(app ams.App, manifest ams.Manifest) error {
 	return s.AM.Install(app, manifest)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"maxoid/internal/sqldb"
 )
@@ -19,19 +20,174 @@ type Conn struct {
 	// primary tables) and the initiator's package for delegates
 	// (operate on COW views).
 	initiator string
+
+	// Resolved-target caches, so steady-state operations skip the
+	// proxy-wide mutex and the name re-derivation. gen records the
+	// proxy generation the caches were built at; DiscardVolatile bumps
+	// the generation, which empties them on next use.
+	mu      sync.RWMutex
+	gen     int64
+	targets map[string]string       // lowercase table -> query/update target
+	inserts map[string]insertTarget // lowercase table -> insert routing
+	sqls    map[string]string       // rendered INSERT statements
+	queries map[string]queryPlan    // rendered SELECT statements
+	updates map[string]updatePlan   // rendered UPDATE statements
+}
+
+// insertTarget is the memoized routing decision for Conn.Insert.
+type insertTarget struct {
+	table string // table to insert into (primary or delta)
+	delta bool   // delta insert: add _whiteout and use OR REPLACE
+}
+
+// queryPlan is a memoized rendered SELECT plus the count of ORDER BY
+// columns appended to the projection that must be trimmed from results.
+type queryPlan struct {
+	sql   string
+	extra int
+}
+
+// updatePlan is a memoized rendered UPDATE plus the column order its
+// SET-clause placeholders expect values in.
+type updatePlan struct {
+	sql  string
+	cols []string
+}
+
+// cachedTarget returns the memoized query/update target for key.
+func (c *Conn) cachedTarget(key string) (string, bool) {
+	gen := c.p.gen.Load()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.gen != gen {
+		return "", false
+	}
+	v, ok := c.targets[key]
+	return v, ok
+}
+
+// cachedInsert returns the memoized insert routing for key.
+func (c *Conn) cachedInsert(key string) (insertTarget, bool) {
+	gen := c.p.gen.Load()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.gen != gen {
+		return insertTarget{}, false
+	}
+	v, ok := c.inserts[key]
+	return v, ok
+}
+
+// resetIfStale empties the caches when the proxy generation moved.
+// Caller holds c.mu.
+func (c *Conn) resetIfStale() {
+	gen := c.p.gen.Load()
+	if c.gen != gen {
+		c.targets = nil
+		c.inserts = nil
+		c.sqls = nil
+		c.queries = nil
+		c.updates = nil
+		c.gen = gen
+	}
+}
+
+// cachedQuery returns the memoized rendered SELECT for key.
+func (c *Conn) cachedQuery(key string) (queryPlan, bool) {
+	gen := c.p.gen.Load()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.gen != gen {
+		return queryPlan{}, false
+	}
+	v, ok := c.queries[key]
+	return v, ok
+}
+
+func (c *Conn) storeQuery(key string, qp queryPlan) {
+	c.mu.Lock()
+	c.resetIfStale()
+	if c.queries == nil {
+		c.queries = make(map[string]queryPlan)
+	}
+	c.queries[key] = qp
+	c.mu.Unlock()
+}
+
+// cachedUpdate returns the memoized rendered UPDATE for key.
+func (c *Conn) cachedUpdate(key string) (updatePlan, bool) {
+	gen := c.p.gen.Load()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.gen != gen {
+		return updatePlan{}, false
+	}
+	v, ok := c.updates[key]
+	return v, ok
+}
+
+func (c *Conn) storeUpdate(key string, up updatePlan) {
+	c.mu.Lock()
+	c.resetIfStale()
+	if c.updates == nil {
+		c.updates = make(map[string]updatePlan)
+	}
+	c.updates[key] = up
+	c.mu.Unlock()
+}
+
+func (c *Conn) storeTarget(key, val string) {
+	c.mu.Lock()
+	c.resetIfStale()
+	if c.targets == nil {
+		c.targets = make(map[string]string)
+	}
+	c.targets[key] = val
+	c.mu.Unlock()
+}
+
+func (c *Conn) storeInsert(key string, val insertTarget) {
+	c.mu.Lock()
+	c.resetIfStale()
+	if c.inserts == nil {
+		c.inserts = make(map[string]insertTarget)
+	}
+	c.inserts[key] = val
+	c.mu.Unlock()
 }
 
 // For returns a connection for a caller. Pass "" for initiators (and
 // for providers' own administrative work on public state); pass the
 // initiator package for a delegate of that initiator.
 func (p *Proxy) For(initiator string) *Conn {
-	return &Conn{p: p, initiator: initiator}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.conns[initiator]; ok {
+		return c
+	}
+	c := &Conn{p: p, initiator: initiator}
+	if p.conns == nil {
+		p.conns = make(map[string]*Conn)
+	}
+	p.conns[initiator] = c
+	return c
 }
 
 // target resolves the table/view name this connection must operate on,
 // creating delta tables and COW views on demand for delegates.
 func (c *Conn) target(table string) (string, error) {
 	key := strings.ToLower(table)
+	if t, ok := c.cachedTarget(key); ok {
+		return t, nil
+	}
+	t, err := c.targetSlow(key, table)
+	if err == nil {
+		c.storeTarget(key, t)
+	}
+	return t, err
+}
+
+func (c *Conn) targetSlow(key, table string) (string, error) {
 	c.p.mu.Lock()
 	defer c.p.mu.Unlock()
 	if info, ok := c.p.primaries[key]; ok {
@@ -70,27 +226,34 @@ func sortedCols(values map[string]sqldb.Value) []string {
 // table with a key allocated from DeltaKeyBase up.
 func (c *Conn) Insert(table string, values map[string]sqldb.Value) (int64, error) {
 	key := strings.ToLower(table)
-	c.p.mu.Lock()
-	info, isPrimary := c.p.primaries[key]
-	c.p.mu.Unlock()
-	if !isPrimary {
-		return 0, fmt.Errorf("%w: %s", ErrUnknownTable, table)
+	tgt, ok := c.cachedInsert(key)
+	if !ok {
+		c.p.mu.Lock()
+		info, isPrimary := c.p.primaries[key]
+		if !isPrimary {
+			c.p.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s", ErrUnknownTable, table)
+		}
+		if c.initiator == "" {
+			tgt = insertTarget{table: info.name}
+		} else {
+			if err := c.p.ensureDelta(info, c.initiator); err != nil {
+				c.p.mu.Unlock()
+				return 0, err
+			}
+			tgt = insertTarget{table: DeltaTableName(info.name, c.initiator), delta: true}
+		}
+		c.p.mu.Unlock()
+		c.storeInsert(key, tgt)
 	}
-	if c.initiator == "" {
-		return insertInto(c.p.db, info.name, values, "")
+	if !tgt.delta {
+		return c.insertInto(tgt.table, values, "")
 	}
-	c.p.mu.Lock()
-	err := c.p.ensureDelta(info, c.initiator)
-	c.p.mu.Unlock()
-	if err != nil {
-		return 0, err
-	}
-	delta := DeltaTableName(info.name, c.initiator)
 	// Keys for new volatile rows auto-increment from DeltaKeyBase: the
 	// delta table's allocator was seeded at creation, so no MAX() scan
 	// is needed here.
 	values = withValue(values, "_whiteout", int64(0))
-	return insertInto(c.p.db, delta, values, "OR REPLACE")
+	return c.insertInto(tgt.table, values, "OR REPLACE")
 }
 
 // InsertVolatile inserts a row directly into the initiator's own
@@ -101,8 +264,7 @@ func (c *Conn) InsertVolatile(table, initiator string, values map[string]sqldb.V
 	if initiator == "" {
 		return 0, fmt.Errorf("cowproxy: InsertVolatile requires an initiator")
 	}
-	d := &Conn{p: c.p, initiator: initiator}
-	return d.Insert(table, values)
+	return c.p.For(initiator).Insert(table, values)
 }
 
 func withValue(values map[string]sqldb.Value, col string, v sqldb.Value) map[string]sqldb.Value {
@@ -114,52 +276,108 @@ func withValue(values map[string]sqldb.Value, col string, v sqldb.Value) map[str
 	return out
 }
 
-func insertInto(db *sqldb.DB, table string, values map[string]sqldb.Value, conflict string) (int64, error) {
+// insertInto renders and executes an INSERT. The rendered SQL is
+// memoized per (table, column set, conflict clause) so steady-state
+// inserts reuse one string (and, downstream, one cached AST and plan).
+func (c *Conn) insertInto(table string, values map[string]sqldb.Value, conflict string) (int64, error) {
 	cols := sortedCols(values)
-	placeholders := make([]string, len(cols))
 	args := make([]sqldb.Value, len(cols))
 	for i, col := range cols {
-		placeholders[i] = "?"
 		args[i] = values[col]
 	}
-	verb := "INSERT"
-	if conflict != "" {
-		verb = "INSERT " + conflict
+	cacheKey := table + "\x00" + conflict + "\x00" + strings.Join(cols, ",")
+	gen := c.p.gen.Load()
+	c.mu.RLock()
+	sql, ok := "", false
+	if c.gen == gen {
+		sql, ok = c.sqls[cacheKey]
 	}
-	sql := fmt.Sprintf("%s INTO %s (%s) VALUES (%s)",
-		verb, table, strings.Join(cols, ", "), strings.Join(placeholders, ", "))
-	res, err := db.Exec(sql, args...)
+	c.mu.RUnlock()
+	if !ok {
+		sql = renderInsert(table, cols, conflict)
+		c.mu.Lock()
+		c.resetIfStale()
+		if c.sqls == nil {
+			c.sqls = make(map[string]string)
+		}
+		c.sqls[cacheKey] = sql
+		c.mu.Unlock()
+	}
+	res, err := c.p.db.Exec(sql, args...)
 	if err != nil {
 		return 0, err
 	}
 	return res.LastInsertID, nil
 }
 
+func renderInsert(table string, cols []string, conflict string) string {
+	placeholders := make([]string, len(cols))
+	for i := range placeholders {
+		placeholders[i] = "?"
+	}
+	verb := "INSERT"
+	if conflict != "" {
+		verb = "INSERT " + conflict
+	}
+	return fmt.Sprintf("%s INTO %s (%s) VALUES (%s)",
+		verb, table, strings.Join(cols, ", "), strings.Join(placeholders, ", "))
+}
+
 // Update updates rows matching the where clause, returning the number
 // affected. Delegate updates are redirected to the delta table by the
 // COW view's INSTEAD OF trigger.
 func (c *Conn) Update(table string, values map[string]sqldb.Value, where string, args ...sqldb.Value) (int64, error) {
-	target, err := c.target(table)
-	if err != nil {
-		return 0, err
+	key := table + "\x00" + where
+	up, ok := c.cachedUpdate(key)
+	if !ok || !colsMatch(up.cols, values) {
+		target, err := c.target(table)
+		if err != nil {
+			return 0, err
+		}
+		cols := sortedCols(values)
+		var b strings.Builder
+		b.WriteString("UPDATE ")
+		b.WriteString(target)
+		b.WriteString(" SET ")
+		for i, col := range cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(col)
+			b.WriteString(" = ?")
+		}
+		if where != "" {
+			b.WriteString(" WHERE ")
+			b.WriteString(where)
+		}
+		up = updatePlan{sql: b.String(), cols: cols}
+		c.storeUpdate(key, up)
 	}
-	cols := sortedCols(values)
-	sets := make([]string, len(cols))
-	setArgs := make([]sqldb.Value, 0, len(cols)+len(args))
-	for i, col := range cols {
-		sets[i] = col + " = ?"
+	setArgs := make([]sqldb.Value, 0, len(up.cols)+len(args))
+	for _, col := range up.cols {
 		setArgs = append(setArgs, values[col])
 	}
 	setArgs = append(setArgs, args...)
-	sql := fmt.Sprintf("UPDATE %s SET %s", target, strings.Join(sets, ", "))
-	if where != "" {
-		sql += " WHERE " + where
-	}
-	res, err := c.p.db.Exec(sql, setArgs...)
+	res, err := c.p.db.Exec(up.sql, setArgs...)
 	if err != nil {
 		return 0, err
 	}
 	return res.RowsAffected, nil
+}
+
+// colsMatch reports whether values assigns exactly the columns a cached
+// update plan was rendered for (the common steady-state case); a
+// mismatch re-renders and overwrites the cache entry.
+func colsMatch(cols []string, values map[string]sqldb.Value) bool {
+	if len(cols) != len(values) {
+		return false
+	}
+	for _, col := range cols {
+		if _, ok := values[col]; !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Delete deletes rows matching the where clause. For delegates the COW
@@ -186,9 +404,55 @@ func (c *Conn) Delete(table string, where string, args ...sqldb.Value) (int64, e
 // query columns, so "our proxy adds ORDER BY columns to query columns
 // when necessary"; the extra columns are dropped from the result.
 func (c *Conn) Query(table string, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
-	target, err := c.target(table)
+	key := queryKey(table, columns, where, orderBy)
+	qp, ok := c.cachedQuery(key)
+	if !ok {
+		var err error
+		qp, err = c.renderQuery(table, columns, where, orderBy)
+		if err != nil {
+			return nil, err
+		}
+		c.storeQuery(key, qp)
+	}
+	rows, err := c.p.db.Query(qp.sql, args...)
 	if err != nil {
 		return nil, err
+	}
+	if qp.extra > 0 {
+		rows.Columns = rows.Columns[:len(rows.Columns)-qp.extra]
+		for i := range rows.Data {
+			rows.Data[i] = rows.Data[i][:len(rows.Data[i])-qp.extra]
+		}
+	}
+	return rows, nil
+}
+
+// queryKey builds the memo key for a Query call in a single allocation.
+func queryKey(table string, columns []string, where, orderBy string) string {
+	n := len(table) + len(where) + len(orderBy) + 2
+	for _, col := range columns {
+		n += len(col) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(table)
+	b.WriteByte(0)
+	b.WriteString(where)
+	b.WriteByte(0)
+	b.WriteString(orderBy)
+	for _, col := range columns {
+		b.WriteByte(0)
+		b.WriteString(col)
+	}
+	return b.String()
+}
+
+// renderQuery resolves the caller's view of table and renders the
+// SELECT once; Query memoizes the result per connection.
+func (c *Conn) renderQuery(table string, columns []string, where, orderBy string) (queryPlan, error) {
+	target, err := c.target(table)
+	if err != nil {
+		return queryPlan{}, err
 	}
 	extra := 0
 	colSQL := "*"
@@ -204,24 +468,14 @@ func (c *Conn) Query(table string, columns []string, where string, orderBy strin
 		}
 		colSQL = strings.Join(queryCols, ", ")
 	}
-	sql := fmt.Sprintf("SELECT %s FROM %s", colSQL, target)
+	sql := "SELECT " + colSQL + " FROM " + target
 	if where != "" {
 		sql += " WHERE " + where
 	}
 	if orderBy != "" {
 		sql += " ORDER BY " + orderBy
 	}
-	rows, err := c.p.db.Query(sql, args...)
-	if err != nil {
-		return nil, err
-	}
-	if extra > 0 {
-		rows.Columns = rows.Columns[:len(rows.Columns)-extra]
-		for i := range rows.Data {
-			rows.Data[i] = rows.Data[i][:len(rows.Data[i])-extra]
-		}
-	}
-	return rows, nil
+	return queryPlan{sql: sql, extra: extra}, nil
 }
 
 // QueryVolatile returns rows from the initiator's volatile state of a

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"maxoid/internal/sqldb"
 )
@@ -52,6 +53,12 @@ type Proxy struct {
 	// cowViews[name][initiator] records which COW views exist (for both
 	// primary tables and user-defined views).
 	cowViews map[string]map[string]bool
+
+	// conns memoizes one Conn per initiator so its resolved-target
+	// caches persist across calls; gen invalidates those caches when
+	// volatile state is discarded (COW views/deltas dropped).
+	conns map[string]*Conn
+	gen   atomic.Int64
 }
 
 type primaryInfo struct {
@@ -349,6 +356,8 @@ func (p *Proxy) Initiators() []string {
 func (p *Proxy) DiscardVolatile(initiator string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Cached Conn targets may name the views/tables dropped below.
+	p.gen.Add(1)
 	// Drop user-view COW views first (they depend on table COW views),
 	// in reverse registration order.
 	for i := len(p.viewOrder) - 1; i >= 0; i-- {

@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"maxoid/internal/mount"
 	"maxoid/internal/netstack"
+	"maxoid/internal/shard"
 )
 
 // ErrNetUnreachable is the ENETUNREACH the connect syscall returns for
@@ -65,14 +67,12 @@ type Process struct {
 	NS *mount.Namespace
 
 	kern  *Kernel
-	alive bool
+	alive atomic.Bool
 }
 
 // Alive reports whether the process still exists.
 func (p *Process) Alive() bool {
-	p.kern.mu.RLock()
-	defer p.kern.mu.RUnlock()
-	return p.alive
+	return p.alive.Load()
 }
 
 // Connect opens a connection to host, enforcing the Maxoid network gate:
@@ -81,11 +81,10 @@ func (p *Process) Alive() bool {
 // paper sketches ("preventing apps from accessing network resources
 // other than the trusted cloud").
 func (p *Process) Connect(host string) (*Conn, error) {
-	p.kern.mu.RLock()
-	alive := p.alive
+	p.kern.trustMu.RLock()
 	trusted := p.kern.trustedHosts[host]
-	p.kern.mu.RUnlock()
-	if !alive {
+	p.kern.trustMu.RUnlock()
+	if !p.alive.Load() {
 		return nil, ErrNoProcess
 	}
 	if p.Task.IsDelegate() && !trusted {
@@ -105,16 +104,23 @@ func (c *Conn) Do(path string, body []byte) (netstack.Response, error) {
 	return c.net.RoundTrip(netstack.Request{Host: c.host, Path: path, Body: body})
 }
 
-// Kernel owns the process table and security policy.
+// Kernel owns the process table and security policy. The process table
+// is sharded by PID so hot-path lookups and policy checks from
+// independent instances do not serialize; UID assignment and the
+// trusted-host set sit behind their own small locks.
 type Kernel struct {
-	mu      sync.RWMutex
-	procs   map[int]*Process
-	nextPID int
+	procs   *shard.Map[int, *Process]
+	nextPID atomic.Int64
+
+	uidMu   sync.Mutex
 	nextUID int
 	uids    map[string]int // app package -> UID
-	net     *netstack.Network
+
+	net *netstack.Network
+
 	// trustedHosts is the πBox-style trusted cloud: hosts delegates may
 	// still reach. Empty by default (the paper's base design).
+	trustMu      sync.RWMutex
 	trustedHosts map[string]bool
 }
 
@@ -123,22 +129,23 @@ func New(net *netstack.Network) *Kernel {
 	if net == nil {
 		net = netstack.New(0, 0)
 	}
-	return &Kernel{
-		procs:        make(map[int]*Process),
-		nextPID:      100,
+	k := &Kernel{
+		procs:        shard.NewMap[int, *Process](shard.IntHash),
 		nextUID:      FirstAppUID,
 		uids:         make(map[string]int),
 		net:          net,
 		trustedHosts: make(map[string]bool),
 	}
+	k.nextPID.Store(100)
+	return k
 }
 
 // TrustHost adds a host to the trusted cloud: delegates may connect to
 // it despite the network gate. Use only for infrastructure that itself
 // enforces confinement (the paper's πBox reference [18]).
 func (k *Kernel) TrustHost(host string) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.trustMu.Lock()
+	defer k.trustMu.Unlock()
 	k.trustedHosts[host] = true
 }
 
@@ -149,8 +156,8 @@ func (k *Kernel) Network() *netstack.Network { return k.net }
 // AssignUID returns the stable UID for an app package, allocating one on
 // first use (Android assigns each app a dedicated Unix UID at install).
 func (k *Kernel) AssignUID(app string) int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.uidMu.Lock()
+	defer k.uidMu.Unlock()
 	if uid, ok := k.uids[app]; ok {
 		return uid
 	}
@@ -165,50 +172,41 @@ func (k *Kernel) AssignUID(app string) int {
 // sysfs; here Spawn is that combined operation, and the context is
 // immutable afterwards, which is what the security argument needs.
 func (k *Kernel) Spawn(task Task, uid int, ns *mount.Namespace) *Process {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	p := &Process{
-		PID:   k.nextPID,
-		UID:   uid,
-		Task:  task,
-		NS:    ns,
-		kern:  k,
-		alive: true,
+		PID:  int(k.nextPID.Add(1) - 1),
+		UID:  uid,
+		Task: task,
+		NS:   ns,
+		kern: k,
 	}
-	k.nextPID++
-	k.procs[p.PID] = p
+	p.alive.Store(true)
+	k.procs.Store(p.PID, p)
 	return p
 }
 
 // Kill terminates a process.
 func (k *Kernel) Kill(pid int) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	p, ok := k.procs[pid]
+	p, ok := k.procs.Get(pid)
 	if !ok {
 		return ErrNoProcess
 	}
-	p.alive = false
-	delete(k.procs, pid)
+	p.alive.Store(false)
+	k.procs.Delete(pid)
 	return nil
 }
 
 // Process looks up a live process by PID.
 func (k *Kernel) Process(pid int) (*Process, bool) {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	p, ok := k.procs[pid]
-	return p, ok
+	return k.procs.Get(pid)
 }
 
 // Processes returns a snapshot of all live processes.
 func (k *Kernel) Processes() []*Process {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	out := make([]*Process, 0, len(k.procs))
-	for _, p := range k.procs {
+	out := make([]*Process, 0, k.procs.Len())
+	k.procs.Range(func(_ int, p *Process) bool {
 		out = append(out, p)
-	}
+		return true
+	})
 	return out
 }
 

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"maxoid/internal/vfs"
 )
@@ -36,84 +37,111 @@ type Entry struct {
 
 // Namespace is a mount table. The zero value is an empty namespace.
 // Namespaces are safe for concurrent use.
+//
+// The table itself is an immutable snapshot behind an atomic pointer:
+// Mount and Unmount build a fresh sorted slice and publish it, so path
+// resolution — the per-syscall hot path — never takes a lock. A nil
+// snapshot reads as the empty table, preserving the zero-value contract.
 type Namespace struct {
-	mu     sync.RWMutex
-	mounts []Entry // kept sorted by descending point length
+	writeMu sync.Mutex              // serializes mutators only
+	mounts  atomic.Pointer[[]Entry] // sorted by descending point length
 }
 
 // New returns an empty namespace.
 func New() *Namespace { return &Namespace{} }
 
+// snapshot returns the current immutable mount table (possibly nil).
+func (ns *Namespace) snapshot() []Entry {
+	if p := ns.mounts.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// publish installs a new snapshot, sorted longest point first.
+func (ns *Namespace) publish(mounts []Entry) {
+	sort.Slice(mounts, func(i, j int) bool {
+		return len(mounts[i].Point) > len(mounts[j].Point)
+	})
+	ns.mounts.Store(&mounts)
+}
+
 // Mount attaches fsys at point, replacing any existing mount at exactly
 // that point (mount shadowing within a point is not needed by Maxoid).
 func (ns *Namespace) Mount(point string, fsys vfs.FileSystem) {
 	cleaned := vfs.Clean(point)
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	for i := range ns.mounts {
-		if ns.mounts[i].Point == cleaned {
-			ns.mounts[i].FS = fsys
-			return
+	ns.writeMu.Lock()
+	defer ns.writeMu.Unlock()
+	old := ns.snapshot()
+	mounts := make([]Entry, 0, len(old)+1)
+	replaced := false
+	for _, e := range old {
+		if e.Point == cleaned {
+			e.FS = fsys
+			replaced = true
 		}
+		mounts = append(mounts, e)
 	}
-	ns.mounts = append(ns.mounts, Entry{Point: cleaned, FS: fsys})
-	sort.Slice(ns.mounts, func(i, j int) bool {
-		return len(ns.mounts[i].Point) > len(ns.mounts[j].Point)
-	})
+	if !replaced {
+		mounts = append(mounts, Entry{Point: cleaned, FS: fsys})
+	}
+	ns.publish(mounts)
 }
 
 // Unmount removes the mount at exactly point. It is not an error if no
 // such mount exists.
 func (ns *Namespace) Unmount(point string) {
 	cleaned := vfs.Clean(point)
-	ns.mu.Lock()
-	defer ns.mu.Unlock()
-	for i := range ns.mounts {
-		if ns.mounts[i].Point == cleaned {
-			ns.mounts = append(ns.mounts[:i], ns.mounts[i+1:]...)
-			return
+	ns.writeMu.Lock()
+	defer ns.writeMu.Unlock()
+	old := ns.snapshot()
+	mounts := make([]Entry, 0, len(old))
+	for _, e := range old {
+		if e.Point != cleaned {
+			mounts = append(mounts, e)
 		}
 	}
+	ns.publish(mounts)
 }
 
 // Clone returns a copy of the namespace sharing the mounted filesystems
 // but with an independent mount table — the semantics of unshare(2) with
-// CLONE_NEWNS.
+// CLONE_NEWNS. Because snapshots are immutable, the clone simply shares
+// the current one; the tables diverge on the first mutation of either.
 func (ns *Namespace) Clone() *Namespace {
-	ns.mu.RLock()
-	defer ns.mu.RUnlock()
-	out := &Namespace{mounts: make([]Entry, len(ns.mounts))}
-	copy(out.mounts, ns.mounts)
+	out := &Namespace{}
+	if p := ns.mounts.Load(); p != nil {
+		out.mounts.Store(p)
+	}
 	return out
 }
 
 // Table returns the mount table sorted by mount point, for display
 // (the Table 2 dump in the paper).
 func (ns *Namespace) Table() []Entry {
-	ns.mu.RLock()
-	defer ns.mu.RUnlock()
-	out := make([]Entry, len(ns.mounts))
-	copy(out, ns.mounts)
+	snap := ns.snapshot()
+	out := make([]Entry, len(snap))
+	copy(out, snap)
 	sort.Slice(out, func(i, j int) bool { return out[i].Point < out[j].Point })
 	return out
 }
 
 // Resolve maps an absolute path to (filesystem, path-within-filesystem)
-// using longest-prefix matching.
+// using longest-prefix matching. It is lock-free: resolution walks the
+// immutable snapshot current at the time of the call.
 func (ns *Namespace) Resolve(name string) (vfs.FileSystem, string, error) {
 	cleaned := vfs.Clean(name)
-	ns.mu.RLock()
-	defer ns.mu.RUnlock()
-	for _, e := range ns.mounts { // sorted longest first
+	for _, e := range ns.snapshot() { // sorted longest first
 		if cleaned == e.Point {
 			return e.FS, "/", nil
 		}
-		prefix := e.Point
-		if prefix != "/" {
-			prefix += "/"
+		if e.Point == "/" {
+			return e.FS, cleaned, nil
 		}
-		if strings.HasPrefix(cleaned, prefix) {
-			return e.FS, "/" + strings.TrimPrefix(cleaned, prefix), nil
+		if strings.HasPrefix(cleaned, e.Point) && cleaned[len(e.Point)] == '/' {
+			// The suffix starting at the point's trailing slash is the
+			// path within the mount — a substring, no allocation.
+			return e.FS, cleaned[len(e.Point):], nil
 		}
 	}
 	return nil, "", &fs.PathError{Op: "resolve", Path: cleaned, Err: ErrNoMount}

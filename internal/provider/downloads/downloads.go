@@ -85,6 +85,7 @@ type Provider struct {
 	waiters   map[int64][]chan Event
 	done      map[int64]Event
 	listeners []func(Event)
+	closed    bool // set by Close; no new worker goroutines may start
 	pending   sync.WaitGroup
 	slots     chan struct{}
 }
@@ -158,6 +159,17 @@ func (p *Provider) WaitFor(id int64) Event {
 
 // Drain waits for all in-flight downloads to finish (tests, shutdown).
 func (p *Provider) Drain() { p.pending.Wait() }
+
+// Close shuts the provider down: no new download workers are started
+// after Close returns, and every in-flight worker has been joined. A
+// fetch requested after Close fails its record with a network error
+// synchronously, as if the network had gone away. Close is idempotent.
+func (p *Provider) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.pending.Wait()
+}
 
 func (p *Provider) complete(ev Event) {
 	p.mu.Lock()
@@ -301,7 +313,20 @@ func (p *Provider) Insert(c provider.Caller, uri provider.URI, values provider.V
 
 // fetchAsync runs the background download thread for one record.
 func (p *Provider) fetchAsync(id int64, initiator, srcURL, clientPath string) {
+	p.mu.Lock()
+	if p.closed {
+		// Shutting down: fail the record synchronously instead of
+		// leaking a worker past Close's WaitGroup join.
+		p.mu.Unlock()
+		conn := p.proxy.For(initiator)
+		_, _ = conn.Update("downloads",
+			map[string]sqldb.Value{"status": int64(StatusErrorNetwork)},
+			"_id = ?", id)
+		p.complete(Event{ID: id, Initiator: initiator, Status: StatusErrorNetwork, ClientPath: clientPath})
+		return
+	}
 	p.pending.Add(1)
+	p.mu.Unlock()
 	go func() {
 		defer p.pending.Done()
 		p.slots <- struct{}{}

@@ -1,0 +1,117 @@
+// Package shard provides a small sharded map: a fixed array of
+// independently locked map segments, so lookups and updates from many
+// app instances contend only when they hash to the same segment. It
+// backs the kernel's process table and the binder endpoint registry
+// (DESIGN.md "Locking model").
+package shard
+
+import "sync"
+
+// NumShards is the fixed shard count. A power of two so the hash can
+// be masked; 16 comfortably exceeds the hardware parallelism of the
+// deployments this repo targets while keeping the footprint trivial.
+const NumShards = 16
+
+// Map is a sharded map from K to V. The zero value is not usable; call
+// NewMap. All methods are safe for concurrent use.
+type Map[K comparable, V any] struct {
+	hash   func(K) uint32
+	shards [NumShards]struct {
+		mu sync.RWMutex
+		m  map[K]V
+	}
+}
+
+// NewMap creates an empty sharded map using hash to place keys.
+func NewMap[K comparable, V any](hash func(K) uint32) *Map[K, V] {
+	sm := &Map[K, V]{hash: hash}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[K]V)
+	}
+	return sm
+}
+
+func (sm *Map[K, V]) shard(k K) *struct {
+	mu sync.RWMutex
+	m  map[K]V
+} {
+	return &sm.shards[sm.hash(k)&(NumShards-1)]
+}
+
+// Get returns the value for k.
+func (sm *Map[K, V]) Get(k K) (V, bool) {
+	s := sm.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Store sets the value for k.
+func (sm *Map[K, V]) Store(k K, v V) {
+	s := sm.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Delete removes k. It reports whether the key was present.
+func (sm *Map[K, V]) Delete(k K) bool {
+	s := sm.shard(k)
+	s.mu.Lock()
+	_, ok := s.m[k]
+	delete(s.m, k)
+	s.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of entries.
+func (sm *Map[K, V]) Len() int {
+	n := 0
+	for i := range sm.shards {
+		s := &sm.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every entry until it returns false. Each shard is
+// snapshotted under its read lock before fn runs, so fn may call back
+// into the map.
+func (sm *Map[K, V]) Range(fn func(K, V) bool) {
+	type kv struct {
+		k K
+		v V
+	}
+	for i := range sm.shards {
+		s := &sm.shards[i]
+		s.mu.RLock()
+		snap := make([]kv, 0, len(s.m))
+		for k, v := range s.m {
+			snap = append(snap, kv{k, v})
+		}
+		s.mu.RUnlock()
+		for _, e := range snap {
+			if !fn(e.k, e.v) {
+				return
+			}
+		}
+	}
+}
+
+// IntHash is a Fibonacci-style hash for integer keys.
+func IntHash(i int) uint32 {
+	return uint32(uint64(i) * 0x9E3779B97F4A7C15 >> 32)
+}
+
+// StringHash is the 32-bit FNV-1a hash for string keys.
+func StringHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

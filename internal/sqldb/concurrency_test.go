@@ -1,0 +1,110 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentDisjointTables exercises the per-table locking path:
+// writers on disjoint tables plus readers over a view spanning them,
+// interleaved with transactions (which force the exclusive fallback).
+func TestConcurrentDisjointTables(t *testing.T) {
+	db := Open()
+	const tables = 4
+	for i := 0; i < tables; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			"CREATE TABLE t%d (_id INTEGER PRIMARY KEY, v INTEGER)", i))
+	}
+	mustExec(t, db, `CREATE VIEW all_v AS
+		SELECT _id, v FROM t0 UNION ALL SELECT _id, v FROM t1
+		UNION ALL SELECT _id, v FROM t2 UNION ALL SELECT _id, v FROM t3`)
+
+	const perWorker = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, tables+2)
+	for i := 0; i < tables; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tbl := fmt.Sprintf("t%d", i)
+			for n := 0; n < perWorker; n++ {
+				if _, err := db.Exec("INSERT INTO "+tbl+" (v) VALUES (?)", int64(n)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.Exec("UPDATE "+tbl+" SET v = v + 1 WHERE _id = ?", int64(n%10+1)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.Query("SELECT COUNT(*) FROM " + tbl); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	// A reader over the union view (read locks on all four tables).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < perWorker; n++ {
+			if _, err := db.Query("SELECT COUNT(*) FROM all_v"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// A transactional writer (exclusive fallback) racing everyone.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 20; n++ {
+			if _, err := db.Exec("BEGIN; INSERT INTO t0 (v) VALUES (-1); ROLLBACK"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < tables; i++ {
+		n, _ := db.QueryScalar(fmt.Sprintf("SELECT COUNT(*) FROM t%d", i))
+		if n != int64(perWorker) {
+			t.Errorf("t%d rows = %v, want %d", i, n, perWorker)
+		}
+	}
+	ls := db.LockStats()
+	if ls.TableAcquisitions == 0 {
+		t.Error("no table-granular acquisitions recorded; fine-grained path never taken")
+	}
+	if ls.ExclusiveBatches == 0 {
+		t.Error("no exclusive batches recorded; transactional fallback never taken")
+	}
+}
+
+// TestStmtCachePartialEviction verifies the bounded-fraction eviction:
+// crossing maxCachedStmts must not empty the cache.
+func TestStmtCachePartialEviction(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
+	for i := 0; i <= maxCachedStmts; i++ {
+		sql := fmt.Sprintf("SELECT v FROM t WHERE v = %d", i)
+		if _, err := db.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.stmtMu.RLock()
+	n := len(db.stmtCache)
+	db.stmtMu.RUnlock()
+	if n < maxCachedStmts/2 {
+		t.Errorf("cache size after eviction = %d; wholesale reset suspected", n)
+	}
+	if n > maxCachedStmts {
+		t.Errorf("cache size %d exceeds bound %d", n, maxCachedStmts)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Result reports the outcome of a data-modifying statement.
@@ -26,8 +27,12 @@ type Stats struct {
 	MaterializedViews int64 // view scans that had to materialize
 }
 
-// table is a base table with an optional integer primary key.
+// table is a base table with an optional integer primary key. mu
+// guards rows/byPK/nextID; it is acquired through DB.lockTables in
+// sorted-name order, or left untouched by batches holding the DB-wide
+// writer lock (which excludes all table-granular batches).
 type table struct {
+	mu     sync.RWMutex
 	name   string
 	cols   []ColumnDef
 	pk     int // index of PRIMARY KEY column, -1 if none
@@ -96,15 +101,29 @@ type trigger struct {
 }
 
 // DB is an in-memory SQL database. All methods are safe for concurrent
-// use; writers are serialized by a single lock, like SQLite.
+// use. Batches whose table sets can be resolved statically take shared
+// catalog access plus per-table locks in sorted-name order, so writers
+// on different tables run in parallel (WAL-ish reader/writer
+// concurrency); DDL, transactions, and unanalyzable batches serialize
+// on the DB-wide writer lock, like SQLite.
 type DB struct {
+	// mu is the catalog lock: it guards the tables/views/triggers maps
+	// and txn. Table-granular batches hold it shared for their whole
+	// duration; DDL/transactional batches hold it exclusively.
 	mu       sync.RWMutex
 	tables   map[string]*table
 	views    map[string]*view
 	triggers map[string][]*trigger // keyed by lowercase view name
 	byName   map[string]*trigger   // keyed by lowercase trigger name
-	lastID   int64
-	stats    Stats
+
+	lastID          atomic.Int64
+	statFlattened   atomic.Int64
+	statMaterialize atomic.Int64
+
+	// Lock-contention counters (see LockStats).
+	tblAcq     atomic.Int64
+	tblBlocked atomic.Int64
+	exclusive  atomic.Int64
 
 	// txn holds the active transaction's rollback snapshot, nil when
 	// autocommitting. Guarded by mu.
@@ -114,8 +133,55 @@ type DB struct {
 	stmtCache map[string][]Stmt
 
 	// planCache memoizes planner output per statement AST (ASTs are
-	// stable thanks to stmtCache). Guarded by mu; cleared on DDL.
+	// stable thanks to stmtCache). Guarded by planMu; cleared on DDL
+	// and rollback. Lock order: stmtMu before planMu; planMu is a leaf
+	// below the catalog and table locks.
+	planMu    sync.Mutex
 	planCache map[*SelectStmt]*SelectStmt
+
+	// lockPlans memoizes batch lock analysis keyed by the batch's first
+	// statement (ASTs are stable thanks to stmtCache). Guarded by
+	// lockPlanMu, a leaf lock; invalidated by DDL, trigger creation,
+	// and rollback, which all run on the exclusive path.
+	lockPlanMu sync.Mutex
+	lockPlans  map[Stmt]lockPlanEntry
+
+	// synthCache memoizes the SELECT synthesized for UPDATE/DELETE view
+	// scans per (view, WHERE-expr) so it has a stable pointer and the
+	// plan cache can do its job. Guarded by planMu; reset with planCache.
+	synthCache map[synthKey]*SelectStmt
+
+	// expandCache memoizes select-list expansion (* and t.*) per core;
+	// validated records cores whose name resolution already checked out.
+	// Both guarded by planMu and reset with planCache.
+	expandCache map[*SelectCore]expandEntry
+	validated   map[*SelectCore]struct{}
+}
+
+// expandEntry is a memoized select-list expansion. exprs are shared
+// (ASTs are read-only during evaluation); cols are copied out on every
+// use because FROM-subquery aliasing rewrites quals in place.
+type expandEntry struct {
+	cols  []colBinding
+	exprs []Expr
+}
+
+// resetPlanCaches drops every planner memo (planned statements,
+// synthesized view scans, select-list expansions, validation marks).
+// Called on DDL and rollback, which run on the exclusive path.
+func (db *DB) resetPlanCaches() {
+	db.planMu.Lock()
+	db.planCache = make(map[*SelectStmt]*SelectStmt)
+	db.synthCache = make(map[synthKey]*SelectStmt)
+	db.expandCache = make(map[*SelectCore]expandEntry)
+	db.validated = make(map[*SelectCore]struct{})
+	db.planMu.Unlock()
+}
+
+// synthKey identifies a synthesized view-scan statement.
+type synthKey struct {
+	view  *view
+	where Expr
 }
 
 // Open creates an empty database.
@@ -126,7 +192,11 @@ func Open() *DB {
 		triggers:  make(map[string][]*trigger),
 		byName:    make(map[string]*trigger),
 		stmtCache: make(map[string][]Stmt),
-		planCache: make(map[*SelectStmt]*SelectStmt),
+		planCache:   make(map[*SelectStmt]*SelectStmt),
+		lockPlans:   make(map[Stmt]lockPlanEntry),
+		synthCache:  make(map[synthKey]*SelectStmt),
+		expandCache: make(map[*SelectCore]expandEntry),
+		validated:   make(map[*SelectCore]struct{}),
 	}
 }
 
@@ -150,7 +220,28 @@ func (db *DB) parseCached(sql string) ([]Stmt, error) {
 	}
 	db.stmtMu.Lock()
 	if len(db.stmtCache) >= maxCachedStmts {
-		db.stmtCache = make(map[string][]Stmt)
+		// Evict a bounded fraction instead of dropping the whole cache:
+		// workloads that cross the limit keep most of their hot
+		// statements (and those statements' cached plans) instead of
+		// re-parsing and re-planning everything on the next call. Map
+		// iteration order makes the choice effectively random.
+		evict := maxCachedStmts / 4
+		db.planMu.Lock()
+		for key, old := range db.stmtCache {
+			delete(db.stmtCache, key)
+			// Drop the evicted ASTs' plans with them so the plan cache
+			// cannot accumulate entries for unreachable statements.
+			for _, s := range old {
+				if sel, ok := s.(*SelectStmt); ok {
+					delete(db.planCache, sel)
+				}
+			}
+			evict--
+			if evict == 0 {
+				break
+			}
+		}
+		db.planMu.Unlock()
 	}
 	db.stmtCache[sql] = stmts
 	db.stmtMu.Unlock()
@@ -159,9 +250,10 @@ func (db *DB) parseCached(sql string) ([]Stmt, error) {
 
 // Stats returns a snapshot of planner statistics.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.stats
+	return Stats{
+		FlattenedQueries:  db.statFlattened.Load(),
+		MaterializedViews: db.statMaterialize.Load(),
+	}
 }
 
 // TableNames returns the names of all base tables, sorted.
@@ -229,8 +321,8 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	for i, a := range args {
 		nargs[i] = normalize(a)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	lock := db.lockForBatch(stmts)
+	defer db.unlockBatch(lock)
 	ex := &executor{db: db, args: nargs}
 	var res Result
 	for _, s := range stmts {
@@ -260,8 +352,11 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	for i, a := range args {
 		nargs[i] = normalize(a)
 	}
-	db.mu.Lock() // write lock: planner updates stats; SQLite serializes too
-	defer db.mu.Unlock()
+	// Reads take shared table locks, so queries over disjoint (or even
+	// the same) tables run concurrently; planner state is guarded by
+	// planMu and atomics rather than the batch lock.
+	lock := db.lockForBatch(stmts)
+	defer db.unlockBatch(lock)
 	ex := &executor{db: db, args: nargs}
 	return ex.execSelect(sel, nil)
 }
@@ -281,7 +376,5 @@ func (db *DB) QueryScalar(sql string, args ...Value) (Value, error) {
 
 // LastInsertID returns the rowid of the most recent successful INSERT.
 func (db *DB) LastInsertID() int64 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.lastID
+	return db.lastID.Load()
 }

@@ -608,7 +608,7 @@ func (ex *executor) evalCall(x *Call, sc *scope, grp *groupData) (Value, error) 
 	case "COUNT":
 		return nil, fmt.Errorf("sqldb: misuse of aggregate COUNT()")
 	case "LAST_INSERT_ROWID":
-		return ex.db.lastID, nil
+		return ex.db.lastID.Load(), nil
 	case "CAST_INTEGER", "CAST_INT":
 		if args[0] == nil {
 			return nil, nil

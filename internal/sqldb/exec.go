@@ -136,7 +136,7 @@ func (ex *executor) execTxn(st *TxnStmt) error {
 			views:    make(map[string]*view, len(db.views)),
 			triggers: make(map[string][]*trigger, len(db.triggers)),
 			byName:   make(map[string]*trigger, len(db.byName)),
-			lastID:   db.lastID,
+			lastID:   db.lastID.Load(),
 		}
 		for k, t := range db.tables {
 			snap.tables[k] = t.clone()
@@ -168,8 +168,9 @@ func (ex *executor) execTxn(st *TxnStmt) error {
 		db.views = snap.views
 		db.triggers = snap.triggers
 		db.byName = snap.byName
-		db.lastID = snap.lastID
-		db.planCache = make(map[*SelectStmt]*SelectStmt)
+		db.lastID.Store(snap.lastID)
+		db.resetPlanCaches()
+		db.invalidateLockPlans()
 		ex.invalidateInCache()
 		return nil
 	}
@@ -203,7 +204,8 @@ func (ex *executor) createTable(st *CreateTableStmt) error {
 		byPK:   make(map[int64]int),
 		nextID: 1,
 	}
-	ex.db.planCache = make(map[*SelectStmt]*SelectStmt)
+	ex.db.resetPlanCaches()
+	ex.db.invalidateLockPlans()
 	return nil
 }
 
@@ -223,7 +225,8 @@ func (ex *executor) createView(st *CreateViewStmt) error {
 		return err
 	}
 	ex.db.views[key] = &view{name: st.Name, def: st.Select, cols: cols}
-	ex.db.planCache = make(map[*SelectStmt]*SelectStmt)
+	ex.db.resetPlanCaches()
+	ex.db.invalidateLockPlans()
 	return nil
 }
 
@@ -341,12 +344,16 @@ func (ex *executor) createTrigger(st *CreateTriggerStmt) error {
 	tr := &trigger{name: st.Name, event: st.Event, view: st.View, body: st.Body}
 	ex.db.byName[key] = tr
 	ex.db.triggers[viewKey] = append(ex.db.triggers[viewKey], tr)
+	// A new INSTEAD OF trigger changes which tables writes to the view
+	// reach, so memoized lock plans are stale.
+	ex.db.invalidateLockPlans()
 	return nil
 }
 
 func (ex *executor) drop(st *DropStmt) error {
 	key := strings.ToLower(st.Name)
-	ex.db.planCache = make(map[*SelectStmt]*SelectStmt)
+	ex.db.resetPlanCaches()
+	ex.db.invalidateLockPlans()
 	switch st.Kind {
 	case "TABLE":
 		if _, ok := ex.db.tables[key]; !ok {
@@ -486,12 +493,12 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 					return Result{}, fmt.Errorf("sqldb: UNIQUE constraint failed: %s.%s", t.name, t.cols[t.pk].Name)
 				}
 				t.rows[existing] = row
-				ex.db.lastID = id
+				ex.db.lastID.Store(id)
 				affected++
 				continue
 			}
 			t.byPK[id] = len(t.rows)
-			ex.db.lastID = id
+			ex.db.lastID.Store(id)
 		}
 		// NOT NULL enforcement.
 		for i, c := range t.cols {
@@ -503,7 +510,7 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 		affected++
 	}
 	ex.invalidateInCache()
-	return Result{LastInsertID: ex.db.lastID, RowsAffected: affected}, nil
+	return Result{LastInsertID: ex.db.lastID.Load(), RowsAffected: affected}, nil
 }
 
 // insertView fires INSTEAD OF INSERT triggers with NEW bound per row.
@@ -538,7 +545,7 @@ func (ex *executor) insertView(v *view, st *InsertStmt, sc *scope) (Result, erro
 		}
 		affected++
 	}
-	return Result{LastInsertID: ex.db.lastID, RowsAffected: affected}, nil
+	return Result{LastInsertID: ex.db.lastID.Load(), RowsAffected: affected}, nil
 }
 
 func indexOfFold(list []string, s string) int {
@@ -772,11 +779,21 @@ func (ex *executor) deleteView(v *view, st *DeleteStmt, sc *scope) (Result, erro
 // the planner so UNION ALL COW views get the WHERE pushed into their
 // arms (and the pk fast path) instead of full materialization.
 func (ex *executor) viewRowsMatching(v *view, where Expr, sc *scope) (relation, error) {
-	sel := &SelectStmt{Cores: []*SelectCore{{
-		Cols:  []ResultCol{{Star: true}},
-		From:  &TableRef{Name: v.name},
-		Where: where,
-	}}}
+	key := synthKey{view: v, where: where}
+	ex.db.planMu.Lock()
+	sel, ok := ex.db.synthCache[key]
+	if !ok {
+		sel = &SelectStmt{Cores: []*SelectCore{{
+			Cols:  []ResultCol{{Star: true}},
+			From:  &TableRef{Name: v.name},
+			Where: where,
+		}}}
+		if len(ex.db.synthCache) >= maxCachedStmts {
+			ex.db.synthCache = make(map[synthKey]*SelectStmt)
+		}
+		ex.db.synthCache[key] = sel
+	}
+	ex.db.planMu.Unlock()
 	rows, err := ex.execSelect(sel, sc)
 	if err != nil {
 		return relation{}, err
@@ -1016,6 +1033,14 @@ func (ex *executor) execCore(core *SelectCore, sc *scope) (coreResult, error) {
 // all-NULL row so that queries over empty tables still report unknown
 // column errors.
 func (ex *executor) validateCore(core *SelectCore, src relation, sc *scope) error {
+	// Cached ASTs re-validate identically until DDL changes the catalog
+	// (which resets the memo), so a successful check runs only once.
+	ex.db.planMu.Lock()
+	_, done := ex.db.validated[core]
+	ex.db.planMu.Unlock()
+	if done {
+		return nil
+	}
 	nullRow := make([]Value, len(src.cols))
 	rowScope := &scope{parent: sc, cols: src.cols, row: nullRow}
 	if core.Where != nil {
@@ -1036,6 +1061,9 @@ func (ex *executor) validateCore(core *SelectCore, src relation, sc *scope) erro
 			return err
 		}
 	}
+	ex.db.planMu.Lock()
+	ex.db.validated[core] = struct{}{}
+	ex.db.planMu.Unlock()
 	return nil
 }
 
@@ -1201,7 +1229,7 @@ func (ex *executor) scanRef(ref TableRef, sc *scope) (relation, error) {
 
 // materializeView fully evaluates a view definition.
 func (ex *executor) materializeView(v *view, sc *scope) (relation, error) {
-	ex.db.stats.MaterializedViews++
+	ex.db.statMaterialize.Add(1)
 	rows, err := ex.execSelect(v.def, sc)
 	if err != nil {
 		return relation{}, err
@@ -1278,8 +1306,35 @@ func columnIndexes(exprs []Expr, cols []colBinding) ([]int, bool) {
 	return idxs, true
 }
 
-// expandCols expands * and t.* into concrete expressions.
+// expandCols expands * and t.* into concrete expressions. Results are
+// memoized per core: the expression list is shared (evaluation never
+// mutates ASTs) while the column bindings are copied out, since FROM
+// aliasing rewrites quals in place.
 func (ex *executor) expandCols(core *SelectCore, src relation) ([]colBinding, []Expr, error) {
+	ex.db.planMu.Lock()
+	if e, ok := ex.db.expandCache[core]; ok {
+		ex.db.planMu.Unlock()
+		cols := make([]colBinding, len(e.cols))
+		copy(cols, e.cols)
+		return cols, e.exprs, nil
+	}
+	ex.db.planMu.Unlock()
+	outCols, exprs, err := ex.expandColsUncached(core, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	pristine := make([]colBinding, len(outCols))
+	copy(pristine, outCols)
+	ex.db.planMu.Lock()
+	if len(ex.db.expandCache) >= maxCachedStmts {
+		ex.db.expandCache = make(map[*SelectCore]expandEntry)
+	}
+	ex.db.expandCache[core] = expandEntry{cols: pristine, exprs: exprs}
+	ex.db.planMu.Unlock()
+	return outCols, exprs, nil
+}
+
+func (ex *executor) expandColsUncached(core *SelectCore, src relation) ([]colBinding, []Expr, error) {
 	var outCols []colBinding
 	var exprs []Expr
 	for _, rc := range core.Cols {

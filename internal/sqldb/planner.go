@@ -17,19 +17,33 @@ import (
 //     the view is materialized (the slow path the proxy works around by
 //     adding ORDER BY columns to the query columns).
 func (ex *executor) plan(sel *SelectStmt) *SelectStmt {
-	if cached, ok := ex.db.planCache[sel]; ok {
+	db := ex.db
+	db.planMu.Lock()
+	cached, ok := db.planCache[sel]
+	db.planMu.Unlock()
+	if ok {
 		if cached != sel {
-			ex.db.stats.FlattenedQueries++
+			db.statFlattened.Add(1)
 		}
 		return cached
 	}
 	planned := ex.planUncached(sel)
-	if len(ex.db.planCache) >= maxCachedStmts {
+	db.planMu.Lock()
+	if len(db.planCache) >= maxCachedStmts {
 		// Synthesized statements (view UPDATE/DELETE planning) have
-		// unique ASTs; bound the cache like the statement cache.
-		ex.db.planCache = make(map[*SelectStmt]*SelectStmt)
+		// unique ASTs; bound the cache like the statement cache, but
+		// evict only a fraction so cached-statement plans survive.
+		evict := maxCachedStmts / 4
+		for key := range db.planCache {
+			delete(db.planCache, key)
+			evict--
+			if evict == 0 {
+				break
+			}
+		}
 	}
-	ex.db.planCache[sel] = planned
+	db.planCache[sel] = planned
+	db.planMu.Unlock()
 	return planned
 }
 
@@ -117,7 +131,7 @@ func (ex *executor) planUncached(sel *SelectStmt) *SelectStmt {
 		}
 		newSel.Cores = append(newSel.Cores, newCore)
 	}
-	ex.db.stats.FlattenedQueries++
+	ex.db.statFlattened.Add(1)
 	return newSel
 }
 

@@ -95,7 +95,8 @@ func IsWhiteout(name string) bool {
 // whiteoutName returns the whiteout path for name.
 func whiteoutName(name string) string {
 	cleaned := vfs.Clean(name)
-	return path.Join(path.Dir(cleaned), whPrefix+path.Base(cleaned))
+	i := strings.LastIndexByte(cleaned, '/')
+	return cleaned[:i+1] + whPrefix + cleaned[i+1:]
 }
 
 // hasWhiteout reports whether branch b contains a whiteout for name.

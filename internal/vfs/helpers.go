@@ -8,14 +8,32 @@ import (
 	"sort"
 )
 
-// ReadFile reads the entire named file.
+// ReadFile reads the entire named file. The buffer is sized from the
+// file's stat so typical reads allocate once.
 func ReadFile(fsys FileSystem, c Cred, name string) ([]byte, error) {
 	h, err := fsys.Open(c, name, O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
 	defer h.Close()
-	return io.ReadAll(h)
+	size := int64(0)
+	if fi, err := h.Stat(); err == nil && fi.Size > 0 {
+		size = fi.Size
+	}
+	buf := make([]byte, 0, size+1) // +1 so a full read hits EOF without regrowing
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := h.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return buf, nil
+			}
+			return buf, err
+		}
+	}
 }
 
 // WriteFile creates or truncates the named file and writes data to it.
@@ -135,7 +153,15 @@ type subFS struct {
 }
 
 func (s *subFS) abs(name string) string {
-	return path.Join(s.prefix, Clean(name))
+	cleaned := Clean(name)
+	if cleaned == "/" {
+		return s.prefix
+	}
+	if s.prefix == "/" {
+		return cleaned
+	}
+	// Both sides are canonical, so plain concatenation is too.
+	return s.prefix + cleaned
 }
 
 func (s *subFS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, error) {

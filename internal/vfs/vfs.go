@@ -10,6 +10,18 @@
 // Paths are slash-separated and interpreted relative to the filesystem
 // root; a leading slash is optional and ignored. Path elements "." and
 // ".." are resolved lexically.
+//
+// # Locking
+//
+// The tree uses per-node read/write locks with hand-over-hand
+// ("crabbing") traversal: a walk holds at most two node locks at a
+// time, always parent before child, so operations on disjoint subtrees
+// (different apps' private directories) proceed in parallel. A
+// filesystem-wide rename barrier (treeMu) is held shared by every
+// path operation and exclusively by Rename — the only operation that
+// involves two parent directories — which keeps the crabbing order
+// acyclic without ancestor-ordering gymnastics, mirroring the kernel's
+// s_vfs_rename_mutex. See DESIGN.md "Locking model".
 package vfs
 
 import (
@@ -20,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -116,8 +129,10 @@ type FileSystem interface {
 	Chmod(c Cred, name string, perm fs.FileMode) error
 }
 
-// node is a file or directory in the tree.
+// node is a file or directory in the tree. mu guards every mutable
+// field; it is acquired parent-before-child during traversal.
 type node struct {
+	mu       sync.RWMutex
 	name     string
 	mode     fs.FileMode
 	uid      int
@@ -138,23 +153,43 @@ func (n *node) info() FileInfo {
 	}
 }
 
+// LockStats is a snapshot of lock activity inside one FS, used to find
+// remaining serialization points. Counters are cumulative since New.
+type LockStats struct {
+	// NodeAcquisitions counts per-node lock acquisitions (read or write).
+	NodeAcquisitions int64
+	// NodeBlocked counts node acquisitions that could not be satisfied
+	// immediately (a TryLock failed and the caller had to wait).
+	NodeBlocked int64
+	// RenameBarriers counts exclusive whole-tree acquisitions (renames).
+	RenameBarriers int64
+}
+
 // FS is the in-memory filesystem. The zero value is not usable; call New.
 // All methods are safe for concurrent use.
 type FS struct {
-	mu    sync.RWMutex
-	root  *node
-	clock func() time.Time
+	// treeMu is the rename barrier: held shared by all single-path
+	// operations (which then crab per-node locks) and exclusively by
+	// Rename, the only multi-parent operation.
+	treeMu sync.RWMutex
+	root   *node
+	clock  atomic.Value // func() time.Time
+
+	nodeAcq     atomic.Int64
+	nodeBlocked atomic.Int64
+	renames     atomic.Int64
 }
 
 // New returns an empty filesystem whose root directory is owned by root
 // with mode 0755.
 func New() *FS {
-	f := &FS{clock: time.Now}
+	f := &FS{}
+	f.clock.Store(time.Now)
 	f.root = &node{
 		name:     "/",
 		mode:     fs.ModeDir | 0o755,
 		uid:      0,
-		mtime:    f.clock(),
+		mtime:    f.now(),
 		children: make(map[string]*node),
 	}
 	return f
@@ -162,24 +197,110 @@ func New() *FS {
 
 // SetClock replaces the timestamp source; used by tests for determinism.
 func (f *FS) SetClock(clock func() time.Time) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.clock = clock
+	f.clock.Store(clock)
+}
+
+func (f *FS) now() time.Time {
+	return f.clock.Load().(func() time.Time)()
+}
+
+// LockStats returns a snapshot of the lock-contention counters.
+func (f *FS) LockStats() LockStats {
+	return LockStats{
+		NodeAcquisitions: f.nodeAcq.Load(),
+		NodeBlocked:      f.nodeBlocked.Load(),
+		RenameBarriers:   f.renames.Load(),
+	}
+}
+
+// lockNode write-locks n, counting the acquisition and whether it had
+// to wait.
+func (f *FS) lockNode(n *node) {
+	f.nodeAcq.Add(1)
+	if !n.mu.TryLock() {
+		f.nodeBlocked.Add(1)
+		n.mu.Lock()
+	}
+}
+
+// rlockNode read-locks n, counting the acquisition and whether it had
+// to wait.
+func (f *FS) rlockNode(n *node) {
+	f.nodeAcq.Add(1)
+	if !n.mu.TryRLock() {
+		f.nodeBlocked.Add(1)
+		n.mu.RLock()
+	}
 }
 
 // split cleans name into path elements. An empty slice means the root.
 func split(name string) []string {
-	cleaned := path.Clean("/" + name)
+	cleaned := Clean(name)
 	if cleaned == "/" {
 		return nil
 	}
 	return strings.Split(cleaned[1:], "/")
 }
 
+// pathIter yields the elements of a path one at a time without
+// allocating (given an already-canonical name, which Clean returns
+// unmodified). The zero rest means the iteration is done.
+type pathIter struct {
+	rest string
+}
+
+func newPathIter(name string) pathIter {
+	cleaned := Clean(name)
+	if cleaned == "/" {
+		return pathIter{}
+	}
+	return pathIter{rest: cleaned[1:]}
+}
+
+func (it *pathIter) next() (elem string, ok bool) {
+	if it.rest == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(it.rest, '/'); i >= 0 {
+		elem, it.rest = it.rest[:i], it.rest[i+1:]
+	} else {
+		elem, it.rest = it.rest, ""
+	}
+	return elem, true
+}
+
 // Clean normalizes a path to the canonical absolute form used by this
-// package ("/a/b"; "/" for the root).
+// package ("/a/b"; "/" for the root). Already-canonical paths — the
+// overwhelmingly common case on the resolution hot path — are returned
+// as-is without allocating.
 func Clean(name string) string {
+	if isCanonical(name) {
+		return name
+	}
 	return path.Clean("/" + name)
+}
+
+// isCanonical reports whether name is already in canonical form: "/",
+// or "/"-rooted with no trailing slash, no empty segments, and no "."
+// or ".." segments.
+func isCanonical(name string) bool {
+	if name == "/" {
+		return true
+	}
+	if len(name) == 0 || name[0] != '/' || name[len(name)-1] == '/' {
+		return false
+	}
+	segStart := 1
+	for i := 1; i <= len(name); i++ {
+		if i == len(name) || name[i] == '/' {
+			seg := name[segStart:i]
+			if len(seg) == 0 || seg == "." || seg == ".." {
+				return false
+			}
+			segStart = i + 1
+		}
+	}
+	return true
 }
 
 type permClass int
@@ -211,15 +332,93 @@ func allowed(c Cred, n *node, class permClass) bool {
 	return perm&bit != 0
 }
 
-// lookup walks the tree to name, enforcing search (execute) permission
-// on every intermediate directory, as Unix does. This is what makes
-// "a path that only root can directly access" (paper §4.2) effective
-// for the delegate branch directories. The caller must hold f.mu.
-func (f *FS) lookup(name string) (*node, error) {
-	return f.lookupAs(Root, name)
+// walkNode crabs down the tree to name, enforcing search (execute)
+// permission on every intermediate directory, as Unix does. This is
+// what makes "a path that only root can directly access" (paper §4.2)
+// effective for the delegate branch directories.
+//
+// The caller must hold treeMu shared. At most two node locks are held
+// at any moment (parent read-locked, then child locked, then parent
+// released). On success the final node is returned locked: write-locked
+// when writeLast is set, read-locked otherwise; the caller must unlock
+// it. On error no locks are held.
+func (f *FS) walkNode(c Cred, name string, writeLast bool) (*node, error) {
+	it := newPathIter(name)
+	cur := f.root
+	elem, more := it.next()
+	if !more {
+		if writeLast {
+			f.lockNode(cur)
+		} else {
+			f.rlockNode(cur)
+		}
+		return cur, nil
+	}
+	f.rlockNode(cur)
+	for {
+		if !cur.isDir() {
+			cur.mu.RUnlock()
+			return nil, &fs.PathError{Op: "lookup", Path: name, Err: ErrNotDir}
+		}
+		if !allowed(c, cur, permExec) {
+			cur.mu.RUnlock()
+			return nil, &fs.PathError{Op: "lookup", Path: name, Err: ErrPermission}
+		}
+		next, ok := cur.children[elem]
+		if !ok {
+			cur.mu.RUnlock()
+			return nil, &fs.PathError{Op: "lookup", Path: name, Err: ErrNotExist}
+		}
+		elem, more = it.next()
+		if !more && writeLast {
+			f.lockNode(next)
+		} else {
+			f.rlockNode(next)
+		}
+		cur.mu.RUnlock()
+		cur = next
+		if !more {
+			return cur, nil
+		}
+	}
 }
 
-// lookupAs is lookup with the caller's credential for traversal checks.
+// walkParent crabs to the parent directory of name and returns it
+// locked (write-locked when writeParent is set) along with the final
+// path element. The caller must hold treeMu shared and unlock the
+// returned node.
+func (f *FS) walkParent(c Cred, name string, writeParent bool) (*node, string, error) {
+	cleaned := Clean(name)
+	if cleaned == "/" {
+		return nil, "", &fs.PathError{Op: "lookup", Path: name, Err: ErrInvalid}
+	}
+	i := strings.LastIndexByte(cleaned, '/')
+	dir, base := cleaned[:i], cleaned[i+1:]
+	if dir == "" {
+		dir = "/"
+	}
+	parent, err := f.walkNode(c, dir, writeParent)
+	if err != nil {
+		return nil, "", err
+	}
+	if !parent.isDir() {
+		unlock(parent, writeParent)
+		return nil, "", &fs.PathError{Op: "lookup", Path: name, Err: ErrNotDir}
+	}
+	return parent, base, nil
+}
+
+func unlock(n *node, write bool) {
+	if write {
+		n.mu.Unlock()
+	} else {
+		n.mu.RUnlock()
+	}
+}
+
+// lookupAs walks the tree without taking node locks. Only Rename may
+// use it, under the exclusive rename barrier that excludes all other
+// path operations.
 func (f *FS) lookupAs(c Cred, name string) (*node, error) {
 	cur := f.root
 	for _, elem := range split(name) {
@@ -238,8 +437,8 @@ func (f *FS) lookupAs(c Cred, name string) (*node, error) {
 	return cur, nil
 }
 
-// lookupParent returns the parent directory of name and the final path
-// element. The caller must hold f.mu.
+// lookupParent is lookupAs for the parent directory; Rename-only, like
+// lookupAs.
 func (f *FS) lookupParent(c Cred, name string) (*node, string, error) {
 	elems := split(name)
 	if len(elems) == 0 {
@@ -257,23 +456,26 @@ func (f *FS) lookupParent(c Cred, name string) (*node, string, error) {
 
 // Stat returns metadata for the named file.
 func (f *FS) Stat(c Cred, name string) (FileInfo, error) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	n, err := f.lookupAs(c, name)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	n, err := f.walkNode(c, name, false)
 	if err != nil {
 		return FileInfo{}, err
 	}
-	return n.info(), nil
+	info := n.info()
+	n.mu.RUnlock()
+	return info, nil
 }
 
 // ReadDir lists the named directory, sorted by entry name.
 func (f *FS) ReadDir(c Cred, name string) ([]DirEntry, error) {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	n, err := f.lookupAs(c, name)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	n, err := f.walkNode(c, name, false)
 	if err != nil {
 		return nil, err
 	}
+	defer n.mu.RUnlock()
 	if !n.isDir() {
 		return nil, &fs.PathError{Op: "readdir", Path: name, Err: ErrNotDir}
 	}
@@ -290,16 +492,18 @@ func (f *FS) ReadDir(c Cred, name string) ([]DirEntry, error) {
 
 // Mkdir creates the named directory.
 func (f *FS) Mkdir(c Cred, name string, perm fs.FileMode) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.mkdirLocked(c, name, perm)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	return f.mkdirStep(c, name, perm)
 }
 
-func (f *FS) mkdirLocked(c Cred, name string, perm fs.FileMode) error {
-	parent, base, err := f.lookupParent(c, name)
+// mkdirStep creates one directory. The caller must hold treeMu shared.
+func (f *FS) mkdirStep(c Cred, name string, perm fs.FileMode) error {
+	parent, base, err := f.walkParent(c, name, true)
 	if err != nil {
 		return err
 	}
+	defer parent.mu.Unlock()
 	if !allowed(c, parent, permWrite) {
 		return &fs.PathError{Op: "mkdir", Path: name, Err: ErrPermission}
 	}
@@ -310,44 +514,61 @@ func (f *FS) mkdirLocked(c Cred, name string, perm fs.FileMode) error {
 		name:     base,
 		mode:     fs.ModeDir | perm.Perm(),
 		uid:      c.UID,
-		mtime:    f.clock(),
+		mtime:    f.now(),
 		children: make(map[string]*node),
 	}
-	parent.mtime = f.clock()
+	parent.mtime = f.now()
 	return nil
 }
 
 // MkdirAll creates the named directory and any missing parents. Existing
 // directories along the path are left untouched.
 func (f *FS) MkdirAll(c Cred, name string, perm fs.FileMode) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
 	elems := split(name)
 	cur := "/"
 	for _, elem := range elems {
 		cur = path.Join(cur, elem)
-		n, err := f.lookupAs(c, cur)
+		n, err := f.walkNode(c, cur, false)
 		if err == nil {
-			if !n.isDir() {
+			isDir := n.isDir()
+			n.mu.RUnlock()
+			if !isDir {
 				return &fs.PathError{Op: "mkdir", Path: cur, Err: ErrNotDir}
 			}
 			continue
 		}
-		if mkErr := f.mkdirLocked(c, cur, perm); mkErr != nil {
-			return mkErr
+		mkErr := f.mkdirStep(c, cur, perm)
+		if mkErr == nil {
+			continue
 		}
+		if errors.Is(mkErr, ErrExist) {
+			// Lost a creation race with a concurrent MkdirAll; fine as
+			// long as what exists is a directory.
+			if n, err := f.walkNode(c, cur, false); err == nil {
+				isDir := n.isDir()
+				n.mu.RUnlock()
+				if isDir {
+					continue
+				}
+				return &fs.PathError{Op: "mkdir", Path: cur, Err: ErrNotDir}
+			}
+		}
+		return mkErr
 	}
 	return nil
 }
 
 // Remove deletes the named file or empty directory.
 func (f *FS) Remove(c Cred, name string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	parent, base, err := f.lookupParent(c, name)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	parent, base, err := f.walkParent(c, name, true)
 	if err != nil {
 		return err
 	}
+	defer parent.mu.Unlock()
 	n, ok := parent.children[base]
 	if !ok {
 		return &fs.PathError{Op: "remove", Path: name, Err: ErrNotExist}
@@ -355,26 +576,32 @@ func (f *FS) Remove(c Cred, name string) error {
 	if !allowed(c, parent, permWrite) {
 		return &fs.PathError{Op: "remove", Path: name, Err: ErrPermission}
 	}
-	if n.isDir() && len(n.children) > 0 {
-		return &fs.PathError{Op: "remove", Path: name, Err: ErrNotEmpty}
+	if n.isDir() {
+		f.rlockNode(n)
+		empty := len(n.children) == 0
+		n.mu.RUnlock()
+		if !empty {
+			return &fs.PathError{Op: "remove", Path: name, Err: ErrNotEmpty}
+		}
 	}
 	delete(parent.children, base)
-	parent.mtime = f.clock()
+	parent.mtime = f.now()
 	return nil
 }
 
 // RemoveAll deletes name and, if it is a directory, everything beneath
 // it. It is not an error if the path does not exist.
 func (f *FS) RemoveAll(c Cred, name string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	parent, base, err := f.lookupParent(c, name)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	parent, base, err := f.walkParent(c, name, true)
 	if err != nil {
 		if errors.Is(err, ErrNotExist) {
 			return nil
 		}
 		return err
 	}
+	defer parent.mu.Unlock()
 	if _, ok := parent.children[base]; !ok {
 		return nil
 	}
@@ -382,15 +609,21 @@ func (f *FS) RemoveAll(c Cred, name string) error {
 		return &fs.PathError{Op: "removeall", Path: name, Err: ErrPermission}
 	}
 	delete(parent.children, base)
-	parent.mtime = f.clock()
+	parent.mtime = f.now()
 	return nil
 }
 
 // Rename moves oldname to newname, replacing any existing file at
 // newname. Renaming over a non-empty directory fails.
+//
+// Rename is the one operation involving two parent directories, so it
+// takes the tree-wide barrier exclusively instead of crabbing; this
+// keeps every other operation's parent-then-child lock order trivially
+// deadlock-free (the s_vfs_rename_mutex approach).
 func (f *FS) Rename(c Cred, oldname, newname string) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.Lock()
+	defer f.treeMu.Unlock()
+	f.renames.Add(1)
 	oldParent, oldBase, err := f.lookupParent(c, oldname)
 	if err != nil {
 		return err
@@ -412,9 +645,13 @@ func (f *FS) Rename(c Cred, oldname, newname string) error {
 		}
 	}
 	delete(oldParent.children, oldBase)
+	// The moved node's name is visible to open handles (Stat), which
+	// take only the node lock, so the write must be under it.
+	n.mu.Lock()
 	n.name = newBase
+	n.mu.Unlock()
 	newParent.children[newBase] = n
-	now := f.clock()
+	now := f.now()
 	oldParent.mtime = now
 	newParent.mtime = now
 	return nil
@@ -423,12 +660,13 @@ func (f *FS) Rename(c Cred, oldname, newname string) error {
 // Chown changes the owner of the named file. Only root or the current
 // owner may change ownership.
 func (f *FS) Chown(c Cred, name string, uid int) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n, err := f.lookupAs(c, name)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	n, err := f.walkNode(c, name, true)
 	if err != nil {
 		return err
 	}
+	defer n.mu.Unlock()
 	if c.UID != 0 && c.UID != n.uid {
 		return &fs.PathError{Op: "chown", Path: name, Err: ErrPermission}
 	}
@@ -438,12 +676,13 @@ func (f *FS) Chown(c Cred, name string, uid int) error {
 
 // Chmod changes the permission bits of the named file.
 func (f *FS) Chmod(c Cred, name string, perm fs.FileMode) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n, err := f.lookupAs(c, name)
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
+	n, err := f.walkNode(c, name, true)
 	if err != nil {
 		return err
 	}
+	defer n.mu.Unlock()
 	if c.UID != 0 && c.UID != n.uid {
 		return &fs.PathError{Op: "chmod", Path: name, Err: ErrPermission}
 	}
@@ -453,29 +692,52 @@ func (f *FS) Chmod(c Cred, name string, perm fs.FileMode) error {
 
 // Open opens the named file with POSIX-like flag semantics.
 func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.treeMu.RLock()
+	defer f.treeMu.RUnlock()
 
-	n, lookupErr := f.lookupAs(c, name)
+	// O_TRUNC mutates the node, so the final node must be write-locked;
+	// all other flag combinations only read its fields.
+	nodeWrite := flags&O_TRUNC != 0
+
+	n, lookupErr := f.walkNode(c, name, nodeWrite)
 	switch {
 	case lookupErr == nil:
 		if flags&O_CREATE != 0 && flags&O_EXCL != 0 {
+			unlock(n, nodeWrite)
 			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrExist}
 		}
 	case errors.Is(lookupErr, ErrNotExist) && flags&O_CREATE != 0:
-		parent, base, err := f.lookupParent(c, name)
+		parent, base, err := f.walkParent(c, name, true)
 		if err != nil {
 			return nil, err
 		}
 		if !allowed(c, parent, permWrite) {
+			parent.mu.Unlock()
 			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrPermission}
 		}
-		n = &node{name: base, mode: perm.Perm(), uid: c.UID, mtime: f.clock()}
-		parent.children[base] = n
-		parent.mtime = f.clock()
+		if existing, ok := parent.children[base]; ok {
+			// Lost a creation race; proceed against the winner's node
+			// (O_EXCL still applies).
+			if flags&O_EXCL != 0 {
+				parent.mu.Unlock()
+				return nil, &fs.PathError{Op: "open", Path: name, Err: ErrExist}
+			}
+			n = existing
+		} else {
+			n = &node{name: base, mode: perm.Perm(), uid: c.UID, mtime: f.now()}
+			parent.children[base] = n
+			parent.mtime = f.now()
+		}
+		if nodeWrite {
+			f.lockNode(n)
+		} else {
+			f.rlockNode(n)
+		}
+		parent.mu.Unlock()
 	default:
 		return nil, lookupErr
 	}
+	defer unlock(n, nodeWrite)
 
 	if n.isDir() {
 		return nil, &fs.PathError{Op: "open", Path: name, Err: ErrIsDir}
@@ -493,13 +755,15 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrInvalid}
 		}
 		n.data = nil
-		n.mtime = f.clock()
+		n.mtime = f.now()
 	}
 	h := &handle{fs: f, node: n, read: wantRead, write: wantWrite, app: flags&O_APPEND != 0}
 	return h, nil
 }
 
-// handle implements Handle over a node.
+// handle implements Handle over a node. Handle operations take only the
+// node's own lock: they never touch tree structure, so they need no
+// traversal and no rename barrier.
 type handle struct {
 	fs     *FS
 	node   *node
@@ -511,8 +775,8 @@ type handle struct {
 }
 
 func (h *handle) Read(p []byte) (int, error) {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
+	h.fs.rlockNode(h.node)
+	defer h.node.mu.RUnlock()
 	if h.closed {
 		return 0, ErrClosed
 	}
@@ -528,8 +792,8 @@ func (h *handle) Read(p []byte) (int, error) {
 }
 
 func (h *handle) ReadAt(p []byte, off int64) (int, error) {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
+	h.fs.rlockNode(h.node)
+	defer h.node.mu.RUnlock()
 	if h.closed {
 		return 0, ErrClosed
 	}
@@ -550,8 +814,8 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (h *handle) Write(p []byte) (int, error) {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.lockNode(h.node)
+	defer h.node.mu.Unlock()
 	if h.closed {
 		return 0, ErrClosed
 	}
@@ -565,8 +829,8 @@ func (h *handle) Write(p []byte) (int, error) {
 }
 
 func (h *handle) WriteAt(p []byte, off int64) (int, error) {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.lockNode(h.node)
+	defer h.node.mu.Unlock()
 	if h.closed {
 		return 0, ErrClosed
 	}
@@ -580,7 +844,8 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 }
 
 // writeAtLocked writes p at off, growing the file if needed. advance
-// moves the handle offset (sequential writes). Caller holds fs.mu.
+// moves the handle offset (sequential writes). Caller holds the node
+// lock.
 func (h *handle) writeAtLocked(p []byte, off int64, advance bool) (int, error) {
 	end := off + int64(len(p))
 	if end > int64(len(h.node.data)) {
@@ -589,7 +854,7 @@ func (h *handle) writeAtLocked(p []byte, off int64, advance bool) (int, error) {
 		h.node.data = grown
 	}
 	copy(h.node.data[off:], p)
-	h.node.mtime = h.fs.clock()
+	h.node.mtime = h.fs.now()
 	if advance {
 		h.offset = end
 	}
@@ -597,8 +862,8 @@ func (h *handle) writeAtLocked(p []byte, off int64, advance bool) (int, error) {
 }
 
 func (h *handle) Seek(offset int64, whence int) (int64, error) {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
+	h.fs.rlockNode(h.node)
+	defer h.node.mu.RUnlock()
 	if h.closed {
 		return 0, ErrClosed
 	}
@@ -622,8 +887,8 @@ func (h *handle) Seek(offset int64, whence int) (int64, error) {
 }
 
 func (h *handle) Truncate(size int64) error {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
+	h.fs.lockNode(h.node)
+	defer h.node.mu.Unlock()
 	if h.closed {
 		return ErrClosed
 	}
@@ -641,13 +906,13 @@ func (h *handle) Truncate(size int64) error {
 		copy(grown, h.node.data)
 		h.node.data = grown
 	}
-	h.node.mtime = h.fs.clock()
+	h.node.mtime = h.fs.now()
 	return nil
 }
 
 func (h *handle) Stat() (FileInfo, error) {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
+	h.fs.rlockNode(h.node)
+	defer h.node.mu.RUnlock()
 	if h.closed {
 		return FileInfo{}, ErrClosed
 	}
