@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench tables audit demo examples clean
+.PHONY: all build test race vet check fuzz chaos bench tables audit demo examples clean
 
 all: build test
 
@@ -19,7 +19,20 @@ vet:
 	$(GO) vet ./...
 
 # The full gate: what CI runs on every push.
-check: build vet test race
+check: build vet test race fuzz
+
+# Short coverage-guided fuzzing smoke over the SQL front end. Each
+# target needs its own invocation: go test allows one -fuzz pattern
+# per run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime 10s ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz FuzzFormat -fuzztime 10s ./internal/sqldb
+
+# Deterministic fault-injection run: every engine, race detector on.
+# Same seed => same fault schedule, same verdict.
+chaos:
+	$(GO) run -race ./cmd/maxoid-chaos -engine all -seed 42
 
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:

@@ -10,12 +10,17 @@ import (
 	"errors"
 	"fmt"
 
+	"maxoid/internal/fault"
 	"maxoid/internal/kernel"
 	"maxoid/internal/shard"
 )
 
 // ErrNoEndpoint is returned for transactions to unregistered endpoints.
 var ErrNoEndpoint = errors.New("binder: no such endpoint")
+
+// faultCall injects transaction failures before the policy check and
+// handler run, modeling a dead endpoint process (see internal/fault).
+var faultCall = fault.Declare("binder.call", "Binder transaction: fail before the policy check and handler")
 
 // Parcel is the transaction payload, a loosely typed key/value bag like
 // Android's Parcel/Bundle.
@@ -110,6 +115,9 @@ func (r *Router) Unregister(name string) {
 // Call performs a synchronous transaction from the caller to the named
 // endpoint, enforcing the kernel Binder policy first.
 func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parcel, error) {
+	if err := fault.Hit(faultCall); err != nil {
+		return nil, fmt.Errorf("binder: transaction to %s failed: %w", name, err)
+	}
 	ep, ok := r.endpoints.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, name)

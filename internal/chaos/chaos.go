@@ -1,0 +1,109 @@
+// Package chaos is the deterministic fault-injection harness for the
+// Maxoid substrate. It combines internal/fault's seeded schedules with
+// three correctness engines:
+//
+//   - a differential oracle for internal/sqldb: every randomized
+//     statement batch is replayed against a naive map-based reference
+//     engine (Ref) and results are diffed row for row;
+//   - a crash-consistency checker for unionfs: copy-up, whiteout and
+//     rename are killed at injected points and the merged view must
+//     stay fully-old or fully-new, never a mix;
+//   - an all-or-nothing checker for cowproxy view synthesis: a killed
+//     synthesis must leave either the complete delta/view/trigger
+//     machinery or none of it.
+//
+// Every engine is single-goroutine and draws all randomness from the
+// run seed, so a seed fully reproduces the fault schedule, workload,
+// and verdict. cmd/maxoid-chaos drives the engines from the command
+// line and can shrink a failing schedule to a minimal one.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"maxoid/internal/fault"
+	"maxoid/internal/sqldb"
+)
+
+// Report is the outcome of one seeded engine run.
+type Report struct {
+	Engine string
+	Seed   int64
+	Ops    int           // workload operations executed
+	Fired  int           // injected faults that fired
+	Trace  []fault.Event // full fault schedule of the run
+	// Failures are invariant violations. Empty means the run passed;
+	// injected faults that were handled correctly are not failures.
+	Failures []string
+}
+
+// OK reports whether the run found no invariant violations.
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+func (r *Report) failf(format string, args ...interface{}) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// finish captures the fault schedule into the report.
+func (r *Report) finish() {
+	r.Trace = fault.Trace()
+	r.Fired = 0
+	for _, e := range r.Trace {
+		if e.Fired {
+			r.Fired++
+		}
+	}
+}
+
+// valueRepr renders a sqldb value with a type tag, so the oracle's
+// row diff distinguishes 1 from '1' from 1.0 the way the engine does.
+func valueRepr(v sqldb.Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case int64:
+		return "i:" + strconv.FormatInt(x, 10)
+	case float64:
+		return "f:" + strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return "s:" + x
+	case []byte:
+		return "b:" + string(x)
+	}
+	return fmt.Sprintf("?:%v", v)
+}
+
+// rowRepr renders one result row.
+func rowRepr(row []sqldb.Value) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = valueRepr(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// rowsRepr renders a result set, one row per line, for diff messages.
+func rowsRepr(rows [][]sqldb.Value) string {
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = rowRepr(r)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// diffRows compares two result sets row for row and returns a
+// description of the first divergence ("" when identical).
+func diffRows(got, want [][]sqldb.Value) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("row count %d != reference %d\nengine:\n%s\nreference:\n%s",
+			len(got), len(want), rowsRepr(got), rowsRepr(want))
+	}
+	for i := range got {
+		if rowRepr(got[i]) != rowRepr(want[i]) {
+			return fmt.Sprintf("row %d: engine %s != reference %s", i, rowRepr(got[i]), rowRepr(want[i]))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"maxoid/internal/fault"
+)
+
+func TestSQLOracleNoFaults(t *testing.T) {
+	rep := RunSQLOracle(1, OracleOptions{Ops: 1200})
+	if !rep.OK() {
+		t.Fatalf("oracle diverged without faults:\n%v", rep.Failures)
+	}
+	if rep.Fired != 0 {
+		t.Fatalf("faults fired with none armed: %d", rep.Fired)
+	}
+}
+
+func TestSQLOracleWithFaults(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rep := RunSQLOracle(seed, OracleOptions{Ops: 1000, Faults: true})
+		if !rep.OK() {
+			t.Fatalf("seed %d: oracle diverged under faults:\n%v", seed, rep.Failures)
+		}
+		if rep.Fired == 0 {
+			t.Fatalf("seed %d: no faults fired — schedule is not exercising anything", seed)
+		}
+	}
+}
+
+func TestCopyUpChecker(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rep := RunCopyUpChecker(seed, CheckerOptions{Ops: 400})
+		if !rep.OK() {
+			t.Fatalf("seed %d: union view broke crash consistency:\n%v", seed, rep.Failures)
+		}
+		if rep.Fired == 0 {
+			t.Fatalf("seed %d: no faults fired", seed)
+		}
+	}
+}
+
+func TestSynthChecker(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rep := RunSynthChecker(seed, CheckerOptions{Ops: 300})
+		if !rep.OK() {
+			t.Fatalf("seed %d: COW synthesis broke all-or-nothing:\n%v", seed, rep.Failures)
+		}
+		if rep.Fired == 0 {
+			t.Fatalf("seed %d: no faults fired", seed)
+		}
+	}
+}
+
+// TestSeedReproducesRun is the tentpole determinism guarantee: the
+// same seed yields the identical fault schedule and verdict for every
+// engine.
+func TestSeedReproducesRun(t *testing.T) {
+	type runner func(int64) *Report
+	engines := map[string]runner{
+		"sql-oracle": func(s int64) *Report { return RunSQLOracle(s, OracleOptions{Ops: 400, Faults: true}) },
+		"copyup":     func(s int64) *Report { return RunCopyUpChecker(s, CheckerOptions{Ops: 200}) },
+		"synth":      func(s int64) *Report { return RunSynthChecker(s, CheckerOptions{Ops: 150}) },
+	}
+	for name, run := range engines {
+		a, b := run(7), run(7)
+		if !reflect.DeepEqual(a.Trace, b.Trace) {
+			t.Errorf("%s: same seed produced different fault schedules (%d vs %d events)",
+				name, len(a.Trace), len(b.Trace))
+		}
+		if !reflect.DeepEqual(a.Failures, b.Failures) {
+			t.Errorf("%s: same seed produced different verdicts: %v vs %v", name, a.Failures, b.Failures)
+		}
+		if c := run(8); reflect.DeepEqual(a.Trace, c.Trace) && len(a.Trace) > 0 {
+			t.Errorf("%s: different seeds produced identical schedules", name)
+		}
+	}
+}
+
+// TestScriptReplayMatchesProbabilisticRun checks the shrink
+// infrastructure: replaying only the fired events of a probabilistic
+// run as an exact script reproduces the same verdict.
+func TestScriptReplayMatchesProbabilisticRun(t *testing.T) {
+	orig := RunSQLOracle(3, OracleOptions{Ops: 500, Faults: true})
+	var fires []fault.Fire
+	for _, e := range orig.Trace {
+		if e.Fired {
+			fires = append(fires, fault.Fire{Point: e.Point, Hit: e.Hit, Op: e.Op, Frac: e.Frac})
+		}
+	}
+	if len(fires) == 0 {
+		t.Skip("no faults fired at this seed")
+	}
+	replay := RunSQLOracle(3, OracleOptions{Ops: 500, Script: fires})
+	if !reflect.DeepEqual(orig.Failures, replay.Failures) {
+		t.Fatalf("script replay verdict differs: %v vs %v", orig.Failures, replay.Failures)
+	}
+	if replay.Fired != len(fires) {
+		t.Fatalf("script replay fired %d of %d scripted faults", replay.Fired, len(fires))
+	}
+}

@@ -2,16 +2,15 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
-	"time"
 
 	"maxoid/internal/ams"
 	"maxoid/internal/intent"
 	"maxoid/internal/layout"
 	"maxoid/internal/netstack"
 	"maxoid/internal/provider"
+	"maxoid/internal/testutil"
 	"maxoid/internal/vfs"
 )
 
@@ -23,7 +22,7 @@ import (
 // sharded kernel/binder registries, and snapshot mount tables all at
 // once, and it verifies no goroutine outlives System.Shutdown.
 func TestStressConcurrentInstances(t *testing.T) {
-	baseGoroutines := runtime.NumGoroutine()
+	leak := testutil.LeakCheck(t)
 
 	s := boot(t)
 	srv := netstack.NewStaticFileServer()
@@ -138,13 +137,5 @@ func TestStressConcurrentInstances(t *testing.T) {
 
 	// Shutdown joins the download workers; nothing may leak past it.
 	s.Shutdown()
-	deadline := time.Now().Add(3 * time.Second)
-	for runtime.NumGoroutine() > baseGoroutines && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if n := runtime.NumGoroutine(); n > baseGoroutines {
-		buf := make([]byte, 1<<16)
-		t.Errorf("goroutine leak: %d running, %d at start\n%s",
-			n, baseGoroutines, buf[:runtime.Stack(buf, true)])
-	}
+	leak()
 }

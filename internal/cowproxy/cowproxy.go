@@ -30,8 +30,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"maxoid/internal/fault"
 	"maxoid/internal/sqldb"
 )
+
+// faultSynth covers COW view synthesis (see internal/fault): the
+// multi-statement creation of a delta table, COW view, and INSTEAD OF
+// triggers. A failure at any step rolls the created objects back, so
+// an initiator's COW machinery exists either completely or not at all
+// — the all-or-nothing invariant internal/chaos checks.
+var faultSynth = fault.Declare("cowproxy.synth", "COW view synthesis: fail partway through delta/view/trigger creation; rollback must leave no partial machinery")
 
 // DeltaKeyBase is the first primary key used for rows inserted by
 // delegates, the paper's N (Figure 6 shows 10000001).
@@ -172,6 +180,11 @@ func adminViewName(table string) string { return table + "_admin" }
 // ensureDelta creates A's delta table, COW view, and triggers for a
 // primary table if they do not exist yet ("created on demand"). The
 // caller must hold p.mu.
+//
+// Synthesis is all-or-nothing: a failure at any of the five steps
+// rolls back every object the failed attempt created (and restores
+// the admin view), so observers never see a delta table without its
+// COW view or vice versa.
 func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 	key := strings.ToLower(info.name)
 	if p.deltas[key] == nil {
@@ -184,6 +197,41 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 	delta := DeltaTableName(info.name, initiator)
 	cowView := COWViewName(info.name, initiator)
 
+	rollback := func(err error) error {
+		// Cleanup of a failed synthesis must not itself be re-injected
+		// (see fault.Suspend). DROP VIEW removes its triggers with it.
+		fault.Suspend()
+		defer fault.Resume()
+		delete(p.deltas[key], initiator)
+		if p.cowViews[key] != nil {
+			delete(p.cowViews[key], initiator)
+		}
+		_, _ = p.db.Exec("DROP VIEW IF EXISTS " + cowView)
+		_, _ = p.db.Exec("DROP TABLE IF EXISTS " + delta)
+		_ = p.rebuildAdminView(info)
+		return err
+	}
+	if err := p.synthDelta(info, delta, cowView); err != nil {
+		return rollback(err)
+	}
+
+	p.deltas[key][initiator] = true
+	if p.cowViews[key] == nil {
+		p.cowViews[key] = make(map[string]bool)
+	}
+	p.cowViews[key][initiator] = true
+
+	// The administrative view covers all deltas; rebuild it.
+	if err := p.rebuildAdminView(info); err != nil {
+		return rollback(err)
+	}
+	return nil
+}
+
+// synthDelta runs the multi-statement synthesis for ensureDelta. Each
+// step consults the cowproxy.synth fault point, so a harness can kill
+// the synthesis between any two statements.
+func (p *Proxy) synthDelta(info primaryInfo, delta, cowView string) error {
 	// Delta table: all primary columns plus _whiteout.
 	var ddl strings.Builder
 	ddl.WriteString("CREATE TABLE " + delta + " (")
@@ -202,6 +250,9 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 		colNames = append(colNames, c.Name)
 	}
 	ddl.WriteString(", _whiteout BOOLEAN DEFAULT 0)")
+	if err := fault.Hit(faultSynth); err != nil {
+		return err
+	}
 	if _, err := p.db.Exec(ddl.String()); err != nil {
 		return err
 	}
@@ -211,6 +262,9 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 	// MAX() scan.
 	marker := fmt.Sprintf("INSERT INTO %s (%s, _whiteout) VALUES (%d, 1); DELETE FROM %s WHERE %s = %d",
 		delta, info.pk, DeltaKeyBase-1, delta, info.pk, DeltaKeyBase-1)
+	if err := fault.Hit(faultSynth); err != nil {
+		return err
+	}
 	if _, err := p.db.Exec(marker); err != nil {
 		return err
 	}
@@ -220,6 +274,9 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 	viewSQL := fmt.Sprintf(
 		"CREATE VIEW %s AS SELECT %s FROM %s WHERE %s NOT IN (SELECT %s FROM %s) UNION ALL SELECT %s FROM %s WHERE _whiteout = 0",
 		cowView, cols, info.name, info.pk, info.pk, delta, cols, delta)
+	if err := fault.Hit(faultSynth); err != nil {
+		return err
+	}
 	if _, err := p.db.Exec(viewSQL); err != nil {
 		return err
 	}
@@ -232,6 +289,9 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 	updTrig := fmt.Sprintf(
 		"CREATE TRIGGER %s_upd INSTEAD OF UPDATE ON %s BEGIN INSERT OR REPLACE INTO %s (%s, _whiteout) VALUES (%s, 0); END",
 		cowView, cowView, delta, cols, strings.Join(newCols, ", "))
+	if err := fault.Hit(faultSynth); err != nil {
+		return err
+	}
 	if _, err := p.db.Exec(updTrig); err != nil {
 		return err
 	}
@@ -244,18 +304,13 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 	delTrig := fmt.Sprintf(
 		"CREATE TRIGGER %s_del INSTEAD OF DELETE ON %s BEGIN INSERT OR REPLACE INTO %s (%s, _whiteout) VALUES (%s, 1); END",
 		cowView, cowView, delta, cols, strings.Join(oldCols, ", "))
+	if err := fault.Hit(faultSynth); err != nil {
+		return err
+	}
 	if _, err := p.db.Exec(delTrig); err != nil {
 		return err
 	}
-
-	p.deltas[key][initiator] = true
-	if p.cowViews[key] == nil {
-		p.cowViews[key] = make(map[string]bool)
-	}
-	p.cowViews[key][initiator] = true
-
-	// The administrative view covers all deltas; rebuild it.
-	return p.rebuildAdminView(info)
+	return nil
 }
 
 // rebuildAdminView recreates t_admin over the primary table and all
@@ -315,6 +370,9 @@ func (p *Proxy) ensureUserViewCOW(v userViewInfo, initiator string) error {
 		return COWViewName(name, initiator)
 	})
 	if err != nil {
+		return err
+	}
+	if err := fault.Hit(faultSynth); err != nil {
 		return err
 	}
 	if _, err := p.db.Exec("CREATE VIEW " + COWViewName(v.name, initiator) + " AS " + rewritten); err != nil {

@@ -1,0 +1,386 @@
+// Package fault is a process-wide, seed-deterministic fault-injection
+// registry for the Maxoid substrate. Packages declare named fault
+// points at init time and consult them on hot state transitions
+// (unionfs copy-up, sqldb commit, cowproxy view synthesis, ...); test
+// harnesses enable a schedule of faults for a run and get back an
+// exact trace of what fired where.
+//
+// Determinism: all randomness for a run flows from one PRNG seeded by
+// Enable's seed, and decisions are made under one lock in call order.
+// For single-goroutine harness runs (the chaos engines) the same seed
+// therefore reproduces the identical fault schedule. For debugging a
+// failure, EnableScript replays an exact schedule — fire precisely at
+// (point, hit#) pairs — which is what shrink-to-minimal uses.
+//
+// The disabled fast path is one atomic load, so instrumenting
+// production code paths costs effectively nothing when no harness is
+// attached.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error surfaced by fired error/partial-write
+// faults. Harnesses use errors.Is(err, ErrInjected) to tell injected
+// failures from genuine bugs.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Op selects what a fired fault does to the caller.
+type Op int
+
+const (
+	// OpError makes Hit return an injected error.
+	OpError Op = iota
+	// OpDelay sleeps for the spec's Delay, then succeeds. Used to
+	// widen race windows.
+	OpDelay
+	// OpPartial truncates the operation: PartialWrite returns a byte
+	// count strictly less than requested, plus an injected error.
+	OpPartial
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpError:
+		return "error"
+	case OpDelay:
+		return "delay"
+	case OpPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Spec arms one fault point for a probabilistic run.
+type Spec struct {
+	Point string  // declared fault-point name
+	Prob  float64 // chance of firing per hit, in (0,1]
+	After int     // skip this many hits before the point can fire
+	Times int     // fire at most this many times; 0 = unlimited
+	Op    Op
+	Err   error         // error to inject for OpError; nil = ErrInjected
+	Delay time.Duration // sleep for OpDelay
+	Frac  float64       // fraction written for OpPartial, in [0,1); 0 = random
+}
+
+// Fire is one entry of a scripted schedule: fire at exactly the n-th
+// hit (1-based) of a point.
+type Fire struct {
+	Point string
+	Hit   int
+	Op    Op
+	Frac  float64 // for OpPartial; 0 = half
+}
+
+// Event is one entry of a run's trace: a hit on an armed point and
+// whether it fired.
+type Event struct {
+	Point string
+	Hit   int // 1-based hit index at this point
+	Fired bool
+	Op    Op
+	Frac  float64 // for fired OpPartial
+}
+
+func (e Event) String() string {
+	if !e.Fired {
+		return fmt.Sprintf("%s#%d pass", e.Point, e.Hit)
+	}
+	if e.Op == OpPartial {
+		return fmt.Sprintf("%s#%d FIRE %s frac=%.3f", e.Point, e.Hit, e.Op, e.Frac)
+	}
+	return fmt.Sprintf("%s#%d FIRE %s", e.Point, e.Hit, e.Op)
+}
+
+// Point metadata from Declare.
+type Point struct {
+	Name string
+	Desc string
+}
+
+var (
+	regMu    sync.Mutex
+	declared = map[string]string{}
+)
+
+// Declare registers a fault point. Call from package init; duplicate
+// declarations with the same description are idempotent.
+func Declare(name, desc string) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := declared[name]; ok && prev != desc {
+		panic(fmt.Sprintf("fault: point %q redeclared with different description", name))
+	}
+	declared[name] = desc
+	return name
+}
+
+// Points returns all declared fault points, sorted by name.
+func Points() []Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Point, 0, len(declared))
+	for n, d := range declared {
+		out = append(out, Point{Name: n, Desc: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+type specState struct {
+	Spec
+	fired int
+}
+
+var (
+	active atomic.Bool // fast-path gate
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	specs   map[string]*specState
+	script  map[string]map[int]Fire
+	hits    map[string]int
+	trace   []Event
+	suspend int
+)
+
+// Enable arms the registry for a probabilistic run driven by seed.
+// Specs for undeclared points panic (catches typos at harness-build
+// time). Any previous run state is discarded.
+func Enable(seed int64, ss ...Spec) {
+	regMu.Lock()
+	for _, s := range ss {
+		if _, ok := declared[s.Point]; !ok {
+			regMu.Unlock()
+			panic(fmt.Sprintf("fault: Enable of undeclared point %q", s.Point))
+		}
+	}
+	regMu.Unlock()
+
+	mu.Lock()
+	defer mu.Unlock()
+	rng = rand.New(rand.NewSource(seed))
+	specs = make(map[string]*specState, len(ss))
+	for _, s := range ss {
+		s := s
+		specs[s.Point] = &specState{Spec: s}
+	}
+	script = nil
+	hits = make(map[string]int)
+	trace = nil
+	suspend = 0
+	active.Store(true)
+}
+
+// EnableScript arms the registry to fire at exactly the given
+// (point, hit#) pairs and nowhere else. Used to replay and shrink a
+// schedule captured by Trace.
+func EnableScript(fires []Fire) {
+	regMu.Lock()
+	for _, f := range fires {
+		if _, ok := declared[f.Point]; !ok {
+			regMu.Unlock()
+			panic(fmt.Sprintf("fault: EnableScript of undeclared point %q", f.Point))
+		}
+	}
+	regMu.Unlock()
+
+	mu.Lock()
+	defer mu.Unlock()
+	rng = nil
+	specs = nil
+	script = make(map[string]map[int]Fire)
+	for _, f := range fires {
+		m := script[f.Point]
+		if m == nil {
+			m = make(map[int]Fire)
+			script[f.Point] = m
+		}
+		m[f.Hit] = f
+	}
+	hits = make(map[string]int)
+	trace = nil
+	suspend = 0
+	active.Store(true)
+}
+
+// Disable tears down the current run. Instrumented code returns to the
+// single-atomic-load fast path.
+func Disable() {
+	active.Store(false)
+	mu.Lock()
+	defer mu.Unlock()
+	rng = nil
+	specs = nil
+	script = nil
+	hits = nil
+	suspend = 0
+}
+
+// Suspend pauses injection process-wide (nestable). Recovery and
+// rollback paths run under Suspend so that cleanup from one injected
+// fault is not itself re-injected, which would make all-or-nothing
+// rollback impossible to guarantee or test.
+func Suspend() {
+	mu.Lock()
+	suspend++
+	mu.Unlock()
+}
+
+// Resume undoes one Suspend.
+func Resume() {
+	mu.Lock()
+	if suspend > 0 {
+		suspend--
+	}
+	mu.Unlock()
+}
+
+// Trace returns a copy of the run's event log: every hit on an armed
+// point, in order, with fire decisions. Two runs with the same seed
+// and workload produce identical traces.
+func Trace() []Event {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Event, len(trace))
+	copy(out, trace)
+	return out
+}
+
+// Fires returns only the fired events of the trace, as a script that
+// EnableScript can replay.
+func Fires() []Fire {
+	mu.Lock()
+	defer mu.Unlock()
+	var out []Fire
+	for _, e := range trace {
+		if e.Fired {
+			out = append(out, Fire{Point: e.Point, Hit: e.Hit, Op: e.Op, Frac: e.Frac})
+		}
+	}
+	return out
+}
+
+// decide consults the schedule for one hit of point. It returns the
+// event (recorded in the trace) and, for OpError, the configured error.
+func decide(point string) (Event, error) {
+	mu.Lock()
+	if !active.Load() || (specs == nil && script == nil) {
+		mu.Unlock()
+		return Event{}, nil
+	}
+	if suspend > 0 {
+		mu.Unlock()
+		return Event{}, nil
+	}
+
+	var ev Event
+	var err error
+	if script != nil {
+		if m, ok := script[point]; ok {
+			hits[point]++
+			n := hits[point]
+			ev = Event{Point: point, Hit: n}
+			if f, ok := m[n]; ok {
+				ev.Fired = true
+				ev.Op = f.Op
+				ev.Frac = f.Frac
+				if f.Op == OpPartial && ev.Frac == 0 {
+					ev.Frac = 0.5
+				}
+				if f.Op == OpError {
+					err = ErrInjected
+				}
+			}
+			trace = append(trace, ev)
+		}
+		mu.Unlock()
+		return ev, err
+	}
+
+	st, ok := specs[point]
+	if !ok {
+		mu.Unlock()
+		return Event{}, nil
+	}
+	hits[point]++
+	n := hits[point]
+	ev = Event{Point: point, Hit: n}
+	eligible := n > st.After && (st.Times == 0 || st.fired < st.Times)
+	if eligible && rng.Float64() < st.Prob {
+		st.fired++
+		ev.Fired = true
+		ev.Op = st.Op
+		switch st.Op {
+		case OpError:
+			err = st.Err
+			if err == nil {
+				err = ErrInjected
+			}
+		case OpPartial:
+			ev.Frac = st.Frac
+			if ev.Frac == 0 {
+				ev.Frac = rng.Float64()
+			}
+		}
+	}
+	trace = append(trace, ev)
+	var delay time.Duration
+	if ev.Fired && ev.Op == OpDelay {
+		delay = st.Delay
+	}
+	mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return ev, err
+}
+
+// Hit consults the fault point and returns the injected error if an
+// OpError fault fired, nil otherwise. OpDelay faults sleep before
+// returning nil. The disabled fast path is one atomic load.
+func Hit(point string) error {
+	if !active.Load() {
+		return nil
+	}
+	_, err := decide(point)
+	return err
+}
+
+// PartialWrite consults the fault point for an n-byte write. When no
+// fault fires it returns (n, nil). A fired OpPartial returns a count
+// strictly less than n plus ErrInjected — the caller must persist only
+// that prefix and surface the error. A fired OpError returns (0,
+// injected error) before anything is written.
+func PartialWrite(point string, n int) (int, error) {
+	if !active.Load() {
+		return n, nil
+	}
+	ev, err := decide(point)
+	if !ev.Fired {
+		return n, nil
+	}
+	switch ev.Op {
+	case OpError:
+		return 0, err
+	case OpPartial:
+		k := int(float64(n) * ev.Frac)
+		if k >= n {
+			k = n - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		return k, fmt.Errorf("%w: short write %d of %d bytes at %s", ErrInjected, k, n, point)
+	default:
+		return n, nil
+	}
+}

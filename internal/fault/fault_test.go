@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func init() {
+	Declare("test.a", "test point a")
+	Declare("test.b", "test point b")
+}
+
+func TestDisabledFastPath(t *testing.T) {
+	Disable()
+	if err := Hit("test.a"); err != nil {
+		t.Fatalf("disabled Hit: %v", err)
+	}
+	n, err := PartialWrite("test.a", 100)
+	if n != 100 || err != nil {
+		t.Fatalf("disabled PartialWrite: %d, %v", n, err)
+	}
+	if tr := Trace(); len(tr) != 0 {
+		t.Fatalf("disabled trace: %v", tr)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []Event {
+		Enable(seed,
+			Spec{Point: "test.a", Prob: 0.3, Op: OpError},
+			Spec{Point: "test.b", Prob: 0.5, Op: OpPartial},
+		)
+		defer Disable()
+		for i := 0; i < 200; i++ {
+			Hit("test.a")
+			PartialWrite("test.b", 64)
+		}
+		return Trace()
+	}
+	t1 := run(42)
+	t2 := run(42)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("same seed produced different traces")
+	}
+	t3 := run(43)
+	if reflect.DeepEqual(t1, t3) {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+	fired := 0
+	for _, e := range t1 {
+		if e.Fired {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no faults fired at prob 0.3/0.5 over 400 hits")
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	Enable(1, Spec{Point: "test.a", Prob: 1, After: 3, Times: 2, Op: OpError})
+	defer Disable()
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, Hit("test.a") != nil)
+	}
+	want := []bool{false, false, false, true, true, false, false, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("After/Times schedule = %v, want %v", got, want)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	Enable(1, Spec{Point: "test.a", Prob: 1, Times: 1, Op: OpError, Err: sentinel})
+	defer Disable()
+	if err := Hit("test.a"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestPartialWrite(t *testing.T) {
+	Enable(7, Spec{Point: "test.a", Prob: 1, Times: 1, Op: OpPartial, Frac: 0.5})
+	defer Disable()
+	n, err := PartialWrite("test.a", 10)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5", n)
+	}
+	// After Times is exhausted, writes pass through untouched.
+	n, err = PartialWrite("test.a", 10)
+	if n != 10 || err != nil {
+		t.Fatalf("exhausted point: %d, %v", n, err)
+	}
+}
+
+func TestPartialNeverFull(t *testing.T) {
+	Enable(9, Spec{Point: "test.a", Prob: 1, Op: OpPartial}) // random Frac
+	defer Disable()
+	for i := 0; i < 100; i++ {
+		n, err := PartialWrite("test.a", 4)
+		if err == nil {
+			t.Fatal("partial fault did not surface error")
+		}
+		if n >= 4 || n < 0 {
+			t.Fatalf("partial write count %d out of [0,4)", n)
+		}
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	Enable(1, Spec{Point: "test.a", Prob: 1, Op: OpError})
+	defer Disable()
+	Suspend()
+	if err := Hit("test.a"); err != nil {
+		t.Fatalf("suspended Hit fired: %v", err)
+	}
+	Resume()
+	if err := Hit("test.a"); err == nil {
+		t.Fatal("resumed Hit did not fire")
+	}
+	// Suspended hits are not counted or traced.
+	tr := Trace()
+	if len(tr) != 1 || tr[0].Hit != 1 {
+		t.Fatalf("trace = %v, want single hit#1", tr)
+	}
+}
+
+func TestScriptReplay(t *testing.T) {
+	Enable(11, Spec{Point: "test.a", Prob: 0.4, Op: OpError})
+	for i := 0; i < 50; i++ {
+		Hit("test.a")
+	}
+	fires := Fires()
+	origTrace := Trace()
+	Disable()
+	if len(fires) == 0 {
+		t.Fatal("no fires to replay")
+	}
+
+	EnableScript(fires)
+	defer Disable()
+	var replayFired []int
+	for i := 0; i < 50; i++ {
+		if Hit("test.a") != nil {
+			replayFired = append(replayFired, i+1)
+		}
+	}
+	var origFired []int
+	for _, e := range origTrace {
+		if e.Fired {
+			origFired = append(origFired, e.Hit)
+		}
+	}
+	if !reflect.DeepEqual(replayFired, origFired) {
+		t.Fatalf("script replay fired at %v, original at %v", replayFired, origFired)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	Enable(1, Spec{Point: "test.a", Prob: 1, Times: 1, Op: OpDelay, Delay: 20 * time.Millisecond})
+	defer Disable()
+	start := time.Now()
+	if err := Hit("test.a"); err != nil {
+		t.Fatalf("delay op returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestPointsRegistry(t *testing.T) {
+	pts := Points()
+	seen := map[string]bool{}
+	for _, p := range pts {
+		seen[p.Name] = true
+	}
+	if !seen["test.a"] || !seen["test.b"] {
+		t.Fatalf("declared points missing from registry: %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Name >= pts[i].Name {
+			t.Fatal("Points not sorted")
+		}
+	}
+}

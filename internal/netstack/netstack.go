@@ -14,10 +14,16 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"maxoid/internal/fault"
 )
 
 // ErrNoHost is returned for requests to unregistered hosts.
 var ErrNoHost = errors.New("netstack: no such host")
+
+// faultConnect injects connection failures before a request reaches
+// the host, modeling network partitions (see internal/fault).
+var faultConnect = fault.Declare("netstack.connect", "network round trip: fail before the request reaches the host")
 
 // Request is a simplified HTTP-like request.
 type Request struct {
@@ -80,6 +86,9 @@ func (n *Network) Requests() int64 {
 
 // RoundTrip delivers a request to its host and simulates transfer time.
 func (n *Network) RoundTrip(req Request) (Response, error) {
+	if err := fault.Hit(faultConnect); err != nil {
+		return Response{}, fmt.Errorf("netstack: connect %s: %w", req.Host, err)
+	}
 	n.mu.RLock()
 	h, ok := n.hosts[req.Host]
 	n.mu.RUnlock()

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"maxoid/internal/testutil"
 )
 
 func TestRoundTripToStaticServer(t *testing.T) {
@@ -102,6 +104,9 @@ func TestHandlerFunc(t *testing.T) {
 }
 
 func TestConcurrentRoundTrips(t *testing.T) {
+	// RoundTrip is synchronous by contract: the hammering below must
+	// leave no goroutines behind.
+	defer testutil.LeakCheck(t)()
 	net := New(0, 0)
 	srv := NewStaticFileServer()
 	srv.Put("/f", []byte("x"))

@@ -12,6 +12,7 @@ import (
 	"maxoid/internal/netstack"
 	"maxoid/internal/provider"
 	"maxoid/internal/sqldb"
+	"maxoid/internal/testutil"
 	"maxoid/internal/vfs"
 )
 
@@ -333,4 +334,75 @@ func TestMetadataOnlyInsert(t *testing.T) {
 	if net.Requests() != before {
 		t.Error("metadata-only insert touched the network")
 	}
+}
+
+// TestCloseRacesInFlightFetches hammers Close against a storm of
+// concurrent Inserts: some fetch workers are already running when
+// Close lands, others race the closed flag. Invariants: Close returns
+// only after every started worker has been joined (no goroutine
+// outlives it), every record reaches a terminal status, and WaitFor
+// never hangs regardless of which side of Close an insert landed on.
+func TestCloseRacesInFlightFetches(t *testing.T) {
+	leak := testutil.LeakCheck(t)
+	disk := vfs.New()
+	if err := disk.MkdirAll(vfs.Root, layout.ExtPubBranch(), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	// A little simulated latency keeps workers in flight while Close runs.
+	net := netstack.New(time.Millisecond, 0)
+	srv := netstack.NewStaticFileServer()
+	srv.Put("/blob", []byte("race-payload"))
+	net.Register("web.example", srv)
+	p, err := New(disk, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inserts = 24
+	ids := make(chan int64, inserts)
+	var wg sync.WaitGroup
+	for i := 0; i < inserts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			uri, err := p.Insert(browser, mustURI(t, DownloadsURI), provider.Values{
+				"uri": "web.example/blob", "hint": fmt.Sprintf("race-%02d.bin", i),
+			})
+			if err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+			id, _ := uri.ID()
+			ids <- id
+		}(i)
+	}
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	wg.Wait()
+	<-closed
+	close(ids)
+
+	for id := range ids {
+		ev := p.WaitFor(id)
+		if ev.Status != StatusSuccess && ev.Status != StatusErrorNetwork {
+			t.Errorf("download %d: non-terminal status %d after Close", id, ev.Status)
+		}
+	}
+
+	// After Close, a new insert fails its record synchronously — as if
+	// the network had gone away — rather than starting a worker.
+	uri, err := p.Insert(browser, mustURI(t, DownloadsURI), provider.Values{
+		"uri": "web.example/blob", "hint": "too-late.bin",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := uri.ID()
+	if ev := p.WaitFor(id); ev.Status != StatusErrorNetwork {
+		t.Errorf("post-Close insert: status %d, want network error", ev.Status)
+	}
+	leak()
 }

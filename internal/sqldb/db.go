@@ -6,6 +6,17 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"maxoid/internal/fault"
+)
+
+// Fault points on the engine's transition-sensitive paths (see
+// internal/fault). Exec faults fire before a statement touches any
+// table; commit faults roll the transaction back to its BEGIN
+// snapshot, mirroring SQLite's behavior on commit I/O errors.
+var (
+	faultExec   = fault.Declare("sqldb.exec", "statement execution: fail before the statement mutates any table")
+	faultCommit = fault.Declare("sqldb.commit", "transaction COMMIT: fail and restore the BEGIN snapshot")
 )
 
 // Result reports the outcome of a data-modifying statement.
@@ -326,6 +337,9 @@ func (db *DB) Exec(sql string, args ...Value) (Result, error) {
 	ex := &executor{db: db, args: nargs}
 	var res Result
 	for _, s := range stmts {
+		if err := fault.Hit(faultExec); err != nil {
+			return Result{}, err
+		}
 		r, err := ex.execStmt(s, nil)
 		if err != nil {
 			return Result{}, err
@@ -357,6 +371,9 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 	// planMu and atomics rather than the batch lock.
 	lock := db.lockForBatch(stmts)
 	defer db.unlockBatch(lock)
+	if err := fault.Hit(faultExec); err != nil {
+		return nil, err
+	}
 	ex := &executor{db: db, args: nargs}
 	return ex.execSelect(sel, nil)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"maxoid/internal/fault"
 )
 
 // colBinding names one column of a relation, optionally qualified by a
@@ -156,25 +158,40 @@ func (ex *executor) execTxn(st *TxnStmt) error {
 		if db.txn == nil {
 			return fmt.Errorf("sqldb: cannot commit - no transaction is active")
 		}
+		if err := fault.Hit(faultCommit); err != nil {
+			// A failed commit must not leave half-applied state: restore
+			// the BEGIN snapshot, as SQLite rolls back when the commit
+			// itself hits an I/O error.
+			ex.restoreSnapshot()
+			return fmt.Errorf("sqldb: commit failed: %w", err)
+		}
 		db.txn = nil
 		return nil
 	case "ROLLBACK":
 		if db.txn == nil {
 			return fmt.Errorf("sqldb: cannot rollback - no transaction is active")
 		}
-		snap := db.txn
-		db.txn = nil
-		db.tables = snap.tables
-		db.views = snap.views
-		db.triggers = snap.triggers
-		db.byName = snap.byName
-		db.lastID.Store(snap.lastID)
-		db.resetPlanCaches()
-		db.invalidateLockPlans()
-		ex.invalidateInCache()
+		ex.restoreSnapshot()
 		return nil
 	}
 	return fmt.Errorf("sqldb: unknown transaction statement %s", st.Kind)
+}
+
+// restoreSnapshot rolls the database back to the active transaction's
+// BEGIN snapshot and ends the transaction. The caller has checked that
+// db.txn is non-nil; shared by ROLLBACK and failed COMMIT.
+func (ex *executor) restoreSnapshot() {
+	db := ex.db
+	snap := db.txn
+	db.txn = nil
+	db.tables = snap.tables
+	db.views = snap.views
+	db.triggers = snap.triggers
+	db.byName = snap.byName
+	db.lastID.Store(snap.lastID)
+	db.resetPlanCaches()
+	db.invalidateLockPlans()
+	ex.invalidateInCache()
 }
 
 func (ex *executor) createTable(st *CreateTableStmt) error {

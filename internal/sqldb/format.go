@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -355,18 +356,26 @@ func writeLit(b *strings.Builder, v Value) {
 		b.WriteString("NULL")
 	case string:
 		b.WriteString("'" + strings.ReplaceAll(x, "'", "''") + "'")
+	case float64:
+		// Plain decimal notation: the lexer has no exponent syntax, and
+		// a trailing ".0" keeps an integral float re-parsing as a float.
+		s := strconv.FormatFloat(x, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		b.WriteString(s)
 	default:
 		fmt.Fprintf(b, "%v", x)
 	}
 }
 
-// quoteIdent quotes identifiers that collide with keywords or contain
-// special characters.
+// quoteIdent quotes identifiers that cannot stand bare: keywords,
+// empty names, leading digits, or special characters. The lexer has no
+// escape sequence inside quoted identifiers, but its three quoting
+// styles forbid disjoint characters ('"', '`', ']'), and no lexable
+// identifier can contain all three — so one style always round-trips.
 func quoteIdent(s string) string {
-	if s == "" {
-		return s
-	}
-	needs := keywords[strings.ToUpper(s)]
+	needs := s == "" || keywords[strings.ToUpper(s)] || s[0] >= '0' && s[0] <= '9'
 	if !needs {
 		for i := 0; i < len(s); i++ {
 			c := s[i]
@@ -376,8 +385,14 @@ func quoteIdent(s string) string {
 			}
 		}
 	}
-	if needs {
+	switch {
+	case !needs:
+		return s
+	case !strings.Contains(s, `"`):
 		return `"` + s + `"`
+	case !strings.Contains(s, "`"):
+		return "`" + s + "`"
+	default:
+		return "[" + s + "]"
 	}
-	return s
 }

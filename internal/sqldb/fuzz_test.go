@@ -1,0 +1,106 @@
+package sqldb
+
+import (
+	"testing"
+)
+
+// The fuzz targets cover the SQL front end — lexer, parser, and the
+// formatter the COW proxy relies on for view rewriting. Invariants:
+// no panics on arbitrary input, and formatting is a fixpoint (parse →
+// format → parse → format yields identical text).
+
+var fuzzSeeds = []string{
+	"SELECT v, w FROM t WHERE v > 1 ORDER BY v DESC LIMIT 2",
+	"SELECT * FROM t WHERE w LIKE 'b%' ESCAPE '\\'",
+	"SELECT v FROM t WHERE v IN (SELECT v FROM t WHERE v > 1)",
+	"SELECT COUNT(*) FROM t GROUP BY w HAVING COUNT(*) > 1",
+	"SELECT CASE WHEN v > 2 THEN 'hi' ELSE 'lo' END FROM t",
+	"SELECT a.x FROM files AS a JOIN artists AS b ON a.k = b.k",
+	"SELECT v, w FROM t UNION ALL SELECT v, w FROM t ORDER BY v",
+	"INSERT INTO t (_id, v) VALUES (1, 'it''s'), (2, NULL)",
+	"UPDATE t SET v = v + 1.5 WHERE w IS NOT NULL",
+	"DELETE FROM t WHERE v BETWEEN 1 AND 2",
+	"CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER, w TEXT)",
+	"CREATE TRIGGER tr INSTEAD OF INSERT ON v BEGIN SELECT 1; END",
+	"BEGIN; COMMIT; ROLLBACK;",
+	"SELECT -1e9, 0x, '' FROM t",
+	"SELECT\n\t*\nFROM t -- comment",
+}
+
+// FuzzTokenize checks the lexer never panics and either yields tokens
+// or a clean error on arbitrary byte soup.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Add("'unterminated")
+	f.Add("\"quoted ident")
+	f.Add("1.2.3e+-5")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err == nil && len(src) > 0 && len(toks) == 0 {
+			// Whitespace-only input is the one legitimate empty result.
+			for _, c := range src {
+				if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+					t.Fatalf("lex(%q): no tokens and no error", src)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParse checks the parser never panics, and that anything it
+// accepts can be formatted (for SELECTs) without panicking.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := parseAll(src)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			if sel, ok := s.(*SelectStmt); ok {
+				_ = FormatSelect(sel)
+			}
+		}
+	})
+}
+
+// FuzzFormat checks the formatter round-trips: any SELECT the parser
+// accepts must format to SQL that parses again, and a second
+// format pass must reproduce the first — formatting is a fixpoint, so
+// the COW proxy's rewrite-and-reparse cycle cannot drift.
+func FuzzFormat(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := parseAll(src)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			sel, ok := s.(*SelectStmt)
+			if !ok {
+				continue
+			}
+			once := FormatSelect(sel)
+			again, err := parseAll(once)
+			if err != nil {
+				t.Fatalf("formatted SQL does not re-parse\n  input: %q\n  formatted: %q\n  error: %v", src, once, err)
+			}
+			if len(again) != 1 {
+				t.Fatalf("formatted SQL re-parsed to %d statements: %q", len(again), once)
+			}
+			sel2, ok := again[0].(*SelectStmt)
+			if !ok {
+				t.Fatalf("formatted SELECT re-parsed as %T: %q", again[0], once)
+			}
+			if twice := FormatSelect(sel2); twice != once {
+				t.Fatalf("format is not a fixpoint\n  input: %q\n  first:  %q\n  second: %q", src, once, twice)
+			}
+		}
+	})
+}

@@ -974,7 +974,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err := p.expectOp(")"); err != nil {
 				return nil, err
 			}
-			return &Call{Name: "CAST_" + strings.ToUpper(typ), Args: []Expr{e}}, nil
+			return &Call{Name: "CAST_" + upperASCII(typ), Args: []Expr{e}}, nil
 		case "REPLACE": // REPLACE(x, from, to) function
 			p.pos++
 			return p.parseCallTail("REPLACE")
@@ -985,7 +985,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		name := t.text
 		if p.acceptOp("(") {
 			p.backup()
-			return p.parseCallTail(strings.ToUpper(name))
+			return p.parseCallTail(upperASCII(name))
 		}
 		if p.acceptOp(".") {
 			col, err := p.ident()

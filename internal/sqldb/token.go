@@ -3,7 +3,6 @@ package sqldb
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 type tokenKind int
@@ -73,11 +72,11 @@ func lex(src string) ([]token, error) {
 				return nil, err
 			}
 			l.toks = append(l.toks, token{kind: tokIdent, text: s, pos: start})
-		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
 			l.toks = append(l.toks, token{kind: tokNumber, text: l.lexNumber(), pos: start})
 		case isIdentStart(c):
 			word := l.lexWord()
-			upper := strings.ToUpper(word)
+			upper := upperASCII(word)
 			if keywords[upper] {
 				l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
 			} else {
@@ -162,7 +161,7 @@ func (l *lexer) lexNumber() string {
 	seenDot := false
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
-		if unicode.IsDigit(rune(c)) {
+		if isDigit(c) {
 			l.pos++
 		} else if c == '.' && !seenDot {
 			seenDot = true
@@ -174,12 +173,39 @@ func (l *lexer) lexNumber() string {
 	return l.src[start:l.pos]
 }
 
+func isDigit(c byte) bool {
+	return c >= '0' && c <= '9'
+}
+
+// upperASCII uppercases ASCII letters only. strings.ToUpper replaces
+// invalid UTF-8 with U+FFFD, which would corrupt identifiers whose
+// bytes >= 0x80 the lexer passes through verbatim; keywords and
+// function names are all ASCII, so ASCII folding is sufficient.
+func upperASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'a' && c <= 'z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if b[j] >= 'a' && b[j] <= 'z' {
+					b[j] -= 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
+// Identifier bytes follow SQLite's rule: every byte >= 0x80 is an
+// identifier character, with no UTF-8 decoding. Interpreting single
+// bytes as runes (the old behavior) split multi-byte characters and
+// mis-lexed both valid UTF-8 identifiers and raw byte soup.
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
 }
 
 func isIdentCont(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+	return isIdentStart(c) || c >= '0' && c <= '9'
 }
 
 func (l *lexer) lexWord() string {

@@ -1,0 +1,37 @@
+// Package testutil holds helpers shared by tests across the tree.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a function that
+// fails the test if more goroutines are running than at the snapshot.
+// The check polls for up to three seconds, since shutdown paths join
+// workers asynchronously, and dumps all goroutine stacks on failure.
+//
+// Use it first thing in a test, before the code under test spawns
+// anything:
+//
+//	check := testutil.LeakCheck(t)
+//	defer check()
+//
+// or call the returned function right after the shutdown under test.
+func LeakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > base {
+			buf := make([]byte, 1<<16)
+			t.Errorf("goroutine leak: %d running, %d at start\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+	}
+}

@@ -24,7 +24,17 @@ import (
 	"sort"
 	"strings"
 
+	"maxoid/internal/fault"
 	"maxoid/internal/vfs"
+)
+
+// Fault points on the union's two multi-step transitions. Both paths
+// are structured so an injected failure leaves the merged view either
+// fully-old or fully-new, never mixed — the crash-consistency
+// invariant internal/chaos checks.
+var (
+	faultCopyUp   = fault.Declare("unionfs.copyup", "copy-up of a lower-branch file: fail before the staged copy is published")
+	faultWhiteout = fault.Declare("unionfs.whiteout", "whiteout creation on Remove: fail before the lower branches are hidden")
 )
 
 // whPrefix marks whiteout entries in the writable branch, following the
@@ -185,10 +195,29 @@ func ensureParent(b Branch, name string) error {
 	return b.FS.MkdirAll(vfs.Root, dir, 0o755)
 }
 
+// copyUpTempName returns the staging name copy-up writes into before
+// publishing. The whPrefix makes it invisible to the merged view
+// (ReadDir skips whiteout-prefixed entries and resolve never looks one
+// up), so a torn staging write can never appear in the union.
+func copyUpTempName(name string) string {
+	cleaned := vfs.Clean(name)
+	i := strings.LastIndexByte(cleaned, '/')
+	return cleaned[:i+1] + whPrefix + ".cow." + cleaned[i+1:]
+}
+
 // copyUp copies the file at name from branch src into the writable
 // branch, preserving content and mode. If truncate is set, an empty
 // file is created instead (no data copy needed).
+//
+// The copy is crash-consistent: data is staged under a union-invisible
+// temp name and published with a single atomic Rename. A failure at
+// any step (including an injected one) leaves the merged view serving
+// the lower-branch original unchanged — fully-old, never a partial
+// copy.
 func (u *Union) copyUp(name string, src int, info vfs.FileInfo, truncate bool) error {
+	if err := fault.Hit(faultCopyUp); err != nil {
+		return &fs.PathError{Op: "copyup", Path: name, Err: err}
+	}
 	w, ok := u.writable()
 	if !ok {
 		return vfs.ErrReadOnly
@@ -204,11 +233,26 @@ func (u *Union) copyUp(name string, src int, info vfs.FileInfo, truncate bool) e
 			return err
 		}
 	}
-	if err := vfs.WriteFile(w.FS, vfs.Root, name, data, info.Mode.Perm()); err != nil {
+	tmp := copyUpTempName(name)
+	discard := func(err error) error {
+		// Cleanup of an already-failed copy-up must not itself be
+		// re-injected, or no rollback could ever be guaranteed.
+		fault.Suspend()
+		defer fault.Resume()
+		_ = w.FS.Remove(vfs.Root, tmp)
 		return err
 	}
+	if err := vfs.WriteFile(w.FS, vfs.Root, tmp, data, info.Mode.Perm()); err != nil {
+		return discard(err)
+	}
 	// The copy keeps the original file's ownership, as Aufs does.
-	return w.FS.Chown(vfs.Root, name, info.UID)
+	if err := w.FS.Chown(vfs.Root, tmp, info.UID); err != nil {
+		return discard(err)
+	}
+	if err := w.FS.Rename(vfs.Root, tmp, name); err != nil {
+		return discard(err)
+	}
+	return nil
 }
 
 // Open opens name in the merged view with POSIX-like semantics.
@@ -427,21 +471,30 @@ func (u *Union) Remove(c vfs.Cred, name string) error {
 			return &fs.PathError{Op: "remove", Path: name, Err: vfs.ErrNotEmpty}
 		}
 	}
+	// Crash consistency: the whiteout is created *before* the writable
+	// copy is deleted. A whiteout at a branch only hides lower branches
+	// (resolve stats a branch's own file first), so while both exist
+	// the merged view still serves the writable copy — fully-old. Once
+	// the copy is gone the whiteout hides lower copies — fully-new. A
+	// failure between the steps never resurrects the lower-branch file,
+	// which the old delete-then-whiteout order allowed.
+	if u.existsBelow(name, 1) {
+		if err := ensureParent(w, name); err != nil {
+			return err
+		}
+		if err := fault.Hit(faultWhiteout); err != nil {
+			return &fs.PathError{Op: "whiteout", Path: name, Err: err}
+		}
+		if err := vfs.WriteFile(w.FS, vfs.Root, whiteoutName(name), nil, 0o600); err != nil {
+			return err
+		}
+	}
 	if src == 0 && u.branches[0].Writable {
 		if info.IsDir() {
 			if err := w.FS.RemoveAll(vfs.Root, name); err != nil {
 				return err
 			}
 		} else if err := w.FS.Remove(vfs.Root, name); err != nil {
-			return err
-		}
-	}
-	// Hide any copy in lower branches.
-	if u.existsBelow(name, 1) {
-		if err := ensureParent(w, name); err != nil {
-			return err
-		}
-		if err := vfs.WriteFile(w.FS, vfs.Root, whiteoutName(name), nil, 0o600); err != nil {
 			return err
 		}
 	}

@@ -411,3 +411,99 @@ func TestTruncOpenSkipsDataCopy(t *testing.T) {
 		t.Errorf("size after O_TRUNC = %d, %v", info.Size, err)
 	}
 }
+
+// TestRenameOntoWhiteoutedName checks that renaming a file onto a name
+// whose lower-branch copy was previously Removed revives the name with
+// the renamed content: the upper copy shadows the stale whiteout, and
+// the old lower content never resurfaces.
+func TestRenameOntoWhiteoutedName(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	for name, data := range map[string]string{"/lower/a": "old-a", "/lower/b": "b-data"} {
+		if err := vfs.WriteFile(disk, vfs.Root, name, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Remove(vfs.Root, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/a") {
+		t.Fatal("/a visible after remove")
+	}
+	if err := u.Rename(vfs.Root, "/b", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/a")
+	if err != nil || string(got) != "b-data" {
+		t.Errorf("revived /a = %q, %v; want renamed content, not lower original", got, err)
+	}
+	if vfs.Exists(u, vfs.Root, "/b") {
+		t.Error("/b still visible after rename away")
+	}
+}
+
+// TestRemoveRenamedTarget checks the other direction of the interplay:
+// after a rename revives a whiteouted name, Removing it must hide it
+// again — deleting the upper copy may not let the stale lower copy
+// show through.
+func TestRemoveRenamedTarget(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	for name, data := range map[string]string{"/lower/a": "old-a", "/lower/b": "b-data"} {
+		if err := vfs.WriteFile(disk, vfs.Root, name, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Rename(vfs.Root, "/b", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove(vfs.Root, "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(u, vfs.Root, "/a") {
+		data, _ := vfs.ReadFile(u, vfs.Root, "/a")
+		t.Errorf("/a visible after remove (content %q): lower copy resurfaced", data)
+	}
+	names, err := u.ReadDir(vfs.Root, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if e.Name == "a" || e.Name == "b" {
+			t.Errorf("ReadDir still lists %q", e.Name)
+		}
+	}
+}
+
+// TestRenameChainLeavesCleanView walks a rename chain a -> b -> a over
+// a lower-branch original and checks the merged view and directory
+// listing stay consistent: exactly one name visible, final content
+// preserved, no whiteout or staging artifacts listed.
+func TestRenameChainLeavesCleanView(t *testing.T) {
+	disk, u := newTestUnion(t, Options{})
+	if err := vfs.WriteFile(disk, vfs.Root, "/lower/a", []byte("v0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Rename(vfs.Root, "/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Rename(vfs.Root, "/b", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(u, vfs.Root, "/a")
+	if err != nil || string(got) != "v0" {
+		t.Errorf("/a after chain = %q, %v", got, err)
+	}
+	if vfs.Exists(u, vfs.Root, "/b") {
+		t.Error("/b visible after rename chain")
+	}
+	names, err := u.ReadDir(vfs.Root, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0].Name != "a" {
+		list := make([]string, len(names))
+		for i, e := range names {
+			list[i] = e.Name
+		}
+		t.Errorf("ReadDir = %v, want [a]", list)
+	}
+}

@@ -34,6 +34,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"maxoid/internal/fault"
+)
+
+// Fault points on the vfs hot paths (see internal/fault). Both fire
+// before any state is mutated, so an injected failure leaves the tree
+// exactly as it was.
+var (
+	faultWrite  = fault.Declare("vfs.write", "handle.Write: I/O error or short write; only the returned prefix reaches the node")
+	faultRename = fault.Declare("vfs.rename", "FS.Rename: fail before the atomic tree mutation")
 )
 
 // Error values mirror the POSIX error conditions Maxoid's enforcement
@@ -621,6 +631,9 @@ func (f *FS) RemoveAll(c Cred, name string) error {
 // keeps every other operation's parent-then-child lock order trivially
 // deadlock-free (the s_vfs_rename_mutex approach).
 func (f *FS) Rename(c Cred, oldname, newname string) error {
+	if err := fault.Hit(faultRename); err != nil {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: err}
+	}
 	f.treeMu.Lock()
 	defer f.treeMu.Unlock()
 	f.renames.Add(1)
@@ -824,6 +837,16 @@ func (h *handle) Write(p []byte) (int, error) {
 	}
 	if h.app {
 		h.offset = int64(len(h.node.data))
+	}
+	// Injected short write: persist only the prefix the fault allows,
+	// then surface the error — the on-disk state is truncated exactly
+	// as a real torn write would leave it.
+	k, ferr := fault.PartialWrite(faultWrite, len(p))
+	if ferr != nil {
+		if k > 0 {
+			h.writeAtLocked(p[:k], h.offset, true)
+		}
+		return k, ferr
 	}
 	return h.writeAtLocked(p, h.offset, true)
 }

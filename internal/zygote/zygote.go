@@ -31,12 +31,17 @@ import (
 	"path"
 	"strings"
 
+	"maxoid/internal/fault"
 	"maxoid/internal/kernel"
 	"maxoid/internal/layout"
 	"maxoid/internal/mount"
 	"maxoid/internal/unionfs"
 	"maxoid/internal/vfs"
 )
+
+// faultSpawn injects fork failures before any namespace state is
+// built, modeling Zygote hitting resource limits (see internal/fault).
+var faultSpawn = fault.Declare("zygote.spawn", "initiator/delegate fork: fail before the mount namespace is assembled")
 
 // InternalVolDir is the reserved subdirectory of an initiator's volatile
 // branch holding volatile copies of its internal private files.
@@ -136,6 +141,9 @@ func (z *Zygote) ensureDir(p string) error {
 
 // ForkInitiator spawns app A running on behalf of itself.
 func (z *Zygote) ForkInitiator(app AppInfo) (*kernel.Process, error) {
+	if err := fault.Hit(faultSpawn); err != nil {
+		return nil, fmt.Errorf("zygote: fork %s: %w", app.Package, err)
+	}
 	ns := mount.New()
 	// Internal private storage: single branch, no union (§7.2: "Maxoid
 	// uses a single branch at any internal or external mount point for
@@ -173,6 +181,9 @@ func (z *Zygote) ForkInitiator(app AppInfo) (*kernel.Process, error) {
 func (z *Zygote) ForkDelegate(app, initiator AppInfo) (*kernel.Process, error) {
 	if app.Package == initiator.Package {
 		return nil, fmt.Errorf("zygote: %s cannot be a delegate of itself", app.Package)
+	}
+	if err := fault.Hit(faultSpawn); err != nil {
+		return nil, fmt.Errorf("zygote: fork %s^%s: %w", app.Package, initiator.Package, err)
 	}
 	ns := mount.New()
 

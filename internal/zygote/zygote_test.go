@@ -6,6 +6,7 @@ import (
 
 	"maxoid/internal/kernel"
 	"maxoid/internal/layout"
+	"maxoid/internal/testutil"
 	"maxoid/internal/vfs"
 )
 
@@ -350,6 +351,9 @@ func TestBranchDirectoriesAreRootOnly(t *testing.T) {
 // TestDelegateForkIsCheap sanity-checks that repeated delegate forks
 // reuse install-time directories rather than erroring or duplicating.
 func TestRepeatedDelegateForks(t *testing.T) {
+	// Forks assemble mount namespaces synchronously; repeated forks must
+	// not accumulate background goroutines.
+	defer testutil.LeakCheck(t)()
 	z, a, b := newWorld(t)
 	for i := 0; i < 5; i++ {
 		p, err := z.ForkDelegate(b, a)
