@@ -30,9 +30,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFormat -fuzztime 10s ./internal/sqldb
 
 # Deterministic fault-injection run: every engine, race detector on.
-# Same seed => same fault schedule, same verdict.
+# Same seed => same fault schedule, same verdict. The extra kill-engine
+# seeds push the total well past 500 process kills per invocation, all
+# of which must drain leak-free with typed errors only.
 chaos:
 	$(GO) run -race ./cmd/maxoid-chaos -engine all -seed 42
+	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 1 -ops 2000
+	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 2 -ops 2000
+	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 7 -ops 2000
 
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:

@@ -2,6 +2,7 @@
 // (internal/chaos) from the command line:
 //
 //	maxoid-chaos -engine all -seed 42 -ops 1000
+//	maxoid-chaos -mode kill -seed 7 -ops 1200 # process-kill chaos
 //	maxoid-chaos -points                  # list registered fault points
 //	maxoid-chaos -engine sql -seed 7 -dump   # print the fault schedule
 //	maxoid-chaos -engine sql -seed 7 -shrink # minimize a failing schedule
@@ -10,7 +11,9 @@
 // the verdict. On failure, -shrink greedily removes injected faults
 // from the schedule and replays the rest as an exact script until no
 // single fault can be dropped, printing the minimal schedule that
-// still breaks the invariant.
+// still breaks the invariant. The kill engine cannot be shrunk: its
+// schedule includes fault hooks that kill processes from inside the
+// binder layer, which an exact replay script cannot reproduce.
 package main
 
 import (
@@ -29,31 +32,36 @@ import (
 )
 
 type engine struct {
-	name string
-	run  func(seed int64, ops int, script []fault.Fire) *chaos.Report
+	name     string
+	run      func(seed int64, ops int, script []fault.Fire) *chaos.Report
+	noShrink bool // schedule is not exactly replayable (kill hooks)
 }
 
 var engines = []engine{
-	{"sql", func(seed int64, ops int, script []fault.Fire) *chaos.Report {
+	{name: "sql", run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
 		return chaos.RunSQLOracle(seed, chaos.OracleOptions{Ops: ops, Faults: true, Script: script})
 	}},
-	{"copyup", func(seed int64, ops int, script []fault.Fire) *chaos.Report {
+	{name: "copyup", run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
 		return chaos.RunCopyUpChecker(seed, chaos.CheckerOptions{Ops: ops, Script: script})
 	}},
-	{"synth", func(seed int64, ops int, script []fault.Fire) *chaos.Report {
+	{name: "synth", run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
 		return chaos.RunSynthChecker(seed, chaos.CheckerOptions{Ops: ops, Script: script})
+	}},
+	{name: "kill", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
+		return chaos.RunKillChecker(seed, chaos.KillOptions{Ops: ops})
 	}},
 }
 
 func main() {
 	var (
-		engineFlag = flag.String("engine", "all", "engine to run: sql, copyup, synth, or all")
+		engineFlag = flag.String("engine", "all", "engine to run: sql, copyup, synth, kill, or all")
 		seed       = flag.Int64("seed", 1, "run seed; reproduces workload, fault schedule, and verdict")
 		ops        = flag.Int("ops", 0, "workload operations per engine (0 = engine default)")
 		dump       = flag.Bool("dump", false, "print the full fault schedule of each run")
 		shrink     = flag.Bool("shrink", false, "on failure, shrink the fault schedule to a minimal reproducer")
 		points     = flag.Bool("points", false, "list registered fault points and exit")
 	)
+	flag.Var(aliasValue{engineFlag}, "mode", "alias for -engine")
 	flag.Parse()
 
 	if *points {
@@ -73,7 +81,11 @@ func main() {
 		if !rep.OK() {
 			failed = true
 			if *shrink {
-				shrinkRun(e, *seed, *ops, rep)
+				if e.noShrink {
+					fmt.Printf("  (%s schedules are not replayable; re-run with the same seed instead)\n", e.name)
+				} else {
+					shrinkRun(e, *seed, *ops, rep)
+				}
 			}
 		}
 	}
@@ -82,13 +94,29 @@ func main() {
 	}
 }
 
+// aliasValue lets a second flag name (-mode) write through to an
+// existing flag's destination (-engine).
+type aliasValue struct{ dst *string }
+
+func (a aliasValue) String() string {
+	if a.dst == nil {
+		return ""
+	}
+	return *a.dst
+}
+func (a aliasValue) Set(s string) error { *a.dst = s; return nil }
+
 func printReport(rep *chaos.Report, dump bool) {
 	verdict := "PASS"
 	if !rep.OK() {
 		verdict = "FAIL"
 	}
-	fmt.Printf("%-10s seed=%-6d ops=%-5d faults fired=%d/%d  %s\n",
-		rep.Engine, rep.Seed, rep.Ops, rep.Fired, len(rep.Trace), verdict)
+	extra := ""
+	if rep.Kills > 0 {
+		extra = fmt.Sprintf(" kills=%d", rep.Kills)
+	}
+	fmt.Printf("%-10s seed=%-6d ops=%-5d faults fired=%d/%d%s  %s\n",
+		rep.Engine, rep.Seed, rep.Ops, rep.Fired, len(rep.Trace), extra, verdict)
 	if dump {
 		for _, ev := range rep.Trace {
 			if ev.Fired || dump {

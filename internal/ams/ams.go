@@ -110,11 +110,21 @@ type Manager struct {
 	volStores []VolatileStore
 	grants    grantTable
 
+	// reclaimDomainOnExit makes the reaper discard an initiator's
+	// volatile state (COW deltas, Vol files) once its whole confinement
+	// domain has exited. Off by default: the paper keeps Vol(A) until
+	// an explicit Clear-Vol (§3.2). The kill-chaos engine turns it on
+	// to prove death reclaims everything.
+	reclaimDomainOnExit bool
+
 	// Stats observable by tests and the demo tool.
 	killedForConflict int
+	reaped            int
 }
 
-// New creates the Activity Manager and registers its Binder endpoint.
+// New creates the Activity Manager, registers its Binder endpoint, and
+// wires the supervision chain: binder link-to-death first, then the
+// AMS reaper, both as synchronous kernel death watchers.
 func New(kern *kernel.Kernel, zyg *zygote.Zygote, router *binder.Router) *Manager {
 	m := &Manager{
 		kern:    kern,
@@ -127,7 +137,17 @@ func New(kern *kernel.Kernel, zyg *zygote.Zygote, router *binder.Router) *Manage
 		func(from binder.Caller, code string, data binder.Parcel) (binder.Parcel, error) {
 			return nil, fmt.Errorf("ams: unsupported transaction %s", code)
 		}))
+	router.WatchKernel(kern)
+	kern.WatchDeaths(m.onDeath)
 	return m
+}
+
+// SetReclaimDomainOnExit toggles volatile-domain reclamation on death
+// (see the field comment). Call before instances start.
+func (m *Manager) SetReclaimDomainOnExit(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reclaimDomainOnExit = on
 }
 
 // Router returns the system Binder router.
@@ -315,18 +335,24 @@ func (m *Manager) startInstance(target *installedApp, initiator string, in inten
 	}
 
 	m.mu.Lock()
-	// Kill instances of this app running in a different context
+	// Collect instances of this app running in a different context
 	// (§6.2: "that instance will be killed"), including the normal
-	// instance when a delegate starts (§4.2 consistency).
+	// instance when a delegate starts (§4.2 consistency). The kills
+	// happen after m.mu is released: the kernel notifies death watchers
+	// synchronously and the reaper (onDeath) retakes m.mu.
+	var conflicting []int
 	for key, inst := range m.running {
 		if key.app == pkg && key.initiator != initiator {
-			m.killLocked(key, inst)
-			m.killedForConflict++
+			conflicting = append(conflicting, inst.proc.PID)
 		}
 	}
 	key := instanceKey{app: pkg, initiator: initiator}
 	inst, alreadyRunning := m.running[key]
 	m.mu.Unlock()
+	for _, pid := range conflicting {
+		// A concurrent death of the same PID is fine: kill is idempotent.
+		_ = m.kern.KillReason(pid, kernel.ReasonConflict)
+	}
 
 	if !alreadyRunning {
 		var proc *kernel.Process
@@ -363,7 +389,9 @@ func (m *Manager) startInstance(target *installedApp, initiator string, in inten
 		m.mu.Lock()
 		m.running[key] = inst
 		m.mu.Unlock()
-		m.router.RegisterApp(endpointFor(proc.Task), proc.Task, &appEndpoint{inst: inst})
+		// Owned registration: link-to-death tears the endpoint down with
+		// the process.
+		m.router.RegisterOwned(endpointFor(proc.Task), proc.Task, proc.PID, &appEndpoint{inst: inst})
 	}
 
 	if err := target.app.OnStart(inst.ctx, in); err != nil {
@@ -389,22 +417,99 @@ func (e *appEndpoint) OnTransact(from binder.Caller, code string, data binder.Pa
 	return nil, fmt.Errorf("ams: app %s does not accept transactions", e.inst.ctx.app.manifest.Package)
 }
 
-// killLocked tears down an instance. Caller holds m.mu.
-func (m *Manager) killLocked(key instanceKey, inst *instance) {
-	_ = m.kern.Kill(inst.proc.PID)
-	m.router.Unregister(endpointFor(inst.proc.Task))
-	delete(m.running, key)
+// onDeath is the AMS reaper, registered as a kernel death watcher. It
+// runs synchronously on the killing goroutine for every process exit —
+// whatever the path (stop, conflict kill, crash, chaos) — and tears
+// down everything the Activity Manager holds for the instance: the
+// running-table entry, the Binder endpoint, and the URI grants the
+// process issued. Crashes are charged to the app's restart budget.
+// When reclaimDomainOnExit is set and the death empties a confinement
+// domain, the domain's volatile state is discarded too.
+//
+// Lock ordering: onDeath takes m.mu, so no AMS path may call into
+// kernel Kill while holding m.mu (see DESIGN.md).
+func (m *Manager) onDeath(ev kernel.DeathEvent) {
+	key := instanceKey{app: ev.Task.App, initiator: ev.Task.Initiator}
+	if !ev.Task.IsDelegate() {
+		key.initiator = ""
+	}
+	domain := ev.Task.Initiator
+	if !ev.Task.IsDelegate() {
+		domain = ev.Task.App
+	}
+
+	m.mu.Lock()
+	if inst, ok := m.running[key]; ok && inst.proc.PID == ev.PID {
+		delete(m.running, key)
+		m.reaped++
+		if ev.Reason == kernel.ReasonConflict {
+			m.killedForConflict++
+		}
+	}
+	reclaim := m.reclaimDomainOnExit && m.domainEmptyLocked(domain)
+	var stores []VolatileStore
+	if reclaim {
+		stores = append(stores, m.volStores...)
+	}
+	m.mu.Unlock()
+
+	m.router.Unregister(endpointFor(ev.Task))
+	m.grants.revokeGrantor(ev.PID)
+	if ev.Reason == kernel.ReasonCrash {
+		m.zyg.Budget().RecordCrash(ev.Task.App)
+	}
+	if reclaim {
+		for _, vs := range stores {
+			_ = vs.DiscardVolatile(domain)
+		}
+		_ = m.zyg.DiscardVolFiles(domain)
+	}
+}
+
+// domainEmptyLocked reports whether initiator's confinement domain has
+// no live instance: neither the initiator itself nor any delegate of
+// it. Caller holds m.mu.
+func (m *Manager) domainEmptyLocked(initiator string) bool {
+	for key := range m.running {
+		if key.initiator == initiator || (key.app == initiator && key.initiator == "") {
+			return false
+		}
+	}
+	return true
 }
 
 // StopInstance kills a running instance (back button / task swipe).
+// Teardown happens in the reaper.
 func (m *Manager) StopInstance(app, initiator string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	key := instanceKey{app: app, initiator: initiator}
-	if inst, ok := m.running[key]; ok {
-		m.killLocked(key, inst)
+	var pid int
+	inst, ok := m.running[key]
+	if ok {
+		pid = inst.proc.PID
+	}
+	m.mu.Unlock()
+	if ok {
+		_ = m.kern.Kill(pid)
 	}
 }
+
+// Reaped reports how many instance deaths the reaper has processed.
+func (m *Manager) Reaped() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reaped
+}
+
+// NumRunning returns the live instance count (leak counter).
+func (m *Manager) NumRunning() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.running)
+}
+
+// OutstandingGrants returns the live URI-grant count (leak counter).
+func (m *Manager) OutstandingGrants() int { return m.grants.count() }
 
 // Running returns the tasks of all running instances, sorted by
 // notation string.
@@ -470,6 +575,24 @@ func (m *Manager) SendBroadcast(sender *Context, in intent.Intent) error {
 	return nil
 }
 
+// restartInstance brings (task.App, task.Initiator) back up without
+// delivering a start intent — the supervised-restart path behind
+// Context.CallAppRetry. The fork is subject to the restart budget.
+func (m *Manager) restartInstance(task kernel.Task) error {
+	m.mu.Lock()
+	target, ok := m.apps[task.App]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotInstalled, task.App)
+	}
+	initiator := ""
+	if task.IsDelegate() {
+		initiator = task.Initiator
+	}
+	_, err := m.contextFor(target, initiator)
+	return err
+}
+
 // contextFor returns the running context for (app, initiator), spawning
 // the instance (without an OnStart intent) if needed.
 func (m *Manager) contextFor(target *installedApp, initiator string) (*Context, error) {
@@ -500,20 +623,31 @@ func (s silentApp) OnBroadcast(ctx *Context, in intent.Intent) {
 		br.OnBroadcast(ctx, in)
 	}
 }
+func (s silentApp) OnTransact(ctx *Context, from binder.Caller, code string, data binder.Parcel) (binder.Parcel, error) {
+	if tr, ok := s.inner.(Transactor); ok {
+		return tr.OnTransact(ctx, from, code, data)
+	}
+	return nil, fmt.Errorf("ams: app %s does not accept transactions", s.pkg)
+}
 
 // ClearVol discards initiator A's entire volatile state: volatile files
 // (Zygote branches) and volatile records in every registered store —
 // the Launcher's Clear-Vol drop target (§6.3).
 func (m *Manager) ClearVol(initiator string) error {
-	// Kill A's delegates first so they do not write concurrently.
+	// Kill A's delegates first so they do not write concurrently. Kills
+	// run outside m.mu (the reaper retakes it).
 	m.mu.Lock()
+	var victims []int
 	for key, inst := range m.running {
 		if key.initiator == initiator {
-			m.killLocked(key, inst)
+			victims = append(victims, inst.proc.PID)
 		}
 	}
 	stores := append([]VolatileStore{}, m.volStores...)
 	m.mu.Unlock()
+	for _, pid := range victims {
+		_ = m.kern.Kill(pid)
+	}
 	if err := m.zyg.DiscardVolFiles(initiator); err != nil {
 		return err
 	}
@@ -534,12 +668,16 @@ func (m *Manager) ClearPriv(initiator string) error {
 	for pkg := range m.apps {
 		pkgs = append(pkgs, pkg)
 	}
+	var victims []int
 	for key, inst := range m.running {
 		if key.initiator == initiator {
-			m.killLocked(key, inst)
+			victims = append(victims, inst.proc.PID)
 		}
 	}
 	m.mu.Unlock()
+	for _, pid := range victims {
+		_ = m.kern.Kill(pid)
+	}
 	sort.Strings(pkgs)
 	for _, pkg := range pkgs {
 		if pkg == initiator {

@@ -1,6 +1,9 @@
 package ams
 
 import (
+	"errors"
+	"fmt"
+
 	"maxoid/internal/binder"
 	"maxoid/internal/intent"
 	"maxoid/internal/kernel"
@@ -24,6 +27,9 @@ func (c *Context) Package() string { return c.proc.Task.App }
 
 // Task returns the kernel task identity (app + initiator).
 func (c *Context) Task() kernel.Task { return c.proc.Task }
+
+// PID returns the instance's process ID.
+func (c *Context) PID() int { return c.proc.PID }
 
 // IsDelegate reports whether this instance runs on behalf of another
 // app — the Maxoid delegate query API.
@@ -79,6 +85,25 @@ func (c *Context) CallProvider(authority, code string, data binder.Parcel) (bind
 // notation ("pkg" or "pkg^initiator").
 func (c *Context) CallApp(task kernel.Task, code string, data binder.Parcel) (binder.Parcel, error) {
 	return c.mgr.router.Call(c.caller(), endpointFor(task), code, data)
+}
+
+// CallAppRetry is CallApp for idempotent transactions, with
+// supervision: dead-target and timeout failures are retried with
+// backoff, and if the target stays gone the Activity Manager restarts
+// it (subject to Zygote's restart budget) and tries once more. A
+// restart refused by the budget surfaces the typed
+// zygote.ErrRestartBudgetExhausted.
+func (c *Context) CallAppRetry(task kernel.Task, code string, data binder.Parcel) (binder.Parcel, error) {
+	name := endpointFor(task)
+	reply, err := c.mgr.router.CallIdempotent(c.caller(), name, code, data)
+	if err == nil ||
+		!(errors.Is(err, kernel.ErrDeadProcess) || errors.Is(err, binder.ErrNoEndpoint)) {
+		return reply, err
+	}
+	if rerr := c.mgr.restartInstance(task); rerr != nil {
+		return nil, fmt.Errorf("ams: restart of %s for retry: %w", task, rerr)
+	}
+	return c.mgr.router.CallIdempotent(c.caller(), name, code, data)
 }
 
 // Connect opens a network connection; delegates get ENETUNREACH.

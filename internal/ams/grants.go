@@ -54,6 +54,32 @@ func (g *grantTable) take(toPkg, path string) (int, bool) {
 	return 0, false
 }
 
+// revokeGrantor drops every grant issued by a dead process; grants are
+// capabilities into the grantor's namespace, which no longer exists.
+// Returns how many were revoked.
+func (g *grantTable) revokeGrantor(pid int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := g.grants[:0]
+	revoked := 0
+	for _, gr := range g.grants {
+		if gr.grantorPID == pid {
+			revoked++
+			continue
+		}
+		kept = append(kept, gr)
+	}
+	g.grants = kept
+	return revoked
+}
+
+// count returns the number of outstanding grants.
+func (g *grantTable) count() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.grants)
+}
+
 // OpenGrantedURI reads a file the caller was granted one-time access to
 // via FLAG_GRANT_READ_URI_PERMISSION. The read happens through the
 // granting process's view (the grantor opens the file and passes the

@@ -1,0 +1,202 @@
+package binder
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxoid/internal/kernel"
+	"maxoid/internal/testutil"
+)
+
+func lifecycleEcho() Handler {
+	return HandlerFunc(func(_ Caller, code string, data Parcel) (Parcel, error) {
+		return Parcel{"echo": code}, nil
+	})
+}
+
+// TestUnregisterRacesInflightCall is the regression test for the
+// half-removed-endpoint race: concurrent Call and Unregister on the
+// same name must always yield a completed call, ErrDeadProcess, or
+// ErrNoEndpoint — never a partial result or a panic. Run with -race.
+func TestUnregisterRacesInflightCall(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	r := NewRouter()
+	from := Caller{PID: 1, Task: kernel.Task{App: "caller"}}
+
+	const rounds = 200
+	const callers = 8
+	for i := 0; i < rounds; i++ {
+		r.RegisterApp("victim", kernel.Task{App: "victim"}, lifecycleEcho())
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		var ok, dead, gone atomic.Int64
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				reply, err := r.Call(from, "victim", "ping", nil)
+				switch {
+				case err == nil:
+					if reply.String("echo") != "ping" {
+						t.Errorf("half-completed call: reply %v", reply)
+					}
+					ok.Add(1)
+				case errors.Is(err, kernel.ErrDeadProcess):
+					dead.Add(1)
+				case errors.Is(err, ErrNoEndpoint):
+					gone.Add(1)
+				default:
+					t.Errorf("unexpected error class: %v", err)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			r.Unregister("victim")
+		}()
+		close(start)
+		wg.Wait()
+		if got := ok.Load() + dead.Load() + gone.Load(); got != callers {
+			t.Fatalf("round %d: %d outcomes for %d calls", i, got, callers)
+		}
+	}
+	if n := r.NumEndpoints(); n != 0 {
+		t.Fatalf("leaked %d endpoints", n)
+	}
+}
+
+// TestLinkToDeath: killing the owning process removes its endpoints and
+// new transactions fail with a typed ErrDeadProcess or ErrNoEndpoint.
+func TestLinkToDeath(t *testing.T) {
+	k := kernel.New(nil)
+	r := NewRouter()
+	r.WatchKernel(k)
+
+	task := kernel.Task{App: "bob"}
+	p := k.Spawn(task, kernel.FirstAppUID, nil)
+	r.RegisterOwned("app:bob", task, p.PID, lifecycleEcho())
+
+	from := Caller{PID: 1, Task: kernel.Task{App: "alice"}}
+	if _, err := r.Call(from, "app:bob", "ping", nil); err != nil {
+		t.Fatalf("call before death: %v", err)
+	}
+	if err := k.Kill(p.PID); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if n := r.NumEndpoints(); n != 0 {
+		t.Fatalf("link-to-death left %d endpoints", n)
+	}
+	_, err := r.Call(from, "app:bob", "ping", nil)
+	if !errors.Is(err, ErrNoEndpoint) && !errors.Is(err, kernel.ErrDeadProcess) {
+		t.Fatalf("call after death: want typed dead/no-endpoint, got %v", err)
+	}
+}
+
+// TestUnregisteredSystemEndpointsSurviveDeath: system endpoints have no
+// owning PID and must not be reaped by link-to-death.
+func TestSystemEndpointsSurviveDeath(t *testing.T) {
+	k := kernel.New(nil)
+	r := NewRouter()
+	r.WatchKernel(k)
+	r.RegisterSystem("activity", lifecycleEcho())
+
+	p := k.Spawn(kernel.Task{App: "bob"}, kernel.FirstAppUID, nil)
+	if err := k.Kill(p.PID); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, err := r.Call(Caller{Task: kernel.Task{App: "x"}}, "activity", "ping", nil); err != nil {
+		t.Fatalf("system endpoint reaped by link-to-death: %v", err)
+	}
+}
+
+// TestCallTimeout: the ANR watchdog releases the caller with
+// ErrCallTimeout while the handler is still blocked, and the endpoint's
+// in-flight accounting drains once the handler returns.
+func TestCallTimeout(t *testing.T) {
+	r := NewRouter()
+	r.SetCallTimeout(10 * time.Millisecond)
+	release := make(chan struct{})
+	r.RegisterApp("slow", kernel.Task{App: "slow"}, HandlerFunc(
+		func(_ Caller, _ string, _ Parcel) (Parcel, error) {
+			<-release
+			return Parcel{}, nil
+		}))
+
+	_, err := r.Call(Caller{Task: kernel.Task{App: "x"}}, "slow", "hang", nil)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("want ErrCallTimeout, got %v", err)
+	}
+	if r.ANRs() != 1 {
+		t.Fatalf("ANRs = %d, want 1", r.ANRs())
+	}
+	close(release)
+
+	// A fast handler under the same deadline still succeeds.
+	r.RegisterApp("fast", kernel.Task{App: "fast"}, lifecycleEcho())
+	if _, err := r.Call(Caller{Task: kernel.Task{App: "x"}}, "fast", "ping", nil); err != nil {
+		t.Fatalf("fast call under watchdog: %v", err)
+	}
+}
+
+// TestCallIdempotentRetries: a target that comes back (supervised
+// restart) within the retry budget makes the idempotent call succeed;
+// one that never comes back yields the typed last error.
+func TestCallIdempotentRetries(t *testing.T) {
+	r := NewRouter()
+	r.SetRetryPolicy(RetryPolicy{Attempts: 4, Base: time.Millisecond, Max: 4 * time.Millisecond})
+	from := Caller{Task: kernel.Task{App: "x"}}
+
+	var calls atomic.Int64
+	r.RegisterApp("flaky", kernel.Task{App: "flaky"}, HandlerFunc(
+		func(_ Caller, code string, _ Parcel) (Parcel, error) {
+			calls.Add(1)
+			return Parcel{"echo": code}, nil
+		}))
+	// First two attempts find no endpoint, then the restart lands.
+	r.Unregister("flaky")
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		r.RegisterApp("flaky", kernel.Task{App: "flaky"}, HandlerFunc(
+			func(_ Caller, code string, _ Parcel) (Parcel, error) {
+				return Parcel{"echo": code}, nil
+			}))
+	}()
+	if _, err := r.CallIdempotent(from, "flaky", "ping", nil); err != nil {
+		t.Fatalf("retry across restart: %v", err)
+	}
+
+	_, err := r.CallIdempotent(from, "never", "ping", nil)
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("exhausted retries should wrap typed error, got %v", err)
+	}
+
+	// Non-retryable errors surface immediately, without retries.
+	var tries atomic.Int64
+	r.RegisterApp("fails", kernel.Task{App: "fails"}, HandlerFunc(
+		func(_ Caller, _ string, _ Parcel) (Parcel, error) {
+			tries.Add(1)
+			return nil, errors.New("app-level failure")
+		}))
+	if _, err := r.CallIdempotent(from, "fails", "ping", nil); err == nil {
+		t.Fatal("want app-level error")
+	}
+	if tries.Load() != 1 {
+		t.Fatalf("non-retryable error retried %d times", tries.Load())
+	}
+}
+
+// TestUnregisterUnknownIsNoop guards the Get-then-Delete path.
+func TestUnregisterUnknownIsNoop(t *testing.T) {
+	r := NewRouter()
+	r.Unregister("ghost") // must not panic
+	if n := r.NumEndpoints(); n != 0 {
+		t.Fatalf("NumEndpoints = %d", n)
+	}
+}

@@ -33,6 +33,7 @@ type Report struct {
 	Seed   int64
 	Ops    int           // workload operations executed
 	Fired  int           // injected faults that fired
+	Kills  int           // process deaths observed (kill engine)
 	Trace  []fault.Event // full fault schedule of the run
 	// Failures are invariant violations. Empty means the run passed;
 	// injected faults that were handled correctly are not failures.

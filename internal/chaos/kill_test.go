@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"testing"
+
+	"maxoid/internal/testutil"
+)
+
+// TestKillCheckerSeeds runs the kill-chaos engine on fixed seeds: every
+// run must end leak-free with only typed initiator-facing errors.
+func TestKillCheckerSeeds(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	for _, seed := range []int64{1, 2, 7, 42} {
+		r := RunKillChecker(seed, KillOptions{Ops: 400})
+		if !r.OK() {
+			t.Fatalf("seed %d: %v", seed, r.Failures)
+		}
+		if r.Kills == 0 {
+			t.Fatalf("seed %d: workload killed nothing", seed)
+		}
+	}
+}
+
+// TestKillCheckerDeterministic: the same seed reproduces the same kill
+// count and fault schedule length.
+func TestKillCheckerDeterministic(t *testing.T) {
+	a := RunKillChecker(11, KillOptions{Ops: 200})
+	b := RunKillChecker(11, KillOptions{Ops: 200})
+	if !a.OK() || !b.OK() {
+		t.Fatalf("failures: %v / %v", a.Failures, b.Failures)
+	}
+	if a.Kills != b.Kills || len(a.Trace) != len(b.Trace) {
+		t.Fatalf("seed 11 not reproducible: kills %d vs %d, trace %d vs %d",
+			a.Kills, b.Kills, len(a.Trace), len(b.Trace))
+	}
+}

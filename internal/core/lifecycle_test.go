@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/mount"
+	"maxoid/internal/provider"
+	"maxoid/internal/testutil"
+	"maxoid/internal/unionfs"
+)
+
+// TestFullStackLifecycleChurn drives fork → use → kill cycles through
+// the whole stack — AMS launch, delegate provider writes through the
+// COW proxy, then death — and asserts every layer's leak counter
+// (processes, namespaces, unions, branches, endpoints, instances,
+// proxy deltas/views) returns to baseline once each domain exits.
+func TestFullStackLifecycleChurn(t *testing.T) {
+	leak := testutil.LeakCheck(t)
+	s := boot(t)
+	s.AM.SetReclaimDomainOnExit(true)
+	installScript(t, s, "viewer", ams.Manifest{Filters: viewFilter()})
+	installScript(t, s, "owner", ams.Manifest{})
+
+	baseNS := mount.Live()
+	baseUnions := unionfs.Live()
+	baseBranches := unionfs.LiveBranches()
+	baseEndpoints := s.Router.NumEndpoints()
+	baseProcs := s.Kernel.LiveProcesses()
+
+	for i := 0; i < 100; i++ {
+		actx, err := s.Launch("owner", intent.Intent{})
+		if err != nil {
+			t.Fatalf("iter %d launch: %v", i, err)
+		}
+		seed := actx.DataDir() + "/seed.txt"
+		writeAs(t, actx, seed, "seed")
+		vctx, err := actx.StartActivity(intent.Intent{
+			Action: intent.ActionView, Data: seed, Flags: intent.FlagDelegate,
+		})
+		if err != nil {
+			t.Fatalf("iter %d delegate: %v", i, err)
+		}
+		// Delegate writes through its view and the COW proxy, creating
+		// delta machinery for the owner domain.
+		writeAs(t, vctx, vctx.DataDir()+"/note.txt", fmt.Sprintf("n%d", i))
+		if _, err := vctx.Resolver().Insert("content://user_dictionary/words",
+			provider.Values{"word": fmt.Sprintf("w%d", i)}); err != nil {
+			t.Fatalf("iter %d insert: %v", i, err)
+		}
+		if st := s.UserDict.Proxy().Stats(); st.DeltaTables == 0 {
+			t.Fatalf("iter %d: insert created no delta", i)
+		}
+
+		// Kill the whole domain; the reaper must reclaim everything.
+		if err := s.Kernel.Kill(vctx.PID()); err != nil {
+			t.Fatalf("iter %d kill delegate: %v", i, err)
+		}
+		if err := s.Kernel.Kill(actx.PID()); err != nil {
+			t.Fatalf("iter %d kill owner: %v", i, err)
+		}
+
+		if got := s.Kernel.LiveProcesses(); got != baseProcs {
+			t.Fatalf("iter %d: %d processes, want %d", i, got, baseProcs)
+		}
+		if got := mount.Live(); got != baseNS {
+			t.Fatalf("iter %d: %d namespaces, want %d", i, got, baseNS)
+		}
+		if got := unionfs.Live(); got != baseUnions {
+			t.Fatalf("iter %d: %d unions, want %d", i, got, baseUnions)
+		}
+		if got := unionfs.LiveBranches(); got != baseBranches {
+			t.Fatalf("iter %d: %d branches, want %d", i, got, baseBranches)
+		}
+		if got := s.Router.NumEndpoints(); got != baseEndpoints {
+			t.Fatalf("iter %d: %d endpoints, want %d", i, got, baseEndpoints)
+		}
+		if got := s.AM.NumRunning(); got != 0 {
+			t.Fatalf("iter %d: %d instances running", i, got)
+		}
+		if st := s.UserDict.Proxy().Stats(); st.DeltaTables != 0 || st.COWViews != 0 {
+			t.Fatalf("iter %d: proxy holds %d deltas, %d views after domain exit",
+				i, st.DeltaTables, st.COWViews)
+		}
+	}
+	s.Shutdown()
+	leak()
+}

@@ -29,11 +29,17 @@ func TestStressConcurrentInstances(t *testing.T) {
 	srv.Put("/blob", []byte("stress-payload"))
 	s.Net.Register("files.example", srv)
 
-	installScript(t, s, "viewer", ams.Manifest{Filters: viewFilter()})
+	// Each initiator gets its own viewer app: under kill-on-conflict
+	// (§6.2) a single viewer delegated to eight initiators would have
+	// every new delegate start kill the previous one, and since process
+	// death now closes the victim's mount namespace, the killed
+	// instances could not keep hammering the device. Distinct viewers
+	// keep all 16 instances alive for the whole gauntlet.
 	const initiators = 8
 	const iters = 40
 	for i := 0; i < initiators; i++ {
 		installScript(t, s, fmt.Sprintf("stress%d", i), ams.Manifest{})
+		installScript(t, s, fmt.Sprintf("viewer%d", i), ams.Manifest{Filters: viewFilter()})
 	}
 
 	type instance struct {
@@ -50,7 +56,8 @@ func TestStressConcurrentInstances(t *testing.T) {
 		seed := actx.DataDir() + "/seed.txt"
 		writeAs(t, actx, seed, "seed")
 		vctx, err := actx.StartActivity(intent.Intent{
-			Action: intent.ActionView, Data: seed, Flags: intent.FlagDelegate,
+			Component: fmt.Sprintf("viewer%d", i),
+			Action:    intent.ActionView, Data: seed, Flags: intent.FlagDelegate,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -105,9 +112,10 @@ func TestStressConcurrentInstances(t *testing.T) {
 				}
 				if !inst.delegate && n%10 == 5 {
 					if _, err := ctx.StartActivity(intent.Intent{
-						Action: intent.ActionView,
-						Data:   ctx.DataDir() + "/seed.txt",
-						Flags:  intent.FlagDelegate,
+						Component: fmt.Sprintf("viewer%d", inst.id),
+						Action:    intent.ActionView,
+						Data:      ctx.DataDir() + "/seed.txt",
+						Flags:     intent.FlagDelegate,
 					}); err != nil {
 						fail(fmt.Errorf("inst %d launch: %w", inst.id, err))
 						return

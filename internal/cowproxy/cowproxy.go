@@ -389,6 +389,27 @@ func (p *Proxy) HasDelta(table, initiator string) bool {
 	return p.deltas[strings.ToLower(table)][initiator]
 }
 
+// Stats is a snapshot of the proxy's per-initiator COW machinery — the
+// leak counters the lifecycle chaos engine compares against baseline.
+type Stats struct {
+	DeltaTables int // live t_delta_<A> tables across all primaries
+	COWViews    int // live t_view_<A> views across tables and user views
+}
+
+// Stats counts the live delta tables and COW views.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var s Stats
+	for _, m := range p.deltas {
+		s.DeltaTables += len(m)
+	}
+	for _, m := range p.cowViews {
+		s.COWViews += len(m)
+	}
+	return s
+}
+
 // Initiators returns the initiators that currently have volatile state
 // in any registered table.
 func (p *Proxy) Initiators() []string {

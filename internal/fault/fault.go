@@ -69,6 +69,13 @@ type Spec struct {
 	Err   error         // error to inject for OpError; nil = ErrInjected
 	Delay time.Duration // sleep for OpDelay
 	Frac  float64       // fraction written for OpPartial, in [0,1); 0 = random
+
+	// Hook, if set, runs on the hitting goroutine each time this spec
+	// fires, after the registry lock is released (so it may re-enter
+	// fault or kill processes). The kill-chaos engine uses it to crash
+	// a process in the middle of an instrumented operation. Hooks make
+	// a schedule unreplayable by EnableScript; shrink does not apply.
+	Hook func()
 }
 
 // Fire is one entry of a scripted schedule: fire at exactly the n-th
@@ -334,12 +341,19 @@ func decide(point string) (Event, error) {
 	}
 	trace = append(trace, ev)
 	var delay time.Duration
-	if ev.Fired && ev.Op == OpDelay {
-		delay = st.Delay
+	var hook func()
+	if ev.Fired {
+		if ev.Op == OpDelay {
+			delay = st.Delay
+		}
+		hook = st.Hook
 	}
 	mu.Unlock()
 	if delay > 0 {
 		time.Sleep(delay)
+	}
+	if hook != nil {
+		hook()
 	}
 	return ev, err
 }

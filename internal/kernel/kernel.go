@@ -33,8 +33,11 @@ var ErrNetUnreachable = errors.New("connect: network is unreachable (ENETUNREACH
 // ErrPermissionDenied is the EPERM for disallowed Binder transactions.
 var ErrPermissionDenied = errors.New("binder: permission denied (EPERM)")
 
-// ErrNoProcess is returned for operations on dead or unknown PIDs.
-var ErrNoProcess = errors.New("kernel: no such process")
+// ErrNoProcess is the historical name for operations on dead PIDs.
+//
+// Deprecated: it is now an alias for ErrDeadProcess (death.go); new
+// code should branch on ErrDeadProcess / ErrNoSuchPID directly.
+var ErrNoProcess = ErrDeadProcess
 
 // FirstAppUID is the base of the per-app UID range, matching Android's
 // convention of app UIDs starting at 10000.
@@ -122,6 +125,9 @@ type Kernel struct {
 	// still reach. Empty by default (the paper's base design).
 	trustMu      sync.RWMutex
 	trustedHosts map[string]bool
+
+	// deaths tracks exited PIDs and the death watchers (death.go).
+	deaths deathState
 }
 
 // New creates a kernel attached to a (possibly nil) network.
@@ -136,6 +142,7 @@ func New(net *netstack.Network) *Kernel {
 		net:          net,
 		trustedHosts: make(map[string]bool),
 	}
+	k.deaths.dead = make(map[int]DeathReason)
 	k.nextPID.Store(100)
 	return k
 }
@@ -182,17 +189,6 @@ func (k *Kernel) Spawn(task Task, uid int, ns *mount.Namespace) *Process {
 	p.alive.Store(true)
 	k.procs.Store(p.PID, p)
 	return p
-}
-
-// Kill terminates a process.
-func (k *Kernel) Kill(pid int) error {
-	p, ok := k.procs.Get(pid)
-	if !ok {
-		return ErrNoProcess
-	}
-	p.alive.Store(false)
-	k.procs.Delete(pid)
-	return nil
 }
 
 // Process looks up a live process by PID.

@@ -24,7 +24,16 @@ import (
 )
 
 // ErrNoMount is returned when a path resolves to no mounted filesystem.
+// A closed namespace (process death) resolves nothing, so file
+// operations racing a kill fail fast with this error.
 var ErrNoMount = errors.New("mount: no filesystem mounted for path")
+
+// liveNamespaces counts namespaces created and not yet closed — the
+// leak counter the lifecycle chaos engine compares against baseline.
+var liveNamespaces atomic.Int64
+
+// Live returns the number of open namespaces in the process.
+func Live() int64 { return liveNamespaces.Load() }
 
 // ErrCrossDevice is returned for renames spanning two mounts.
 var ErrCrossDevice = errors.New("mount: cross-device rename")
@@ -44,11 +53,15 @@ type Entry struct {
 // snapshot reads as the empty table, preserving the zero-value contract.
 type Namespace struct {
 	writeMu sync.Mutex              // serializes mutators only
+	closed  bool                    // guarded by writeMu
 	mounts  atomic.Pointer[[]Entry] // sorted by descending point length
 }
 
 // New returns an empty namespace.
-func New() *Namespace { return &Namespace{} }
+func New() *Namespace {
+	liveNamespaces.Add(1)
+	return &Namespace{}
+}
 
 // snapshot returns the current immutable mount table (possibly nil).
 func (ns *Namespace) snapshot() []Entry {
@@ -72,6 +85,9 @@ func (ns *Namespace) Mount(point string, fsys vfs.FileSystem) {
 	cleaned := vfs.Clean(point)
 	ns.writeMu.Lock()
 	defer ns.writeMu.Unlock()
+	if ns.closed {
+		return // mounting into a dead process's namespace is a no-op
+	}
 	old := ns.snapshot()
 	mounts := make([]Entry, 0, len(old)+1)
 	replaced := false
@@ -109,11 +125,37 @@ func (ns *Namespace) Unmount(point string) {
 // CLONE_NEWNS. Because snapshots are immutable, the clone simply shares
 // the current one; the tables diverge on the first mutation of either.
 func (ns *Namespace) Clone() *Namespace {
-	out := &Namespace{}
+	out := New()
 	if p := ns.mounts.Load(); p != nil {
 		out.mounts.Store(p)
 	}
 	return out
+}
+
+// Close releases the namespace when its process dies: the mount table
+// is emptied (subsequent resolutions fail with ErrNoMount) and every
+// mounted filesystem that itself has a lifecycle — union mounts with
+// their branches — is closed. Close is idempotent; it returns the
+// first error from a mounted filesystem's Close.
+func (ns *Namespace) Close() error {
+	ns.writeMu.Lock()
+	defer ns.writeMu.Unlock()
+	if ns.closed {
+		return nil
+	}
+	ns.closed = true
+	liveNamespaces.Add(-1)
+	snap := ns.snapshot()
+	ns.publish(nil)
+	var firstErr error
+	for _, e := range snap {
+		if c, ok := e.FS.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // Table returns the mount table sorted by mount point, for display

@@ -23,6 +23,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"maxoid/internal/fault"
 	"maxoid/internal/vfs"
@@ -61,10 +62,26 @@ type Options struct {
 	AllowAllWrites bool
 }
 
+// Live-union accounting: every New adds the union and its branch count
+// to process-wide counters, Close removes them. The lifecycle chaos
+// engine and churn tests compare these against a baseline to prove
+// that process death detaches every union branch the fork attached.
+var (
+	liveUnions   atomic.Int64
+	liveBranches atomic.Int64
+)
+
+// Live returns the number of unions created and not yet closed.
+func Live() int64 { return liveUnions.Load() }
+
+// LiveBranches returns the number of branches attached to live unions.
+func LiveBranches() int64 { return liveBranches.Load() }
+
 // Union is the merged filesystem. It implements vfs.FileSystem.
 type Union struct {
 	branches []Branch
 	opts     Options
+	closed   atomic.Bool
 }
 
 // New builds a union from branches ordered highest-priority first. At
@@ -82,7 +99,22 @@ func New(opts Options, branches ...Branch) (*Union, error) {
 			return nil, errors.New("unionfs: nil branch filesystem")
 		}
 	}
+	liveUnions.Add(1)
+	liveBranches.Add(int64(len(branches)))
 	return &Union{branches: branches, opts: opts}, nil
+}
+
+// Close detaches the union's branches from the live accounting. It is
+// called by mount.Namespace.Close when the owning process dies, and is
+// idempotent. The backing branch directories themselves persist on
+// disk (they are the delegate's durable pPriv/nPriv state); only the
+// attachment is released.
+func (u *Union) Close() error {
+	if u.closed.CompareAndSwap(false, true) {
+		liveUnions.Add(-1)
+		liveBranches.Add(-int64(len(u.branches)))
+	}
+	return nil
 }
 
 // Branches returns the branch list (for mount-table dumps, Table 2).

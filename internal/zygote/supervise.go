@@ -1,0 +1,164 @@
+// Process-lifecycle supervision: the restart budget.
+//
+// When an app instance crashes, the Activity Manager may restart it
+// (supervised idempotent calls do this implicitly). Unbounded restarts
+// turn a crash loop into a busy loop, so Zygote keeps a per-app crash
+// history and refuses forks that come too fast: each crash doubles a
+// backoff window, and a burst of crashes opens a circuit breaker that
+// rejects forks for a cooldown period. A quiet period with no crashes
+// resets the history. Rejections carry the typed
+// ErrRestartBudgetExhausted so callers can branch with errors.Is.
+package zygote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrRestartBudgetExhausted is returned by fork when an app's crash
+// history forbids a restart right now (backoff window or open breaker).
+var ErrRestartBudgetExhausted = errors.New("zygote: restart budget exhausted")
+
+// BudgetConfig tunes the restart budget.
+type BudgetConfig struct {
+	// BackoffBase is the delay imposed after the first crash; each
+	// further crash doubles it up to BackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the crash count that opens the circuit
+	// breaker; while open, every fork is rejected until BreakerCooldown
+	// has passed.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// QuietReset clears an app's crash history after this long without
+	// a crash.
+	QuietReset time.Duration
+}
+
+// DefaultBudgetConfig returns the production defaults.
+func DefaultBudgetConfig() BudgetConfig {
+	return BudgetConfig{
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       200 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  500 * time.Millisecond,
+		QuietReset:       2 * time.Second,
+	}
+}
+
+// appHealth is one app's crash history.
+type appHealth struct {
+	crashes      int
+	lastCrash    time.Time
+	retryAt      time.Time // end of the current backoff window
+	breakerUntil time.Time // zero when the breaker is closed
+}
+
+// RestartBudget tracks crash histories for all apps. Safe for
+// concurrent use.
+type RestartBudget struct {
+	mu   sync.Mutex
+	cfg  BudgetConfig
+	now  func() time.Time
+	apps map[string]*appHealth
+}
+
+// NewRestartBudget creates a budget with the given config.
+func NewRestartBudget(cfg BudgetConfig) *RestartBudget {
+	return &RestartBudget{cfg: cfg, now: time.Now, apps: make(map[string]*appHealth)}
+}
+
+// SetClock replaces the time source (tests).
+func (b *RestartBudget) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// SetConfig replaces the budget policy. Existing crash histories are
+// kept; the new windows apply from the next crash or Allow check. The
+// chaos engines use this to compress the production backoff scale into
+// a sub-second run.
+func (b *RestartBudget) SetConfig(cfg BudgetConfig) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cfg = cfg
+}
+
+// Allow reports whether app may fork now. It returns nil, or an error
+// wrapping ErrRestartBudgetExhausted describing which gate rejected.
+func (b *RestartBudget) Allow(app string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, ok := b.apps[app]
+	if !ok {
+		return nil
+	}
+	now := b.now()
+	if b.cfg.QuietReset > 0 && now.Sub(h.lastCrash) >= b.cfg.QuietReset {
+		delete(b.apps, app)
+		return nil
+	}
+	if !h.breakerUntil.IsZero() {
+		if now.Before(h.breakerUntil) {
+			return fmt.Errorf("%w: %s circuit breaker open for %v (%d crashes)",
+				ErrRestartBudgetExhausted, app, h.breakerUntil.Sub(now), h.crashes)
+		}
+		// Cooldown served: close the breaker but keep the history, so
+		// the next crash reopens it quickly.
+		h.breakerUntil = time.Time{}
+	}
+	if now.Before(h.retryAt) {
+		return fmt.Errorf("%w: %s backing off for %v after %d crash(es)",
+			ErrRestartBudgetExhausted, app, h.retryAt.Sub(now), h.crashes)
+	}
+	return nil
+}
+
+// RecordCrash notes an abnormal death of app and extends its backoff.
+func (b *RestartBudget) RecordCrash(app string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, ok := b.apps[app]
+	if !ok {
+		h = &appHealth{}
+		b.apps[app] = h
+	}
+	now := b.now()
+	if b.cfg.QuietReset > 0 && h.crashes > 0 && now.Sub(h.lastCrash) >= b.cfg.QuietReset {
+		*h = appHealth{}
+	}
+	h.crashes++
+	h.lastCrash = now
+	exp := h.crashes - 1
+	if exp > 20 { // cap the shift; the Max clamp below governs anyway
+		exp = 20
+	}
+	backoff := b.cfg.BackoffBase << exp
+	if b.cfg.BackoffMax > 0 && backoff > b.cfg.BackoffMax {
+		backoff = b.cfg.BackoffMax
+	}
+	h.retryAt = now.Add(backoff)
+	if b.cfg.BreakerThreshold > 0 && h.crashes >= b.cfg.BreakerThreshold {
+		h.breakerUntil = now.Add(b.cfg.BreakerCooldown)
+	}
+}
+
+// RecordHealthy clears app's crash history (a successful run).
+func (b *RestartBudget) RecordHealthy(app string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.apps, app)
+}
+
+// Crashes returns app's current crash count (diagnostics, tests).
+func (b *RestartBudget) Crashes(app string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if h, ok := b.apps[app]; ok {
+		return h.crashes
+	}
+	return 0
+}

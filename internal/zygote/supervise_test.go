@@ -1,0 +1,187 @@
+package zygote
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"maxoid/internal/fault"
+	"maxoid/internal/kernel"
+	"maxoid/internal/mount"
+	"maxoid/internal/testutil"
+	"maxoid/internal/unionfs"
+	"maxoid/internal/vfs"
+)
+
+// fakeClock is a manually advanced time source for budget tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func testBudget(clk *fakeClock) *RestartBudget {
+	b := NewRestartBudget(BudgetConfig{
+		BackoffBase:      10 * time.Millisecond,
+		BackoffMax:       80 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Second,
+		QuietReset:       10 * time.Second,
+	})
+	b.SetClock(clk.now)
+	return b
+}
+
+func TestRestartBudgetBackoffDoubles(t *testing.T) {
+	clk := newFakeClock()
+	b := testBudget(clk)
+
+	if err := b.Allow("app"); err != nil {
+		t.Fatalf("fresh app rejected: %v", err)
+	}
+	b.RecordCrash("app")
+	if err := b.Allow("app"); !errors.Is(err, ErrRestartBudgetExhausted) {
+		t.Fatalf("inside backoff window: want ErrRestartBudgetExhausted, got %v", err)
+	}
+	clk.advance(10 * time.Millisecond) // first backoff served
+	if err := b.Allow("app"); err != nil {
+		t.Fatalf("after backoff: %v", err)
+	}
+	b.RecordCrash("app") // second crash: 20ms backoff
+	clk.advance(10 * time.Millisecond)
+	if err := b.Allow("app"); !errors.Is(err, ErrRestartBudgetExhausted) {
+		t.Fatal("backoff did not double")
+	}
+	clk.advance(10 * time.Millisecond)
+	if err := b.Allow("app"); err != nil {
+		t.Fatalf("after doubled backoff: %v", err)
+	}
+}
+
+func TestRestartBudgetBreaker(t *testing.T) {
+	clk := newFakeClock()
+	b := testBudget(clk)
+	for i := 0; i < 3; i++ { // threshold crashes open the breaker
+		b.RecordCrash("app")
+	}
+	clk.advance(500 * time.Millisecond) // past any backoff, inside cooldown
+	if err := b.Allow("app"); !errors.Is(err, ErrRestartBudgetExhausted) {
+		t.Fatalf("breaker should be open: %v", err)
+	}
+	clk.advance(600 * time.Millisecond) // cooldown served
+	if err := b.Allow("app"); err != nil {
+		t.Fatalf("breaker should have closed: %v", err)
+	}
+	if b.Crashes("app") != 3 {
+		t.Fatalf("history cleared too early: %d crashes", b.Crashes("app"))
+	}
+}
+
+func TestRestartBudgetQuietResetAndHealthy(t *testing.T) {
+	clk := newFakeClock()
+	b := testBudget(clk)
+	b.RecordCrash("app")
+	clk.advance(11 * time.Second) // quiet period passed
+	if err := b.Allow("app"); err != nil {
+		t.Fatalf("quiet reset: %v", err)
+	}
+	if b.Crashes("app") != 0 {
+		t.Fatal("quiet reset did not clear history")
+	}
+	b.RecordCrash("app")
+	b.RecordHealthy("app")
+	if err := b.Allow("app"); err != nil {
+		t.Fatalf("RecordHealthy: %v", err)
+	}
+}
+
+// TestForkRespectsBudget: Zygote itself refuses forks for an app whose
+// budget is exhausted, with the typed sentinel.
+func TestForkRespectsBudget(t *testing.T) {
+	z, a, b := newWorld(t)
+	clk := newFakeClock()
+	z.Budget().SetClock(clk.now)
+	for i := 0; i < 10; i++ {
+		z.Budget().RecordCrash(b.Package)
+	}
+	if _, err := z.ForkDelegate(b, a); !errors.Is(err, ErrRestartBudgetExhausted) {
+		t.Fatalf("delegate fork: want ErrRestartBudgetExhausted, got %v", err)
+	}
+	if _, err := z.ForkInitiator(b); !errors.Is(err, ErrRestartBudgetExhausted) {
+		t.Fatalf("initiator fork: want ErrRestartBudgetExhausted, got %v", err)
+	}
+	// The initiator A is unaffected.
+	if _, err := z.ForkInitiator(a); err != nil {
+		t.Fatalf("unrelated app throttled: %v", err)
+	}
+}
+
+// TestForkKillForkChurn extends TestRepeatedDelegateForks into a
+// fork→kill→fork churn loop (120 iterations, delegates and initiators
+// mixed): every cycle the live-process, namespace, union, and branch
+// counters must return to the post-install baseline. The core-level
+// TestFullStackLifecycleChurn runs the same loop through AMS and
+// additionally pins binder-endpoint and COW-view counts.
+func TestForkKillForkChurn(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	z, a, b := newWorld(t)
+	kern := z.kern
+
+	// Baseline after install, before any fork.
+	baseNS := mount.Live()
+	baseUnions := unionfs.Live()
+	baseBranches := unionfs.LiveBranches()
+	baseProcs := kern.LiveProcesses()
+
+	for i := 0; i < 120; i++ {
+		var p *kernel.Process
+		var err error
+		if i%3 == 0 {
+			p, err = z.ForkInitiator(a)
+		} else {
+			p, err = z.ForkDelegate(b, a)
+		}
+		if err != nil {
+			t.Fatalf("iter %d fork: %v", i, err)
+		}
+		// Touch the namespace so branches are exercised, not just built.
+		if err := vfs.WriteFile(p.NS, cred(p), "/data/data/"+p.Task.App+"/churn", []byte{byte(i)}, 0o600); err != nil {
+			t.Fatalf("iter %d write: %v", i, err)
+		}
+		if err := kern.Kill(p.PID); err != nil {
+			t.Fatalf("iter %d kill: %v", i, err)
+		}
+		if got := mount.Live(); got != baseNS {
+			t.Fatalf("iter %d: %d live namespaces, want %d", i, got, baseNS)
+		}
+		if got := unionfs.Live(); got != baseUnions {
+			t.Fatalf("iter %d: %d live unions, want %d", i, got, baseUnions)
+		}
+		if got := unionfs.LiveBranches(); got != baseBranches {
+			t.Fatalf("iter %d: %d live branches, want %d", i, got, baseBranches)
+		}
+		if got := kern.LiveProcesses(); got != baseProcs {
+			t.Fatalf("iter %d: %d live processes, want %d", i, got, baseProcs)
+		}
+	}
+}
+
+// TestFailedForkLeaksNothing: a fork that dies mid-assembly (fault on
+// zygote.assemble) must release the namespace and branches it built.
+func TestFailedForkLeaksNothing(t *testing.T) {
+	z, a, b := newWorld(t)
+	baseNS := mount.Live()
+	baseUnions := unionfs.Live()
+	baseBranches := unionfs.LiveBranches()
+
+	fault.Enable(1, fault.Spec{Point: "zygote.assemble", Prob: 1})
+	defer fault.Disable()
+
+	if _, err := z.ForkDelegate(b, a); err == nil {
+		t.Fatal("fork should have failed")
+	}
+	if mount.Live() != baseNS || unionfs.Live() != baseUnions || unionfs.LiveBranches() != baseBranches {
+		t.Fatalf("failed fork leaked: ns %d->%d unions %d->%d branches %d->%d",
+			baseNS, mount.Live(), baseUnions, unionfs.Live(), baseBranches, unionfs.LiveBranches())
+	}
+}

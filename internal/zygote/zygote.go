@@ -43,6 +43,12 @@ import (
 // built, modeling Zygote hitting resource limits (see internal/fault).
 var faultSpawn = fault.Declare("zygote.spawn", "initiator/delegate fork: fail before the mount namespace is assembled")
 
+// faultAssemble injects failures mid-fork, after the namespace and some
+// union branches exist but before the process is spawned. The fork must
+// release everything it built — the kill-chaos engine asserts no
+// namespace or branch leaks through this window.
+var faultAssemble = fault.Declare("zygote.assemble", "delegate fork: fail after branches are partially assembled")
+
 // InternalVolDir is the reserved subdirectory of an initiator's volatile
 // branch holding volatile copies of its internal private files.
 const InternalVolDir = "internal"
@@ -58,14 +64,18 @@ type AppInfo struct {
 
 // Zygote spawns app processes with Maxoid mount namespaces.
 type Zygote struct {
-	disk *vfs.FS
-	kern *kernel.Kernel
+	disk   *vfs.FS
+	kern   *kernel.Kernel
+	budget *RestartBudget
 }
 
 // New creates a Zygote over the global disk.
 func New(disk *vfs.FS, kern *kernel.Kernel) *Zygote {
-	return &Zygote{disk: disk, kern: kern}
+	return &Zygote{disk: disk, kern: kern, budget: NewRestartBudget(DefaultBudgetConfig())}
 }
+
+// Budget returns the restart budget gating respawns of crashing apps.
+func (z *Zygote) Budget() *RestartBudget { return z.budget }
 
 // Disk returns the global backing disk (trusted components only).
 func (z *Zygote) Disk() *vfs.FS { return z.disk }
@@ -141,10 +151,19 @@ func (z *Zygote) ensureDir(p string) error {
 
 // ForkInitiator spawns app A running on behalf of itself.
 func (z *Zygote) ForkInitiator(app AppInfo) (*kernel.Process, error) {
+	if err := z.budget.Allow(app.Package); err != nil {
+		return nil, fmt.Errorf("zygote: fork %s: %w", app.Package, err)
+	}
 	if err := fault.Hit(faultSpawn); err != nil {
 		return nil, fmt.Errorf("zygote: fork %s: %w", app.Package, err)
 	}
 	ns := mount.New()
+	spawned := false
+	defer func() {
+		if !spawned {
+			_ = ns.Close() // failed fork: release the half-built namespace
+		}
+	}()
 	// Internal private storage: single branch, no union (§7.2: "Maxoid
 	// uses a single branch at any internal or external mount point for
 	// initiators, thus incurs no overhead").
@@ -174,6 +193,7 @@ func (z *Zygote) ForkInitiator(app AppInfo) (*kernel.Process, error) {
 	}
 	ns.Mount(layout.ExtTmpDir, vol)
 
+	spawned = true
 	return z.kern.Spawn(kernel.Task{App: app.Package}, app.UID, ns), nil
 }
 
@@ -182,10 +202,19 @@ func (z *Zygote) ForkDelegate(app, initiator AppInfo) (*kernel.Process, error) {
 	if app.Package == initiator.Package {
 		return nil, fmt.Errorf("zygote: %s cannot be a delegate of itself", app.Package)
 	}
+	if err := z.budget.Allow(app.Package); err != nil {
+		return nil, fmt.Errorf("zygote: fork %s^%s: %w", app.Package, initiator.Package, err)
+	}
 	if err := fault.Hit(faultSpawn); err != nil {
 		return nil, fmt.Errorf("zygote: fork %s^%s: %w", app.Package, initiator.Package, err)
 	}
 	ns := mount.New()
+	spawned := false
+	defer func() {
+		if !spawned {
+			_ = ns.Close() // failed fork: release namespace and branches built so far
+		}
+	}()
 
 	// nPriv(B^A): writable branch over B's private dir (copy-on-write,
 	// S4: B's real private state is never modified).
@@ -214,6 +243,11 @@ func (z *Zygote) ForkDelegate(app, initiator AppInfo) (*kernel.Process, error) {
 		return nil, err
 	}
 	ns.Mount(layout.AppPPriv(app.Package), ppriv)
+
+	// Mid-fork fault point: nPriv and pPriv exist, the rest does not.
+	if err := fault.Hit(faultAssemble); err != nil {
+		return nil, fmt.Errorf("zygote: fork %s^%s: %w", app.Package, initiator.Package, err)
+	}
 
 	// The initiator's internal private dir, exposed read-only with
 	// writes redirected to Vol(A) ("Internal private files exposed to
@@ -286,6 +320,7 @@ func (z *Zygote) ForkDelegate(app, initiator AppInfo) (*kernel.Process, error) {
 	}
 
 	task := kernel.Task{App: app.Package, Initiator: initiator.Package}
+	spawned = true
 	return z.kern.Spawn(task, app.UID, ns), nil
 }
 
