@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz chaos bench tables audit demo examples clean
+.PHONY: all build test race vet check fuzz chaos bench bench-index advisor tables audit demo examples clean
 
 all: build test
 
@@ -27,6 +27,7 @@ check: build vet test race fuzz
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenize -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzFormat -fuzztime 10s ./internal/sqldb
 
 # Deterministic fault-injection run: every engine, race detector on.
@@ -42,6 +43,16 @@ chaos:
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Secondary-index benchmark artifact: probe-only microbenchmarks from
+# the sqldb package folded into the end-to-end million-row report.
+bench-index:
+	$(GO) test -run '^$$' -bench 'Probe1M|Range1M|Indexed1M' -benchtime 100000x ./internal/sqldb | tee probe-micro.txt
+	$(GO) run ./cmd/maxoid-indexbench -rows 1000000 -micro probe-micro.txt -out BENCH_PR6.json
+
+# Workload-driven index advisor on the Media/Downloads providers.
+advisor:
+	$(GO) run ./cmd/maxoid-advisor -apply
 
 # The paper's evaluation printed in the paper's table format.
 tables:

@@ -1,0 +1,222 @@
+// maxoid-advisor records a representative workload against the live
+// Media and Downloads provider databases, mines the record for index
+// opportunities, and emits ready-to-run CREATE INDEX DDL:
+//
+//	maxoid-advisor                  # recommendations for both providers
+//	maxoid-advisor -rows 20000      # larger synthetic tables
+//	maxoid-advisor -apply           # apply the DDL and re-time the workload
+//
+// The pipeline is the one the planner split was built for: sqldb
+// records statement text, frequency, and indexable columns while the
+// workload runs (StartWorkloadRecording / StopWorkloadRecording);
+// advisor.Recommend turns that into ranked DDL. With -apply the same
+// workload is timed before and after executing the recommendations,
+// so the output shows whether the advice actually pays for itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"maxoid/internal/advisor"
+	"maxoid/internal/netstack"
+	"maxoid/internal/provider/downloads"
+	"maxoid/internal/provider/media"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+)
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 5000, "synthetic rows per base table")
+		reps  = flag.Int("reps", 200, "workload repetitions to record")
+		max   = flag.Int("max", 5, "recommendations per provider")
+		seed  = flag.Int64("seed", 1, "workload literal seed")
+		apply = flag.Bool("apply", false, "apply recommended DDL and re-time the workload")
+	)
+	flag.Parse()
+
+	mediaDB, err := mediaProviderDB(*rows)
+	if err != nil {
+		fatal("media setup: %v", err)
+	}
+	dlDB, err := downloadsProviderDB(*rows)
+	if err != nil {
+		fatal("downloads setup: %v", err)
+	}
+
+	// The providers ship with the indexes this tool originally derived;
+	// drop them so the run demonstrates the advisor re-deriving the
+	// shipped schema from nothing but the recorded workload.
+	stripIndexes(mediaDB, "files", "artists", "albums")
+	stripIndexes(dlDB, "downloads", "request_headers")
+
+	advise("media", mediaDB, mediaWorkload, *reps, *max, *seed, *apply)
+	advise("downloads", dlDB, downloadsWorkload, *reps, *max, *seed, *apply)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "maxoid-advisor: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// stripIndexes drops every secondary index on the named tables.
+func stripIndexes(db *sqldb.DB, tables ...string) {
+	for _, t := range tables {
+		infos, _ := db.TableIndexes(t)
+		for _, ix := range infos {
+			if _, err := db.Exec("DROP INDEX " + ix.Name); err != nil {
+				fatal("drop %s: %v", ix.Name, err)
+			}
+		}
+	}
+}
+
+// advise records reps repetitions of the workload, prints the mined
+// record and recommendations, and with apply set, times the workload
+// before and after executing the DDL.
+func advise(name string, db *sqldb.DB, workload func(*rand.Rand) []string, reps, max int, seed int64, apply bool) {
+	fmt.Printf("== %s ==\n", name)
+
+	run := func() time.Duration {
+		r := rand.New(rand.NewSource(seed))
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			for _, sql := range workload(r) {
+				if _, err := db.Query(sql); err != nil {
+					fatal("%s workload: %s: %v", name, sql, err)
+				}
+			}
+		}
+		return time.Since(start)
+	}
+
+	db.StartWorkloadRecording()
+	before := run()
+	work := db.StopWorkloadRecording()
+
+	fmt.Printf("recorded %d distinct statements:\n", len(work))
+	for _, w := range work {
+		fmt.Printf("  %6d× %s\n", w.Count, w.SQL)
+	}
+
+	recs := advisor.Recommend(db, work, max)
+	if len(recs) == 0 {
+		fmt.Println("no recommendations (workload already served by existing access paths)")
+		return
+	}
+	fmt.Println("recommendations:")
+	for _, r := range recs {
+		fmt.Printf("  benefit=%-6d %s\n", r.Benefit, r.DDL)
+	}
+
+	if !apply {
+		return
+	}
+	for _, r := range recs {
+		if _, err := db.Exec(r.DDL); err != nil {
+			fatal("apply %s: %v", r.DDL, err)
+		}
+	}
+	after := run()
+	st := db.Stats()
+	fmt.Printf("workload time: %v before, %v after indexes (%.1fx); probes=%d scans=%d\n",
+		before.Round(time.Millisecond), after.Round(time.Millisecond),
+		float64(before)/float64(after), st.IndexProbes, st.SeqScans)
+}
+
+// mediaProviderDB builds the real Media provider (schema, COW proxy,
+// view hierarchy) and seeds its files/artists/albums tables.
+func mediaProviderDB(rows int) (*sqldb.DB, error) {
+	p, err := media.New(vfs.New())
+	if err != nil {
+		return nil, err
+	}
+	db := p.Proxy().DB()
+	for i := 0; i < rows/50; i++ {
+		if _, err := db.Exec("INSERT INTO artists (artist_id, artist) VALUES (?, ?)", int64(i), fmt.Sprintf("artist-%d", i)); err != nil {
+			return nil, err
+		}
+		if _, err := db.Exec("INSERT INTO albums (album_id, album) VALUES (?, ?)", int64(i), fmt.Sprintf("album-%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(
+			"INSERT INTO files (_data, media_type, title, size, date_added, duration, artist_id, album_id, mime_type) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			fmt.Sprintf("/sdcard/DCIM/f%06d.dat", i),
+			int64(i%3+1),
+			fmt.Sprintf("file %d", i),
+			int64(i*37%100000),
+			int64(1400000000+i),
+			int64(i%600),
+			int64(i%(rows/50+1)),
+			int64(i%(rows/50+1)),
+			"application/octet-stream",
+		); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// mediaWorkload is one repetition of the query mix a media-scanner +
+// gallery app pair issues (varying literals so the recorder must
+// normalize to see the shared shapes).
+func mediaWorkload(r *rand.Rand) []string {
+	mt := r.Intn(3) + 1
+	album := r.Intn(100)
+	since := 1400000000 + r.Intn(5000)
+	path := fmt.Sprintf("/sdcard/DCIM/f%06d.dat", r.Intn(5000))
+	return []string{
+		fmt.Sprintf("SELECT _id, _data, title FROM files WHERE media_type = %d AND date_added > %d", mt, since),
+		fmt.Sprintf("SELECT _id, title, duration FROM files WHERE album_id = %d", album),
+		fmt.Sprintf("SELECT _id FROM files WHERE _data = '%s'", path),
+	}
+}
+
+// downloadsProviderDB builds the real Downloads provider and seeds
+// its downloads/request_headers tables.
+func downloadsProviderDB(rows int) (*sqldb.DB, error) {
+	p, err := downloads.New(vfs.New(), netstack.New(0, 0))
+	if err != nil {
+		return nil, err
+	}
+	db := p.Proxy().DB()
+	statuses := []int64{190, 192, 200, 200, 200, 495}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(
+			"INSERT INTO downloads (uri, title, _data, status, total_bytes) VALUES (?, ?, ?, ?, ?)",
+			fmt.Sprintf("http://host/obj%d", i),
+			fmt.Sprintf("download %d", i),
+			fmt.Sprintf("/sdcard/Download/obj%d", i),
+			statuses[i%len(statuses)],
+			int64(i*511%1000000),
+		); err != nil {
+			return nil, err
+		}
+		if i%4 == 0 {
+			if _, err := db.Exec(
+				"INSERT INTO request_headers (download_id, header, value) VALUES (?, ?, ?)",
+				int64(i+1), "Cookie", fmt.Sprintf("session=%d", i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// downloadsWorkload is one repetition of a download-manager polling
+// mix: status polls, per-download header fetches, and a size filter.
+func downloadsWorkload(r *rand.Rand) []string {
+	statuses := []int{190, 192, 200, 495}
+	id := r.Intn(5000) + 1
+	return []string{
+		fmt.Sprintf("SELECT _id, uri FROM downloads WHERE status = %d", statuses[r.Intn(len(statuses))]),
+		fmt.Sprintf("SELECT header, value FROM request_headers WHERE download_id = %d", id),
+		fmt.Sprintf("SELECT _id, title FROM downloads WHERE total_bytes > %d", 990000+r.Intn(9000)),
+	}
+}

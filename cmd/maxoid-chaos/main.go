@@ -41,6 +41,12 @@ var engines = []engine{
 	{name: "sql", run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
 		return chaos.RunSQLOracle(seed, chaos.OracleOptions{Ops: ops, Faults: true, Script: script})
 	}},
+	{name: "index", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
+		return chaos.RunIndexOracle(seed, chaos.OracleOptions{Ops: ops})
+	}},
+	{name: "indexfault", run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
+		return chaos.RunIndexFaultChecker(seed, chaos.CheckerOptions{Ops: ops, Script: script})
+	}},
 	{name: "copyup", run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
 		return chaos.RunCopyUpChecker(seed, chaos.CheckerOptions{Ops: ops, Script: script})
 	}},
@@ -54,7 +60,7 @@ var engines = []engine{
 
 func main() {
 	var (
-		engineFlag = flag.String("engine", "all", "engine to run: sql, copyup, synth, kill, or all")
+		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, or all")
 		seed       = flag.Int64("seed", 1, "run seed; reproduces workload, fault schedule, and verdict")
 		ops        = flag.Int("ops", 0, "workload operations per engine (0 = engine default)")
 		dump       = flag.Bool("dump", false, "print the full fault schedule of each run")

@@ -1,0 +1,233 @@
+// Package advisor mines a recorded sqldb workload for index
+// opportunities and emits CREATE INDEX DDL. It is the offline half of
+// the planner split: sqldb records what ran (statement text, how
+// often, and which columns each statement could use an index for),
+// and the advisor turns that record into concrete DDL ranked by how
+// much of the workload each index would serve.
+//
+// The mining is deliberately simple and transparent:
+//
+//   - Every workload entry proposes one candidate index: its equality
+//     columns (in recorded order) plus at most one range column last.
+//     Equality-only candidates become HASH indexes (O(1) point
+//     probes); anything with a range column becomes ORDERED, since
+//     only the sorted representation supports range scans.
+//   - Candidates from different statements merge when one serves the
+//     other: an ORDERED index serves any candidate whose columns are
+//     a prefix of its own, and also serves the equality-only HASH
+//     candidate on that same prefix. Frequencies accumulate onto the
+//     surviving candidate.
+//   - Candidates already served by an existing index on the live
+//     database are dropped, as are candidates on the primary key
+//     column alone (the built-in PK probe already covers those).
+//   - Survivors are ranked by Benefit: the total number of recorded
+//     executions the index would accelerate, i.e. frequency-weighted
+//     coverage, not per-statement gain.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maxoid/internal/sqldb"
+)
+
+// Recommendation is one proposed index with ready-to-run DDL.
+type Recommendation struct {
+	Table   string
+	Columns []string
+	Kind    string // "ORDERED" or "HASH"
+	DDL     string
+	Benefit int64 // recorded executions this index would serve
+}
+
+// candidate is a recommendation under construction.
+type candidate struct {
+	table   string
+	cols    []string // lower-cased for matching; display uses recorded case
+	display []string
+	kind    string
+	benefit int64
+}
+
+// Recommend mines a workload (as returned by
+// sqldb.StopWorkloadRecording) and returns up to max recommendations,
+// highest Benefit first. db may be nil; when non-nil, candidates
+// already covered by existing indexes or the primary key are dropped.
+func Recommend(db *sqldb.DB, work []sqldb.WorkloadEntry, max int) []Recommendation {
+	if max <= 0 {
+		max = 5
+	}
+	var cands []*candidate
+	for _, w := range work {
+		c := candidateFor(db, w)
+		if c != nil {
+			cands = append(cands, c)
+		}
+	}
+	cands = mergeCandidates(cands)
+
+	recs := make([]Recommendation, 0, len(cands))
+	for _, c := range cands {
+		if db != nil && coveredByExisting(db, c) {
+			continue
+		}
+		recs = append(recs, Recommendation{
+			Table:   c.table,
+			Columns: append([]string(nil), c.display...),
+			Kind:    c.kind,
+			DDL:     renderDDL(c),
+			Benefit: c.benefit,
+		})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Benefit != recs[j].Benefit {
+			return recs[i].Benefit > recs[j].Benefit
+		}
+		return recs[i].DDL < recs[j].DDL
+	})
+	if len(recs) > max {
+		recs = recs[:max]
+	}
+	return recs
+}
+
+// candidateFor turns one workload entry into an index candidate, or
+// nil when the entry offers nothing indexable.
+func candidateFor(db *sqldb.DB, w sqldb.WorkloadEntry) *candidate {
+	if w.Table == "" || (len(w.EqCols) == 0 && len(w.RangeCols) == 0) {
+		return nil
+	}
+	display := append([]string(nil), w.EqCols...)
+	kind := "HASH"
+	if len(w.RangeCols) > 0 {
+		// One range column, last: the ordered index consumes an
+		// equality prefix and then one range bound (see access.go).
+		display = append(display, w.RangeCols[0])
+		kind = "ORDERED"
+	}
+	if db != nil && len(display) == 1 && isPrimaryKey(db, w.Table, display[0]) {
+		return nil
+	}
+	cols := make([]string, len(display))
+	for i, c := range display {
+		cols[i] = strings.ToLower(c)
+	}
+	return &candidate{
+		table:   w.Table,
+		cols:    cols,
+		display: display,
+		kind:    kind,
+		benefit: w.Count,
+	}
+}
+
+// mergeCandidates folds candidates that another candidate already
+// serves. Processing wider candidates first makes the fold a single
+// pass: by the time a narrow candidate is considered, every index
+// that could absorb it is already in the kept set.
+func mergeCandidates(cands []*candidate) []*candidate {
+	sort.SliceStable(cands, func(i, j int) bool {
+		if len(cands[i].cols) != len(cands[j].cols) {
+			return len(cands[i].cols) > len(cands[j].cols)
+		}
+		return cands[i].benefit > cands[j].benefit
+	})
+	var kept []*candidate
+next:
+	for _, c := range cands {
+		for _, k := range kept {
+			if serves(k, c) {
+				k.benefit += c.benefit
+				continue next
+			}
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// serves reports whether index candidate k would accelerate the
+// statements behind candidate c. An ORDERED index serves any
+// same-table candidate whose columns are a prefix of its own (prefix
+// probes and prefix+range scans both work); a HASH index serves only
+// the exact same equality column set.
+func serves(k, c *candidate) bool {
+	if k.table != c.table {
+		return false
+	}
+	if k.kind == "HASH" {
+		return c.kind == "HASH" && equalCols(k.cols, c.cols)
+	}
+	if len(c.cols) > len(k.cols) {
+		return false
+	}
+	for i, col := range c.cols {
+		if k.cols[i] != col {
+			return false
+		}
+	}
+	return true
+}
+
+func equalCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// coveredByExisting checks the live database for an index that
+// already serves the candidate.
+func coveredByExisting(db *sqldb.DB, c *candidate) bool {
+	infos, ok := db.TableIndexes(c.table)
+	if !ok {
+		return false
+	}
+	for _, info := range infos {
+		k := &candidate{table: c.table, kind: info.Kind, cols: make([]string, len(info.Columns))}
+		for i, col := range info.Columns {
+			k.cols[i] = strings.ToLower(col)
+		}
+		if serves(k, c) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPrimaryKey(db *sqldb.DB, table, col string) bool {
+	cols, ok := db.TableColumns(table)
+	if !ok {
+		return false
+	}
+	for _, cd := range cols {
+		if cd.PrimaryKey && strings.EqualFold(cd.Name, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// renderDDL emits the CREATE INDEX statement for a candidate. Names
+// are deterministic (adv_<table>_<cols>, hash variants suffixed so an
+// ordered and a hash index on the same columns never collide) so
+// repeated advisor runs are idempotent against IF NOT EXISTS.
+func renderDDL(c *candidate) string {
+	name := "adv_" + strings.ToLower(c.table) + "_" + strings.Join(c.cols, "_")
+	if c.kind == "HASH" {
+		name += "_hash"
+	}
+	ddl := fmt.Sprintf("CREATE INDEX IF NOT EXISTS %s ON %s (%s)",
+		name, c.table, strings.Join(c.display, ", "))
+	if c.kind == "HASH" {
+		ddl += " USING HASH"
+	}
+	return ddl
+}

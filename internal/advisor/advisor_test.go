@@ -1,0 +1,133 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"maxoid/internal/sqldb"
+)
+
+func workloadDB(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db := sqldb.Open()
+	if _, err := db.Exec("CREATE TABLE files (_id INTEGER PRIMARY KEY, media_type INTEGER, size INTEGER, title TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := db.Exec("INSERT INTO files (media_type, size, title) VALUES (?, ?, ?)",
+			int64(i%3), int64(i*100), "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// record replays a workload against db with recording on and returns
+// the mined entries.
+func record(t *testing.T, db *sqldb.DB, stmts map[string]int) []sqldb.WorkloadEntry {
+	t.Helper()
+	db.StartWorkloadRecording()
+	for sql, n := range stmts {
+		for i := 0; i < n; i++ {
+			if _, err := db.Query(sql); err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+		}
+	}
+	return db.StopWorkloadRecording()
+}
+
+func TestRecommendFromRecordedWorkload(t *testing.T) {
+	db := workloadDB(t)
+	work := record(t, db, map[string]int{
+		"SELECT _id FROM files WHERE media_type = 1":               8,
+		"SELECT _id FROM files WHERE media_type = 2 AND size > 50": 3,
+		"SELECT _id FROM files WHERE title = 'x'":                  1,
+	})
+	recs := Recommend(db, work, 5)
+	if len(recs) != 2 {
+		t.Fatalf("want 2 recommendations, got %d: %+v", len(recs), recs)
+	}
+	// The (media_type, size) ORDERED candidate absorbs the
+	// equality-only media_type candidate (prefix), accumulating both
+	// frequencies; the title candidate stays separate.
+	top := recs[0]
+	if top.Kind != "ORDERED" || top.Benefit != 11 {
+		t.Fatalf("top recommendation: want ORDERED benefit 11, got %+v", top)
+	}
+	if got := strings.Join(top.Columns, ","); got != "media_type,size" {
+		t.Fatalf("top columns: %s", got)
+	}
+	if !strings.Contains(top.DDL, "CREATE INDEX IF NOT EXISTS adv_files_media_type_size ON files (media_type, size)") {
+		t.Fatalf("top DDL: %s", top.DDL)
+	}
+	if recs[1].Kind != "HASH" || recs[1].Benefit != 1 || recs[1].Columns[0] != "title" {
+		t.Fatalf("second recommendation: %+v", recs[1])
+	}
+	// Every emitted DDL must actually run on the live database.
+	for _, r := range recs {
+		if _, err := db.Exec(r.DDL); err != nil {
+			t.Fatalf("advisor DDL rejected: %s: %v", r.DDL, err)
+		}
+	}
+}
+
+func TestRecommendSkipsExistingAndPK(t *testing.T) {
+	db := workloadDB(t)
+	if _, err := db.Exec("CREATE INDEX files_mt ON files (media_type, size)"); err != nil {
+		t.Fatal(err)
+	}
+	work := record(t, db, map[string]int{
+		"SELECT _id FROM files WHERE media_type = 1 AND size > 10": 5, // covered by files_mt
+		"SELECT title FROM files WHERE _id = 3":                    9, // PK probe already
+		"SELECT _id FROM files WHERE title = 'x'":                  2,
+	})
+	recs := Recommend(db, work, 5)
+	if len(recs) != 1 || recs[0].Columns[0] != "title" {
+		t.Fatalf("want only the title recommendation, got %+v", recs)
+	}
+}
+
+func TestRecommendMergesHashIntoOrdered(t *testing.T) {
+	work := []sqldb.WorkloadEntry{
+		{SQL: "a", Count: 4, Table: "t", EqCols: []string{"a", "b"}},
+		{SQL: "b", Count: 2, Table: "t", EqCols: []string{"a"}, RangeCols: []string{"b"}},
+		{SQL: "c", Count: 1, Table: "t", EqCols: []string{"a"}},
+	}
+	recs := Recommend(nil, work, 5)
+	if len(recs) != 2 {
+		t.Fatalf("want 2 recommendations, got %+v", recs)
+	}
+	// HASH (a,b) point lookups keep their own index (O(1) beats the
+	// ordered probe); ORDERED (a,b) absorbs the eq-only (a) prefix.
+	var ordered, hash *Recommendation
+	for i := range recs {
+		switch recs[i].Kind {
+		case "ORDERED":
+			ordered = &recs[i]
+		case "HASH":
+			hash = &recs[i]
+		}
+	}
+	if ordered == nil || hash == nil {
+		t.Fatalf("want one ORDERED and one HASH, got %+v", recs)
+	}
+	if ordered.Benefit != 3 || hash.Benefit != 4 {
+		t.Fatalf("benefits: ordered %d hash %d", ordered.Benefit, hash.Benefit)
+	}
+}
+
+func TestRecommendMaxAndEmpty(t *testing.T) {
+	if recs := Recommend(nil, nil, 3); len(recs) != 0 {
+		t.Fatalf("empty workload: %+v", recs)
+	}
+	work := []sqldb.WorkloadEntry{
+		{SQL: "a", Count: 3, Table: "t", EqCols: []string{"a"}},
+		{SQL: "b", Count: 2, Table: "t", EqCols: []string{"b"}},
+		{SQL: "c", Count: 1, Table: "t", EqCols: []string{"c"}},
+	}
+	recs := Recommend(nil, work, 2)
+	if len(recs) != 2 || recs[0].Benefit != 3 || recs[1].Benefit != 2 {
+		t.Fatalf("max truncation: %+v", recs)
+	}
+}

@@ -269,6 +269,28 @@ func (p *Proxy) synthDelta(info primaryInfo, delta, cowView string) error {
 		return err
 	}
 
+	// Mirror the primary table's secondary indexes onto the delta
+	// table: the COW view's delta arm sees the same workload as the
+	// primary arm, so an index worth having on one is worth having on
+	// the other. A failure here aborts the synthesis; the rollback's
+	// DROP TABLE removes any indexes already mirrored.
+	if infos, ok := p.db.TableIndexes(info.name); ok {
+		for i, ix := range infos {
+			using := ""
+			if ix.Kind == "HASH" {
+				using = " USING HASH"
+			}
+			ddl := fmt.Sprintf("CREATE INDEX %s_mx%d ON %s (%s)%s",
+				delta, i, delta, strings.Join(ix.Columns, ", "), using)
+			if err := fault.Hit(faultSynth); err != nil {
+				return err
+			}
+			if _, err := p.db.Exec(ddl); err != nil {
+				return err
+			}
+		}
+	}
+
 	cols := strings.Join(colNames, ", ")
 	// COW view per Figure 6.
 	viewSQL := fmt.Sprintf(

@@ -1,0 +1,73 @@
+package cowproxy
+
+import (
+	"testing"
+
+	"maxoid/internal/sqldb"
+)
+
+// TestDeltaMirrorsBaseIndexes: synthesizing an initiator's delta table
+// copies the primary table's secondary indexes onto it, kind and
+// columns included, so the COW view's delta arm probes the same way
+// the primary arm does.
+func TestDeltaMirrorsBaseIndexes(t *testing.T) {
+	db := sqldb.Open()
+	if _, err := db.Exec("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX words_by_word ON words (word) USING HASH; CREATE INDEX words_by_freq ON words (frequency)"); err != nil {
+		t.Fatal(err)
+	}
+	p := New(db)
+	if err := p.RegisterTable("words"); err != nil {
+		t.Fatal(err)
+	}
+	pub := p.For("")
+	for i := 0; i < 10; i++ {
+		if _, err := pub.Insert("words", map[string]sqldb.Value{
+			"word": "w" + string(rune('a'+i)), "frequency": int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// First delegate write synthesizes the delta machinery.
+	del := p.For("email")
+	if _, err := del.Update("words", map[string]sqldb.Value{"frequency": int64(99)}, "_id = ?", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	delta := DeltaTableName("words", "email")
+	infos, ok := db.TableIndexes(delta)
+	if !ok {
+		t.Fatalf("delta table %s missing", delta)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("want 2 mirrored indexes on %s, got %+v", delta, infos)
+	}
+	kinds := map[string]string{}
+	for _, ix := range infos {
+		kinds[ix.Columns[0]] = ix.Kind
+	}
+	if kinds["word"] != "HASH" || kinds["frequency"] != "ORDERED" {
+		t.Fatalf("mirrored index kinds wrong: %v", kinds)
+	}
+	// The mirrored indexes must stay consistent through COW traffic
+	// (insert via view trigger, whiteout via delete).
+	if _, err := del.Insert("words", map[string]sqldb.Value{"word": "zz", "frequency": int64(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := del.Delete("words", "_id = ?", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckIndexes(); err != nil {
+		t.Fatalf("delta index consistency: %v", err)
+	}
+	// Volatile discard drops the delta and its indexes with it.
+	if err := p.DiscardVolatile("email"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.TableIndexes(delta); ok {
+		t.Fatalf("delta table %s survived DiscardVolatile", delta)
+	}
+}

@@ -108,6 +108,11 @@ func New(disk *vfs.FS, net *netstack.Network) (*Provider, error) {
 			header TEXT,
 			value TEXT
 		)`,
+		// Download managers poll by status and fetch headers per
+		// download; both shapes come straight out of the workload
+		// advisor (cmd/maxoid-advisor) run against this provider.
+		`CREATE INDEX downloads_by_status ON downloads (status) USING HASH`,
+		`CREATE INDEX headers_by_download ON request_headers (download_id) USING HASH`,
 	}
 	for _, s := range schema {
 		if _, err := db.Exec(s); err != nil {

@@ -75,6 +75,15 @@ func New(disk *vfs.FS) (*Provider, error) {
 		)`,
 		`CREATE TABLE artists (artist_id INTEGER PRIMARY KEY, artist TEXT)`,
 		`CREATE TABLE albums (album_id INTEGER PRIMARY KEY, album TEXT)`,
+		// The view hierarchy filters on media_type (often with a
+		// recency bound), the audio join probes album/artist ids, and
+		// the scanner deduplicates by path. These are exactly the
+		// indexes the workload advisor derives from a recorded
+		// gallery+scanner mix (cmd/maxoid-advisor).
+		`CREATE INDEX files_by_type_date ON files (media_type, date_added)`,
+		`CREATE INDEX files_by_album ON files (album_id) USING HASH`,
+		`CREATE INDEX files_by_artist ON files (artist_id) USING HASH`,
+		`CREATE INDEX files_by_path ON files (_data) USING HASH`,
 	}
 	for _, s := range schema {
 		if _, err := db.Exec(s); err != nil {

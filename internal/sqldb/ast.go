@@ -39,9 +39,26 @@ type CreateTriggerStmt struct {
 	Body        []Stmt
 }
 
-// DropStmt is DROP TABLE|VIEW|TRIGGER [IF EXISTS] name.
+// CreateIndexStmt is CREATE INDEX [IF NOT EXISTS] name ON table
+// (cols...) [USING HASH|ORDERED]. ORDERED (the default) supports point
+// and range probes; HASH supports point probes only.
+type CreateIndexStmt struct {
+	Name        string
+	IfNotExists bool
+	Table       string
+	Cols        []string
+	Using       string // "", "HASH", or "ORDERED"
+}
+
+// ExplainStmt is EXPLAIN stmt: run the planner only and report the
+// chosen access path for each table touched.
+type ExplainStmt struct {
+	Target Stmt
+}
+
+// DropStmt is DROP TABLE|VIEW|TRIGGER|INDEX [IF EXISTS] name.
 type DropStmt struct {
-	Kind     string // TABLE, VIEW, TRIGGER
+	Kind     string // TABLE, VIEW, TRIGGER, INDEX
 	Name     string
 	IfExists bool
 }
@@ -131,6 +148,8 @@ type SelectCore struct {
 func (*CreateTableStmt) stmt()   {}
 func (*CreateViewStmt) stmt()    {}
 func (*CreateTriggerStmt) stmt() {}
+func (*CreateIndexStmt) stmt()   {}
+func (*ExplainStmt) stmt()       {}
 func (*DropStmt) stmt()          {}
 func (*TxnStmt) stmt()           {}
 func (*InsertStmt) stmt()        {}

@@ -87,9 +87,11 @@ func TestConcurrentDisjointTables(t *testing.T) {
 	}
 }
 
-// TestStmtCachePartialEviction verifies the bounded-fraction eviction:
-// crossing maxCachedStmts must not empty the cache.
-func TestStmtCachePartialEviction(t *testing.T) {
+// TestStmtCacheLRUEviction verifies the LRU bound: crossing
+// maxCachedStmts raw texts must neither empty the cache nor let it
+// grow past the bound — and since every text here normalizes to the
+// same shape, the AST cache must stay at a single entry.
+func TestStmtCacheLRUEviction(t *testing.T) {
 	db := Open()
 	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER)")
 	for i := 0; i <= maxCachedStmts; i++ {
@@ -98,13 +100,19 @@ func TestStmtCachePartialEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	db.stmtMu.RLock()
-	n := len(db.stmtCache)
-	db.stmtMu.RUnlock()
-	if n < maxCachedStmts/2 {
-		t.Errorf("cache size after eviction = %d; wholesale reset suspected", n)
+	db.stmtMu.Lock()
+	raw := db.rawStmts.len()
+	norm := db.normStmts.len()
+	db.stmtMu.Unlock()
+	if raw < maxCachedStmts/2 {
+		t.Errorf("raw cache size after eviction = %d; wholesale reset suspected", raw)
 	}
-	if n > maxCachedStmts {
-		t.Errorf("cache size %d exceeds bound %d", n, maxCachedStmts)
+	if raw > maxCachedStmts {
+		t.Errorf("raw cache size %d exceeds bound %d", raw, maxCachedStmts)
+	}
+	// Two shapes total: the CREATE TABLE and the one SELECT shape every
+	// literal variant collapses into.
+	if norm != 2 {
+		t.Errorf("normalized AST cache has %d entries, want 2 (all queries share one shape)", norm)
 	}
 }

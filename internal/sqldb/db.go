@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -31,11 +30,17 @@ type Rows struct {
 	Data    [][]Value
 }
 
-// Stats counts planner decisions, used to verify the subquery-flattening
-// behavior the paper's footnote 5 describes.
+// Stats counts planner decisions: the subquery-flattening behavior the
+// paper's footnote 5 describes, plus access-path and statement-cache
+// outcomes from the planner/access-path split.
 type Stats struct {
 	FlattenedQueries  int64 // UNION ALL view queries flattened
 	MaterializedViews int64 // view scans that had to materialize
+	SeqScans          int64 // base-table sequential scans
+	PKProbes          int64 // primary-key point probes
+	IndexProbes       int64 // secondary-index point/range probes
+	PlanCacheHits     int64 // plans served from the normalized cache
+	PlanCacheMisses   int64 // plans computed fresh
 }
 
 // table is a base table with an optional integer primary key. mu
@@ -43,13 +48,14 @@ type Stats struct {
 // sorted-name order, or left untouched by batches holding the DB-wide
 // writer lock (which excludes all table-granular batches).
 type table struct {
-	mu     sync.RWMutex
-	name   string
-	cols   []ColumnDef
-	pk     int // index of PRIMARY KEY column, -1 if none
-	rows   [][]Value
-	byPK   map[int64]int // pk value -> index into rows
-	nextID int64
+	mu      sync.RWMutex
+	name    string
+	cols    []ColumnDef
+	pk      int // index of PRIMARY KEY column, -1 if none
+	rows    [][]Value
+	byPK    map[int64]int // pk value -> index into rows
+	nextID  int64
+	indexes []*index // secondary indexes (see index.go)
 }
 
 func (t *table) colIndex(name string) int {
@@ -80,20 +86,24 @@ func (t *table) clone() *table {
 	for k, v := range t.byPK {
 		out.byPK[k] = v
 	}
+	for _, ix := range t.indexes {
+		out.indexes = append(out.indexes, ix.clone())
+	}
 	return out
 }
 
-// reindex rebuilds byPK after structural changes.
+// reindex rebuilds byPK and every secondary index after structural
+// changes (row positions moved or an unknown set of rows changed).
 func (t *table) reindex() {
-	if t.pk < 0 {
-		return
-	}
-	t.byPK = make(map[int64]int, len(t.rows))
-	for i, r := range t.rows {
-		if id, ok := AsInt(r[t.pk]); ok {
-			t.byPK[id] = i
+	if t.pk >= 0 {
+		t.byPK = make(map[int64]int, len(t.rows))
+		for i, r := range t.rows {
+			if id, ok := AsInt(r[t.pk]); ok {
+				t.byPK[id] = i
+			}
 		}
 	}
+	t.rebuildIndexes()
 }
 
 // view is a named stored SELECT.
@@ -130,6 +140,11 @@ type DB struct {
 	lastID          atomic.Int64
 	statFlattened   atomic.Int64
 	statMaterialize atomic.Int64
+	statSeqScan     atomic.Int64
+	statPKProbe     atomic.Int64
+	statIdxProbe    atomic.Int64
+	statPlanHit     atomic.Int64
+	statPlanMiss    atomic.Int64
 
 	// Lock-contention counters (see LockStats).
 	tblAcq     atomic.Int64
@@ -140,22 +155,37 @@ type DB struct {
 	// autocommitting. Guarded by mu.
 	txn *txnSnapshot
 
-	stmtMu    sync.RWMutex
-	stmtCache map[string][]Stmt
+	// Statement caches — the prepared-statement layer (prepare.go).
+	// rawStmts maps exact SQL text to its prepared entry (AST pointer
+	// plus that text's extracted literals); normStmts maps canonical
+	// normalized text to the shared AST, so distinct literals converge
+	// on one AST and one set of downstream memos. Both are LRU-bounded
+	// (lru.go). Guarded by stmtMu. Lock order: stmtMu before planMu
+	// and lockPlanMu (the normStmts eviction callback takes both).
+	stmtMu    sync.Mutex
+	rawStmts  *lruCache[string, *prepared]
+	normStmts *lruCache[string, []Stmt]
 
 	// planCache memoizes planner output per statement AST (ASTs are
-	// stable thanks to stmtCache). Guarded by planMu; cleared on DDL
-	// and rollback. Lock order: stmtMu before planMu; planMu is a leaf
-	// below the catalog and table locks.
+	// stable thanks to the statement caches, which key them by
+	// normalized text). LRU-bounded; guarded by planMu; cleared on DDL
+	// and rollback. planMu is a leaf below the catalog and table locks.
 	planMu    sync.Mutex
-	planCache map[*SelectStmt]*SelectStmt
+	planCache *lruCache[*SelectStmt, *SelectStmt]
 
 	// lockPlans memoizes batch lock analysis keyed by the batch's first
-	// statement (ASTs are stable thanks to stmtCache). Guarded by
-	// lockPlanMu, a leaf lock; invalidated by DDL, trigger creation,
-	// and rollback, which all run on the exclusive path.
+	// statement (ASTs are stable thanks to the statement caches).
+	// LRU-bounded; guarded by lockPlanMu, a leaf lock; invalidated by
+	// DDL, trigger creation, and rollback, which all run on the
+	// exclusive path.
 	lockPlanMu sync.Mutex
-	lockPlans  map[Stmt]lockPlanEntry
+	lockPlans  *lruCache[Stmt, lockPlanEntry]
+
+	// Workload recording for the index advisor (prepare.go): while
+	// recOn, every executed batch is counted under its canonical text.
+	recOn   atomic.Bool
+	recMu   sync.Mutex
+	recWork map[string]*workloadStat
 
 	// synthCache memoizes the SELECT synthesized for UPDATE/DELETE view
 	// scans per (view, WHERE-expr) so it has a stable pointer and the
@@ -182,7 +212,7 @@ type expandEntry struct {
 // Called on DDL and rollback, which run on the exclusive path.
 func (db *DB) resetPlanCaches() {
 	db.planMu.Lock()
-	db.planCache = make(map[*SelectStmt]*SelectStmt)
+	db.planCache.clear()
 	db.synthCache = make(map[synthKey]*SelectStmt)
 	db.expandCache = make(map[*SelectCore]expandEntry)
 	db.validated = make(map[*SelectCore]struct{})
@@ -197,73 +227,54 @@ type synthKey struct {
 
 // Open creates an empty database.
 func Open() *DB {
-	return &DB{
-		tables:    make(map[string]*table),
-		views:     make(map[string]*view),
-		triggers:  make(map[string][]*trigger),
-		byName:    make(map[string]*trigger),
-		stmtCache: make(map[string][]Stmt),
-		planCache:   make(map[*SelectStmt]*SelectStmt),
-		lockPlans:   make(map[Stmt]lockPlanEntry),
+	db := &DB{
+		tables:      make(map[string]*table),
+		views:       make(map[string]*view),
+		triggers:    make(map[string][]*trigger),
+		byName:      make(map[string]*trigger),
 		synthCache:  make(map[synthKey]*SelectStmt),
 		expandCache: make(map[*SelectCore]expandEntry),
 		validated:   make(map[*SelectCore]struct{}),
 	}
-}
-
-// maxCachedStmts bounds the prepared-statement cache; beyond it the
-// cache is reset (workloads with unbounded distinct SQL).
-const maxCachedStmts = 4096
-
-// parseCached parses SQL with memoization — the moral equivalent of
-// SQLite's prepared-statement reuse, which real content providers rely
-// on. Parsed ASTs are never mutated after parsing, so sharing is safe.
-func (db *DB) parseCached(sql string) ([]Stmt, error) {
-	db.stmtMu.RLock()
-	stmts, ok := db.stmtCache[sql]
-	db.stmtMu.RUnlock()
-	if ok {
-		return stmts, nil
-	}
-	stmts, err := parseAll(sql)
-	if err != nil {
-		return nil, err
-	}
-	db.stmtMu.Lock()
-	if len(db.stmtCache) >= maxCachedStmts {
-		// Evict a bounded fraction instead of dropping the whole cache:
-		// workloads that cross the limit keep most of their hot
-		// statements (and those statements' cached plans) instead of
-		// re-parsing and re-planning everything on the next call. Map
-		// iteration order makes the choice effectively random.
-		evict := maxCachedStmts / 4
+	db.rawStmts = newLRU[string, *prepared](maxCachedStmts, nil)
+	db.normStmts = newLRU[string, []Stmt](maxCachedStmts, func(_ string, stmts []Stmt) {
+		// Drop the evicted AST's downstream memos with it so the
+		// pointer-keyed caches cannot accumulate entries for
+		// unreachable statements. Runs with stmtMu held; stmtMu
+		// precedes planMu and lockPlanMu in the lock order.
 		db.planMu.Lock()
-		for key, old := range db.stmtCache {
-			delete(db.stmtCache, key)
-			// Drop the evicted ASTs' plans with them so the plan cache
-			// cannot accumulate entries for unreachable statements.
-			for _, s := range old {
-				if sel, ok := s.(*SelectStmt); ok {
-					delete(db.planCache, sel)
-				}
-			}
-			evict--
-			if evict == 0 {
-				break
+		for _, s := range stmts {
+			if sel, ok := s.(*SelectStmt); ok {
+				db.planCache.delete(sel)
 			}
 		}
 		db.planMu.Unlock()
-	}
-	db.stmtCache[sql] = stmts
-	db.stmtMu.Unlock()
-	return stmts, nil
+		if len(stmts) > 0 {
+			db.lockPlanMu.Lock()
+			db.lockPlans.delete(stmts[0])
+			db.lockPlanMu.Unlock()
+		}
+	})
+	db.planCache = newLRU[*SelectStmt, *SelectStmt](maxCachedStmts, nil)
+	db.lockPlans = newLRU[Stmt, lockPlanEntry](maxCachedStmts, nil)
+	return db
 }
+
+// maxCachedStmts bounds each statement-layer cache (raw texts,
+// normalized ASTs, plans, lock plans); beyond it the least recently
+// used entries are evicted.
+const maxCachedStmts = 4096
 
 // Stats returns a snapshot of planner statistics.
 func (db *DB) Stats() Stats {
 	return Stats{
 		FlattenedQueries:  db.statFlattened.Load(),
 		MaterializedViews: db.statMaterialize.Load(),
+		SeqScans:          db.statSeqScan.Load(),
+		PKProbes:          db.statPKProbe.Load(),
+		IndexProbes:       db.statIdxProbe.Load(),
+		PlanCacheHits:     db.statPlanHit.Load(),
+		PlanCacheMisses:   db.statPlanMiss.Load(),
 	}
 }
 
@@ -324,58 +335,20 @@ func (db *DB) TableColumns(name string) ([]ColumnDef, bool) {
 // binding ? placeholders to args in order across the whole batch. The
 // Result of the last statement is returned.
 func (db *DB) Exec(sql string, args ...Value) (Result, error) {
-	stmts, err := db.parseCached(sql)
+	p, err := db.prepare(sql)
 	if err != nil {
 		return Result{}, err
 	}
-	nargs := make([]Value, len(args))
-	for i, a := range args {
-		nargs[i] = normalize(a)
-	}
-	lock := db.lockForBatch(stmts)
-	defer db.unlockBatch(lock)
-	ex := &executor{db: db, args: nargs}
-	var res Result
-	for _, s := range stmts {
-		if err := fault.Hit(faultExec); err != nil {
-			return Result{}, err
-		}
-		r, err := ex.execStmt(s, nil)
-		if err != nil {
-			return Result{}, err
-		}
-		res = r
-	}
-	return res, nil
+	return db.execPrepared(p, args)
 }
 
 // Query parses and executes a single SELECT statement.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
-	stmts, err := db.parseCached(sql)
+	p, err := db.prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	if len(stmts) != 1 {
-		return nil, fmt.Errorf("sqldb: Query requires exactly one statement")
-	}
-	sel, ok := stmts[0].(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
-	}
-	nargs := make([]Value, len(args))
-	for i, a := range args {
-		nargs[i] = normalize(a)
-	}
-	// Reads take shared table locks, so queries over disjoint (or even
-	// the same) tables run concurrently; planner state is guarded by
-	// planMu and atomics rather than the batch lock.
-	lock := db.lockForBatch(stmts)
-	defer db.unlockBatch(lock)
-	if err := fault.Hit(faultExec); err != nil {
-		return nil, err
-	}
-	ex := &executor{db: db, args: nargs}
-	return ex.execSelect(sel, nil)
+	return db.queryPrepared(p, args)
 }
 
 // QueryScalar runs a single-row, single-column query and returns the

@@ -94,6 +94,14 @@ func (ex *executor) execStmt(s Stmt, sc *scope) (Result, error) {
 		return Result{}, ex.createView(st)
 	case *CreateTriggerStmt:
 		return Result{}, ex.createTrigger(st)
+	case *CreateIndexStmt:
+		return Result{}, ex.createIndex(st)
+	case *ExplainStmt:
+		rows, err := ex.execExplain(st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: int64(len(rows.Data))}, nil
 	case *DropStmt:
 		return Result{}, ex.drop(st)
 	case *TxnStmt:
@@ -392,6 +400,8 @@ func (ex *executor) drop(st *DropStmt) error {
 			delete(ex.db.byName, strings.ToLower(tr.name))
 		}
 		delete(ex.db.triggers, key)
+	case "INDEX":
+		return ex.dropIndex(st)
 	case "TRIGGER":
 		tr, ok := ex.db.byName[key]
 		if !ok {
@@ -475,6 +485,11 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 		if len(vr) != len(cols) {
 			return Result{}, fmt.Errorf("sqldb: %d values for %d columns", len(vr), len(cols))
 		}
+		// The maintenance fault fires before this row touches the table,
+		// so rows already inserted stay consistent with their indexes.
+		if err := t.indexMaintHit(); err != nil {
+			return Result{}, err
+		}
 		row := make([]Value, len(t.cols))
 		provided := make([]bool, len(t.cols))
 		for i, idx := range colIdx {
@@ -509,7 +524,9 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 				if !st.OrReplace {
 					return Result{}, fmt.Errorf("sqldb: UNIQUE constraint failed: %s.%s", t.name, t.cols[t.pk].Name)
 				}
+				t.indexRemove(existing, t.rows[existing])
 				t.rows[existing] = row
+				t.indexInsert(existing, row)
 				ex.db.lastID.Store(id)
 				affected++
 				continue
@@ -524,6 +541,7 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 			}
 		}
 		t.rows = append(t.rows, row)
+		t.indexInsert(len(t.rows)-1, row)
 		affected++
 	}
 	ex.invalidateInCache()
@@ -635,16 +653,33 @@ func (ex *executor) updateTable(t *table, st *UpdateStmt, sc *scope) (Result, er
 		}
 		setIdx[i] = idx
 	}
+	// changed marks the columns any SET clause can touch, so index
+	// maintenance only re-keys indexes covering an assigned column.
+	changed := make([]bool, len(t.cols))
+	for _, idx := range setIdx {
+		changed[idx] = true
+	}
 	var affected int64
 	pkChanged := false
-	candidates := t.rows
-	if id, ok := ex.pkEquality(t, t.name, st.Where); ok {
-		candidates = nil
-		if idx, found := t.byPK[id]; found {
-			candidates = t.rows[idx : idx+1]
-		}
+	maintain := len(t.indexes) > 0
+	// Access-path layer: probe for candidate positions when an index
+	// covers the WHERE; the full WHERE still runs on every candidate.
+	ap := ex.chooseAccess(t, t.name, st.Where)
+	ex.db.countAccess(ap.kind)
+	var positions []int // nil = scan all rows
+	if ap.kind != accessSeqScan {
+		positions = ap.sortedPositions()
 	}
-	for _, row := range candidates {
+	n := len(t.rows)
+	if positions != nil {
+		n = len(positions)
+	}
+	for ci := 0; ci < n; ci++ {
+		pos := ci
+		if positions != nil {
+			pos = positions[ci]
+		}
+		row := t.rows[pos]
 		rowScope := &scope{parent: sc, cols: bindings, row: row}
 		if st.Where != nil {
 			match, err := ex.eval(st.Where, rowScope, nil)
@@ -664,11 +699,23 @@ func (ex *executor) updateTable(t *table, st *UpdateStmt, sc *scope) (Result, er
 			}
 			newVals[i] = v
 		}
+		// Fault fires before this row mutates: already-updated rows and
+		// their index entries stay consistent.
+		if err := t.indexMaintHit(); err != nil {
+			return Result{}, err
+		}
+		var oldRow []Value
+		if maintain {
+			oldRow = append([]Value(nil), row...)
+		}
 		for i, idx := range setIdx {
 			if idx == t.pk {
 				pkChanged = true
 			}
 			row[idx] = newVals[i]
+		}
+		if maintain {
+			t.indexUpdate(pos, oldRow, row, changed)
 		}
 		affected++
 	}
@@ -729,26 +776,61 @@ func (ex *executor) deleteTable(t *table, st *DeleteStmt, sc *scope) (Result, er
 	for i, c := range t.cols {
 		bindings[i] = colBinding{qual: t.name, name: c.Name}
 	}
-	// Primary-key fast path: delete one indexed row without a scan.
-	// The last row swaps into the hole (row order without ORDER BY is
-	// unspecified, as in SQLite), so only one index entry moves.
-	if id, ok := ex.pkEquality(t, t.name, st.Where); ok {
-		idx, found := t.byPK[id]
-		if !found {
+	// Access-path fast path: when a pk or secondary-index probe covers
+	// part of the WHERE, evaluate the full WHERE only on the candidates
+	// and swap-delete the matches. The last row swaps into each hole
+	// (row order without ORDER BY is unspecified, as in SQLite), so
+	// only one index entry moves per deletion. Deleting from the
+	// highest position down keeps pending positions valid: every slot
+	// filled by a swap came from beyond the remaining matches.
+	ap := ex.chooseAccess(t, t.name, st.Where)
+	ex.db.countAccess(ap.kind)
+	if ap.kind != accessSeqScan {
+		var matched []int
+		rowScope := &scope{parent: sc, cols: bindings}
+		for _, pos := range ap.sortedPositions() {
+			if st.Where != nil {
+				rowScope.row = t.rows[pos]
+				match, err := ex.eval(st.Where, rowScope, nil)
+				if err != nil {
+					return Result{}, err
+				}
+				if !truthy(match) {
+					continue
+				}
+			}
+			matched = append(matched, pos)
+		}
+		if len(matched) == 0 {
 			return Result{}, nil
 		}
-		last := len(t.rows) - 1
-		if idx != last {
-			moved := t.rows[last]
-			t.rows[idx] = moved
-			if movedID, ok := AsInt(moved[t.pk]); ok {
-				t.byPK[movedID] = idx
-			}
+		if err := t.indexMaintHit(); err != nil {
+			return Result{}, err
 		}
-		t.rows = t.rows[:last]
-		delete(t.byPK, id)
+		for i := len(matched) - 1; i >= 0; i-- {
+			pos := matched[i]
+			row := t.rows[pos]
+			t.indexRemove(pos, row)
+			if t.pk >= 0 {
+				if id, ok := AsInt(row[t.pk]); ok {
+					delete(t.byPK, id)
+				}
+			}
+			last := len(t.rows) - 1
+			if pos != last {
+				moved := t.rows[last]
+				t.indexMove(last, pos, moved)
+				t.rows[pos] = moved
+				if t.pk >= 0 {
+					if movedID, ok := AsInt(moved[t.pk]); ok {
+						t.byPK[movedID] = pos
+					}
+				}
+			}
+			t.rows = t.rows[:last]
+		}
 		ex.invalidateInCache()
-		return Result{RowsAffected: 1}, nil
+		return Result{RowsAffected: int64(len(matched))}, nil
 	}
 	kept := t.rows[:0:0]
 	var affected int64
@@ -766,6 +848,11 @@ func (ex *executor) deleteTable(t *table, st *DeleteStmt, sc *scope) (Result, er
 			}
 		}
 		affected++
+	}
+	// The scan path commits in one step (row compaction + reindex), so a
+	// fault here leaves the table untouched.
+	if err := t.indexMaintHit(); err != nil {
+		return Result{}, err
 	}
 	t.rows = kept
 	t.reindex()
@@ -1154,16 +1241,15 @@ func (ex *executor) buildFrom(core *SelectCore, sc *scope) (relation, error) {
 			if alias == "" {
 				alias = core.From.Name
 			}
-			if id, ok := ex.pkEquality(t, alias, core.Where); ok {
+			// Access-path layer: probe an index when the WHERE pins one;
+			// candidates still pass through the full WHERE filter above.
+			if ap := ex.chooseAccess(t, alias, core.Where); ap.kind != accessSeqScan {
+				ex.db.countAccess(ap.kind)
 				cols := make([]colBinding, len(t.cols))
 				for i, c := range t.cols {
 					cols[i] = colBinding{qual: alias, name: c.Name}
 				}
-				var rows [][]Value
-				if idx, found := t.byPK[id]; found {
-					rows = [][]Value{t.rows[idx]}
-				}
-				return relation{cols: cols, rows: rows}, nil
+				return relation{cols: cols, rows: ap.fetchRows()}, nil
 			}
 		}
 	}
@@ -1223,6 +1309,7 @@ func (ex *executor) scanRef(ref TableRef, sc *scope) (relation, error) {
 	}
 	key := strings.ToLower(ref.Name)
 	if t, ok := ex.db.tables[key]; ok {
+		ex.db.statSeqScan.Add(1)
 		cols := make([]colBinding, len(t.cols))
 		for i, c := range t.cols {
 			cols[i] = colBinding{qual: qual, name: c.Name}

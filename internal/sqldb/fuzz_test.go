@@ -25,6 +25,16 @@ var fuzzSeeds = []string{
 	"BEGIN; COMMIT; ROLLBACK;",
 	"SELECT -1e9, 0x, '' FROM t",
 	"SELECT\n\t*\nFROM t -- comment",
+	// PR 6 grammar: index DDL, EXPLAIN, and parameter placeholders
+	// (the prepared-statement layer rewrites literals to ? and must
+	// round-trip through the same lexer and parser).
+	"CREATE INDEX IF NOT EXISTS t_vw ON t (v, w)",
+	"CREATE INDEX t_h ON t (w) USING HASH",
+	"DROP INDEX IF EXISTS t_vw",
+	"EXPLAIN SELECT v FROM t WHERE v = 3 AND w > 'a'",
+	"EXPLAIN UPDATE t SET v = ? WHERE w = ?",
+	"SELECT v FROM t WHERE v = ? AND w BETWEEN ? AND ? LIMIT ?",
+	"INSERT INTO t (v, w) VALUES (?, ?)",
 }
 
 // FuzzTokenize checks the lexer never panics and either yields tokens
@@ -64,6 +74,51 @@ func FuzzParse(f *testing.F) {
 			if sel, ok := s.(*SelectStmt); ok {
 				_ = FormatSelect(sel)
 			}
+		}
+	})
+}
+
+// FuzzNormalize checks the prepared-statement normalizer: whenever it
+// accepts a token stream, the canonical text it renders must lex and
+// parse back to the same number of statements, and the placeholder
+// count in the rewritten stream must match the extracted literals —
+// otherwise bound parameters would shift against their positions.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		stmts, err := parseTokens(toks)
+		if err != nil {
+			return
+		}
+		n, ok := normalizeTokens(toks)
+		if !ok {
+			return
+		}
+		params := 0
+		for _, tk := range n.toks {
+			if tk.kind == tokParam {
+				params++
+			}
+		}
+		if params != len(n.lits) {
+			t.Fatalf("normalize(%q): %d placeholders vs %d extracted literals", src, params, len(n.lits))
+		}
+		ntoks, err := lex(n.text)
+		if err != nil {
+			t.Fatalf("normalized text does not lex\n  input: %q\n  text: %q\n  error: %v", src, n.text, err)
+		}
+		nstmts, err := parseTokens(ntoks)
+		if err != nil {
+			t.Fatalf("normalized text does not parse\n  input: %q\n  text: %q\n  error: %v", src, n.text, err)
+		}
+		if len(nstmts) != len(stmts) {
+			t.Fatalf("normalize(%q) changed statement count %d -> %d: %q", src, len(stmts), len(nstmts), n.text)
 		}
 	})
 }

@@ -130,15 +130,15 @@ type lockPlanEntry struct {
 // tables a statement reaches. All callers hold db.mu exclusively.
 func (db *DB) invalidateLockPlans() {
 	db.lockPlanMu.Lock()
-	db.lockPlans = make(map[Stmt]lockPlanEntry)
+	db.lockPlans.clear()
 	db.lockPlanMu.Unlock()
 }
 
 // analyze computes the read/write base-table sets of a batch. The
 // second return is false when the batch cannot be fully resolved and
 // must take the exclusive path. Caller holds db.mu (shared suffices).
-// Results are memoized per batch: parseCached hands out stable ASTs,
-// so the first statement identifies the batch.
+// Results are memoized per batch: the statement caches hand out stable
+// ASTs, so the first statement identifies the batch.
 func (db *DB) analyze(stmts []Stmt) (*lockPlan, bool) {
 	var key Stmt
 	if len(stmts) > 0 {
@@ -146,7 +146,7 @@ func (db *DB) analyze(stmts []Stmt) (*lockPlan, bool) {
 	}
 	if key != nil {
 		db.lockPlanMu.Lock()
-		e, hit := db.lockPlans[key]
+		e, hit := db.lockPlans.get(key)
 		db.lockPlanMu.Unlock()
 		if hit {
 			return e.plan, e.ok
@@ -155,10 +155,7 @@ func (db *DB) analyze(stmts []Stmt) (*lockPlan, bool) {
 	plan, ok := db.analyzeUncached(stmts)
 	if key != nil {
 		db.lockPlanMu.Lock()
-		if len(db.lockPlans) >= maxCachedStmts {
-			db.lockPlans = make(map[Stmt]lockPlanEntry)
-		}
-		db.lockPlans[key] = lockPlanEntry{plan: plan, ok: ok}
+		db.lockPlans.put(key, lockPlanEntry{plan: plan, ok: ok})
 		db.lockPlanMu.Unlock()
 	}
 	return plan, ok

@@ -19,6 +19,13 @@ func parseAll(src string) ([]Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseTokens(toks)
+}
+
+// parseTokens parses an already-lexed token stream. The prepared-
+// statement layer parses normalized streams (literals replaced by
+// parameters) directly, without rebuilding text.
+func parseTokens(toks []token) ([]Stmt, error) {
 	p := &parser{toks: toks}
 	var stmts []Stmt
 	for {
@@ -124,6 +131,13 @@ func (p *parser) parseStmt() (Stmt, error) {
 		p.next()
 		p.acceptKeyword("TRANSACTION")
 		return &TxnStmt{Kind: "ROLLBACK"}, nil
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Target: inner}, nil
 	}
 	return nil, p.errf("unsupported statement %s", t.text)
 }
@@ -137,8 +151,58 @@ func (p *parser) parseCreate() (Stmt, error) {
 		return p.parseCreateView()
 	case p.acceptKeyword("TRIGGER"):
 		return p.parseCreateTrigger()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex()
 	}
-	return nil, p.errf("expected TABLE, VIEW, or TRIGGER")
+	return nil, p.errf("expected TABLE, VIEW, TRIGGER, or INDEX")
+}
+
+func (p *parser) parseCreateIndex() (Stmt, error) {
+	ine := p.parseIfNotExists()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if p.acceptOp(",") {
+			continue
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	// USING HASH|ORDERED is parsed context-sensitively: USING is not a
+	// reserved word, so existing identifiers keep working.
+	var using string
+	if t := p.peek(); t.kind == tokIdent && upperASCII(t.text) == "USING" {
+		p.pos++
+		kind, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		using = upperASCII(kind)
+		if using != "HASH" && using != "ORDERED" {
+			return nil, p.errf("expected HASH or ORDERED after USING")
+		}
+	}
+	return &CreateIndexStmt{Name: name, IfNotExists: ine, Table: table, Cols: cols, Using: using}, nil
 }
 
 func (p *parser) parseIfNotExists() bool {
@@ -291,8 +355,10 @@ func (p *parser) parseDrop() (Stmt, error) {
 		kind = "VIEW"
 	case p.acceptKeyword("TRIGGER"):
 		kind = "TRIGGER"
+	case p.acceptKeyword("INDEX"):
+		kind = "INDEX"
 	default:
-		return nil, p.errf("expected TABLE, VIEW, or TRIGGER")
+		return nil, p.errf("expected TABLE, VIEW, TRIGGER, or INDEX")
 	}
 	ifExists := false
 	if p.acceptKeyword("IF") {

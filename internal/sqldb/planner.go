@@ -19,30 +19,19 @@ import (
 func (ex *executor) plan(sel *SelectStmt) *SelectStmt {
 	db := ex.db
 	db.planMu.Lock()
-	cached, ok := db.planCache[sel]
+	cached, ok := db.planCache.get(sel)
 	db.planMu.Unlock()
 	if ok {
+		db.statPlanHit.Add(1)
 		if cached != sel {
 			db.statFlattened.Add(1)
 		}
 		return cached
 	}
+	db.statPlanMiss.Add(1)
 	planned := ex.planUncached(sel)
 	db.planMu.Lock()
-	if len(db.planCache) >= maxCachedStmts {
-		// Synthesized statements (view UPDATE/DELETE planning) have
-		// unique ASTs; bound the cache like the statement cache, but
-		// evict only a fraction so cached-statement plans survive.
-		evict := maxCachedStmts / 4
-		for key := range db.planCache {
-			delete(db.planCache, key)
-			evict--
-			if evict == 0 {
-				break
-			}
-		}
-	}
-	db.planCache[sel] = planned
+	db.planCache.put(sel, planned)
 	db.planMu.Unlock()
 	return planned
 }

@@ -1,0 +1,360 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maxoid/internal/fault"
+)
+
+// prepared is a parsed (and usually normalized) statement batch. The
+// AST is shared across every raw text that normalizes to the same
+// canonical form, so pointer-keyed memos (plan cache, lock plans,
+// expansion cache) hit regardless of the literals the caller wrote.
+type prepared struct {
+	stmts []Stmt
+	text  string  // canonical text: normalized form, or the raw SQL
+	norm  bool    // true if this entry went through normalization
+	lits  []Value // extracted literal values bound as parameters
+}
+
+// bindArgs produces the executor's positional argument slice. A
+// normalized statement binds its extracted literals (it had no user
+// parameters by construction — normalization refuses those); a raw
+// statement binds the caller's values.
+func (p *prepared) bindArgs(args []Value) []Value {
+	if p.norm {
+		out := make([]Value, len(p.lits))
+		copy(out, p.lits)
+		return out
+	}
+	out := make([]Value, len(args))
+	for i, a := range args {
+		out[i] = normalize(a)
+	}
+	return out
+}
+
+// prepare resolves SQL text to a prepared entry through two cache
+// levels: raw text -> prepared (per-literal-set), and normalized text
+// -> shared AST. Lock order: stmtMu, then planMu/lockPlanMu inside
+// eviction callbacks.
+func (db *DB) prepare(sql string) (*prepared, error) {
+	db.stmtMu.Lock()
+	p, ok := db.rawStmts.get(sql)
+	db.stmtMu.Unlock()
+	if ok {
+		return p, nil
+	}
+
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	n, normOK := normalizeTokens(toks)
+	if normOK {
+		db.stmtMu.Lock()
+		shared, hit := db.normStmts.get(n.text)
+		db.stmtMu.Unlock()
+		if hit {
+			p = &prepared{stmts: shared, text: n.text, norm: true, lits: n.lits}
+		} else {
+			stmts, perr := parseTokens(n.toks)
+			if perr != nil {
+				// The normalized stream should parse exactly when the
+				// raw one does; if it somehow doesn't, the raw parse
+				// below owns the outcome (and the error text).
+				normOK = false
+			} else {
+				p = &prepared{stmts: stmts, text: n.text, norm: true, lits: n.lits}
+			}
+		}
+	}
+	if !normOK {
+		stmts, perr := parseTokens(toks)
+		if perr != nil {
+			return nil, perr
+		}
+		p = &prepared{stmts: stmts, text: sql}
+	}
+
+	db.stmtMu.Lock()
+	if p.norm {
+		if shared, hit := db.normStmts.get(p.text); hit {
+			// Another goroutine published this shape first; adopt its
+			// AST so the pointer-keyed memos converge on one entry.
+			p.stmts = shared
+		} else {
+			db.normStmts.put(p.text, p.stmts)
+		}
+	}
+	db.rawStmts.put(sql, p)
+	db.stmtMu.Unlock()
+	return p, nil
+}
+
+// execPrepared runs a prepared batch, returning the last statement's
+// result (the body Exec always had).
+func (db *DB) execPrepared(p *prepared, args []Value) (Result, error) {
+	db.recordWorkload(p)
+	nargs := p.bindArgs(args)
+	lock := db.lockForBatch(p.stmts)
+	defer db.unlockBatch(lock)
+	ex := &executor{db: db, args: nargs}
+	var res Result
+	for _, s := range p.stmts {
+		if err := fault.Hit(faultExec); err != nil {
+			return Result{}, err
+		}
+		r, err := ex.execStmt(s, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		res = r
+	}
+	return res, nil
+}
+
+// queryPrepared runs a prepared single-statement SELECT or EXPLAIN.
+func (db *DB) queryPrepared(p *prepared, args []Value) (*Rows, error) {
+	if len(p.stmts) != 1 {
+		return nil, fmt.Errorf("sqldb: Query requires exactly one statement")
+	}
+	db.recordWorkload(p)
+	nargs := p.bindArgs(args)
+	switch st := p.stmts[0].(type) {
+	case *SelectStmt:
+		// Reads take shared table locks, so queries over disjoint (or
+		// even the same) tables run concurrently; planner state is
+		// guarded by planMu and atomics rather than the batch lock.
+		lock := db.lockForBatch(p.stmts)
+		defer db.unlockBatch(lock)
+		if err := fault.Hit(faultExec); err != nil {
+			return nil, err
+		}
+		ex := &executor{db: db, args: nargs}
+		return ex.execSelect(st, nil)
+	case *ExplainStmt:
+		lock := db.lockForBatch(p.stmts)
+		defer db.unlockBatch(lock)
+		ex := &executor{db: db, args: nargs}
+		return ex.execExplain(st)
+	}
+	return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+}
+
+// PreparedStmt is a reusable handle to a prepared batch. It skips the
+// text-level cache lookup on every call; name resolution still happens
+// at execution time, so DDL between calls behaves as if the SQL were
+// re-issued.
+type PreparedStmt struct {
+	db *DB
+	p  *prepared
+}
+
+// Prepare parses (and normalizes) SQL once for repeated execution.
+func (db *DB) Prepare(sql string) (*PreparedStmt, error) {
+	p, err := db.prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedStmt{db: db, p: p}, nil
+}
+
+// Exec runs the prepared batch. Arguments bind to ? placeholders the
+// caller wrote; statements whose literals were normalized away bind
+// those literals instead and ignore args.
+func (s *PreparedStmt) Exec(args ...Value) (Result, error) {
+	return s.db.execPrepared(s.p, args)
+}
+
+// Query runs the prepared statement as a query.
+func (s *PreparedStmt) Query(args ...Value) (*Rows, error) {
+	return s.db.queryPrepared(s.p, args)
+}
+
+// SQL returns the canonical statement text (normalized when possible),
+// the same text workload recording reports.
+func (s *PreparedStmt) SQL() string { return s.p.text }
+
+// Workload recording: the index advisor's input. While enabled, every
+// executed batch is counted under its canonical text, together with
+// the columns its WHERE clause could drive through an index. Literals
+// having been normalized to ?, a query shape that runs a million times
+// with a million different values records as one entry with count 1e6
+// — exactly the aggregation the advisor needs.
+
+// WorkloadEntry is one distinct statement shape observed while
+// recording, with the index-relevant analysis already extracted.
+type WorkloadEntry struct {
+	SQL   string // canonical statement text
+	Count int64  // executions observed
+	Table string // single-table target; "" when not index-analyzable
+
+	// Columns of Table constrained in the WHERE clause by equality
+	// (col = const) and by ranges (<, <=, >, >=, BETWEEN).
+	EqCols    []string
+	RangeCols []string
+}
+
+type workloadStat struct {
+	count int64
+	stmts []Stmt
+}
+
+// StartWorkloadRecording begins (or restarts) collection. Any
+// previously recorded workload is discarded.
+func (db *DB) StartWorkloadRecording() {
+	db.recMu.Lock()
+	db.recWork = make(map[string]*workloadStat)
+	db.recMu.Unlock()
+	db.recOn.Store(true)
+}
+
+// StopWorkloadRecording ends collection and returns the recorded
+// workload, most frequent first.
+func (db *DB) StopWorkloadRecording() []WorkloadEntry {
+	db.recOn.Store(false)
+	db.recMu.Lock()
+	work := db.recWork
+	db.recWork = nil
+	db.recMu.Unlock()
+
+	out := make([]WorkloadEntry, 0, len(work))
+	for text, st := range work {
+		e := WorkloadEntry{SQL: text, Count: st.count}
+		e.Table, e.EqCols, e.RangeCols = indexableColumns(st.stmts)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].SQL < out[j].SQL
+	})
+	return out
+}
+
+func (db *DB) recordWorkload(p *prepared) {
+	if !db.recOn.Load() {
+		return
+	}
+	db.recMu.Lock()
+	if db.recWork != nil {
+		st, ok := db.recWork[p.text]
+		if !ok {
+			st = &workloadStat{stmts: p.stmts}
+			db.recWork[p.text] = st
+		}
+		st.count++
+	}
+	db.recMu.Unlock()
+}
+
+// indexableColumns statically analyzes a batch for the columns a
+// secondary index could serve. Only the single-table statement forms
+// the access-path layer optimizes are analyzed (one base table, no
+// joins); everything else records with an empty table.
+func indexableColumns(stmts []Stmt) (table string, eqCols, rangeCols []string) {
+	if len(stmts) != 1 {
+		return "", nil, nil
+	}
+	var name, alias string
+	var where Expr
+	switch st := stmts[0].(type) {
+	case *SelectStmt:
+		if len(st.Cores) != 1 {
+			return "", nil, nil
+		}
+		core := st.Cores[0]
+		if core.From == nil || core.From.Sub != nil || len(core.Joins) > 0 {
+			return "", nil, nil
+		}
+		name, alias, where = core.From.Name, core.From.Alias, core.Where
+	case *UpdateStmt:
+		name, where = st.Table, st.Where
+	case *DeleteStmt:
+		name, where = st.Table, st.Where
+	case *ExplainStmt:
+		return indexableColumns([]Stmt{st.Target})
+	default:
+		return "", nil, nil
+	}
+	if alias == "" {
+		alias = name
+	}
+	eqCols, rangeCols = whereColumns(where, name, alias)
+	return name, eqCols, rangeCols
+}
+
+// whereColumns walks the top-level AND conjuncts collecting columns
+// compared against constants — the static mirror of the executor's
+// collectConstraints, without needing the table to exist.
+func whereColumns(where Expr, table, alias string) (eqCols, rangeCols []string) {
+	var walk func(e Expr)
+	colOf := func(e Expr) (string, bool) {
+		ref, ok := e.(*ColRef)
+		if !ok {
+			return "", false
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, alias) && !strings.EqualFold(ref.Table, table) {
+			return "", false
+		}
+		return ref.Col, true
+	}
+	isConst := func(e Expr) bool {
+		switch e.(type) {
+		case *Lit, *Param:
+			return true
+		}
+		return false
+	}
+	add := func(list []string, col string) []string {
+		for _, c := range list {
+			if strings.EqualFold(c, col) {
+				return list
+			}
+		}
+		return append(list, col)
+	}
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Binary:
+			if x.Op == "AND" {
+				walk(x.L)
+				walk(x.R)
+				return
+			}
+			switch x.Op {
+			case "=", "<", "<=", ">", ">=":
+			default:
+				return
+			}
+			var col string
+			var ok bool
+			if c, o := colOf(x.L); o && isConst(x.R) {
+				col, ok = c, true
+			} else if c, o := colOf(x.R); o && isConst(x.L) {
+				col, ok = c, true
+			}
+			if !ok {
+				return
+			}
+			if x.Op == "=" {
+				eqCols = add(eqCols, col)
+			} else {
+				rangeCols = add(rangeCols, col)
+			}
+		case *Between:
+			if x.Not {
+				return
+			}
+			if c, o := colOf(x.X); o && isConst(x.Lo) && isConst(x.Hi) {
+				rangeCols = add(rangeCols, c)
+			}
+		}
+	}
+	walk(where)
+	return eqCols, rangeCols
+}

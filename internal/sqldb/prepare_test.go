@@ -1,0 +1,241 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func preparePopulated(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, "CREATE TABLE t (_id INTEGER PRIMARY KEY, a INTEGER, b TEXT)")
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t (a, b) VALUES (%d, 'row%d')", i, i))
+	}
+	return db
+}
+
+// TestPlanCacheHitAcrossLiterals is the regression test for the old
+// pointer-keyed plan cache: the same SQL text with different literals
+// must share one AST and hit the plan cache, while still returning
+// the rows its own literals select.
+func TestPlanCacheHitAcrossLiterals(t *testing.T) {
+	db := preparePopulated(t)
+
+	rows, err := db.Query("SELECT b FROM t WHERE a = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != "row3" {
+		t.Fatalf("a=3 returned %v", rows.Data)
+	}
+	before := db.Stats()
+
+	rows, err = db.Query("SELECT b FROM t WHERE a = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != "row7" {
+		t.Fatalf("a=7 returned %v (literal must bind per raw text)", rows.Data)
+	}
+	after := db.Stats()
+	if after.PlanCacheHits <= before.PlanCacheHits {
+		t.Errorf("plan cache hits %d -> %d; distinct literals missed the cache",
+			before.PlanCacheHits, after.PlanCacheHits)
+	}
+	if after.PlanCacheMisses != before.PlanCacheMisses {
+		t.Errorf("plan cache misses %d -> %d; second literal re-planned",
+			before.PlanCacheMisses, after.PlanCacheMisses)
+	}
+}
+
+// TestNormalizationSharesAST verifies the statement layer converges
+// distinct literal spellings (and whitespace) onto one AST entry.
+func TestNormalizationSharesAST(t *testing.T) {
+	db := preparePopulated(t)
+	queries := []string{
+		"SELECT a FROM t WHERE b = 'row1'",
+		"SELECT a FROM t WHERE b = 'row2'",
+		"SELECT  a  FROM  t  WHERE  b = 'row3'",
+	}
+	for _, q := range queries {
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.stmtMu.Lock()
+	var asts []*prepared
+	for _, q := range queries {
+		p, ok := db.rawStmts.get(q)
+		if !ok {
+			t.Fatalf("raw cache lost %q", q)
+		}
+		asts = append(asts, p)
+	}
+	db.stmtMu.Unlock()
+	for i := 1; i < len(asts); i++ {
+		if asts[i].stmts[0] != asts[0].stmts[0] {
+			t.Errorf("query %d did not share the normalized AST", i)
+		}
+	}
+}
+
+// TestNormalizationPreservesOrdinals: integers in ORDER BY and GROUP
+// BY are output-column ordinals and must not become parameters.
+func TestNormalizationPreservesOrdinals(t *testing.T) {
+	db := preparePopulated(t)
+	asc, err := db.Query("SELECT a, b FROM t ORDER BY 1 LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := db.Query("SELECT a, b FROM t ORDER BY 1 DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := AsInt(asc.Data[0][0]); a != 1 {
+		t.Errorf("ORDER BY 1 first row a=%v, want 1", asc.Data[0][0])
+	}
+	if a, _ := AsInt(desc.Data[0][0]); a != 10 {
+		t.Errorf("ORDER BY 1 DESC first row a=%v, want 10", desc.Data[0][0])
+	}
+	// LIMIT literals, by contrast, are safe to parameterize; distinct
+	// limits must still bind per raw text.
+	two, err := db.Query("SELECT a FROM t LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := db.Query("SELECT a FROM t LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Data) != 2 || len(five.Data) != 5 {
+		t.Errorf("LIMIT 2/5 returned %d/%d rows", len(two.Data), len(five.Data))
+	}
+}
+
+// TestNormalizationSkipsCreate: literals in CREATE statements (column
+// DEFAULTs, trigger bodies) must survive in the catalog.
+func TestNormalizationSkipsCreate(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE d (_id INTEGER PRIMARY KEY, v INTEGER DEFAULT 42, s TEXT DEFAULT 'x')")
+	mustExec(t, db, "INSERT INTO d (_id) VALUES (1)")
+	row, err := db.Query("SELECT v, s FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := AsInt(row.Data[0][0]); v != 42 || row.Data[0][1] != "x" {
+		t.Errorf("DEFAULT literals lost in normalization: got %v", row.Data[0])
+	}
+}
+
+// TestNormalizationLeavesUserParams: statements the caller already
+// parameterized bypass normalization, and argument-count errors keep
+// referring to the caller's placeholders.
+func TestNormalizationLeavesUserParams(t *testing.T) {
+	db := preparePopulated(t)
+	rows, err := db.Query("SELECT b FROM t WHERE a = ?", int64(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != "row4" {
+		t.Fatalf("user param query returned %v", rows.Data)
+	}
+	_, err = db.Query("SELECT b FROM t WHERE a = ?")
+	if err == nil || !strings.Contains(err.Error(), "missing argument for placeholder") {
+		t.Errorf("missing arg error = %v", err)
+	}
+}
+
+// TestPreparedStmtReuse exercises the explicit Prepare API.
+func TestPreparedStmtReuse(t *testing.T) {
+	db := preparePopulated(t)
+	st, err := db.Prepare("SELECT b FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		rows, err := st.Query(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows.Data) != 1 || rows.Data[0][0] != fmt.Sprintf("row%d", i) {
+			t.Fatalf("prepared a=%d returned %v", i, rows.Data)
+		}
+	}
+	ins, err := db.Prepare("INSERT INTO t (a, b) VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Exec(int64(11), "row11"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.QueryScalar("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := AsInt(n); c != 11 {
+		t.Errorf("count after prepared insert = %v, want 11", n)
+	}
+}
+
+// TestNormalizedLiteralsDriveIndexProbes: extracted literals bind as
+// parameters, and the access-path layer must still use them for index
+// probes (constValue evaluates Params).
+func TestNormalizedLiteralsDriveIndexProbes(t *testing.T) {
+	db := preparePopulated(t)
+	mustExec(t, db, "CREATE INDEX t_a ON t (a)")
+	before := db.Stats()
+	rows, err := db.Query("SELECT b FROM t WHERE a = 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != "row6" {
+		t.Fatalf("indexed lookup returned %v", rows.Data)
+	}
+	after := db.Stats()
+	if after.IndexProbes != before.IndexProbes+1 {
+		t.Errorf("index probes %d -> %d; normalized literal did not drive the probe",
+			before.IndexProbes, after.IndexProbes)
+	}
+}
+
+// TestWorkloadRecording verifies aggregation by normalized text and
+// the indexable-column analysis the advisor consumes.
+func TestWorkloadRecording(t *testing.T) {
+	db := preparePopulated(t)
+	db.StartWorkloadRecording()
+	for i := 0; i < 5; i++ {
+		if _, err := db.Query(fmt.Sprintf("SELECT b FROM t WHERE a = %d", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query("SELECT b FROM t WHERE a >= 2 AND a <= 4"); err != nil {
+		t.Fatal(err)
+	}
+	work := db.StopWorkloadRecording()
+	if len(work) != 2 {
+		t.Fatalf("recorded %d entries, want 2: %+v", len(work), work)
+	}
+	top := work[0]
+	if top.Count != 5 {
+		t.Errorf("top entry count = %d, want 5", top.Count)
+	}
+	if !strings.Contains(top.SQL, "a = ?") {
+		t.Errorf("top entry not normalized: %q", top.SQL)
+	}
+	if !strings.EqualFold(top.Table, "t") || len(top.EqCols) != 1 || !strings.EqualFold(top.EqCols[0], "a") {
+		t.Errorf("top entry analysis = table %q eq %v", top.Table, top.EqCols)
+	}
+	rangeEntry := work[1]
+	if len(rangeEntry.RangeCols) != 1 || !strings.EqualFold(rangeEntry.RangeCols[0], "a") {
+		t.Errorf("range entry analysis = %+v", rangeEntry)
+	}
+	// Recording is off again: nothing further accumulates.
+	if _, err := db.Query("SELECT b FROM t WHERE a = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if again := db.StopWorkloadRecording(); len(again) != 0 {
+		t.Errorf("recording continued after stop: %+v", again)
+	}
+}

@@ -40,6 +40,7 @@ var keywords = map[string]bool{
 	"GROUP": true, "HAVING": true, "CASE": true, "WHEN": true,
 	"THEN": true, "ELSE": true, "BETWEEN": true, "CAST": true,
 	"TRANSACTION": true, "COMMIT": true, "ROLLBACK": true,
+	"INDEX": true, "EXPLAIN": true,
 }
 
 type lexer struct {
