@@ -24,9 +24,14 @@ import (
 	"time"
 
 	"maxoid/internal/bench"
+	"maxoid/internal/bench/report"
 )
 
 var trials = flag.Int("trials", 200, "trials per measurement (the paper uses 1000 for Table 3)")
+
+// rep accumulates the run in the unified benchmark-report schema when
+// -json is given; nil disables recording.
+var rep *report.Report
 
 func main() {
 	t3 := flag.Bool("table3", false, "run the Table 3 microbenchmarks")
@@ -35,13 +40,18 @@ func main() {
 	contention := flag.Bool("contention", false, "run the concurrent-instance contention report")
 	workers := flag.Int("workers", 8, "concurrent instances for -contention")
 	ops := flag.Int("ops", 2000, "mixed ops per instance for -contention")
+	jsonOut := flag.String("json", "", "also write results as a unified benchmark report (internal/bench/report)")
 	flag.Parse()
 	all := !*t3 && !*t4 && !*t5
+	if *jsonOut != "" {
+		rep = report.New("maxoid-bench")
+	}
 
 	if *contention {
 		if err := runContention(*workers, *ops); err != nil {
 			log.Fatalf("contention: %v", err)
 		}
+		writeJSON(*jsonOut)
 		return
 	}
 
@@ -60,6 +70,18 @@ func main() {
 			log.Fatalf("table 5: %v", err)
 		}
 	}
+	writeJSON(*jsonOut)
+}
+
+// writeJSON flushes the accumulated report, when requested.
+func writeJSON(path string) {
+	if rep == nil || path == "" {
+		return
+	}
+	if err := rep.WriteFile(path); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("\nreport written to %s\n", path)
 }
 
 // measure times n runs of op and returns a robust per-op duration: a
@@ -119,6 +141,15 @@ func printRows(title string, rows []row) {
 			r.del.Round(time.Microsecond), overhead(r.stock, r.init), overhead(r.stock, r.del))
 	}
 	w.Flush()
+	if rep != nil {
+		sec := rep.Section(title)
+		sec.Params = map[string]float64{"trials": float64(*trials)}
+		for _, r := range rows {
+			sec.Add(r.name+".stock", "ns/op", float64(r.stock))
+			sec.Add(r.name+".initiator", "ns/op", float64(r.init))
+			sec.Add(r.name+".delegate", "ns/op", float64(r.del))
+		}
+	}
 }
 
 func runTable3() error {
@@ -268,6 +299,11 @@ func runTable4() error {
 	}
 	fmt.Printf("download 100x1KB files:  public %v   volatile %v   (delta %s)\n",
 		pub.Round(time.Millisecond), vol.Round(time.Millisecond), overhead(pub, vol))
+	if rep != nil {
+		sec := rep.Section("Table 4: Downloads provider")
+		sec.Add("download100x1KB.public", "ns/op", float64(pub))
+		sec.Add("download100x1KB.volatile", "ns/op", float64(vol))
+	}
 
 	scanPub, err := measure(batches, func(int) error {
 		paths, err := w.SeedImages(100, 780<<10)
@@ -291,6 +327,11 @@ func runTable4() error {
 	}
 	fmt.Printf("scan 100x780KB images:   public %v   volatile %v   (delta %s)\n",
 		scanPub.Round(time.Millisecond), scanVol.Round(time.Millisecond), overhead(scanPub, scanVol))
+	if rep != nil {
+		sec := rep.Section("Table 4: Media provider")
+		sec.Add("scan100x780KB.public", "ns/op", float64(scanPub))
+		sec.Add("scan100x780KB.volatile", "ns/op", float64(scanVol))
+	}
 	return nil
 }
 
@@ -410,5 +451,14 @@ func runContention(n, ops int) error {
 	fmt.Fprintf(tw, "sqldb\ttable lock acquisitions\t%d\n", db.TableAcquisitions)
 	fmt.Fprintf(tw, "sqldb\ttable acquisitions blocked\t%d\n", db.TableBlocked)
 	fmt.Fprintf(tw, "sqldb\texclusive-path batches\t%d\n", db.ExclusiveBatches)
+	if rep != nil {
+		sec := rep.Section("contention")
+		sec.Params = map[string]float64{"workers": float64(n), "ops_per_worker": float64(ops)}
+		sec.Add("throughput", "ops/s", float64(total)/elapsed.Seconds())
+		sec.Add("vfs.node_acquisitions", "count", float64(fs.NodeAcquisitions))
+		sec.Add("vfs.node_blocked", "count", float64(fs.NodeBlocked))
+		sec.Add("sqldb.table_acquisitions", "count", float64(db.TableAcquisitions))
+		sec.Add("sqldb.table_blocked", "count", float64(db.TableBlocked))
+	}
 	return tw.Flush()
 }

@@ -56,11 +56,14 @@ var engines = []engine{
 	{name: "kill", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
 		return chaos.RunKillChecker(seed, chaos.KillOptions{Ops: ops})
 	}},
+	{name: "overload", noShrink: true, run: func(seed int64, ops int, script []fault.Fire) *chaos.Report {
+		return chaos.RunOverloadChecker(seed, chaos.OverloadOptions{Ops: ops, Script: script})
+	}},
 }
 
 func main() {
 	var (
-		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, or all")
+		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, overload, or all")
 		seed       = flag.Int64("seed", 1, "run seed; reproduces workload, fault schedule, and verdict")
 		ops        = flag.Int("ops", 0, "workload operations per engine (0 = engine default)")
 		dump       = flag.Bool("dump", false, "print the full fault schedule of each run")

@@ -1,7 +1,8 @@
 // maxoid-indexbench measures what the planner split buys on a large
 // table: point and range lookups as sequential scans versus index
 // probes, plus the advisor loop (record → recommend → apply → re-time)
-// on the same data. Results are written as JSON for CI artifacts:
+// on the same data. Results are written in the unified benchmark-report
+// schema (internal/bench/report) for CI artifacts:
 //
 //	maxoid-indexbench -rows 1000000 -out BENCH_PR6.json
 //
@@ -12,50 +13,19 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"regexp"
-	"runtime"
 	"sort"
 	"strconv"
 	"time"
 
 	"maxoid/internal/advisor"
+	"maxoid/internal/bench/report"
 	"maxoid/internal/sqldb"
 )
-
-type lookupResult struct {
-	SeqScanNs      int64   `json:"seq_scan_ns_per_op"`
-	OrderedProbeNs int64   `json:"ordered_probe_ns_per_op"`
-	HashProbeNs    int64   `json:"hash_probe_ns_per_op,omitempty"`
-	SpeedupOrdered float64 `json:"speedup_ordered"`
-	SpeedupHash    float64 `json:"speedup_hash,omitempty"`
-}
-
-type advisorResult struct {
-	Statements int      `json:"recorded_statements"`
-	DDL        []string `json:"ddl"`
-	BeforeNs   int64    `json:"workload_before_ns_per_rep"`
-	AfterNs    int64    `json:"workload_after_ns_per_rep"`
-	Speedup    float64  `json:"speedup"`
-}
-
-type report struct {
-	Benchmark string             `json:"benchmark"`
-	Command   string             `json:"command"`
-	Machine   map[string]any     `json:"machine"`
-	Rows      int                `json:"rows"`
-	LoadNs    int64              `json:"bulk_load_ns_per_row"`
-	BuildNs   map[string]int64   `json:"index_build_ns"`
-	Point     lookupResult       `json:"point_lookup"`
-	Range     lookupResult       `json:"range_lookup_1000_rows"`
-	ProbeOnly map[string]float64 `json:"probe_only_ns_per_op,omitempty"`
-	Advisor   advisorResult      `json:"advisor"`
-	Notes     map[string]string  `json:"notes"`
-}
 
 func main() {
 	var (
@@ -81,25 +51,19 @@ func main() {
 	}
 	loadNs := time.Since(loadStart).Nanoseconds() / int64(*rows)
 
-	rep := &report{
-		Benchmark: "secondary-index access paths vs sequential scans",
-		Command:   fmt.Sprintf("go run ./cmd/maxoid-indexbench -rows %d -trials %d", *rows, *trials),
-		Machine: map[string]any{
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0), "cpus": runtime.NumCPU(),
-		},
-		Rows:    *rows,
-		LoadNs:  loadNs,
-		BuildNs: map[string]int64{},
-		Notes: map[string]string{
-			"timing":    "end-to-end statement latency through Prepare/Query, plan cache warm; median of 5 chunk means",
-			"ordering":  "indexes are built after the bulk load; build times cover the full sorted rebuild of all rows",
-			"point":     "WHERE a = ? with a unique; probe returns 1 row",
-			"range":     "WHERE a >= ? AND a < ?+1000; ordered index narrows to exactly the answer rows",
-			"advisor":   "workload recorded live, mined by internal/advisor, DDL applied, same workload re-timed",
-			"row_shift": "maintaining an ordered index during the load would cost O(n) per insert; the rebuild is one sort",
-		},
+	rep := report.New("maxoid-indexbench")
+	rep.Command = fmt.Sprintf("go run ./cmd/maxoid-indexbench -rows %d -trials %d", *rows, *trials)
+	rep.Notes = map[string]string{
+		"timing":    "end-to-end statement latency through Prepare/Query, plan cache warm; median of 5 chunk means",
+		"ordering":  "indexes are built after the bulk load; build times cover the full sorted rebuild of all rows",
+		"point":     "WHERE a = ? with a unique; probe returns 1 row",
+		"range":     "WHERE a >= ? AND a < ?+1000; ordered index narrows to exactly the answer rows",
+		"advisor":   "workload recorded live, mined by internal/advisor, DDL applied, same workload re-timed",
+		"row_shift": "maintaining an ordered index during the load would cost O(n) per insert; the rebuild is one sort",
 	}
+	loadSec := rep.Section("load")
+	loadSec.Params = map[string]float64{"rows": float64(*rows)}
+	loadSec.Add("bulk_load", "ns/row", float64(loadNs))
 
 	point, err := db.Prepare("SELECT b FROM t WHERE a = ?")
 	if err != nil {
@@ -121,57 +85,94 @@ func main() {
 	}
 
 	// Bare table: every lookup is a full scan.
-	rep.Point.SeqScanNs = measure(*trials, pointOp)
-	rep.Range.SeqScanNs = measure(*trials, rangeOp)
+	pointScan := measure(*trials, pointOp)
+	rangeScan := measure(*trials, rangeOp)
 
 	// Ordered index: point probe and range scan.
+	buildSec := rep.Section("index_build")
 	buildStart := time.Now()
 	must(db.Exec("CREATE INDEX t_a ON t (a)"))
-	rep.BuildNs["ordered_t_a"] = time.Since(buildStart).Nanoseconds()
-	rep.Point.OrderedProbeNs = measure(*trials*100, pointOp)
-	rep.Range.OrderedProbeNs = measure(*trials*10, rangeOp)
+	buildSec.Add("ordered_t_a", "ns", float64(time.Since(buildStart).Nanoseconds()))
+	pointOrdered := measure(*trials*100, pointOp)
+	rangeOrdered := measure(*trials*10, rangeOp)
 	must(db.Exec("DROP INDEX t_a"))
 
 	// Hash index: point probe only (no ordering, so no range support).
 	buildStart = time.Now()
 	must(db.Exec("CREATE INDEX t_a_hash ON t (a) USING HASH"))
-	rep.BuildNs["hash_t_a_hash"] = time.Since(buildStart).Nanoseconds()
-	rep.Point.HashProbeNs = measure(*trials*100, pointOp)
+	buildSec.Add("hash_t_a_hash", "ns", float64(time.Since(buildStart).Nanoseconds()))
+	pointHash := measure(*trials*100, pointOp)
 	must(db.Exec("DROP INDEX t_a_hash"))
 
-	rep.Point.SpeedupOrdered = ratio(rep.Point.SeqScanNs, rep.Point.OrderedProbeNs)
-	rep.Point.SpeedupHash = ratio(rep.Point.SeqScanNs, rep.Point.HashProbeNs)
-	rep.Range.SpeedupOrdered = ratio(rep.Range.SeqScanNs, rep.Range.OrderedProbeNs)
+	pointSec := rep.Section("point_lookup")
+	pointSec.Add("seq_scan", "ns/op", float64(pointScan))
+	pointSec.Add("ordered_probe", "ns/op", float64(pointOrdered))
+	pointSec.Add("hash_probe", "ns/op", float64(pointHash))
+	pointSec.Add("speedup_ordered", "ratio", ratio(pointScan, pointOrdered))
+	pointSec.Add("speedup_hash", "ratio", ratio(pointScan, pointHash))
 
-	rep.Advisor = advisorRun(db, *rows)
+	rangeSec := rep.Section("range_lookup_1000_rows")
+	rangeSec.Add("seq_scan", "ns/op", float64(rangeScan))
+	rangeSec.Add("ordered_probe", "ns/op", float64(rangeOrdered))
+	rangeSec.Add("speedup_ordered", "ratio", ratio(rangeScan, rangeOrdered))
+
+	advRes := advisorRun(db, *rows)
+	advSec := rep.Section("advisor")
+	advSec.Notes = map[string]string{}
+	for i, ddl := range advRes.ddl {
+		advSec.Notes[fmt.Sprintf("ddl_%d", i)] = ddl
+	}
+	advSec.Add("recorded_statements", "count", float64(advRes.statements))
+	advSec.Add("workload_before", "ns/rep", float64(advRes.beforeNs))
+	advSec.Add("workload_after", "ns/rep", float64(advRes.afterNs))
+	advSec.Add("speedup", "ratio", ratio(advRes.beforeNs, advRes.afterNs))
 
 	if *micro != "" {
-		rep.ProbeOnly, err = parseMicro(*micro)
+		probes, err := parseMicro(*micro)
 		if err != nil {
 			fatal("parse %s: %v", *micro, err)
 		}
-		rep.Notes["probe_only"] = "raw index probe cost from go test -bench ./internal/sqldb (no statement machinery around it)"
+		microSec := rep.Section("probe_micro")
+		microSec.Notes = map[string]string{
+			"probe_only": "raw index probe cost from go test -bench ./internal/sqldb (no statement machinery around it)",
+		}
+		names := make([]string, 0, len(probes))
+		for name := range probes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			microSec.Add(name, "ns/op", probes[name])
+		}
 	}
 
-	enc, _ := json.MarshalIndent(rep, "", " ")
-	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if err := rep.WriteFile("/dev/stdout"); err != nil {
+			fatal("write: %v", err)
+		}
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		fatal("write %s: %v", *out, err)
 	}
 	fmt.Printf("wrote %s (point: scan %s -> ordered %s / hash %s; range: %s -> %s; advisor %.1fx)\n",
 		*out,
-		ns(rep.Point.SeqScanNs), ns(rep.Point.OrderedProbeNs), ns(rep.Point.HashProbeNs),
-		ns(rep.Range.SeqScanNs), ns(rep.Range.OrderedProbeNs),
-		rep.Advisor.Speedup)
+		ns(pointScan), ns(pointOrdered), ns(pointHash),
+		ns(rangeScan), ns(rangeOrdered),
+		ratio(advRes.beforeNs, advRes.afterNs))
+}
+
+// advisorOutcome carries the advisor loop's raw numbers into the report.
+type advisorOutcome struct {
+	statements int
+	ddl        []string
+	beforeNs   int64
+	afterNs    int64
 }
 
 // advisorRun closes the loop on the same table: record a mixed
 // workload, mine it, apply the DDL, re-time.
-func advisorRun(db *sqldb.DB, rows int) advisorResult {
+func advisorRun(db *sqldb.DB, rows int) advisorOutcome {
 	workload := func(r *rand.Rand) []string {
 		lo := r.Intn(rows - 1000)
 		return []string{
@@ -199,13 +200,12 @@ func advisorRun(db *sqldb.DB, rows int) advisorResult {
 	before := run()
 	work := db.StopWorkloadRecording()
 
-	res := advisorResult{Statements: len(work), BeforeNs: before}
+	res := advisorOutcome{statements: len(work), beforeNs: before}
 	for _, rec := range advisor.Recommend(db, work, 5) {
-		res.DDL = append(res.DDL, rec.DDL)
+		res.ddl = append(res.ddl, rec.DDL)
 		must(db.Exec(rec.DDL))
 	}
-	res.AfterNs = run()
-	res.Speedup = ratio(res.BeforeNs, res.AfterNs)
+	res.afterNs = run()
 	return res
 }
 

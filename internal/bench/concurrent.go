@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 
 	"maxoid/internal/cowproxy"
 	"maxoid/internal/kernel"
@@ -30,14 +31,26 @@ type MultiWorld struct {
 	payload []byte
 }
 
+// fileSetSize bounds each instance's private file working set: MixedOp
+// cycles through this many files so the tree does not grow unboundedly.
+const fileSetSize = 64
+
 // Instance is one running delegate: its mount namespace view, its
 // credential, its private data directory, and its provider connection.
+// An Instance models a single app process and is driven by one
+// goroutine at a time; its scratch fields (precomputed file names, the
+// word build buffer, and the reusable value maps) rely on that.
 type Instance struct {
 	ID      int
 	FS      vfs.FileSystem
 	Cred    vfs.Cred
 	DataDir string
 	Dict    *cowproxy.Conn
+
+	names      [fileSetSize]string
+	wordBuf    []byte
+	insertVals map[string]sqldb.Value
+	updateVals map[string]sqldb.Value
 }
 
 // NewMultiWorld builds n delegate instances (app load.workerI confined
@@ -96,6 +109,11 @@ func NewMultiWorld(n int) (*MultiWorld, error) {
 			DataDir: layout.AppData(workerPkg),
 			Dict:    proxy.For(initPkg),
 		}
+		for j := range inst.names {
+			inst.names[j] = fmt.Sprintf("%s/f%03d.dat", inst.DataDir, j)
+		}
+		inst.insertVals = map[string]sqldb.Value{"word": "", "frequency": int64(1)}
+		inst.updateVals = map[string]sqldb.Value{"frequency": int64(0)}
 		w.insts = append(w.insts, inst)
 		// Warm up: create the per-initiator delta tables and views now so
 		// the measured loop never executes DDL.
@@ -117,21 +135,28 @@ func (w *MultiWorld) Instance(i int) *Instance { return w.insts[i] }
 // single-row query. seq individualizes the touched file and rows; the
 // file set is bounded so the tree does not grow without limit.
 func (w *MultiWorld) MixedOp(inst *Instance, seq int) error {
-	name := fmt.Sprintf("%s/f%03d.dat", inst.DataDir, seq%64)
+	name := inst.names[seq%fileSetSize]
 	if err := vfs.WriteFile(inst.FS, inst.Cred, name, w.payload, 0o600); err != nil {
 		return fmt.Errorf("instance %d write: %w", inst.ID, err)
 	}
 	if _, err := vfs.ReadFile(inst.FS, inst.Cred, name); err != nil {
 		return fmt.Errorf("instance %d read: %w", inst.ID, err)
 	}
-	if _, err := inst.Dict.Insert("words", map[string]sqldb.Value{
-		"word": fmt.Sprintf("w%d.%d", inst.ID, seq), "frequency": int64(1),
-	}); err != nil {
+	// The inserted word must be a fresh string (it lands in a table
+	// row), but it is built with one allocation off a reusable buffer,
+	// and the values map is reused outright.
+	b := append(inst.wordBuf[:0], 'w')
+	b = strconv.AppendInt(b, int64(inst.ID), 10)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	inst.wordBuf = b
+	inst.insertVals["word"] = string(b)
+	if _, err := inst.Dict.Insert("words", inst.insertVals); err != nil {
 		return fmt.Errorf("instance %d insert: %w", inst.ID, err)
 	}
 	id := int64(seq%w.DictRows) + 1
-	if _, err := inst.Dict.Update("words",
-		map[string]sqldb.Value{"frequency": int64(seq)}, "_id = ?", id); err != nil {
+	inst.updateVals["frequency"] = int64(seq)
+	if _, err := inst.Dict.Update("words", inst.updateVals, "_id = ?", id); err != nil {
 		return fmt.Errorf("instance %d update: %w", inst.ID, err)
 	}
 	if _, err := inst.Dict.Query("words",

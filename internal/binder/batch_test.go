@@ -1,0 +1,231 @@
+package binder
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxoid/internal/kernel"
+	"maxoid/internal/metrics"
+)
+
+// batchEchoHandler replies with the request parcel's "v" field.
+type batchEchoHandler struct{ calls atomic.Int64 }
+
+func (h *batchEchoHandler) OnTransact(from Caller, code string, data Parcel) (Parcel, error) {
+	h.calls.Add(1)
+	if code == "fail" {
+		return nil, errors.New("handler failure")
+	}
+	return Parcel{"v": data.Int("v")}, nil
+}
+
+func TestTransactBatchDeliversAllItems(t *testing.T) {
+	r := NewRouter()
+	h := &batchEchoHandler{}
+	r.RegisterSystem("svc", h)
+	items := make([]BatchItem, 10)
+	for i := range items {
+		items[i] = BatchItem{Code: "echo", Data: Parcel{"v": int64(i)}}
+	}
+	items[3].Code = "fail"
+	res, err := r.TransactBatch(Caller{Task: kernel.Task{App: "a"}}, "svc", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Replies) != 10 || len(res.Errs) != 10 {
+		t.Fatalf("result lengths %d/%d", len(res.Replies), len(res.Errs))
+	}
+	for i := range items {
+		if i == 3 {
+			if res.Errs[3] == nil {
+				t.Fatal("item 3 should have failed")
+			}
+			continue
+		}
+		if res.Errs[i] != nil {
+			t.Fatalf("item %d: %v", i, res.Errs[i])
+		}
+		if got := res.Replies[i].Int("v"); got != int64(i) {
+			t.Fatalf("item %d reply = %d", i, got)
+		}
+	}
+	if h.calls.Load() != 10 {
+		t.Fatalf("handler ran %d times, want 10", h.calls.Load())
+	}
+}
+
+// batchCounter counts whole-batch deliveries.
+type batchCounter struct {
+	batches atomic.Int64
+	items   atomic.Int64
+}
+
+func (h *batchCounter) OnTransact(from Caller, code string, data Parcel) (Parcel, error) {
+	return Parcel{"single": true}, nil
+}
+
+func (h *batchCounter) OnTransactBatch(from Caller, items []BatchItem) BatchResult {
+	h.batches.Add(1)
+	h.items.Add(int64(len(items)))
+	res := BatchResult{Replies: make([]Parcel, len(items)), Errs: make([]error, len(items))}
+	for i := range items {
+		res.Replies[i] = Parcel{"batched": true}
+	}
+	return res
+}
+
+func TestBatchHandlerPreferred(t *testing.T) {
+	r := NewRouter()
+	h := &batchCounter{}
+	r.RegisterSystem("svc", h)
+	res, err := r.CallBatch(Caller{Task: kernel.Task{App: "a"}}, "svc", "op", make([]Parcel, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.batches.Load() != 1 || h.items.Load() != 5 {
+		t.Fatalf("batches=%d items=%d, want 1/5", h.batches.Load(), h.items.Load())
+	}
+	if !res.Replies[4].Bool("batched") {
+		t.Fatal("reply did not come from the batch handler")
+	}
+}
+
+func TestTransactBatchPolicyAppliesOnce(t *testing.T) {
+	// A delegate may not transact with an unrelated app endpoint: the
+	// whole batch is rejected with one policy error.
+	r := NewRouter()
+	r.RegisterApp("app:other", kernel.Task{App: "other"}, &batchEchoHandler{})
+	del := Caller{Task: kernel.Task{App: "d", Initiator: "init"}}
+	_, err := r.TransactBatch(del, "app:other", make([]BatchItem, 3))
+	if err == nil {
+		t.Fatal("expected policy rejection")
+	}
+}
+
+func TestTransactBatchNoEndpoint(t *testing.T) {
+	r := NewRouter()
+	_, err := r.TransactBatch(Caller{}, "missing", make([]BatchItem, 2))
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v, want ErrNoEndpoint", err)
+	}
+}
+
+func TestTransactBatchWatchdog(t *testing.T) {
+	r := NewRouter()
+	block := make(chan struct{})
+	r.RegisterSystem("slow", HandlerFunc(func(Caller, string, Parcel) (Parcel, error) {
+		<-block
+		return nil, nil
+	}))
+	r.SetCallTimeout(5 * time.Millisecond)
+	_, err := r.TransactBatch(Caller{Task: kernel.Task{App: "a"}}, "slow", make([]BatchItem, 4))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if r.ANRs() != 1 {
+		t.Fatalf("ANRs = %d, want 1 (one watchdog per batch)", r.ANRs())
+	}
+	close(block)
+}
+
+// flakyGate rejects the first n admission attempts with ErrOverloaded.
+type flakyGate struct {
+	rejectFirst atomic.Int64
+	admitted    atomic.Int64
+	released    atomic.Int64
+}
+
+func (g *flakyGate) Admit(from Caller, endpoint string, n int) (func(), error) {
+	if g.rejectFirst.Add(-1) >= 0 {
+		return nil, fmt.Errorf("ams: app %s: %w", from.Task.App, ErrOverloaded)
+	}
+	g.admitted.Add(int64(n))
+	return func() { g.released.Add(int64(n)) }, nil
+}
+
+func TestCallIdempotentRetriesOverload(t *testing.T) {
+	// The PR 3 retry machinery must treat admission rejections as
+	// retryable: two injected ErrOverloaded rejections, then success.
+	r := NewRouter()
+	h := &batchEchoHandler{}
+	r.RegisterSystem("svc", h)
+	g := &flakyGate{}
+	g.rejectFirst.Store(2)
+	r.SetAdmission(g)
+	r.SetRetryPolicy(RetryPolicy{Attempts: 4, Base: time.Microsecond, Max: time.Millisecond})
+
+	reply, err := r.CallIdempotent(Caller{Task: kernel.Task{App: "a"}}, "svc", "echo", Parcel{"v": int64(7)})
+	if err != nil {
+		t.Fatalf("CallIdempotent should have succeeded across overload: %v", err)
+	}
+	if reply.Int("v") != 7 {
+		t.Fatalf("reply = %v", reply)
+	}
+	if g.admitted.Load() != 1 || g.released.Load() != 1 {
+		t.Fatalf("admitted/released = %d/%d, want 1/1", g.admitted.Load(), g.released.Load())
+	}
+}
+
+func TestCallIdempotentExhaustsOverload(t *testing.T) {
+	r := NewRouter()
+	r.RegisterSystem("svc", &batchEchoHandler{})
+	g := &flakyGate{}
+	g.rejectFirst.Store(1 << 30)
+	r.SetAdmission(g)
+	r.SetRetryPolicy(RetryPolicy{Attempts: 3, Base: time.Microsecond, Max: time.Millisecond})
+	_, err := r.CallIdempotent(Caller{Task: kernel.Task{App: "a"}}, "svc", "echo", Parcel{})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retries should surface typed ErrOverloaded, got %v", err)
+	}
+}
+
+func TestBatchAdmissionOneUnit(t *testing.T) {
+	r := NewRouter()
+	r.RegisterSystem("svc", &batchEchoHandler{})
+	g := &flakyGate{}
+	r.SetAdmission(g)
+	if _, err := r.TransactBatch(Caller{Task: kernel.Task{App: "a"}}, "svc", make([]BatchItem, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if g.admitted.Load() != 8 || g.released.Load() != 8 {
+		t.Fatalf("admitted/released = %d/%d, want 8/8 in one unit", g.admitted.Load(), g.released.Load())
+	}
+}
+
+func TestParcelPoolRoundTrip(t *testing.T) {
+	p := GetParcel()
+	p["k"] = "v"
+	PutParcel(p)
+	q := GetParcel()
+	if len(q) != 0 {
+		t.Fatalf("pooled parcel not cleared: %v", q)
+	}
+	PutParcel(q)
+	PutParcel(nil) // must not panic
+}
+
+func TestRouterMetrics(t *testing.T) {
+	r := NewRouter()
+	r.RegisterSystem("svc", &batchEchoHandler{})
+	reg := metrics.NewRegistry()
+	r.SetMetrics(reg)
+	from := Caller{Task: kernel.Task{App: "a"}}
+	if _, err := r.Call(from, "svc", "echo", Parcel{"v": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CallBatch(from, "svc", "echo", make([]Parcel, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Histogram("binder.call").Snapshot().Count; n != 1 {
+		t.Fatalf("binder.call count = %d", n)
+	}
+	if n := reg.Histogram("binder.batch").Snapshot().Count; n != 1 {
+		t.Fatalf("binder.batch count = %d", n)
+	}
+	if n := reg.Counter("binder.batch.items").Total(); n != 3 {
+		t.Fatalf("batch items = %d", n)
+	}
+}

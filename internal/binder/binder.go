@@ -14,6 +14,7 @@ import (
 
 	"maxoid/internal/fault"
 	"maxoid/internal/kernel"
+	"maxoid/internal/metrics"
 	"maxoid/internal/shard"
 )
 
@@ -24,6 +25,13 @@ var ErrNoEndpoint = errors.New("binder: no such endpoint")
 // call deadline — the ANR watchdog. The handler may still be running;
 // only the caller is released.
 var ErrCallTimeout = errors.New("binder: call timed out (ANR)")
+
+// ErrOverloaded is returned when an installed admission gate rejects a
+// transaction: the per-app token bucket is empty or the global
+// in-flight ceiling is reached. It is retryable — CallIdempotent backs
+// off and re-issues, so overload degrades into bounded added latency
+// instead of queue collapse.
+var ErrOverloaded = errors.New("binder: overloaded")
 
 // faultCall injects transaction failures before the policy check and
 // handler run, modeling a dead endpoint process (see internal/fault).
@@ -141,6 +149,50 @@ type Router struct {
 	// kernel knows to be dead are rejected (a dead process must not
 	// keep creating state through system services).
 	kern atomic.Pointer[kernel.Kernel]
+
+	// gate is the installed admission gate (SetAdmission); nil means
+	// every transaction is admitted.
+	gate atomic.Pointer[AdmissionGate]
+
+	// met holds the resolved metrics instruments (SetMetrics); nil means
+	// no latency recording, and the hot path pays only one atomic load.
+	met atomic.Pointer[routerMetrics]
+}
+
+// routerMetrics caches the histogram/counter pointers so the per-call
+// path never does a registry lookup.
+type routerMetrics struct {
+	call       *metrics.Histogram
+	batch      *metrics.Histogram
+	batchItems *metrics.Counter
+	rejected   *metrics.Counter
+}
+
+// SetMetrics wires the router's latency histograms and throughput
+// counters into a metrics registry (nil unwires). Recorded series:
+// "binder.call" (per-transaction latency), "binder.batch" (per-batch
+// dispatch latency), counters "binder.batch.items" and
+// "binder.rejected" (admission rejections).
+func (r *Router) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		r.met.Store(nil)
+		return
+	}
+	r.met.Store(&routerMetrics{
+		call:       reg.Histogram("binder.call"),
+		batch:      reg.Histogram("binder.batch"),
+		batchItems: reg.Counter("binder.batch.items"),
+		rejected:   reg.Counter("binder.rejected"),
+	})
+}
+
+// metricsStart returns the wall-clock start time when metrics are
+// wired, and the zero time otherwise (skipping the clock read).
+func (r *Router) metricsStart() time.Time {
+	if r.met.Load() == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // NewRouter creates an empty router.
@@ -221,6 +273,18 @@ func (r *Router) NumEndpoints() int { return r.endpoints.Len() }
 // kernel.ErrDeadProcess; with the watchdog armed, transactions that
 // exceed the deadline fail with ErrCallTimeout.
 func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parcel, error) {
+	start := r.metricsStart()
+	reply, err := r.call(from, name, code, data)
+	if m := r.met.Load(); m != nil {
+		m.call.Observe(time.Since(start))
+		if errors.Is(err, ErrOverloaded) {
+			m.rejected.Inc()
+		}
+	}
+	return reply, err
+}
+
+func (r *Router) call(from Caller, name string, code string, data Parcel) (Parcel, error) {
 	if err := fault.Hit(faultCall); err != nil {
 		return nil, fmt.Errorf("binder: transaction to %s failed: %w", name, err)
 	}
@@ -244,10 +308,19 @@ func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parce
 		ep.exit()
 		return nil, err
 	}
+	release, err := r.admit(from, name, 1)
+	if err != nil {
+		ep.exit()
+		return nil, err
+	}
 	d := time.Duration(r.timeoutNS.Load())
 	if d <= 0 {
 		defer ep.exit()
-		return ep.handler.OnTransact(from, code, data)
+		reply, err := ep.handler.OnTransact(from, code, data)
+		if release != nil {
+			release()
+		}
+		return reply, err
 	}
 
 	// ANR watchdog: the handler runs on its own goroutine and keeps its
@@ -261,6 +334,9 @@ func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parce
 	go func() {
 		defer ep.exit()
 		reply, err := ep.handler.OnTransact(from, code, data)
+		if release != nil {
+			release()
+		}
 		done <- result{reply, err}
 	}()
 	timer := time.NewTimer(d)
@@ -276,11 +352,14 @@ func (r *Router) Call(from Caller, name string, code string, data Parcel) (Parce
 
 // retryable reports whether an idempotent call may be re-attempted:
 // the target died (a supervised restart may bring it back), was not
-// yet re-registered, or timed out.
+// yet re-registered, timed out, or was rejected by admission control
+// (the bucket refills; backing off is exactly the desired overload
+// response).
 func retryable(err error) bool {
 	return errors.Is(err, kernel.ErrDeadProcess) ||
 		errors.Is(err, ErrNoEndpoint) ||
-		errors.Is(err, ErrCallTimeout)
+		errors.Is(err, ErrCallTimeout) ||
+		errors.Is(err, ErrOverloaded)
 }
 
 // CallIdempotent performs a transaction that is safe to re-issue,

@@ -34,6 +34,7 @@ type Report struct {
 	Ops    int           // workload operations executed
 	Fired  int           // injected faults that fired
 	Kills  int           // process deaths observed (kill engine)
+	OpTape []byte        // op-kind per workload step (kill engine); a pure function of the seed
 	Trace  []fault.Event // full fault schedule of the run
 	// Failures are invariant violations. Empty means the run passed;
 	// injected faults that were handled correctly are not failures.

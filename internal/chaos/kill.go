@@ -182,9 +182,17 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 	var kills atomic.Int64
 	s.Kernel.WatchDeaths(func(kernel.DeathEvent) { kills.Add(1) })
 
-	// Workload randomness is separate from the fault schedule's PRNG so
-	// arming different specs does not perturb the op sequence.
-	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	// Three PRNG streams, all separate from the fault schedule's PRNG.
+	// The split exists for reproducibility: rngOp draws exactly the op
+	// tape (a fixed number of draws per workload step, gated on nothing),
+	// so the sequence of operation KINDS is a pure function of the seed.
+	// rngSel picks targets from live sets and rngKill drives the
+	// mid-call kill hook — their draw counts depend on timing-sensitive
+	// state (restart backoff, ANR watchdogs, async reaping), which is
+	// why they must not share a stream with the tape.
+	rngOp := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	rngSel := rand.New(rand.NewSource(seed*0x9e3779b9 + 1))
+	rngKill := rand.New(rand.NewSource(seed*0x85ebca6b + 2))
 
 	// sortedProcs gives a deterministic view of the process table.
 	sortedProcs := func() []*kernel.Process {
@@ -200,8 +208,8 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 		if len(procs) == 0 {
 			return
 		}
-		pid := procs[rng.Intn(len(procs))].PID
-		if rng.Intn(2) == 0 {
+		pid := procs[rngKill.Intn(len(procs))].PID
+		if rngKill.Intn(2) == 0 {
 			_ = s.Kernel.Kill(pid)
 		} else {
 			_ = s.Kernel.Crash(pid)
@@ -230,13 +238,13 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 		if len(live) == 0 {
 			return nil
 		}
-		return live[rng.Intn(len(live))]
+		return live[rngSel.Intn(len(live))]
 	}
 	anyCtx := func() *ams.Context {
 		if len(ctxs) == 0 {
 			return nil
 		}
-		return ctxs[rng.Intn(len(ctxs))]
+		return ctxs[rngSel.Intn(len(ctxs))]
 	}
 	check := func(op string, err error) {
 		if err != nil && !allowedLifecycleError(err) {
@@ -246,17 +254,23 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 
 	for i := 0; i < opts.Ops && len(r.Failures) == 0; i++ {
 		r.Ops++
-		switch p := rng.Float64(); {
+		// Exactly two rngOp draws per step, before any state-dependent
+		// gate, so the op tape never desyncs between same-seed runs.
+		p := rngOp.Float64()
+		q := rngOp.Float64()
+		switch {
 		case p < 0.15: // launch an initiator
-			pkg := pkgs[rng.Intn(len(pkgs))]
+			r.OpTape = append(r.OpTape, 'L')
+			pkg := pkgs[rngSel.Intn(len(pkgs))]
 			ctx, err := s.Launch(pkg, intent.Intent{})
 			check("launch "+pkg, err)
 			if err == nil {
 				ctxs = append(ctxs, ctx)
 			}
 		case p < 0.30: // launch a delegate
-			app := pkgs[rng.Intn(len(pkgs))]
-			initiator := pkgs[rng.Intn(len(pkgs))]
+			r.OpTape = append(r.OpTape, 'D')
+			app := pkgs[rngSel.Intn(len(pkgs))]
+			initiator := pkgs[rngSel.Intn(len(pkgs))]
 			if app == initiator {
 				continue
 			}
@@ -266,6 +280,7 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 				ctxs = append(ctxs, ctx)
 			}
 		case p < 0.45: // write a file through an instance's view
+			r.OpTape = append(r.OpTape, 'W')
 			ctx := anyCtx()
 			if ctx == nil {
 				continue
@@ -273,6 +288,7 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 			name := fmt.Sprintf("%s/chaos-%d.txt", ctx.DataDir(), i)
 			check("fs write", vfs.WriteFile(ctx.FS(), ctx.Cred(), name, []byte{byte(i)}, 0o600))
 		case p < 0.58: // provider insert (delegates go through the COW proxy)
+			r.OpTape = append(r.OpTape, 'I')
 			ctx := anyCtx()
 			if ctx == nil {
 				continue
@@ -281,6 +297,7 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 				provider.Values{"word": fmt.Sprintf("w%d", i)})
 			check("dict insert", err)
 		case p < 0.72: // supervised IPC to a running instance
+			r.OpTape = append(r.OpTape, 'C')
 			ctx := liveCtx()
 			if ctx == nil {
 				continue
@@ -289,9 +306,9 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 			if len(running) == 0 {
 				continue
 			}
-			target := running[rng.Intn(len(running))]
+			target := running[rngSel.Intn(len(running))]
 			code := "ping"
-			switch q := rng.Float64(); {
+			switch {
 			case q < 0.10:
 				code = "crash"
 			case q < 0.14:
@@ -304,25 +321,28 @@ func runKill(seed int64, opts KillOptions, r *Report) {
 			})
 			check(fmt.Sprintf("call %s %s", target, code), err)
 		case p < 0.87: // random kill or crash between operations
+			r.OpTape = append(r.OpTape, 'K')
 			procs := sortedProcs()
 			if len(procs) == 0 {
 				continue
 			}
-			pid := procs[rng.Intn(len(procs))].PID
-			if rng.Intn(2) == 0 {
+			pid := procs[rngSel.Intn(len(procs))].PID
+			if rngSel.Intn(2) == 0 {
 				check("kill", s.Kernel.Kill(pid))
 			} else {
 				check("crash", s.Kernel.Crash(pid))
 			}
 		case p < 0.94: // orderly stop of a running instance
+			r.OpTape = append(r.OpTape, 'S')
 			running := s.AM.Running()
 			if len(running) == 0 {
 				continue
 			}
-			t := running[rng.Intn(len(running))]
+			t := running[rngSel.Intn(len(running))]
 			s.AM.StopInstance(t.App, t.Initiator)
 		default: // Clear-Vol on a random initiator
-			check("clear-vol", s.ClearVol(pkgs[rng.Intn(len(pkgs))]))
+			r.OpTape = append(r.OpTape, 'V')
+			check("clear-vol", s.ClearVol(pkgs[rngSel.Intn(len(pkgs))]))
 		}
 		// Forget stale handles now and then so the slice stays bounded.
 		if len(ctxs) > 64 {

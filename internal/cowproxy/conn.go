@@ -92,15 +92,18 @@ func (c *Conn) resetIfStale() {
 	}
 }
 
-// cachedQuery returns the memoized rendered SELECT for key.
-func (c *Conn) cachedQuery(key string) (queryPlan, bool) {
+// cachedQuery returns the memoized rendered SELECT for key. The key is
+// raw bytes so the hot path indexes the map without materializing a
+// string; string(key) in a map index compiles to an allocation-free
+// lookup.
+func (c *Conn) cachedQuery(key []byte) (queryPlan, bool) {
 	gen := c.p.gen.Load()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.gen != gen {
 		return queryPlan{}, false
 	}
-	v, ok := c.queries[key]
+	v, ok := c.queries[string(key)]
 	return v, ok
 }
 
@@ -114,15 +117,16 @@ func (c *Conn) storeQuery(key string, qp queryPlan) {
 	c.mu.Unlock()
 }
 
-// cachedUpdate returns the memoized rendered UPDATE for key.
-func (c *Conn) cachedUpdate(key string) (updatePlan, bool) {
+// cachedUpdate returns the memoized rendered UPDATE for key (raw
+// bytes, like cachedQuery, for an allocation-free lookup).
+func (c *Conn) cachedUpdate(key []byte) (updatePlan, bool) {
 	gen := c.p.gen.Load()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.gen != gen {
 		return updatePlan{}, false
 	}
-	v, ok := c.updates[key]
+	v, ok := c.updates[string(key)]
 	return v, ok
 }
 
@@ -211,7 +215,8 @@ func (c *Conn) targetSlow(key, table string) (string, error) {
 	return "", fmt.Errorf("%w: %s", ErrUnknownTable, table)
 }
 
-// sortedCols returns values' column names sorted for deterministic SQL.
+// sortedCols returns values' column names sorted for deterministic SQL
+// (miss-path only: hot paths sort into pooled scratch instead).
 func sortedCols(values map[string]sqldb.Value) []string {
 	cols := make([]string, 0, len(values))
 	for k := range values {
@@ -219,6 +224,30 @@ func sortedCols(values map[string]sqldb.Value) []string {
 	}
 	sort.Strings(cols)
 	return cols
+}
+
+// connScratch is the per-call scratch of the hot render paths
+// (Insert/Update/Query): column lists, argument vectors, and memo-key
+// bytes. Conns are shared across goroutines (Proxy.For memoizes them),
+// so scratch is pooled per call rather than hung off the Conn. Nothing
+// handed to sqldb retains these slices: argument values are copied into
+// the executor's own buffer before execution.
+type connScratch struct {
+	cols []string
+	args []sqldb.Value
+	key  []byte
+}
+
+var connScratchPool = sync.Pool{New: func() any { return new(connScratch) }}
+
+func getScratch() *connScratch { return connScratchPool.Get().(*connScratch) }
+
+// putScratch recycles sc, dropping value references so the pool pins
+// nothing between calls.
+func putScratch(sc *connScratch) {
+	clear(sc.args)
+	sc.cols, sc.args, sc.key = sc.cols[:0], sc.args[:0], sc.key[:0]
+	connScratchPool.Put(sc)
 }
 
 // Insert inserts a row and returns its primary key. For initiators the
@@ -247,13 +276,13 @@ func (c *Conn) Insert(table string, values map[string]sqldb.Value) (int64, error
 		c.storeInsert(key, tgt)
 	}
 	if !tgt.delta {
-		return c.insertInto(tgt.table, values, "")
+		return c.insertInto(tgt.table, values, "", nil, "")
 	}
 	// Keys for new volatile rows auto-increment from DeltaKeyBase: the
 	// delta table's allocator was seeded at creation, so no MAX() scan
-	// is needed here.
-	values = withValue(values, "_whiteout", int64(0))
-	return c.insertInto(tgt.table, values, "OR REPLACE")
+	// is needed here. _whiteout rides along as a trailing column rather
+	// than through a copied map.
+	return c.insertInto(tgt.table, values, "_whiteout", int64(0), "OR REPLACE")
 }
 
 // InsertVolatile inserts a row directly into the initiator's own
@@ -267,30 +296,43 @@ func (c *Conn) InsertVolatile(table, initiator string, values map[string]sqldb.V
 	return c.p.For(initiator).Insert(table, values)
 }
 
-func withValue(values map[string]sqldb.Value, col string, v sqldb.Value) map[string]sqldb.Value {
-	out := make(map[string]sqldb.Value, len(values)+1)
-	for k, val := range values {
-		out[k] = val
-	}
-	out[col] = v
-	return out
-}
-
 // insertInto renders and executes an INSERT. The rendered SQL is
 // memoized per (table, column set, conflict clause) so steady-state
 // inserts reuse one string (and, downstream, one cached AST and plan).
-func (c *Conn) insertInto(table string, values map[string]sqldb.Value, conflict string) (int64, error) {
-	cols := sortedCols(values)
-	args := make([]sqldb.Value, len(cols))
-	for i, col := range cols {
-		args[i] = values[col]
+// extraCol, when non-empty, is appended after the sorted columns with
+// extraVal as its argument — the delta path's _whiteout marker.
+func (c *Conn) insertInto(table string, values map[string]sqldb.Value, extraCol string, extraVal sqldb.Value, conflict string) (int64, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	cols := sc.cols[:0]
+	for k := range values {
+		cols = append(cols, k)
 	}
-	cacheKey := table + "\x00" + conflict + "\x00" + strings.Join(cols, ",")
+	sort.Strings(cols)
+	args := sc.args[:0]
+	for _, col := range cols {
+		args = append(args, values[col])
+	}
+	if extraCol != "" {
+		cols = append(cols, extraCol)
+		args = append(args, extraVal)
+	}
+	key := append(sc.key[:0], table...)
+	key = append(key, 0)
+	key = append(key, conflict...)
+	key = append(key, 0)
+	for i, col := range cols {
+		if i > 0 {
+			key = append(key, ',')
+		}
+		key = append(key, col...)
+	}
+	sc.cols, sc.args, sc.key = cols, args, key
 	gen := c.p.gen.Load()
 	c.mu.RLock()
 	sql, ok := "", false
 	if c.gen == gen {
-		sql, ok = c.sqls[cacheKey]
+		sql, ok = c.sqls[string(key)]
 	}
 	c.mu.RUnlock()
 	if !ok {
@@ -300,7 +342,7 @@ func (c *Conn) insertInto(table string, values map[string]sqldb.Value, conflict 
 		if c.sqls == nil {
 			c.sqls = make(map[string]string)
 		}
-		c.sqls[cacheKey] = sql
+		c.sqls[string(key)] = sql
 		c.mu.Unlock()
 	}
 	res, err := c.p.db.Exec(sql, args...)
@@ -327,7 +369,12 @@ func renderInsert(table string, cols []string, conflict string) string {
 // affected. Delegate updates are redirected to the delta table by the
 // COW view's INSTEAD OF trigger.
 func (c *Conn) Update(table string, values map[string]sqldb.Value, where string, args ...sqldb.Value) (int64, error) {
-	key := table + "\x00" + where
+	sc := getScratch()
+	defer putScratch(sc)
+	key := append(sc.key[:0], table...)
+	key = append(key, 0)
+	key = append(key, where...)
+	sc.key = key
 	up, ok := c.cachedUpdate(key)
 	if !ok || !colsMatch(up.cols, values) {
 		target, err := c.target(table)
@@ -351,13 +398,14 @@ func (c *Conn) Update(table string, values map[string]sqldb.Value, where string,
 			b.WriteString(where)
 		}
 		up = updatePlan{sql: b.String(), cols: cols}
-		c.storeUpdate(key, up)
+		c.storeUpdate(string(key), up)
 	}
-	setArgs := make([]sqldb.Value, 0, len(up.cols)+len(args))
+	setArgs := sc.args[:0]
 	for _, col := range up.cols {
 		setArgs = append(setArgs, values[col])
 	}
 	setArgs = append(setArgs, args...)
+	sc.args = setArgs
 	res, err := c.p.db.Exec(up.sql, setArgs...)
 	if err != nil {
 		return 0, err
@@ -404,7 +452,10 @@ func (c *Conn) Delete(table string, where string, args ...sqldb.Value) (int64, e
 // query columns, so "our proxy adds ORDER BY columns to query columns
 // when necessary"; the extra columns are dropped from the result.
 func (c *Conn) Query(table string, columns []string, where string, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
-	key := queryKey(table, columns, where, orderBy)
+	sc := getScratch()
+	defer putScratch(sc)
+	key := queryKeyInto(sc.key[:0], table, columns, where, orderBy)
+	sc.key = key
 	qp, ok := c.cachedQuery(key)
 	if !ok {
 		var err error
@@ -412,7 +463,7 @@ func (c *Conn) Query(table string, columns []string, where string, orderBy strin
 		if err != nil {
 			return nil, err
 		}
-		c.storeQuery(key, qp)
+		c.storeQuery(string(key), qp)
 	}
 	rows, err := c.p.db.Query(qp.sql, args...)
 	if err != nil {
@@ -427,24 +478,19 @@ func (c *Conn) Query(table string, columns []string, where string, orderBy strin
 	return rows, nil
 }
 
-// queryKey builds the memo key for a Query call in a single allocation.
-func queryKey(table string, columns []string, where, orderBy string) string {
-	n := len(table) + len(where) + len(orderBy) + 2
+// queryKeyInto appends the memo key for a Query call to buf; the hot
+// path looks it up without ever materializing a string.
+func queryKeyInto(buf []byte, table string, columns []string, where, orderBy string) []byte {
+	buf = append(buf, table...)
+	buf = append(buf, 0)
+	buf = append(buf, where...)
+	buf = append(buf, 0)
+	buf = append(buf, orderBy...)
 	for _, col := range columns {
-		n += len(col) + 1
+		buf = append(buf, 0)
+		buf = append(buf, col...)
 	}
-	var b strings.Builder
-	b.Grow(n)
-	b.WriteString(table)
-	b.WriteByte(0)
-	b.WriteString(where)
-	b.WriteByte(0)
-	b.WriteString(orderBy)
-	for _, col := range columns {
-		b.WriteByte(0)
-		b.WriteString(col)
-	}
-	return b.String()
+	return buf
 }
 
 // renderQuery resolves the caller's view of table and renders the

@@ -1,0 +1,309 @@
+// Package load is the fleet-scale load generator: it simulates
+// thousands of app instances hammering one system service through the
+// binder, in batched or unbatched mode, optionally behind AMS
+// admission control, and reports throughput and dispatch-latency
+// quantiles through internal/metrics.
+//
+// An "instance" here is a caller identity (a distinct app package and
+// UID), not a forked process: the engine measures the transaction
+// path — endpoint lookup, policy check, admission, watchdog, dispatch
+// — not zygote forking, so a fleet of 10k+ instances fits in one test
+// process. Worker goroutines multiplex the fleet the way a real
+// device's thread pool multiplexes binder threads.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/kernel"
+	"maxoid/internal/metrics"
+	"maxoid/internal/vfs"
+	"maxoid/internal/zygote"
+)
+
+// ServiceName is the system endpoint the generated fleet calls.
+const ServiceName = "fleet.wordstore"
+
+// Options shapes one load run.
+type Options struct {
+	// Instances is the simulated fleet size: distinct caller
+	// identities cycling through the workers.
+	Instances int
+	// Workers is the number of driver goroutines (binder threads).
+	Workers int
+	// Ops is the total number of transactions (parcels) to issue.
+	Ops int
+	// Batch is the number of parcels carried per dispatch. 1 issues
+	// singleton Calls; larger values use TransactBatch.
+	Batch int
+	// PayloadBytes is the payload carried (and checksummed by the
+	// service) per parcel.
+	PayloadBytes int
+	// CallTimeout arms the router's ANR watchdog. The default
+	// (2s) never fires for this service but charges the realistic
+	// per-dispatch watchdog cost that batching amortizes.
+	CallTimeout time.Duration
+	// Admission, when non-nil, installs AMS admission control in
+	// front of the service.
+	Admission *ams.AdmissionConfig
+	// Retry, when non-nil, issues unbatched transactions through
+	// CallIdempotent with this policy, so overload rejections back
+	// off and re-attempt instead of counting as rejected.
+	Retry *binder.RetryPolicy
+	// Registry receives the run's latency histograms and counters;
+	// nil uses a private registry.
+	Registry *metrics.Registry
+}
+
+func (o *Options) setDefaults() {
+	if o.Instances <= 0 {
+		o.Instances = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = o.Instances
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	if o.PayloadBytes < 0 {
+		o.PayloadBytes = 0
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+}
+
+// Result is the outcome of one load run.
+type Result struct {
+	Instances int
+	Workers   int
+	Batch     int
+
+	Issued    int64 // transactions attempted
+	Completed int64 // transactions the service acknowledged
+	Rejected  int64 // typed overload rejections (terminal, post-retry)
+	Untyped   int64 // failures NOT wrapping ErrOverloaded (must be 0)
+
+	Elapsed    time.Duration
+	Throughput float64 // completed transactions per second
+
+	// Dispatch is the per-dispatch latency distribution: "binder.call"
+	// when Batch == 1, "binder.batch" otherwise.
+	Dispatch metrics.Snapshot
+
+	// InFlightEnd is the admission controller's in-flight count after
+	// the run drained — nonzero means a leaked admission slot.
+	InFlightEnd int64
+	// ServiceOps is the number of parcels the service processed; with
+	// no injected faults it must equal Completed.
+	ServiceOps int64
+}
+
+// Engine is a reusable fleet fixture: one router, one service, one
+// fleet of caller identities. Runs with different options (batch
+// sizes, admission configs) share the fixture, so batched/unbatched
+// comparisons measure the dispatch path, not fixture setup.
+type Engine struct {
+	Router    *binder.Router
+	Kernel    *kernel.Kernel
+	Manager   *ams.Manager
+	Admission *ams.Admission
+
+	svc     *wordstore
+	callers []binder.Caller
+}
+
+// wordstore is the target service: it checksums each parcel's payload
+// and keeps a global op count. It implements BatchHandler so a batched
+// dispatch pays the handler's entry cost once.
+type wordstore struct {
+	ops atomic.Int64
+	sum atomic.Int64
+}
+
+func (s *wordstore) handle(data binder.Parcel) (binder.Parcel, error) {
+	payload := data.Bytes("payload")
+	var sum int64
+	for _, b := range payload {
+		sum += int64(b)
+	}
+	s.sum.Add(sum)
+	n := s.ops.Add(1)
+	return binder.Parcel{"n": n}, nil
+}
+
+func (s *wordstore) OnTransact(from binder.Caller, code string, data binder.Parcel) (binder.Parcel, error) {
+	return s.handle(data)
+}
+
+func (s *wordstore) OnTransactBatch(from binder.Caller, items []binder.BatchItem) binder.BatchResult {
+	res := binder.BatchResult{
+		Replies: make([]binder.Parcel, len(items)),
+		Errs:    make([]error, len(items)),
+	}
+	for i, it := range items {
+		res.Replies[i], res.Errs[i] = s.handle(it.Data)
+	}
+	return res
+}
+
+// NewEngine builds the fixture for a fleet of n instances.
+func NewEngine(n int) *Engine {
+	if n <= 0 {
+		n = 1
+	}
+	kern := kernel.New(nil)
+	router := binder.NewRouter()
+	mgr := ams.New(kern, zygote.New(vfs.New(), kern), router)
+	svc := &wordstore{}
+	router.RegisterSystem(ServiceName, svc)
+
+	callers := make([]binder.Caller, n)
+	for i := range callers {
+		app := fmt.Sprintf("fleet.app%d", i)
+		callers[i] = binder.Caller{
+			UID:  10000 + i,
+			Task: kernel.Task{App: app},
+		}
+	}
+	return &Engine{Router: router, Kernel: kern, Manager: mgr, svc: svc, callers: callers}
+}
+
+// Run drives opts.Ops transactions from the fleet through the service
+// and reports the outcome. Instances beyond the engine's fleet size
+// wrap around.
+func (e *Engine) Run(opts Options) (*Result, error) {
+	opts.setDefaults()
+	if opts.Instances > len(e.callers) {
+		return nil, fmt.Errorf("load: engine has %d instances, run wants %d", len(e.callers), opts.Instances)
+	}
+	e.Router.SetMetrics(opts.Registry)
+	e.Router.SetCallTimeout(opts.CallTimeout)
+	if opts.Admission != nil {
+		e.Admission = e.Manager.EnableAdmissionControl(*opts.Admission)
+		e.Admission.SetMetrics(opts.Registry)
+	} else {
+		e.Router.SetAdmission(nil)
+		e.Admission = nil
+	}
+	if opts.Retry != nil {
+		e.Router.SetRetryPolicy(*opts.Retry)
+	}
+
+	payload := make([]byte, opts.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	res := &Result{Instances: opts.Instances, Workers: opts.Workers, Batch: opts.Batch}
+	var issued, completed, rejected, untyped atomic.Int64
+
+	// Work is handed out as dispatch units: a unit is one parcel when
+	// unbatched, one Batch-sized group for one caller when batched.
+	unitParcels := opts.Batch
+	units := opts.Ops / unitParcels
+	if units == 0 {
+		units = 1
+	}
+	var next atomic.Int64
+
+	classify := func(n int64, err error) {
+		if err == nil {
+			return
+		}
+		if errors.Is(err, binder.ErrOverloaded) {
+			rejected.Add(n)
+		} else {
+			untyped.Add(n)
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			items := make([]binder.BatchItem, unitParcels)
+			for {
+				u := next.Add(1) - 1
+				if u >= int64(units) {
+					return
+				}
+				from := e.callers[int(u)%opts.Instances]
+				issued.Add(int64(unitParcels))
+				if unitParcels == 1 {
+					data := binder.Parcel{"payload": payload, "seq": u}
+					var err error
+					if opts.Retry != nil {
+						_, err = e.Router.CallIdempotent(from, ServiceName, "put", data)
+					} else {
+						_, err = e.Router.Call(from, ServiceName, "put", data)
+					}
+					if err == nil {
+						completed.Add(1)
+					} else {
+						classify(1, err)
+					}
+					continue
+				}
+				for i := range items {
+					items[i] = binder.BatchItem{
+						Code: "put",
+						Data: binder.Parcel{"payload": payload, "seq": u*int64(unitParcels) + int64(i)},
+					}
+				}
+				br, err := e.Router.TransactBatch(from, ServiceName, items)
+				if err != nil {
+					classify(int64(unitParcels), err)
+					continue
+				}
+				for i := range items {
+					if br.Errs[i] == nil {
+						completed.Add(1)
+					} else {
+						classify(1, br.Errs[i])
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	res.Issued = issued.Load()
+	res.Completed = completed.Load()
+	res.Rejected = rejected.Load()
+	res.Untyped = untyped.Load()
+	res.ServiceOps = e.svc.ops.Load()
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	histName := "binder.call"
+	if opts.Batch > 1 {
+		histName = "binder.batch"
+	}
+	res.Dispatch = opts.Registry.Histogram(histName).Snapshot()
+	if e.Admission != nil {
+		res.InFlightEnd = e.Admission.InFlight()
+	}
+	return res, nil
+}
+
+// Reset zeroes the service's counters between runs sharing an engine.
+func (e *Engine) Reset() {
+	e.svc.ops.Store(0)
+	e.svc.sum.Store(0)
+}

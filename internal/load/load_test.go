@@ -1,0 +1,136 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/metrics"
+	"maxoid/internal/testutil"
+)
+
+// TestFleetCompletesAllOps: with no admission gate, every issued
+// transaction completes and the service sees exactly that many parcels,
+// in both unbatched and batched modes.
+func TestFleetCompletesAllOps(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	eng := NewEngine(1000)
+	for _, batch := range []int{1, 16} {
+		eng.Reset()
+		res, err := eng.Run(Options{
+			Instances:    1000,
+			Workers:      8,
+			Ops:          4000,
+			Batch:        batch,
+			PayloadBytes: 64,
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if res.Completed != res.Issued {
+			t.Fatalf("batch %d: completed %d != issued %d", batch, res.Completed, res.Issued)
+		}
+		if res.ServiceOps != res.Completed {
+			t.Fatalf("batch %d: service saw %d, callers completed %d", batch, res.ServiceOps, res.Completed)
+		}
+		if res.Rejected != 0 || res.Untyped != 0 {
+			t.Fatalf("batch %d: unexpected failures: rejected %d untyped %d", batch, res.Rejected, res.Untyped)
+		}
+		if res.Dispatch.Count == 0 {
+			t.Fatalf("batch %d: dispatch histogram empty", batch)
+		}
+	}
+}
+
+// TestFleetRunExceedingFleetFails: a run cannot ask for more instances
+// than the engine holds.
+func TestFleetRunExceedingFleetFails(t *testing.T) {
+	eng := NewEngine(10)
+	if _, err := eng.Run(Options{Instances: 11}); err == nil {
+		t.Fatal("oversized run accepted")
+	}
+}
+
+// TestFleetOverload: under a tiny admission budget every failure is a
+// typed overload rejection, accounting is exact, and the admission
+// controller drains to zero in-flight (no leaked slots).
+func TestFleetOverload(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	eng := NewEngine(64)
+	res, err := eng.Run(Options{
+		Instances: 64,
+		Workers:   16,
+		Ops:       8000,
+		Batch:     1,
+		Admission: &ams.AdmissionConfig{
+			PerAppRate:  50,
+			PerAppBurst: 2,
+			MaxInFlight: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("overload run rejected nothing")
+	}
+	if res.Untyped != 0 {
+		t.Fatalf("%d failures were not typed ErrOverloaded", res.Untyped)
+	}
+	if res.Completed+res.Rejected != res.Issued {
+		t.Fatalf("accounting: completed %d + rejected %d != issued %d",
+			res.Completed, res.Rejected, res.Issued)
+	}
+	if res.ServiceOps != res.Completed {
+		t.Fatalf("service saw %d parcels, %d completed", res.ServiceOps, res.Completed)
+	}
+	if res.InFlightEnd != 0 {
+		t.Fatalf("admission leaked %d in-flight slots", res.InFlightEnd)
+	}
+}
+
+// TestFleetRetryAbsorbsOverload: with a generous refill rate and a
+// retry policy, CallIdempotent's backoff turns would-be rejections into
+// completions.
+func TestFleetRetryAbsorbsOverload(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	eng := NewEngine(4)
+	res, err := eng.Run(Options{
+		Instances: 4,
+		Workers:   4,
+		Ops:       200,
+		Batch:     1,
+		Admission: &ams.AdmissionConfig{PerAppRate: 5000, PerAppBurst: 8},
+		Retry:     &binder.RetryPolicy{Attempts: 8, Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Untyped != 0 {
+		t.Fatalf("%d untyped failures", res.Untyped)
+	}
+	if res.Completed != res.Issued {
+		t.Fatalf("retries did not absorb overload: %d/%d completed (%d rejected)",
+			res.Completed, res.Issued, res.Rejected)
+	}
+	if res.InFlightEnd != 0 {
+		t.Fatalf("admission leaked %d in-flight slots", res.InFlightEnd)
+	}
+}
+
+// TestFleetMetricsWired: a run populates the caller-provided registry
+// with the binder's latency and throughput series.
+func TestFleetMetricsWired(t *testing.T) {
+	reg := metrics.NewRegistry()
+	eng := NewEngine(16)
+	if _, err := eng.Run(Options{Instances: 16, Ops: 160, Batch: 8, Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("binder.batch.items").Total(); got != 160 {
+		t.Fatalf("binder.batch.items = %d, want 160", got)
+	}
+	if reg.Histogram("binder.batch").Snapshot().Count != 20 {
+		t.Fatalf("binder.batch count = %d, want 20", reg.Histogram("binder.batch").Snapshot().Count)
+	}
+}

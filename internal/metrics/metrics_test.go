@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("t")
+	// 1000 samples: 1µs..1000µs. p50 ≈ 500µs, p99 ≈ 990µs within a
+	// log-bucket factor.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Min != time.Microsecond || s.Max != 1000*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	p50 := s.P50()
+	if p50 < 250*time.Microsecond || p50 > 1000*time.Microsecond {
+		t.Fatalf("p50 = %v, outside log-bucket tolerance of 500µs", p50)
+	}
+	p99 := s.P99()
+	if p99 < 500*time.Microsecond || p99 > 1000*time.Microsecond {
+		t.Fatalf("p99 = %v, outside tolerance of 990µs", p99)
+	}
+	if got := s.P999(); got < p99 || got > s.Max {
+		t.Fatalf("p999 = %v not in [p99, max]", got)
+	}
+	if mean := s.Mean(); mean <= 0 || mean > s.Max {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P99() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := NewHistogram("ord")
+	durs := []time.Duration{time.Nanosecond, 10 * time.Nanosecond,
+		time.Microsecond, 30 * time.Microsecond, time.Millisecond, time.Second}
+	for _, d := range durs {
+		for i := 0; i < 100; i++ {
+			h.Observe(d)
+		}
+	}
+	s := h.Snapshot()
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %v = %v < previous %v (not monotone)", q, v, prev)
+		}
+		if v < s.Min || v > s.Max {
+			t.Fatalf("quantile %v = %v outside [min, max]", q, v)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("conc")
+	const goroutines, perG = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d (lost updates)", s.Count, goroutines*perG)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("ops")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(); got != 8000 {
+		t.Fatalf("total = %d, want 8000", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("binder.call")
+	h2 := r.Histogram("binder.call")
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+	r.Histogram("sqldb.exec").Observe(time.Millisecond)
+	h1.Observe(time.Microsecond)
+	snaps := r.Snapshots()
+	if len(snaps) != 2 || snaps[0].Name != "binder.call" || snaps[1].Name != "sqldb.exec" {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	r.Counter("ops").Add(5)
+	if r.Counter("ops").Total() != 5 {
+		t.Fatal("counter lost value")
+	}
+	if tot := r.Totals(); tot["ops"] != 5 {
+		t.Fatalf("totals = %v", tot)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	h := NewHistogram("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1234 * time.Nanosecond)
+		}
+	})
+}

@@ -46,6 +46,11 @@ type accessPlan struct {
 	eqCols   []string // display: equality columns consumed
 	rangeCol string   // display: range column, "" if none
 	rangeOps string   // display: e.g. ">= lo, < hi"
+
+	// Inline buffers for the single-position / single-column shapes the
+	// pk-probe path produces, so a point lookup allocates no side slices.
+	posBuf [1]int
+	eqBuf  [1]string
 }
 
 // colConstraint accumulates the usable constraints on one column from
@@ -65,23 +70,29 @@ type colConstraint struct {
 // as alias) under where. It never fails: anything unanalyzable falls
 // back to a sequential scan.
 func (ex *executor) chooseAccess(t *table, alias string, where Expr) *accessPlan {
-	scan := &accessPlan{kind: accessSeqScan, tbl: t, est: len(t.rows)}
+	scan := ex.newPlan()
+	scan.kind, scan.tbl, scan.est = accessSeqScan, t, len(t.rows)
 	if where == nil {
 		return scan
 	}
-	cons := map[int]*colConstraint{}
+	cons := ex.constraintMap()
 	ex.collectConstraints(t, alias, where, cons)
 	if len(cons) == 0 {
 		return scan
 	}
 	best := scan
 	// Primary-key probe: at most one row, always wins when available.
+	// The scan plan is repurposed in place: nothing else references it.
 	if t.pk >= 0 {
 		if c, ok := cons[t.pk]; ok && c.hasEq {
 			if id, isInt := AsInt(c.eq); isInt {
-				plan := &accessPlan{kind: accessPKProbe, tbl: t, eqCols: []string{t.cols[t.pk].Name}}
+				plan := scan
+				plan.kind, plan.est = accessPKProbe, 0
+				plan.eqBuf[0] = t.cols[t.pk].Name
+				plan.eqCols = plan.eqBuf[:1]
 				if pos, found := t.byPK[id]; found {
-					plan.positions = []int{pos}
+					plan.posBuf[0] = pos
+					plan.positions = plan.posBuf[:1]
 					plan.est = 1
 				}
 				return plan
@@ -200,7 +211,7 @@ func (ex *executor) collectConstraints(t *table, alias string, where Expr, out m
 		if !ok {
 			return
 		}
-		c := constraintFor(out, ci)
+		c := ex.constraintFor(out, ci)
 		switch op {
 		case "=":
 			c.hasEq = true
@@ -227,16 +238,16 @@ func (ex *executor) collectConstraints(t *table, alias string, where Expr, out m
 		if !okLo || !okHi {
 			return
 		}
-		c := constraintFor(out, ci)
+		c := ex.constraintFor(out, ci)
 		c.tightenLo(lo, true)
 		c.tightenHi(hi, true)
 	}
 }
 
-func constraintFor(m map[int]*colConstraint, ci int) *colConstraint {
+func (ex *executor) constraintFor(m map[int]*colConstraint, ci int) *colConstraint {
 	c, ok := m[ci]
 	if !ok {
-		c = &colConstraint{}
+		c = ex.newConstraint()
 		m[ci] = c
 	}
 	return c

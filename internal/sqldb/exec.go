@@ -58,6 +58,11 @@ type executor struct {
 	// invalidated by any table mutation (triggers can write mid-query).
 	inCache    map[*InExpr]map[string]bool
 	correlated map[*InExpr]bool
+
+	// sc holds the per-statement scratch arenas; argsBuf is the reusable
+	// backing for bound arguments. Both survive pooling (see scratch.go).
+	sc      scratch
+	argsBuf []Value
 }
 
 // invalidateInCache drops memoized subquery results after a mutation.
@@ -447,7 +452,9 @@ func (ex *executor) insertRows(st *InsertStmt, sc *scope) ([][]Value, error) {
 	}
 	out := make([][]Value, 0, len(st.Rows))
 	for _, exprRow := range st.Rows {
-		row := make([]Value, len(exprRow))
+		// Arena-backed: insertTable copies these values into the stored
+		// row, so the materialized expression rows die with the statement.
+		row := ex.values(len(exprRow))
 		for i, e := range exprRow {
 			v, err := ex.eval(e, sc, nil)
 			if err != nil {
@@ -472,7 +479,7 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 			cols[i] = c.Name
 		}
 	}
-	colIdx := make([]int, len(cols))
+	colIdx := ex.intsBuf(len(cols))
 	for i, c := range cols {
 		idx := t.colIndex(c)
 		if idx < 0 {
@@ -490,8 +497,10 @@ func (ex *executor) insertTable(t *table, st *InsertStmt, sc *scope) (Result, er
 		if err := t.indexMaintHit(); err != nil {
 			return Result{}, err
 		}
+		// row is stored in the table, so it must be heap-allocated;
+		// provided is statement-scoped bookkeeping.
 		row := make([]Value, len(t.cols))
-		provided := make([]bool, len(t.cols))
+		provided := ex.boolsBuf(len(t.cols))
 		for i, idx := range colIdx {
 			row[idx] = normalize(vr[i])
 			provided[idx] = true
@@ -604,8 +613,15 @@ func (ex *executor) triggersFor(viewName, event string) []*trigger {
 
 // fireTriggers runs trigger bodies with NEW/OLD row bindings.
 func (ex *executor) fireTriggers(trs []*trigger, v *view, newRow, oldRow []Value, sc *scope) error {
-	bindings := make([]colBinding, 0, 2*len(v.cols))
-	row := make([]Value, 0, 2*len(v.cols))
+	n := 0
+	if newRow != nil {
+		n += len(v.cols)
+	}
+	if oldRow != nil {
+		n += len(v.cols)
+	}
+	bindings := ex.colBindings(n)[:0]
+	row := ex.values(n)[:0]
 	if newRow != nil {
 		for i, c := range v.cols {
 			bindings = append(bindings, colBinding{qual: "new", name: c})
@@ -618,7 +634,7 @@ func (ex *executor) fireTriggers(trs []*trigger, v *view, newRow, oldRow []Value
 			row = append(row, oldRow[i])
 		}
 	}
-	trigScope := &scope{parent: sc, cols: bindings, row: row}
+	trigScope := ex.newScope(sc, bindings, row)
 	for _, tr := range trs {
 		for _, s := range tr.body {
 			if _, err := ex.execStmt(s, trigScope); err != nil {
@@ -641,11 +657,11 @@ func (ex *executor) execUpdate(st *UpdateStmt, sc *scope) (Result, error) {
 }
 
 func (ex *executor) updateTable(t *table, st *UpdateStmt, sc *scope) (Result, error) {
-	bindings := make([]colBinding, len(t.cols))
+	bindings := ex.colBindings(len(t.cols))
 	for i, c := range t.cols {
 		bindings[i] = colBinding{qual: t.name, name: c.Name}
 	}
-	setIdx := make([]int, len(st.Set))
+	setIdx := ex.intsBuf(len(st.Set))
 	for i, a := range st.Set {
 		idx := t.colIndex(a.Col)
 		if idx < 0 {
@@ -655,7 +671,7 @@ func (ex *executor) updateTable(t *table, st *UpdateStmt, sc *scope) (Result, er
 	}
 	// changed marks the columns any SET clause can touch, so index
 	// maintenance only re-keys indexes covering an assigned column.
-	changed := make([]bool, len(t.cols))
+	changed := ex.boolsBuf(len(t.cols))
 	for _, idx := range setIdx {
 		changed[idx] = true
 	}
@@ -674,13 +690,18 @@ func (ex *executor) updateTable(t *table, st *UpdateStmt, sc *scope) (Result, er
 	if positions != nil {
 		n = len(positions)
 	}
+	// One scope and one assignment buffer for the whole row loop: the
+	// scope's row is rebound per candidate, and newVals is fully copied
+	// into the row before the next iteration overwrites it.
+	rowScope := ex.newScope(sc, bindings, nil)
+	newVals := ex.values(len(st.Set))
 	for ci := 0; ci < n; ci++ {
 		pos := ci
 		if positions != nil {
 			pos = positions[ci]
 		}
 		row := t.rows[pos]
-		rowScope := &scope{parent: sc, cols: bindings, row: row}
+		rowScope.row = row
 		if st.Where != nil {
 			match, err := ex.eval(st.Where, rowScope, nil)
 			if err != nil {
@@ -691,7 +712,6 @@ func (ex *executor) updateTable(t *table, st *UpdateStmt, sc *scope) (Result, er
 			}
 		}
 		// Evaluate all assignments against the pre-update row.
-		newVals := make([]Value, len(st.Set))
 		for i, a := range st.Set {
 			v, err := ex.eval(a.Expr, rowScope, nil)
 			if err != nil {
@@ -736,8 +756,9 @@ func (ex *executor) updateView(v *view, st *UpdateStmt, sc *scope) (Result, erro
 		return Result{}, err
 	}
 	var affected int64
+	rowScope := ex.newScope(sc, rel.cols, nil)
 	for _, row := range rel.rows {
-		rowScope := &scope{parent: sc, cols: rel.cols, row: row}
+		rowScope.row = row
 		oldRow := row
 		newRow := make([]Value, len(row))
 		copy(newRow, row)
@@ -772,7 +793,7 @@ func (ex *executor) execDelete(st *DeleteStmt, sc *scope) (Result, error) {
 }
 
 func (ex *executor) deleteTable(t *table, st *DeleteStmt, sc *scope) (Result, error) {
-	bindings := make([]colBinding, len(t.cols))
+	bindings := ex.colBindings(len(t.cols))
 	for i, c := range t.cols {
 		bindings[i] = colBinding{qual: t.name, name: c.Name}
 	}
@@ -787,7 +808,7 @@ func (ex *executor) deleteTable(t *table, st *DeleteStmt, sc *scope) (Result, er
 	ex.db.countAccess(ap.kind)
 	if ap.kind != accessSeqScan {
 		var matched []int
-		rowScope := &scope{parent: sc, cols: bindings}
+		rowScope := ex.newScope(sc, bindings, nil)
 		for _, pos := range ap.sortedPositions() {
 			if st.Where != nil {
 				rowScope.row = t.rows[pos]
@@ -902,7 +923,7 @@ func (ex *executor) viewRowsMatching(v *view, where Expr, sc *scope) (relation, 
 	if err != nil {
 		return relation{}, err
 	}
-	cols := make([]colBinding, len(v.cols))
+	cols := ex.colBindings(len(v.cols))
 	for i, c := range v.cols {
 		cols[i] = colBinding{qual: v.name, name: c}
 	}
@@ -962,17 +983,24 @@ func (ex *executor) execSelect(sel *SelectStmt, sc *scope) (*Rows, error) {
 // source columns that were not projected (SQLite permits this).
 func (ex *executor) orderAndLimit(sel *SelectStmt, out *Rows, sc *scope, srcCols []colBinding, srcRows [][]Value) error {
 	if len(sel.OrderBy) > 0 {
-		bindings := make([]colBinding, len(out.Columns))
+		bindings := ex.colBindings(len(out.Columns))
 		for i, c := range out.Columns {
 			bindings[i] = colBinding{name: c}
 		}
+		// Both scopes are rebound per row rather than reallocated.
+		parent := sc
+		var srcScope *scope
+		if srcCols != nil {
+			srcScope = ex.newScope(sc, srcCols, nil)
+			parent = srcScope
+		}
+		rowScope := ex.newScope(parent, bindings, nil)
 		keys := make([][]Value, len(out.Data))
 		for ri, row := range out.Data {
-			parent := sc
-			if srcCols != nil {
-				parent = &scope{parent: sc, cols: srcCols, row: srcRows[ri]}
+			if srcScope != nil {
+				srcScope.row = srcRows[ri]
 			}
-			rowScope := &scope{parent: parent, cols: bindings, row: row}
+			rowScope.row = row
 			key := make([]Value, len(sel.OrderBy))
 			for ti, term := range sel.OrderBy {
 				// Integer literal means output column index (1-based).
@@ -1101,7 +1129,7 @@ func (ex *executor) execCore(core *SelectCore, sc *scope) (coreResult, error) {
 	// WHERE
 	if core.Where != nil {
 		filtered := src.rows[:0:0]
-		rowScope := &scope{parent: sc, cols: src.cols}
+		rowScope := ex.newScope(sc, src.cols, nil)
 		for _, row := range src.rows {
 			rowScope.row = row
 			match, err := ex.eval(core.Where, rowScope, nil)
@@ -1145,8 +1173,8 @@ func (ex *executor) validateCore(core *SelectCore, src relation, sc *scope) erro
 	if done {
 		return nil
 	}
-	nullRow := make([]Value, len(src.cols))
-	rowScope := &scope{parent: sc, cols: src.cols, row: nullRow}
+	nullRow := ex.values(len(src.cols))
+	rowScope := ex.newScope(sc, src.cols, nullRow)
 	if core.Where != nil {
 		if _, err := ex.eval(core.Where, rowScope, nil); err != nil {
 			return err
@@ -1245,7 +1273,7 @@ func (ex *executor) buildFrom(core *SelectCore, sc *scope) (relation, error) {
 			// candidates still pass through the full WHERE filter above.
 			if ap := ex.chooseAccess(t, alias, core.Where); ap.kind != accessSeqScan {
 				ex.db.countAccess(ap.kind)
-				cols := make([]colBinding, len(t.cols))
+				cols := ex.colBindings(len(t.cols))
 				for i, c := range t.cols {
 					cols[i] = colBinding{qual: alias, name: c.Name}
 				}
@@ -1298,7 +1326,7 @@ func (ex *executor) scanRef(ref TableRef, sc *scope) (relation, error) {
 		if err != nil {
 			return relation{}, err
 		}
-		cols := make([]colBinding, len(rows.Columns))
+		cols := ex.colBindings(len(rows.Columns))
 		for i, c := range rows.Columns {
 			cols[i] = colBinding{qual: qual, name: c}
 		}
@@ -1310,7 +1338,7 @@ func (ex *executor) scanRef(ref TableRef, sc *scope) (relation, error) {
 	key := strings.ToLower(ref.Name)
 	if t, ok := ex.db.tables[key]; ok {
 		ex.db.statSeqScan.Add(1)
-		cols := make([]colBinding, len(t.cols))
+		cols := ex.colBindings(len(t.cols))
 		for i, c := range t.cols {
 			cols[i] = colBinding{qual: qual, name: c.Name}
 		}
@@ -1338,7 +1366,7 @@ func (ex *executor) materializeView(v *view, sc *scope) (relation, error) {
 	if err != nil {
 		return relation{}, err
 	}
-	cols := make([]colBinding, len(v.cols))
+	cols := ex.colBindings(len(v.cols))
 	for i, c := range v.cols {
 		cols[i] = colBinding{qual: v.name, name: c}
 	}
@@ -1354,7 +1382,7 @@ func (ex *executor) project(core *SelectCore, src relation, sc *scope) (relation
 	out := relation{cols: outCols, rows: make([][]Value, 0, len(src.rows))}
 	// Fast path: a projection of plain column references compiles to
 	// index copies, avoiding per-row scope lookups.
-	if idxs, ok := columnIndexes(exprs, src.cols); ok {
+	if idxs, ok := columnIndexes(exprs, src.cols, ex.intsBuf(len(exprs))); ok {
 		for _, row := range src.rows {
 			projected := make([]Value, len(idxs))
 			for i, idx := range idxs {
@@ -1364,7 +1392,7 @@ func (ex *executor) project(core *SelectCore, src relation, sc *scope) (relation
 		}
 		return out, nil
 	}
-	rowScope := &scope{parent: sc, cols: src.cols}
+	rowScope := ex.newScope(sc, src.cols, nil)
 	for _, row := range src.rows {
 		rowScope.row = row
 		projected := make([]Value, len(exprs))
@@ -1381,10 +1409,10 @@ func (ex *executor) project(core *SelectCore, src relation, sc *scope) (relation
 }
 
 // columnIndexes resolves a projection made purely of column references
-// to source column indexes. It fails (ok=false) if any expression is
-// not a plain reference or any name is ambiguous/unresolved locally.
-func columnIndexes(exprs []Expr, cols []colBinding) ([]int, bool) {
-	idxs := make([]int, len(exprs))
+// to source column indexes, filling the caller-provided buffer (sized
+// len(exprs)). It fails (ok=false) if any expression is not a plain
+// reference or any name is ambiguous/unresolved locally.
+func columnIndexes(exprs []Expr, cols []colBinding, idxs []int) ([]int, bool) {
 	for i, e := range exprs {
 		ref, isRef := e.(*ColRef)
 		if !isRef {
@@ -1418,7 +1446,10 @@ func (ex *executor) expandCols(core *SelectCore, src relation) ([]colBinding, []
 	ex.db.planMu.Lock()
 	if e, ok := ex.db.expandCache[core]; ok {
 		ex.db.planMu.Unlock()
-		cols := make([]colBinding, len(e.cols))
+		// The handed-out copy is statement-scoped (FROM aliasing rewrites
+		// quals in place), so it comes from the arena; the cached pristine
+		// entry stays heap-allocated.
+		cols := ex.colBindings(len(e.cols))
 		copy(cols, e.cols)
 		return cols, e.exprs, nil
 	}

@@ -19,19 +19,18 @@ type prepared struct {
 	lits  []Value // extracted literal values bound as parameters
 }
 
-// bindArgs produces the executor's positional argument slice. A
+// bindArgsInto produces the executor's positional argument slice. A
 // normalized statement binds its extracted literals (it had no user
 // parameters by construction — normalization refuses those); a raw
-// statement binds the caller's values.
-func (p *prepared) bindArgs(args []Value) []Value {
+// statement binds the caller's values. Binding goes into buf, reused
+// across a pooled executor's calls, so the hot path allocates nothing.
+func (p *prepared) bindArgsInto(buf, args []Value) []Value {
 	if p.norm {
-		out := make([]Value, len(p.lits))
-		copy(out, p.lits)
-		return out
+		return append(buf[:0], p.lits...)
 	}
-	out := make([]Value, len(args))
-	for i, a := range args {
-		out[i] = normalize(a)
+	out := buf[:0]
+	for _, a := range args {
+		out = append(out, normalize(a))
 	}
 	return out
 }
@@ -98,15 +97,20 @@ func (db *DB) prepare(sql string) (*prepared, error) {
 // result (the body Exec always had).
 func (db *DB) execPrepared(p *prepared, args []Value) (Result, error) {
 	db.recordWorkload(p)
-	nargs := p.bindArgs(args)
 	lock := db.lockForBatch(p.stmts)
 	defer db.unlockBatch(lock)
-	ex := &executor{db: db, args: nargs}
+	ex := getExecutor(db)
+	defer putExecutor(ex)
+	ex.argsBuf = p.bindArgsInto(ex.argsBuf, args)
+	ex.args = ex.argsBuf
 	var res Result
 	for _, s := range p.stmts {
 		if err := fault.Hit(faultExec); err != nil {
 			return Result{}, err
 		}
+		// Statement boundary: nothing statement-scoped survives execStmt,
+		// so the arenas recycle here.
+		ex.sc.reset()
 		r, err := ex.execStmt(s, nil)
 		if err != nil {
 			return Result{}, err
@@ -122,7 +126,6 @@ func (db *DB) queryPrepared(p *prepared, args []Value) (*Rows, error) {
 		return nil, fmt.Errorf("sqldb: Query requires exactly one statement")
 	}
 	db.recordWorkload(p)
-	nargs := p.bindArgs(args)
 	switch st := p.stmts[0].(type) {
 	case *SelectStmt:
 		// Reads take shared table locks, so queries over disjoint (or
@@ -133,12 +136,18 @@ func (db *DB) queryPrepared(p *prepared, args []Value) (*Rows, error) {
 		if err := fault.Hit(faultExec); err != nil {
 			return nil, err
 		}
-		ex := &executor{db: db, args: nargs}
+		ex := getExecutor(db)
+		defer putExecutor(ex)
+		ex.argsBuf = p.bindArgsInto(ex.argsBuf, args)
+		ex.args = ex.argsBuf
 		return ex.execSelect(st, nil)
 	case *ExplainStmt:
 		lock := db.lockForBatch(p.stmts)
 		defer db.unlockBatch(lock)
-		ex := &executor{db: db, args: nargs}
+		ex := getExecutor(db)
+		defer putExecutor(ex)
+		ex.argsBuf = p.bindArgsInto(ex.argsBuf, args)
+		ex.args = ex.argsBuf
 		return ex.execExplain(st)
 	}
 	return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")

@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"path"
 	"sort"
+	"sync"
 )
 
 // ReadFile reads the entire named file. The buffer is sized from the
@@ -150,18 +151,47 @@ func Sub(base FileSystem, dir string) FileSystem {
 type subFS struct {
 	base   FileSystem
 	prefix string
+
+	// absMemo caches name -> joined absolute path. App working sets
+	// revisit a small set of paths (data files, databases, caches), so
+	// memoizing the Clean + concat turns the hottest per-op string
+	// allocations into a read-locked map hit. The cache is bounded; once
+	// full, unseen names fall back to computing (still correct, just
+	// unmemoized).
+	mu      sync.RWMutex
+	absMemo map[string]string
 }
 
+// absMemoMax bounds a subFS's path cache (paths are short, so this is
+// a few hundred KB worst case per mount view).
+const absMemoMax = 4096
+
 func (s *subFS) abs(name string) string {
+	s.mu.RLock()
+	a, ok := s.absMemo[name]
+	s.mu.RUnlock()
+	if ok {
+		return a
+	}
 	cleaned := Clean(name)
-	if cleaned == "/" {
-		return s.prefix
+	switch {
+	case cleaned == "/":
+		a = s.prefix
+	case s.prefix == "/":
+		a = cleaned
+	default:
+		// Both sides are canonical, so plain concatenation is too.
+		a = s.prefix + cleaned
 	}
-	if s.prefix == "/" {
-		return cleaned
+	s.mu.Lock()
+	if s.absMemo == nil {
+		s.absMemo = make(map[string]string)
 	}
-	// Both sides are canonical, so plain concatenation is too.
-	return s.prefix + cleaned
+	if len(s.absMemo) < absMemoMax {
+		s.absMemo[name] = a
+	}
+	s.mu.Unlock()
+	return a
 }
 
 func (s *subFS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, error) {
