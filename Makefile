@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz chaos bench bench-index bench-load advisor tables audit demo examples clean
+.PHONY: all build test race vet check fuzz chaos bench bench-index bench-load bench-durability advisor tables audit demo examples clean
 
 all: build test
 
@@ -29,6 +29,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzFormat -fuzztime 10s ./internal/sqldb
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
 
 # Deterministic fault-injection run: every engine, race detector on.
 # Same seed => same fault schedule, same verdict. The extra kill-engine
@@ -40,6 +41,8 @@ chaos:
 	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 1 -ops 2000
 	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 2 -ops 2000
 	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 7 -ops 2000
+	$(GO) run -race ./cmd/maxoid-chaos -engine recover -seed 7 -ops 3000
+	$(GO) run -race ./cmd/maxoid-chaos -engine recover -seed 1337 -ops 3000
 
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:
@@ -58,6 +61,13 @@ bench-index:
 # BENCH_PR7.json in place for the CI artifact.
 bench-load:
 	$(GO) run ./cmd/maxoid-loadbench -instances 10000 -baseline BENCH_PR7.json -out BENCH_PR7.json
+
+# Durability cost benchmark: the same concurrent insert workload
+# against a volatile database, a WAL with group commit, and a WAL
+# forced to one fsync per statement. Refreshes the BENCH_PR8.json
+# artifact.
+bench-durability:
+	$(GO) run ./cmd/maxoid-loadbench -durability BENCH_PR8.json -workers 32
 
 # Workload-driven index advisor on the Media/Downloads providers.
 advisor:

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"maxoid/internal/bench/report"
+	"maxoid/internal/metrics"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+	"maxoid/internal/wal"
+)
+
+// runDurability measures what durability costs: the same concurrent
+// insert workload against a volatile database, a WAL with group commit
+// (concurrent committers share fsyncs), and a WAL forced to one fsync
+// per operation. The report lands in its own file (BENCH_PR8.json by
+// default) so the fleet-throughput artifact keeps its shape.
+func runDurability(outPath string, workers, ops int) error {
+	rep := report.New("maxoid-loadbench durability")
+	rep.Command = fmt.Sprintf("maxoid-loadbench -durability %s -workers %d -durops %d", outPath, workers, ops)
+	rep.Notes = map[string]string{
+		"workload": "concurrent autocommit INSERTs into one table; durable modes append+fsync each acknowledged statement to a DirStorage WAL",
+	}
+
+	type mode struct {
+		name       string
+		durable    bool
+		noCoalesce bool
+	}
+	modes := []mode{
+		{name: "volatile"},
+		{name: "group_commit", durable: true},
+		{name: "per_op_fsync", durable: true, noCoalesce: true},
+	}
+
+	throughput := map[string]float64{}
+	for _, m := range modes {
+		reg := metrics.NewRegistry()
+		db := sqldb.Open()
+		var store *wal.Store
+		if m.durable {
+			dir, err := os.MkdirTemp("", "maxoid-durbench-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			storage, err := wal.NewDirStorage(dir)
+			if err != nil {
+				return err
+			}
+			store, err = wal.Open(wal.Config{
+				Storage:    storage,
+				FS:         vfs.New(),
+				DBs:        map[string]*sqldb.DB{"bench": db},
+				NoCoalesce: m.noCoalesce,
+				Metrics:    reg,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := db.Exec("CREATE TABLE notes (_id INTEGER PRIMARY KEY, body TEXT, rank INTEGER DEFAULT 0)"); err != nil {
+			return err
+		}
+
+		lat := reg.Histogram("insert.latency")
+		perWorker := ops / workers
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					t0 := time.Now()
+					if _, err := db.Exec("INSERT INTO notes (body, rank) VALUES (?, ?)",
+						fmt.Sprintf("w%d-%d", w, i), i); err != nil {
+						errs[w] = err
+						return
+					}
+					lat.Observe(time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("%s: %w", m.name, err)
+			}
+		}
+		if store != nil {
+			if err := store.Close(); err != nil {
+				return fmt.Errorf("%s: close store: %w", m.name, err)
+			}
+		}
+
+		done := workers * perWorker
+		tput := float64(done) / elapsed.Seconds()
+		throughput[m.name] = tput
+
+		sec := rep.Section(m.name)
+		sec.Params = map[string]float64{"workers": float64(workers), "ops": float64(done)}
+		sec.Add("throughput", "ops/s", tput)
+		addLatency(sec, "insert_latency", lat.Snapshot())
+		fsyncs := reg.Histogram("wal.fsync").Snapshot()
+		appends := reg.Histogram("wal.append").Snapshot()
+		if m.durable {
+			sec.Add("fsyncs", "count", float64(fsyncs.Count))
+			sec.Add("fsyncs_per_op", "ratio", float64(fsyncs.Count)/float64(done))
+			addLatency(sec, "fsync_latency", fsyncs)
+			addLatency(sec, "append_latency", appends)
+		}
+		fmt.Printf("%-13s %8d ops  %10.0f ops/s  p50 %-9v p99 %-9v fsyncs %d\n",
+			m.name, done, tput, lat.Snapshot().P50(), lat.Snapshot().P99(), fsyncs.Count)
+	}
+
+	agg := rep.Section("aggregate")
+	if throughput["per_op_fsync"] > 0 {
+		agg.Add("group_commit_speedup", "ratio", throughput["group_commit"]/throughput["per_op_fsync"])
+	}
+	if throughput["volatile"] > 0 {
+		agg.Add("durability_cost", "ratio", throughput["group_commit"]/throughput["volatile"])
+	}
+	fmt.Printf("\ngroup commit vs per-op fsync: %.2fx   durable/volatile throughput: %.2f\n",
+		throughput["group_commit"]/throughput["per_op_fsync"],
+		throughput["group_commit"]/throughput["volatile"])
+
+	if err := rep.WriteFile(outPath); err != nil {
+		return err
+	}
+	fmt.Printf("durability report written to %s\n", outPath)
+	return nil
+}

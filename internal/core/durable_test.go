@@ -1,0 +1,196 @@
+package core
+
+import (
+	"testing"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/intent"
+	"maxoid/internal/provider"
+	"maxoid/internal/wal"
+)
+
+func bootDurable(t *testing.T, st wal.Storage) *System {
+	t.Helper()
+	s, err := Boot(Options{Storage: st})
+	if err != nil {
+		t.Fatalf("durable boot: %v", err)
+	}
+	return s
+}
+
+func queryWords(t *testing.T, s *System, pkg string) map[string]bool {
+	t.Helper()
+	ctx, err := s.Launch(pkg, intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ctx.Resolver().Query("content://user_dictionary/words", []string{"word"}, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, row := range rows.Data {
+		w, _ := row[0].(string)
+		out[w] = true
+	}
+	return out
+}
+
+// TestDurableBootCrashRecovery is the full-stack durability loop: boot
+// with storage, mutate disk and provider state (public and volatile),
+// checkpoint, mutate more, crash without shutdown, boot again from the
+// same storage, and verify every acknowledged change — including the
+// per-initiator COW machinery adopted from _cow_registry — survived.
+func TestDurableBootCrashRecovery(t *testing.T) {
+	st := wal.NewMemStorage()
+	s1 := bootDurable(t, st)
+	installScript(t, s1, "appA", ams.Manifest{})
+	installScript(t, s1, "viewer", ams.Manifest{Filters: viewFilter()})
+
+	actx, err := s1.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAs(t, actx, actx.DataDir()+"/notes.txt", "crash me")
+	if _, err := actx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "pre-checkpoint"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint so recovery exercises snapshot + WAL tail, not just a
+	// raw log replay.
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// Post-checkpoint work, living only in the WAL tail: a delegate of
+	// appA inserts a word, which lands in Vol(appA) and synthesizes the
+	// words delta machinery (journaled DDL + _cow_registry row).
+	vctx, err := actx.StartActivity(intent.Intent{
+		Action: intent.ActionView, Data: actx.DataDir() + "/notes.txt", Flags: intent.FlagDelegate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vctx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "volatile-word"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := actx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "post-checkpoint"}); err != nil {
+		t.Fatal(err)
+	}
+	writeAs(t, actx, actx.DataDir()+"/post.txt", "after checkpoint")
+
+	// Crash: no Shutdown, every unsynced page-cache byte is lost. All
+	// of the operations above were acknowledged, so all must survive.
+	st.Crash(nil)
+
+	s2 := bootDurable(t, st)
+	defer s2.Shutdown()
+	installScript(t, s2, "appA", ams.Manifest{})
+	installScript(t, s2, "appX", ams.Manifest{})
+
+	// Files come back through the app's own namespace view.
+	actx2, err := s2.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{
+		actx2.DataDir() + "/notes.txt": "crash me",
+		actx2.DataDir() + "/post.txt":  "after checkpoint",
+	} {
+		got, err := readAs(actx2, path)
+		if err != nil {
+			t.Errorf("recovered file %s: %v", path, err)
+		} else if got != want {
+			t.Errorf("recovered file %s = %q, want %q", path, got, want)
+		}
+	}
+
+	words := queryWords(t, s2, "appX")
+	if !words["pre-checkpoint"] || !words["post-checkpoint"] {
+		t.Errorf("public words lost in recovery: %v", words)
+	}
+	if words["volatile-word"] {
+		t.Error("volatile word leaked into the public view after recovery")
+	}
+
+	// The delta machinery was adopted, not resynthesized: appA's
+	// volatile record is still there and still confined.
+	if !s2.UserDict.Proxy().HasDelta("words", "appA") {
+		t.Error("words delta for appA not adopted from _cow_registry")
+	}
+	n, err := s2.VolatileRecords("user_dictionary", "words", "appA")
+	if err != nil {
+		t.Fatalf("volatile records: %v", err)
+	}
+	if n != 1 {
+		t.Errorf("Vol(appA) words = %d rows, want 1", n)
+	}
+
+	// And the adopted machinery still works: Clear-Vol drops it and the
+	// registry rows with it, durably.
+	if err := s2.ClearVol("appA"); err != nil {
+		t.Fatalf("clear-vol after recovery: %v", err)
+	}
+	if s2.UserDict.Proxy().HasDelta("words", "appA") {
+		t.Error("delta survived Clear-Vol")
+	}
+}
+
+// TestDurableCleanShutdown verifies the close-and-reopen path and that
+// a second checkpointed generation recovers on top of the first.
+func TestDurableCleanShutdown(t *testing.T) {
+	st := wal.NewMemStorage()
+	s1 := bootDurable(t, st)
+	installScript(t, s1, "appA", ams.Manifest{})
+	actx, err := s1.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := actx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "first-life"}); err != nil {
+		t.Fatal(err)
+	}
+	s1.Shutdown()
+
+	s2 := bootDurable(t, st)
+	installScript(t, s2, "appA", ams.Manifest{})
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	actx2, err := s2.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := actx2.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "second-life"}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Shutdown()
+
+	s3 := bootDurable(t, st)
+	defer s3.Shutdown()
+	installScript(t, s3, "appB", ams.Manifest{})
+	words := queryWords(t, s3, "appB")
+	if !words["first-life"] || !words["second-life"] {
+		t.Errorf("words after two generations = %v", words)
+	}
+	if !s3.Durable() {
+		t.Error("Durable() = false on a storage-backed system")
+	}
+}
+
+// TestVolatileBootUnchanged pins the default: no storage, no store, and
+// Checkpoint is a no-op.
+func TestVolatileBootUnchanged(t *testing.T) {
+	s := boot(t)
+	defer s.Shutdown()
+	if s.Durable() || s.Store != nil {
+		t.Error("volatile boot created a store")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Errorf("volatile checkpoint: %v", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"maxoid/internal/ams"
 	"maxoid/internal/binder"
+	"maxoid/internal/cowproxy"
 	"maxoid/internal/intent"
 	"maxoid/internal/kernel"
 	"maxoid/internal/layout"
@@ -25,8 +26,10 @@ import (
 	"maxoid/internal/provider/downloads"
 	"maxoid/internal/provider/media"
 	"maxoid/internal/provider/userdict"
+	"maxoid/internal/sqldb"
 	"maxoid/internal/unionfs"
 	"maxoid/internal/vfs"
+	"maxoid/internal/wal"
 	"maxoid/internal/zygote"
 )
 
@@ -44,7 +47,21 @@ type Options struct {
 	// network cut — the paper's §2.4 trusted-cloud extension. Leave
 	// empty for the paper's base design.
 	TrustedCloudHosts []string
+	// Storage, when non-nil, makes device state durable: every mutation
+	// of the global disk and of the system providers' databases is
+	// journaled to a write-ahead log on this storage, and Boot first
+	// recovers whatever state the storage already holds (see
+	// internal/wal). nil boots a volatile device, the previous behavior.
+	Storage wal.Storage
 }
+
+// Names of the provider databases inside the durable store's WAL
+// streams and snapshots.
+const (
+	DBUserDict  = "userdict"
+	DBDownloads = "downloads"
+	DBMedia     = "media"
+)
 
 // System is a booted Maxoid device.
 type System struct {
@@ -63,6 +80,9 @@ type System struct {
 	Clipboard *ams.Clipboard
 	Bluetooth *ams.Bluetooth
 	Telephony *ams.Telephony
+
+	// Store is the durable WAL+snapshot store, nil on volatile boots.
+	Store *wal.Store
 }
 
 // Boot builds a device: global disk, kernel with network, Binder
@@ -74,8 +94,38 @@ func Boot(opts Options) (*System, error) {
 	kern := kernel.New(net)
 	router := binder.NewRouter()
 	zyg := zygote.New(disk, kern)
-	if err := zyg.InitDevice(); err != nil {
+
+	// Durable boot: open the databases empty, then let WAL recovery
+	// replay disk and database state into them BEFORE the device is
+	// initialized and the providers lay down their schemas — both of
+	// which are idempotent against recovered state (MkdirAll, CREATE
+	// ... IF NOT EXISTS). After that the store journals everything.
+	udDB, dlDB, mdDB := sqldb.Open(), sqldb.Open(), sqldb.Open()
+	var store *wal.Store
+	if opts.Storage != nil {
+		var err error
+		store, err = wal.Open(wal.Config{
+			Storage: opts.Storage,
+			FS:      disk,
+			DBs: map[string]*sqldb.DB{
+				DBUserDict:  udDB,
+				DBDownloads: dlDB,
+				DBMedia:     mdDB,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	fail := func(err error) (*System, error) {
+		if store != nil {
+			_ = store.Close()
+		}
 		return nil, err
+	}
+
+	if err := zyg.InitDevice(); err != nil {
+		return fail(err)
 	}
 	for _, h := range opts.TrustedCloudHosts {
 		kern.TrustHost(h)
@@ -83,17 +133,27 @@ func Boot(opts Options) (*System, error) {
 	am := ams.New(kern, zyg, router)
 	registry := provider.NewRegistry(router)
 
-	ud, err := userdict.New()
+	ud, err := userdict.NewWithDB(udDB)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	dl, err := downloads.New(disk, net)
+	dl, err := downloads.NewWithDB(dlDB, disk, net)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
-	md, err := media.New(disk)
+	md, err := media.NewWithDB(mdDB, disk)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	if store != nil {
+		// Registration above restored the proxies' table and view
+		// catalogs; adoption rebuilds their per-initiator COW machinery
+		// maps from the durable _cow_registry.
+		for _, p := range []*cowproxy.Proxy{ud.Proxy(), dl.Proxy(), md.Proxy()} {
+			if err := p.AdoptRecovered(); err != nil {
+				return fail(err)
+			}
+		}
 	}
 	registry.Register(ud)
 	registry.Register(dl)
@@ -121,15 +181,33 @@ func Boot(opts Options) (*System, error) {
 		Clipboard: clipboard,
 		Bluetooth: &ams.Bluetooth{},
 		Telephony: &ams.Telephony{},
+		Store:     store,
 	}, nil
+}
+
+// Durable reports whether the system journals state to storage.
+func (s *System) Durable() bool { return s.Store != nil }
+
+// Checkpoint compacts the durable state into a fresh snapshot and
+// resets the WAL (no-op on volatile systems). Recovery after a crash
+// replays snapshot + WAL tail; checkpointing bounds the tail.
+func (s *System) Checkpoint() error {
+	if s.Store == nil {
+		return nil
+	}
+	return s.Store.Snapshot()
 }
 
 // Install installs an app with its manifest (including the Maxoid
 // manifest, typically parsed from XML with ParseMaxoidManifest).
 // Shutdown stops background work: it joins the download worker pool so
-// no provider goroutine outlives the system (tests assert leak-freedom).
+// no provider goroutine outlives the system (tests assert leak-freedom),
+// then syncs and closes the durable store, if any.
 func (s *System) Shutdown() {
 	s.Downloads.Close()
+	if s.Store != nil {
+		_ = s.Store.Close()
+	}
 }
 
 func (s *System) Install(app ams.App, manifest ams.Manifest) error {

@@ -67,6 +67,10 @@ type Proxy struct {
 	// volatile state is discarded (COW views/deltas dropped).
 	conns map[string]*Conn
 	gen   atomic.Int64
+
+	// haveRegistry memoizes that the durable _cow_registry table exists
+	// (see registry.go).
+	haveRegistry bool
 }
 
 type primaryInfo struct {
@@ -206,12 +210,19 @@ func (p *Proxy) ensureDelta(info primaryInfo, initiator string) error {
 		if p.cowViews[key] != nil {
 			delete(p.cowViews[key], initiator)
 		}
+		p.registryRemove(info.name, initiator, registryKindDelta)
 		_, _ = p.db.Exec("DROP VIEW IF EXISTS " + cowView)
 		_, _ = p.db.Exec("DROP TABLE IF EXISTS " + delta)
 		_ = p.rebuildAdminView(info)
 		return err
 	}
 	if err := p.synthDelta(info, delta, cowView); err != nil {
+		return rollback(err)
+	}
+	// The registry row lands after the DDL in the journal: a recovered
+	// prefix containing the row therefore contains the whole synthesis
+	// (AdoptRecovered drops the registered-less remainder otherwise).
+	if err := p.registryAdd(info.name, initiator, registryKindDelta); err != nil {
 		return rollback(err)
 	}
 
@@ -400,6 +411,12 @@ func (p *Proxy) ensureUserViewCOW(v userViewInfo, initiator string) error {
 	if _, err := p.db.Exec("CREATE VIEW " + COWViewName(v.name, initiator) + " AS " + rewritten); err != nil {
 		return err
 	}
+	if err := p.registryAdd(v.name, initiator, registryKindView); err != nil {
+		fault.Suspend()
+		_, _ = p.db.Exec("DROP VIEW IF EXISTS " + COWViewName(v.name, initiator))
+		fault.Resume()
+		return err
+	}
 	p.cowViews[key][initiator] = true
 	return nil
 }
@@ -487,5 +504,6 @@ func (p *Proxy) DiscardVolatile(initiator string) error {
 			return err
 		}
 	}
+	p.registryDiscard(initiator)
 	return nil
 }

@@ -92,9 +92,16 @@ type Provider struct {
 
 // New creates the provider over the global disk and network.
 func New(disk *vfs.FS, net *netstack.Network) (*Provider, error) {
-	db := sqldb.Open()
+	return NewWithDB(sqldb.Open(), disk, net)
+}
+
+// NewWithDB creates the provider over an existing database — the
+// durable-boot path, where core opens the database first so WAL
+// recovery can replay into it. The schema DDL is idempotent against a
+// recovered schema.
+func NewWithDB(db *sqldb.DB, disk *vfs.FS, net *netstack.Network) (*Provider, error) {
 	schema := []string{
-		`CREATE TABLE downloads (
+		`CREATE TABLE IF NOT EXISTS downloads (
 			_id INTEGER PRIMARY KEY,
 			uri TEXT NOT NULL,
 			title TEXT,
@@ -102,7 +109,7 @@ func New(disk *vfs.FS, net *netstack.Network) (*Provider, error) {
 			status INTEGER DEFAULT 190,
 			total_bytes INTEGER DEFAULT 0
 		)`,
-		`CREATE TABLE request_headers (
+		`CREATE TABLE IF NOT EXISTS request_headers (
 			_id INTEGER PRIMARY KEY,
 			download_id INTEGER NOT NULL,
 			header TEXT,
@@ -111,8 +118,8 @@ func New(disk *vfs.FS, net *netstack.Network) (*Provider, error) {
 		// Download managers poll by status and fetch headers per
 		// download; both shapes come straight out of the workload
 		// advisor (cmd/maxoid-advisor) run against this provider.
-		`CREATE INDEX downloads_by_status ON downloads (status) USING HASH`,
-		`CREATE INDEX headers_by_download ON request_headers (download_id) USING HASH`,
+		`CREATE INDEX IF NOT EXISTS downloads_by_status ON downloads (status) USING HASH`,
+		`CREATE INDEX IF NOT EXISTS headers_by_download ON request_headers (download_id) USING HASH`,
 	}
 	for _, s := range schema {
 		if _, err := db.Exec(s); err != nil {

@@ -59,9 +59,17 @@ type Provider struct {
 
 // New creates the provider with its schema and view hierarchy.
 func New(disk *vfs.FS) (*Provider, error) {
-	db := sqldb.Open()
+	return NewWithDB(sqldb.Open(), disk)
+}
+
+// NewWithDB creates the provider over an existing database — the
+// durable-boot path, where core opens the database first so WAL
+// recovery can replay into it. The schema DDL is idempotent against a
+// recovered schema (RegisterUserView already is: CREATE VIEW IF NOT
+// EXISTS).
+func NewWithDB(db *sqldb.DB, disk *vfs.FS) (*Provider, error) {
 	schema := []string{
-		`CREATE TABLE files (
+		`CREATE TABLE IF NOT EXISTS files (
 			_id INTEGER PRIMARY KEY,
 			_data TEXT NOT NULL,
 			media_type INTEGER NOT NULL,
@@ -73,17 +81,17 @@ func New(disk *vfs.FS) (*Provider, error) {
 			album_id INTEGER,
 			mime_type TEXT
 		)`,
-		`CREATE TABLE artists (artist_id INTEGER PRIMARY KEY, artist TEXT)`,
-		`CREATE TABLE albums (album_id INTEGER PRIMARY KEY, album TEXT)`,
+		`CREATE TABLE IF NOT EXISTS artists (artist_id INTEGER PRIMARY KEY, artist TEXT)`,
+		`CREATE TABLE IF NOT EXISTS albums (album_id INTEGER PRIMARY KEY, album TEXT)`,
 		// The view hierarchy filters on media_type (often with a
 		// recency bound), the audio join probes album/artist ids, and
 		// the scanner deduplicates by path. These are exactly the
 		// indexes the workload advisor derives from a recorded
 		// gallery+scanner mix (cmd/maxoid-advisor).
-		`CREATE INDEX files_by_type_date ON files (media_type, date_added)`,
-		`CREATE INDEX files_by_album ON files (album_id) USING HASH`,
-		`CREATE INDEX files_by_artist ON files (artist_id) USING HASH`,
-		`CREATE INDEX files_by_path ON files (_data) USING HASH`,
+		`CREATE INDEX IF NOT EXISTS files_by_type_date ON files (media_type, date_added)`,
+		`CREATE INDEX IF NOT EXISTS files_by_album ON files (album_id) USING HASH`,
+		`CREATE INDEX IF NOT EXISTS files_by_artist ON files (artist_id) USING HASH`,
+		`CREATE INDEX IF NOT EXISTS files_by_path ON files (_data) USING HASH`,
 	}
 	for _, s := range schema {
 		if _, err := db.Exec(s); err != nil {

@@ -35,8 +35,15 @@ type Provider struct {
 
 // New creates the provider with its backing database and COW proxy.
 func New() (*Provider, error) {
-	db := sqldb.Open()
-	if _, err := db.Exec(`CREATE TABLE words (
+	return NewWithDB(sqldb.Open())
+}
+
+// NewWithDB creates the provider over an existing database — the
+// durable-boot path, where core opens the database first so WAL
+// recovery can replay into it. The schema DDL is idempotent against a
+// recovered schema.
+func NewWithDB(db *sqldb.DB) (*Provider, error) {
+	if _, err := db.Exec(`CREATE TABLE IF NOT EXISTS words (
 		_id INTEGER PRIMARY KEY,
 		word TEXT NOT NULL,
 		frequency INTEGER DEFAULT 1,

@@ -197,6 +197,10 @@ type DB struct {
 	// Both guarded by planMu and reset with planCache.
 	expandCache map[*SelectCore]expandEntry
 	validated   map[*SelectCore]struct{}
+
+	// jrn holds the attached statement journal (journal.go); zero when
+	// durability is off.
+	jrn atomic.Value // journalBox
 }
 
 // expandEntry is a memoized select-list expansion. exprs are shared

@@ -369,6 +369,196 @@ func writeLit(b *strings.Builder, v Value) {
 	}
 }
 
+// FormatStmt renders any statement node back to parseable SQL. The
+// snapshot dump (DumpUnits) uses it to serialize catalog objects —
+// view definitions and trigger bodies round-trip through it.
+func FormatStmt(s Stmt) string {
+	var b strings.Builder
+	writeStmt(&b, s)
+	return b.String()
+}
+
+func writeStmt(b *strings.Builder, s Stmt) {
+	switch x := s.(type) {
+	case *SelectStmt:
+		writeSelect(b, x)
+	case *InsertStmt:
+		b.WriteString("INSERT ")
+		if x.OrReplace {
+			b.WriteString("OR REPLACE ")
+		}
+		b.WriteString("INTO " + quoteIdent(x.Table))
+		if len(x.Cols) > 0 {
+			b.WriteString(" (")
+			for i, c := range x.Cols {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(quoteIdent(c))
+			}
+			b.WriteString(")")
+		}
+		if x.Select != nil {
+			b.WriteString(" ")
+			writeSelect(b, x.Select)
+			return
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range x.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, e)
+			}
+			b.WriteString(")")
+		}
+	case *UpdateStmt:
+		b.WriteString("UPDATE " + quoteIdent(x.Table) + " SET ")
+		for i, a := range x.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(a.Col) + " = ")
+			writeExpr(b, a.Expr)
+		}
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			writeExpr(b, x.Where)
+		}
+	case *DeleteStmt:
+		b.WriteString("DELETE FROM " + quoteIdent(x.Table))
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			writeExpr(b, x.Where)
+		}
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		if x.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(quoteIdent(x.Name) + " (")
+		for i := range x.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeColumnDef(b, &x.Cols[i])
+		}
+		b.WriteString(")")
+	case *CreateViewStmt:
+		b.WriteString("CREATE VIEW ")
+		if x.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(quoteIdent(x.Name) + " AS ")
+		writeSelect(b, x.Select)
+	case *CreateTriggerStmt:
+		b.WriteString("CREATE TRIGGER ")
+		if x.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(quoteIdent(x.Name) + " INSTEAD OF " + x.Event + " ON " + quoteIdent(x.View) + " BEGIN ")
+		for _, bs := range x.Body {
+			writeStmt(b, bs)
+			b.WriteString("; ")
+		}
+		b.WriteString("END")
+	case *CreateIndexStmt:
+		b.WriteString("CREATE INDEX ")
+		if x.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(quoteIdent(x.Name) + " ON " + quoteIdent(x.Table) + " (")
+		for i, c := range x.Cols {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(c))
+		}
+		b.WriteString(")")
+		if x.Using != "" {
+			b.WriteString(" USING " + x.Using)
+		}
+	case *DropStmt:
+		b.WriteString("DROP " + x.Kind + " ")
+		if x.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(quoteIdent(x.Name))
+	case *TxnStmt:
+		b.WriteString(x.Kind)
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN ")
+		writeStmt(b, x.Target)
+	default:
+		b.WriteString("?unknown?")
+	}
+}
+
+func writeColumnDef(b *strings.Builder, c *ColumnDef) {
+	b.WriteString(quoteIdent(c.Name))
+	if c.Type != "" {
+		b.WriteString(" " + c.Type)
+	}
+	if c.PrimaryKey {
+		b.WriteString(" PRIMARY KEY")
+	}
+	if c.NotNull {
+		b.WriteString(" NOT NULL")
+	}
+	if c.Default != nil {
+		b.WriteString(" DEFAULT ")
+		writeExpr(b, c.Default)
+	}
+}
+
+// formatCreateTable renders a catalog table's schema (DumpUnits).
+func formatCreateTable(t *table) string {
+	var b strings.Builder
+	b.WriteString("CREATE TABLE " + quoteIdent(t.name) + " (")
+	for i := range t.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeColumnDef(&b, &t.cols[i])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// formatCreateIndex renders a catalog index's definition (DumpUnits).
+func formatCreateIndex(ix *index) string {
+	var b strings.Builder
+	b.WriteString("CREATE INDEX " + quoteIdent(ix.name) + " ON " + quoteIdent(ix.table) + " (")
+	for i, c := range ix.colNames {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteIdent(c))
+	}
+	b.WriteString(")")
+	if ix.kind == indexHash {
+		b.WriteString(" USING HASH")
+	}
+	return b.String()
+}
+
+// formatCreateTrigger renders a catalog trigger (DumpUnits).
+func formatCreateTrigger(name, event, view string, body []Stmt) string {
+	var b strings.Builder
+	b.WriteString("CREATE TRIGGER " + quoteIdent(name) + " INSTEAD OF " + event + " ON " + quoteIdent(view) + " BEGIN ")
+	for _, s := range body {
+		writeStmt(&b, s)
+		b.WriteString("; ")
+	}
+	b.WriteString("END")
+	return b.String()
+}
+
 // quoteIdent quotes identifiers that cannot stand bare: keywords,
 // empty names, leading digits, or special characters. The lexer has no
 // escape sequence inside quoted identifiers, but its three quoting

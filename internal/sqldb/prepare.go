@@ -94,8 +94,27 @@ func (db *DB) prepare(sql string) (*prepared, error) {
 }
 
 // execPrepared runs a prepared batch, returning the last statement's
-// result (the body Exec always had).
+// result (the body Exec always had). With a journal attached, the
+// batch's unit is appended to the journal before the locks release
+// (journal order = serialization order), but the durability wait — if
+// the journal defers it — happens after, so concurrent batches group
+// commit; a journal failure fails the batch.
 func (db *DB) execPrepared(p *prepared, args []Value) (Result, error) {
+	res, wait, err := db.execPreparedLocked(p, args)
+	if wait != nil {
+		if werr := wait(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// execPreparedLocked is execPrepared's under-locks half: it returns
+// the pending durability wait rather than invoking it.
+func (db *DB) execPreparedLocked(p *prepared, args []Value) (Result, func() error, error) {
 	db.recordWorkload(p)
 	lock := db.lockForBatch(p.stmts)
 	defer db.unlockBatch(lock)
@@ -103,21 +122,36 @@ func (db *DB) execPrepared(p *prepared, args []Value) (Result, error) {
 	defer putExecutor(ex)
 	ex.argsBuf = p.bindArgsInto(ex.argsBuf, args)
 	ex.args = ex.argsBuf
+	hadTxn := db.txn != nil // mu held (shared or exclusive) by the batch lock
 	var res Result
+	var execErr error
+	executed := 0
 	for _, s := range p.stmts {
 		if err := fault.Hit(faultExec); err != nil {
-			return Result{}, err
+			// Pre-execution fault: the statement never ran, so it is not
+			// part of the journaled prefix.
+			execErr = err
+			break
 		}
 		// Statement boundary: nothing statement-scoped survives execStmt,
 		// so the arenas recycle here.
 		ex.sc.reset()
+		executed++
 		r, err := ex.execStmt(s, nil)
 		if err != nil {
-			return Result{}, err
+			execErr = err
+			break
 		}
 		res = r
 	}
-	return res, nil
+	wait, jerr := db.journalBatch(p, ex.args, executed, hadTxn, execErr)
+	if jerr != nil && execErr == nil {
+		execErr = jerr
+	}
+	if execErr != nil {
+		return Result{}, wait, execErr
+	}
+	return res, wait, nil
 }
 
 // queryPrepared runs a prepared single-statement SELECT or EXPLAIN.

@@ -1,0 +1,61 @@
+package testutil
+
+import (
+	"fmt"
+
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+	"maxoid/internal/wal"
+)
+
+// DurableEnv is a filesystem plus one database recovered from a WAL
+// storage — the standard fixture for crash-recovery tests and the
+// recover chaos engine. Crash the storage (wal.MemStorage.Crash, or
+// just abandon the handles for DirStorage) and call Reopen to play
+// the recovery path: fresh empty state, recovered from whatever the
+// storage durably holds.
+type DurableEnv struct {
+	Storage wal.Storage
+	DBName  string
+	FS      *vfs.FS
+	DB      *sqldb.DB
+	Store   *wal.Store
+}
+
+// OpenDurable builds fresh empty state and recovers it from storage.
+func OpenDurable(storage wal.Storage, dbName string) (*DurableEnv, error) {
+	e := &DurableEnv{Storage: storage, DBName: dbName}
+	if err := e.open(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *DurableEnv) open() error {
+	e.FS = vfs.New()
+	e.DB = sqldb.Open()
+	st, err := wal.Open(wal.Config{
+		Storage: e.Storage,
+		FS:      e.FS,
+		DBs:     map[string]*sqldb.DB{e.DBName: e.DB},
+	})
+	if err != nil {
+		return fmt.Errorf("recovery open: %w", err)
+	}
+	e.Store = st
+	return nil
+}
+
+// Reopen discards the live state (simulating the process dying) and
+// recovers a new FS, DB, and Store from the same storage.
+func (e *DurableEnv) Reopen() error {
+	return e.open()
+}
+
+// Close closes the store; the storage keeps its durable contents.
+func (e *DurableEnv) Close() error {
+	if e.Store == nil {
+		return nil
+	}
+	return e.Store.Close()
+}

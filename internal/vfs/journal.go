@@ -1,0 +1,58 @@
+package vfs
+
+import (
+	"io/fs"
+)
+
+// Journal receives one call per successful tree mutation, in the
+// order the per-node locks serialized them — the hook fires while the
+// mutating operation still holds the lock that ordered it, so journal
+// order always matches effect order. A durability layer (internal/wal)
+// implements Journal by appending a logical record and syncing; vfs
+// itself knows nothing about encoding or storage.
+//
+// A non-nil error fails the vfs operation that triggered the hook
+// even though the in-memory mutation already happened: the caller
+// must treat the operation as not durable, and the journal
+// implementation is expected to fail-stop (poison) so in-memory state
+// cannot silently run ahead of the log across many operations.
+//
+// Implementations must not call back into the FS and must not retain
+// the data slice past the call.
+type Journal interface {
+	// Create records the creation of an empty file.
+	Create(path string, mode fs.FileMode, uid int) error
+	// WriteAt records data written at a byte offset.
+	WriteAt(path string, off int64, data []byte) error
+	// Truncate records a size change (both shrink and zero-fill grow).
+	Truncate(path string, size int64) error
+	// Mkdir records the creation of a single directory.
+	Mkdir(path string, mode fs.FileMode, uid int) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	Rename(oldpath, newpath string) error
+	Chmod(path string, mode fs.FileMode) error
+	Chown(path string, uid int) error
+}
+
+// journalBox wraps a Journal for atomic.Value (which needs one
+// consistent concrete type and cannot hold bare nil).
+type journalBox struct{ j Journal }
+
+// SetJournal attaches (or, with nil, detaches) the mutation journal.
+// Attach before the filesystem starts serving writers; swapping
+// journals mid-flight is atomic per operation but provides no
+// cross-operation ordering guarantee.
+func (f *FS) SetJournal(j Journal) {
+	f.jrn.Store(journalBox{j})
+}
+
+// journal returns the attached journal, nil when detached. One atomic
+// load; free when no durability layer is attached.
+func (f *FS) journal() Journal {
+	v := f.jrn.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(journalBox).j
+}

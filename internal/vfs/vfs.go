@@ -184,6 +184,7 @@ type FS struct {
 	treeMu sync.RWMutex
 	root   *node
 	clock  atomic.Value // func() time.Time
+	jrn    atomic.Value // journalBox (journal.go); zero when detached
 
 	nodeAcq     atomic.Int64
 	nodeBlocked atomic.Int64
@@ -528,6 +529,9 @@ func (f *FS) mkdirStep(c Cred, name string, perm fs.FileMode) error {
 		children: make(map[string]*node),
 	}
 	parent.mtime = f.now()
+	if j := f.journal(); j != nil {
+		return j.Mkdir(Clean(name), perm.Perm(), c.UID)
+	}
 	return nil
 }
 
@@ -596,6 +600,9 @@ func (f *FS) Remove(c Cred, name string) error {
 	}
 	delete(parent.children, base)
 	parent.mtime = f.now()
+	if j := f.journal(); j != nil {
+		return j.Remove(Clean(name))
+	}
 	return nil
 }
 
@@ -620,6 +627,9 @@ func (f *FS) RemoveAll(c Cred, name string) error {
 	}
 	delete(parent.children, base)
 	parent.mtime = f.now()
+	if j := f.journal(); j != nil {
+		return j.RemoveAll(Clean(name))
+	}
 	return nil
 }
 
@@ -667,6 +677,9 @@ func (f *FS) Rename(c Cred, oldname, newname string) error {
 	now := f.now()
 	oldParent.mtime = now
 	newParent.mtime = now
+	if j := f.journal(); j != nil {
+		return j.Rename(Clean(oldname), Clean(newname))
+	}
 	return nil
 }
 
@@ -684,6 +697,9 @@ func (f *FS) Chown(c Cred, name string, uid int) error {
 		return &fs.PathError{Op: "chown", Path: name, Err: ErrPermission}
 	}
 	n.uid = uid
+	if j := f.journal(); j != nil {
+		return j.Chown(Clean(name), uid)
+	}
 	return nil
 }
 
@@ -700,6 +716,9 @@ func (f *FS) Chmod(c Cred, name string, perm fs.FileMode) error {
 		return &fs.PathError{Op: "chmod", Path: name, Err: ErrPermission}
 	}
 	n.mode = (n.mode &^ fs.ModePerm) | perm.Perm()
+	if j := f.journal(); j != nil {
+		return j.Chmod(Clean(name), perm.Perm())
+	}
 	return nil
 }
 
@@ -708,10 +727,13 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 	f.treeMu.RLock()
 	defer f.treeMu.RUnlock()
 
+	cleaned := Clean(name)
+
 	// O_TRUNC mutates the node, so the final node must be write-locked;
 	// all other flag combinations only read its fields.
 	nodeWrite := flags&O_TRUNC != 0
 
+	created := false
 	n, lookupErr := f.walkNode(c, name, nodeWrite)
 	switch {
 	case lookupErr == nil:
@@ -740,6 +762,13 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 			n = &node{name: base, mode: perm.Perm(), uid: c.UID, mtime: f.now()}
 			parent.children[base] = n
 			parent.mtime = f.now()
+			created = true
+			if j := f.journal(); j != nil {
+				if jerr := j.Create(cleaned, perm.Perm(), c.UID); jerr != nil {
+					parent.mu.Unlock()
+					return nil, &fs.PathError{Op: "open", Path: name, Err: jerr}
+				}
+			}
 		}
 		if nodeWrite {
 			f.lockNode(n)
@@ -769,8 +798,15 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 		}
 		n.data = nil
 		n.mtime = f.now()
+		if !created {
+			if j := f.journal(); j != nil {
+				if jerr := j.Truncate(cleaned, 0); jerr != nil {
+					return nil, &fs.PathError{Op: "open", Path: name, Err: jerr}
+				}
+			}
+		}
 	}
-	h := &handle{fs: f, node: n, read: wantRead, write: wantWrite, app: flags&O_APPEND != 0}
+	h := &handle{fs: f, node: n, path: cleaned, read: wantRead, write: wantWrite, app: flags&O_APPEND != 0}
 	return h, nil
 }
 
@@ -778,8 +814,13 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 // node's own lock: they never touch tree structure, so they need no
 // traversal and no rename barrier.
 type handle struct {
-	fs     *FS
+	fs *FS
+	// node is the open file; path is the name it was opened under, used
+	// to label journal records. A concurrent rename leaves the handle
+	// writing under its stale open-time path — a documented limitation
+	// of path-keyed journaling (DESIGN.md "Durability & recovery").
 	node   *node
+	path   string
 	offset int64
 	read   bool
 	write  bool
@@ -881,6 +922,11 @@ func (h *handle) writeAtLocked(p []byte, off int64, advance bool) (int, error) {
 	if advance {
 		h.offset = end
 	}
+	if j := h.fs.journal(); j != nil {
+		if err := j.WriteAt(h.path, off, p); err != nil {
+			return len(p), err
+		}
+	}
 	return len(p), nil
 }
 
@@ -930,6 +976,9 @@ func (h *handle) Truncate(size int64) error {
 		h.node.data = grown
 	}
 	h.node.mtime = h.fs.now()
+	if j := h.fs.journal(); j != nil {
+		return j.Truncate(h.path, size)
+	}
 	return nil
 }
 

@@ -1,0 +1,122 @@
+// Package wal is the durability layer beneath vfs and sqldb: a
+// seed-deterministic append-only write-ahead log of logical records
+// plus periodic compacted snapshots, with recovery-on-open.
+//
+// Layering: vfs and sqldb define small Journal interfaces and know
+// nothing about this package; wal implements them (store.go) by
+// encoding each mutation as a logical record (record.go), framing it
+// (frame.go), and appending it to a Log with group commit (log.go) on
+// a pluggable Storage (storage.go). Recovery replays the snapshot and
+// then every WAL record past the snapshot's cut LSN, truncating any
+// torn tail left by a crash.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout, all integers little-endian:
+//
+//	[4B payload length][4B CRC-32 (IEEE) of payload][payload]
+//
+// payload:
+//
+//	[8B LSN][1B stream length][stream bytes][record bytes]
+//
+// The CRC covers the whole payload, so a torn write — a frame whose
+// tail never reached the disk — fails the checksum and recovery stops
+// cleanly at the previous frame boundary.
+const (
+	frameHeaderSize = 8
+	recHeaderSize   = 9 // LSN + stream length
+
+	// maxPayload bounds a single frame so a corrupt length field cannot
+	// drive a giant allocation during recovery.
+	maxPayload = 1 << 26 // 64 MiB
+)
+
+// ErrTornFrame reports a frame that is truncated or fails its
+// checksum: the end of the valid log.
+var ErrTornFrame = errors.New("wal: torn or corrupt frame")
+
+// Record is one logical WAL record: a payload tagged with the stream
+// it belongs to ("fs" for the file system, "db:<name>" for a
+// database) and the log sequence number the Log assigned.
+type Record struct {
+	LSN     uint64
+	Stream  string
+	Payload []byte
+}
+
+// appendFrame encodes rec as a frame appended to buf.
+func appendFrame(buf []byte, rec Record) []byte {
+	plen := recHeaderSize + len(rec.Stream) + len(rec.Payload)
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderSize)...)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(plen))
+	var lsn [8]byte
+	binary.LittleEndian.PutUint64(lsn[:], rec.LSN)
+	buf = append(buf, lsn[:]...)
+	buf = append(buf, byte(len(rec.Stream)))
+	buf = append(buf, rec.Stream...)
+	buf = append(buf, rec.Payload...)
+	crc := crc32.ChecksumIEEE(buf[start+frameHeaderSize:])
+	binary.LittleEndian.PutUint32(buf[start+4:], crc)
+	return buf
+}
+
+// DecodeFrame decodes the first frame in b, returning the record and
+// the number of bytes the frame occupied. A truncated, oversized, or
+// checksum-failing frame returns ErrTornFrame; recovery treats it as
+// the end of the log. DecodeFrame never panics on arbitrary input
+// (FuzzWALDecode).
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, ErrTornFrame
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen < recHeaderSize || plen > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: bad payload length %d", ErrTornFrame, plen)
+	}
+	if len(b) < frameHeaderSize+plen {
+		return Record{}, 0, ErrTornFrame
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+plen]
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrTornFrame)
+	}
+	slen := int(payload[8])
+	if recHeaderSize+slen > plen {
+		return Record{}, 0, fmt.Errorf("%w: stream name overruns payload", ErrTornFrame)
+	}
+	rec := Record{
+		LSN:     binary.LittleEndian.Uint64(payload),
+		Stream:  string(payload[recHeaderSize : recHeaderSize+slen]),
+		Payload: payload[recHeaderSize+slen:],
+	}
+	return rec, frameHeaderSize + plen, nil
+}
+
+// scanFrames decodes consecutive frames from b, calling fn for each,
+// and returns the byte length of the valid prefix. Decoding stops at
+// the first torn frame — everything after a torn write is garbage by
+// the log's append-only discipline. A non-nil error from fn aborts
+// the scan.
+func scanFrames(b []byte, fn func(Record) error) (int, error) {
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeFrame(b[off:])
+		if err != nil {
+			break
+		}
+		if err := fn(rec); err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return off, nil
+}

@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"maxoid/internal/fault"
+	"maxoid/internal/metrics"
+)
+
+// Fault points on the durability-critical paths (see internal/fault).
+// An append fault can tear a frame mid-write; an fsync fault loses the
+// acknowledgment; a snapshot fault aborts compaction before the
+// atomic rename. All three poison the log (fail-stop) so no
+// acknowledged write can ever land after a hole.
+var (
+	faultAppend   = fault.Declare("wal.append", "WAL frame append: tear the frame with a partial write")
+	faultFsync    = fault.Declare("wal.fsync", "WAL group-commit fsync: fail before acknowledging")
+	faultSnapshot = fault.Declare("wal.snapshot", "snapshot write: fail before the atomic rename publishes it")
+)
+
+// ErrBroken reports an operation on a poisoned log: a previous append
+// or fsync failed, so the on-disk tail is suspect and the only safe
+// continuation is a crash-and-recover cycle.
+var ErrBroken = errors.New("wal: log poisoned by an earlier write failure")
+
+// Log is the append-only record log with group commit.
+//
+// Append assigns the next LSN and buffers the frame into the OS file
+// without syncing; Sync(lsn) makes everything up to lsn durable. Many
+// goroutines calling Sync concurrently coalesce into one fsync: the
+// leader syncs the current tail, and every follower whose target LSN
+// that covered returns without touching the disk (group commit).
+//
+// Any write or sync failure — injected or real — poisons the log:
+// every subsequent Append/Sync fails with ErrBroken. This fail-stop
+// discipline keeps the durable prefix property: the set of records
+// that survive a crash is always a prefix of the append order, so
+// torn-tail truncation at recovery cannot discard an acknowledged
+// record.
+type Log struct {
+	mu       sync.Mutex // appends, LSN assignment, poison state
+	f        File
+	appended uint64 // last LSN appended
+	synced   uint64 // last LSN known durable
+	broken   error
+	buf      []byte
+
+	syncMu     sync.Mutex // serializes fsync; the group-commit leader lock
+	noCoalesce bool
+
+	histAppend *metrics.Histogram
+	histFsync  *metrics.Histogram
+}
+
+// newLog wraps an open file whose valid content ends at LSN last.
+func newLog(f File, last uint64, noCoalesce bool, reg *metrics.Registry) *Log {
+	l := &Log{f: f, appended: last, synced: last, noCoalesce: noCoalesce}
+	if reg != nil {
+		l.histAppend = reg.Histogram("wal.append")
+		l.histFsync = reg.Histogram("wal.fsync")
+	}
+	return l
+}
+
+// Append frames a record on stream and writes it to the log file,
+// returning its LSN. The record is not durable until a Sync covering
+// the LSN returns nil.
+func (l *Log) Append(stream string, payload []byte) (uint64, error) {
+	start := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil {
+		return 0, l.broken
+	}
+	lsn := l.appended + 1
+	l.buf = appendFrame(l.buf[:0], Record{LSN: lsn, Stream: stream, Payload: payload})
+	frame := l.buf
+	if k, err := fault.PartialWrite(faultAppend, len(frame)); err != nil {
+		// Model the torn write: the prefix reaches the file, the tail
+		// never does, and the log is poisoned.
+		if k > 0 {
+			l.f.Write(frame[:k])
+		}
+		l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		return 0, err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		return 0, err
+	}
+	l.appended = lsn
+	if l.histAppend != nil {
+		l.histAppend.Observe(time.Since(start))
+	}
+	return lsn, nil
+}
+
+// Sync makes every record with LSN ≤ target durable. Concurrent
+// callers coalesce: one leader fsyncs the tail and followers whose
+// target was covered return immediately.
+func (l *Log) Sync(target uint64) error {
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return err
+	}
+	if !l.noCoalesce && l.synced >= target {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return err
+	}
+	if !l.noCoalesce && l.synced >= target {
+		// The previous leader's fsync covered us: group commit.
+		l.mu.Unlock()
+		return nil
+	}
+	tail := l.appended
+	l.mu.Unlock()
+
+	start := time.Now()
+	err := fault.Hit(faultFsync)
+	if err == nil {
+		err = l.f.Sync()
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		return err
+	}
+	if tail > l.synced {
+		l.synced = tail
+	}
+	if l.histFsync != nil {
+		l.histFsync.Observe(time.Since(start))
+	}
+	return nil
+}
+
+// LastAppended returns the LSN of the last appended record.
+func (l *Log) LastAppended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// LastSynced returns the highest LSN known durable.
+func (l *Log) LastSynced() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Broken returns the poison error, nil if the log is healthy.
+func (l *Log) Broken() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+// swapFile atomically replaces the log's file with an empty one iff
+// the tail still sits at LSN cut (no append raced the caller's
+// snapshot). Returns whether the swap happened. LSNs keep counting
+// from cut — they are never reused, which is what lets recovery
+// filter WAL records against a snapshot's cut LSN.
+func (l *Log) swapFile(cut uint64, open func() (File, error)) (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken != nil || l.appended != cut {
+		return false, l.broken
+	}
+	nf, err := open()
+	if err != nil {
+		return false, err
+	}
+	l.f.Close()
+	l.f = nf
+	l.synced = cut
+	return true, nil
+}
+
+func (l *Log) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken == nil {
+		l.f.Sync()
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,237 @@
+package wal
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Storage is the byte store beneath the WAL: a flat namespace of
+// append-only files with explicit sync. Two implementations ship:
+// DirStorage over a real directory (production durability) and
+// MemStorage with an explicit crash model (tests and the recover
+// chaos engine).
+type Storage interface {
+	// ReadFile returns the full durable content of a file, or an error
+	// satisfying fs.ErrNotExist.
+	ReadFile(name string) ([]byte, error)
+	// Create truncates-or-creates a file and opens it for appending.
+	Create(name string) (File, error)
+	// Append opens a file for appending after truncating it to
+	// validLen bytes (torn-tail removal). The file is created empty if
+	// missing.
+	Append(name string, validLen int64) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file; removing a missing file is not an error.
+	Remove(name string) error
+}
+
+// File is an open WAL or snapshot file.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes everything written so far durable.
+	Sync() error
+	Close() error
+}
+
+// --- Directory-backed storage ---
+
+// DirStorage stores files in a real directory with fsync durability.
+type DirStorage struct {
+	dir string
+}
+
+// NewDirStorage returns storage rooted at dir, creating it if needed.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	return &DirStorage{dir: dir}, nil
+}
+
+func (s *DirStorage) path(name string) string { return filepath.Join(s.dir, name) }
+
+func (s *DirStorage) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(s.path(name))
+}
+
+func (s *DirStorage) Create(name string) (File, error) {
+	return os.OpenFile(s.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+}
+
+func (s *DirStorage) Append(name string, validLen int64) (File, error) {
+	f, err := os.OpenFile(s.path(name), os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (s *DirStorage) Rename(oldname, newname string) error {
+	if err := os.Rename(s.path(oldname), s.path(newname)); err != nil {
+		return err
+	}
+	// Make the rename itself durable: fsync the directory.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+func (s *DirStorage) Remove(name string) error {
+	err := os.Remove(s.path(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// --- In-memory storage with a crash model ---
+
+// MemStorage is an in-memory Storage with an explicit crash model:
+// every file tracks its durable image (what Sync has pinned) apart
+// from its written image (what the "page cache" holds). Crash throws
+// away an arbitrary, caller-chosen suffix of the unsynced bytes —
+// exactly the freedom a real kernel has — while metadata operations
+// (Create/Remove/Rename) are modeled as immediately durable and
+// atomic, matching DirStorage's directory-fsync discipline.
+type MemStorage struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	durable []byte
+	written []byte
+}
+
+// NewMemStorage returns an empty in-memory storage.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{files: make(map[string]*memFile)}
+}
+
+func (s *MemStorage) ReadFile(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(f.written))
+	copy(out, f.written)
+	return out, nil
+}
+
+func (s *MemStorage) Create(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := &memFile{}
+	s.files[name] = f
+	return &memHandle{s: s, f: f}, nil
+}
+
+func (s *MemStorage) Append(name string, validLen int64) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[name]
+	if !ok {
+		f = &memFile{}
+		s.files[name] = f
+	}
+	if int(validLen) < len(f.written) {
+		f.written = f.written[:validLen]
+	}
+	if int(validLen) < len(f.durable) {
+		f.durable = f.durable[:validLen]
+	}
+	return &memHandle{s: s, f: f}, nil
+}
+
+func (s *MemStorage) Rename(oldname, newname string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(s.files, oldname)
+	s.files[newname] = f
+	// The rename is durable: pin the written image.
+	f.durable = append([]byte(nil), f.written...)
+	return nil
+}
+
+func (s *MemStorage) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.files, name)
+	return nil
+}
+
+// Crash simulates a machine crash: for every file, the durable image
+// survives and keep decides how many of the unsynced trailing bytes
+// survive with it (0 ≤ kept ≤ unsynced, chosen per file — a seeded
+// caller explores torn tails deterministically). A nil keep drops all
+// unsynced bytes. Open handles become useless; reopen with Append.
+func (s *MemStorage) Crash(keep func(name string, unsynced int) int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic keep() order
+	for _, name := range names {
+		f := s.files[name]
+		unsynced := len(f.written) - len(f.durable)
+		k := 0
+		if keep != nil && unsynced > 0 {
+			k = keep(name, unsynced)
+			if k < 0 {
+				k = 0
+			}
+			if k > unsynced {
+				k = unsynced
+			}
+		}
+		f.written = f.written[:len(f.durable)+k]
+		f.durable = f.written
+	}
+}
+
+type memHandle struct {
+	s      *MemStorage
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	h.f.written = append(h.f.written, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	h.f.durable = h.f.written[:len(h.f.written):len(h.f.written)]
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,485 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"maxoid/internal/fault"
+	"maxoid/internal/metrics"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+)
+
+// On-disk layout, inside one Storage namespace:
+//
+//	wal           append-only frame log (log.go); may end in a torn frame
+//	snapshot      compacted state: a "snap" header frame carrying the cut
+//	              LSN, then the full state as framed fs/db records
+//	snapshot.tmp  in-flight snapshot; removed at open, renamed on success
+//
+// Recovery applies the snapshot (if any), then every WAL record with
+// LSN greater than the snapshot's cut, then truncates the torn tail.
+const (
+	walFile     = "wal"
+	snapFile    = "snapshot"
+	snapTmpFile = "snapshot.tmp"
+
+	snapStream = "snap"
+	fsStream   = "fs"
+	dbPrefix   = "db:"
+)
+
+// ErrBusy reports a snapshot that could not get a consistent cut: a
+// transaction stayed open, or mutations kept racing the dump. The
+// caller retries later; the WAL alone still provides durability.
+var ErrBusy = errors.New("wal: snapshot deferred: state is busy")
+
+// snapshotRetries bounds the seqlock retry loop before giving up with
+// ErrBusy.
+const snapshotRetries = 8
+
+// Config wires a Store to the state it makes durable.
+type Config struct {
+	// Storage holds the WAL and snapshot files.
+	Storage Storage
+	// FS is the journaled filesystem; nil if only databases persist.
+	FS *vfs.FS
+	// DBs maps a stable name (the WAL stream suffix) to each journaled
+	// database. Names must not change across restarts.
+	DBs map[string]*sqldb.DB
+	// NoCoalesce disables group commit: every Sync fsyncs (benchmark
+	// baseline, not for production use).
+	NoCoalesce bool
+	// Metrics, when non-nil, receives wal.append / wal.fsync /
+	// wal.recover histograms.
+	Metrics *metrics.Registry
+}
+
+// Store is the durability layer: it owns the WAL and snapshot files,
+// implements the vfs and sqldb journal interfaces, and recovers state
+// on Open.
+type Store struct {
+	cfg       Config
+	log       *Log
+	snapMu    sync.Mutex // one snapshot at a time
+	recovered uint64     // LSN recovered state corresponds to at Open
+}
+
+// Open recovers state from the snapshot and WAL in cfg.Storage into
+// cfg.FS / cfg.DBs — which must be freshly constructed and empty —
+// truncates any torn WAL tail, and attaches journals so subsequent
+// mutations are logged. Fault injection is suspended for the whole
+// recovery: replay re-executes statements whose faults already
+// happened (or didn't) in the previous life.
+func Open(cfg Config) (*Store, error) {
+	start := time.Now()
+	fault.Suspend()
+	defer fault.Resume()
+
+	// A crash mid-snapshot leaves snapshot.tmp behind; it was never
+	// renamed, so it is garbage.
+	if err := cfg.Storage.Remove(snapTmpFile); err != nil {
+		return nil, err
+	}
+
+	cut, err := recoverSnapshot(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	last, validLen, err := recoverWAL(&cfg, cut)
+	if err != nil {
+		return nil, err
+	}
+
+	// Truncate the torn tail, open the log for appending, and pin the
+	// recovered prefix: records replayed from unsynced-but-surviving
+	// bytes are now part of the recovered state, so a second crash must
+	// not be able to lose them (recovered LSNs never regress).
+	f, err := cfg.Storage.Append(walFile, int64(validLen))
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &Store{cfg: cfg, recovered: last}
+	s.log = newLog(f, last, cfg.NoCoalesce, cfg.Metrics)
+
+	// A transaction the WAL left open never committed: roll it back —
+	// and journal the rollback, so the next recovery's replay closes
+	// the transaction at the same point instead of folding whatever
+	// comes after the orphaned BEGIN into it. Without this record the
+	// WAL is not a replayable history.
+	names := make([]string, 0, len(cfg.DBs))
+	for name := range cfg.DBs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !cfg.DBs[name].AbortOpenTxn() {
+			continue
+		}
+		payload, err := encodeDBUnit(sqldb.JournalUnit{SQL: "ROLLBACK", N: 1, Sync: true})
+		if err != nil {
+			return nil, err
+		}
+		lsn, err := s.log.Append(dbPrefix+name, payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.log.Sync(lsn); err != nil {
+			return nil, err
+		}
+	}
+
+	// Attach journals last: nothing that happened during replay is
+	// re-logged.
+	if cfg.FS != nil {
+		cfg.FS.SetJournal(&fsJournal{s: s})
+	}
+	for name, db := range cfg.DBs {
+		db.SetJournal(&dbJournal{s: s, stream: dbPrefix + name})
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Histogram("wal.recover").Observe(time.Since(start))
+	}
+	return s, nil
+}
+
+// recoverSnapshot applies the snapshot file if present and returns its
+// cut LSN. Unlike the WAL, a snapshot is published by atomic rename
+// and must be perfect: any decode failure is corruption, not a torn
+// tail.
+func recoverSnapshot(cfg *Config) (uint64, error) {
+	data, err := cfg.Storage.ReadFile(snapFile)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var cut uint64
+	first := true
+	n, serr := scanFrames(data, func(rec Record) error {
+		if first {
+			first = false
+			if rec.Stream != snapStream || len(rec.Payload) != 8 {
+				return fmt.Errorf("wal: snapshot missing header frame")
+			}
+			cut = binary.LittleEndian.Uint64(rec.Payload)
+			return nil
+		}
+		return applyRecord(cfg, rec)
+	})
+	if serr != nil {
+		return 0, serr
+	}
+	if first || n != len(data) {
+		return 0, fmt.Errorf("%w: snapshot truncated at byte %d of %d", ErrCorrupt, n, len(data))
+	}
+	return cut, nil
+}
+
+// recoverWAL replays every record past cut from the valid WAL prefix,
+// returning the highest LSN seen (or cut) and the prefix length in
+// bytes — everything beyond it is a torn tail to truncate.
+func recoverWAL(cfg *Config, cut uint64) (last uint64, validLen int, err error) {
+	last = cut
+	data, err := cfg.Storage.ReadFile(walFile)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return last, 0, nil
+		}
+		return 0, 0, err
+	}
+	validLen, err = scanFrames(data, func(rec Record) error {
+		if rec.LSN > last {
+			last = rec.LSN
+		}
+		if rec.LSN <= cut {
+			// Already folded into the snapshot (replay idempotence is
+			// LSN filtering, not operation semantics).
+			return nil
+		}
+		return applyRecord(cfg, rec)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return last, validLen, nil
+}
+
+// applyRecord routes one logical record to its target state.
+func applyRecord(cfg *Config, rec Record) error {
+	if rec.Stream == fsStream {
+		if cfg.FS == nil {
+			return fmt.Errorf("wal: fs record but no filesystem configured")
+		}
+		return applyFS(cfg.FS, rec.Payload)
+	}
+	if name, ok := strings.CutPrefix(rec.Stream, dbPrefix); ok {
+		db := cfg.DBs[name]
+		if db == nil {
+			return fmt.Errorf("wal: record for unknown database %q", name)
+		}
+		return applyDB(db, rec.Payload)
+	}
+	return fmt.Errorf("wal: record on unknown stream %q", rec.Stream)
+}
+
+// RecoveredLSN returns the LSN the recovered state corresponded to
+// when Open returned.
+func (s *Store) RecoveredLSN() uint64 { return s.recovered }
+
+// LastLSN returns the last appended LSN.
+func (s *Store) LastLSN() uint64 { return s.log.LastAppended() }
+
+// LastSynced returns the highest LSN known durable.
+func (s *Store) LastSynced() uint64 { return s.log.LastSynced() }
+
+// Broken returns the log's poison error, nil while healthy.
+func (s *Store) Broken() error { return s.log.Broken() }
+
+// Close detaches the journals and closes the log (syncing it first
+// when healthy).
+func (s *Store) Close() error {
+	if s.cfg.FS != nil {
+		s.cfg.FS.SetJournal(nil)
+	}
+	for _, db := range s.cfg.DBs {
+		db.SetJournal(nil)
+	}
+	return s.log.close()
+}
+
+// Snapshot writes a compacted snapshot of the full state and, when no
+// append raced it, resets the WAL. Consistency is optimistic: the dump
+// runs without blocking writers, and if the tail LSN moved while it
+// ran, the dump was not a consistent cut and is retried (a seqlock).
+// Journaled mutations are exactly the ones that move the tail, so an
+// unchanged LSN proves an unchanged state.
+func (s *Store) Snapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	for attempt := 0; attempt < snapshotRetries; attempt++ {
+		if err := s.log.Broken(); err != nil {
+			return err
+		}
+		cut := s.log.LastAppended()
+		buf, err := s.dump(cut)
+		if err != nil {
+			return err
+		}
+		if s.log.LastAppended() != cut {
+			continue // a writer raced the dump; the cut is inconsistent
+		}
+		if err := s.publish(buf); err != nil {
+			return err
+		}
+		// Opportunistic WAL reset: only safe if still nothing appended
+		// past the cut. Skipping it is correct — recovery filters WAL
+		// records at or below the snapshot's cut LSN.
+		_, err = s.log.swapFile(cut, func() (File, error) {
+			return s.cfg.Storage.Create(walFile)
+		})
+		return err
+	}
+	return ErrBusy
+}
+
+// dump serializes the full state as a framed snapshot image cut at
+// LSN cut.
+func (s *Store) dump(cut uint64) ([]byte, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], cut)
+	buf := appendFrame(nil, Record{LSN: cut, Stream: snapStream, Payload: hdr[:]})
+
+	if s.cfg.FS != nil {
+		var err error
+		buf, err = dumpFS(buf, s.cfg.FS, cut)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	names := make([]string, 0, len(s.cfg.DBs))
+	for name := range s.cfg.DBs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		db := s.cfg.DBs[name]
+		if db.InTxn() {
+			return nil, ErrBusy
+		}
+		stream := dbPrefix + name
+		err := db.DumpUnits(func(u sqldb.JournalUnit) error {
+			payload, err := encodeDBUnit(u)
+			if err != nil {
+				return err
+			}
+			buf = appendFrame(buf, Record{LSN: cut, Stream: stream, Payload: payload})
+			return nil
+		})
+		if err != nil {
+			if strings.Contains(err.Error(), "transaction open") {
+				return nil, ErrBusy
+			}
+			return nil, err
+		}
+		// ID allocators last: row replay rebuilds them except for
+		// high-water marks left by deleted rows.
+		buf = appendFrame(buf, Record{LSN: cut, Stream: stream, Payload: encodeDBCounters(db.CounterState())})
+	}
+	return buf, nil
+}
+
+// dumpFS walks the tree in lexical order (parents before children)
+// emitting mkdir/create/write records that rebuild it.
+func dumpFS(buf []byte, fsys *vfs.FS, cut uint64) ([]byte, error) {
+	err := vfs.Walk(fsys, vfs.Root, "/", func(name string, info vfs.FileInfo) error {
+		if name == "/" {
+			return nil
+		}
+		if info.IsDir() {
+			buf = appendFrame(buf, Record{LSN: cut, Stream: fsStream,
+				Payload: encodeFSMkdir(name, info.Mode.Perm(), info.UID)})
+			return nil
+		}
+		buf = appendFrame(buf, Record{LSN: cut, Stream: fsStream,
+			Payload: encodeFSCreate(name, info.Mode.Perm(), info.UID)})
+		if info.Size > 0 {
+			data, err := vfs.ReadFile(fsys, vfs.Root, name)
+			if err != nil {
+				return err
+			}
+			buf = appendFrame(buf, Record{LSN: cut, Stream: fsStream,
+				Payload: encodeFSWriteAt(name, 0, data)})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// publish writes the snapshot image to snapshot.tmp, syncs it, and
+// atomically renames it over the previous snapshot. A failure (the
+// wal.snapshot fault point fires before the bytes are written) leaves
+// the old snapshot intact; the orphan tmp file is removed at next
+// Open.
+func (s *Store) publish(buf []byte) error {
+	f, err := s.cfg.Storage.Create(snapTmpFile)
+	if err != nil {
+		return err
+	}
+	if err := fault.Hit(faultSnapshot); err != nil {
+		f.Close()
+		s.cfg.Storage.Remove(snapTmpFile)
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return s.cfg.Storage.Rename(snapTmpFile, snapFile)
+}
+
+// --- journal adapters ---
+
+// fsJournal implements vfs.Journal: one WAL record per mutation,
+// synced before the vfs operation returns. File-system callers get no
+// transaction boundary, so every acknowledged operation is durable.
+type fsJournal struct{ s *Store }
+
+func (j *fsJournal) commit(payload []byte) error {
+	lsn, err := j.s.log.Append(fsStream, payload)
+	if err != nil {
+		return err
+	}
+	return j.s.log.Sync(lsn)
+}
+
+func (j *fsJournal) Create(path string, mode fs.FileMode, uid int) error {
+	return j.commit(encodeFSCreate(path, mode, uid))
+}
+
+func (j *fsJournal) WriteAt(path string, off int64, data []byte) error {
+	return j.commit(encodeFSWriteAt(path, off, data))
+}
+
+func (j *fsJournal) Truncate(path string, size int64) error {
+	return j.commit(encodeFSTruncate(path, size))
+}
+
+func (j *fsJournal) Mkdir(path string, mode fs.FileMode, uid int) error {
+	return j.commit(encodeFSMkdir(path, mode, uid))
+}
+
+func (j *fsJournal) Remove(path string) error {
+	return j.commit(encodeFSPath(fsRemove, path))
+}
+
+func (j *fsJournal) RemoveAll(path string) error {
+	return j.commit(encodeFSPath(fsRemoveAll, path))
+}
+
+func (j *fsJournal) Rename(oldpath, newpath string) error {
+	return j.commit(encodeFSRename(oldpath, newpath))
+}
+
+func (j *fsJournal) Chmod(path string, mode fs.FileMode) error {
+	return j.commit(encodeFSChmod(path, mode))
+}
+
+func (j *fsJournal) Chown(path string, uid int) error {
+	return j.commit(encodeFSChown(path, uid))
+}
+
+// dbJournal implements sqldb.DeferredJournal for one database: a unit
+// becomes one WAL record appended under the batch locks, and the fsync
+// wait — when the unit demands durability — is handed back to run
+// after the locks release, so concurrent committers coalesce into one
+// fsync (group commit).
+type dbJournal struct {
+	s      *Store
+	stream string
+}
+
+func (j *dbJournal) CommitAppend(u sqldb.JournalUnit) (func() error, error) {
+	payload, err := encodeDBUnit(u)
+	if err != nil {
+		return nil, err
+	}
+	lsn, err := j.s.log.Append(j.stream, payload)
+	if err != nil {
+		return nil, err
+	}
+	if !u.Sync {
+		return nil, nil
+	}
+	return func() error { return j.s.log.Sync(lsn) }, nil
+}
+
+func (j *dbJournal) Commit(u sqldb.JournalUnit) error {
+	wait, err := j.CommitAppend(u)
+	if err != nil || wait == nil {
+		return err
+	}
+	return wait()
+}
