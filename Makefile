@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check fuzz chaos bench bench-index bench-load bench-durability advisor tables audit demo examples clean
+.PHONY: all build test race vet staticcheck check fuzz chaos bench bench-index bench-load bench-durability advisor tables audit demo examples clean
 
 all: build test
 
@@ -18,8 +18,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. The tool is not vendored: run it when
+# installed (CI installs it), skip with a notice otherwise so local
+# `make check` works offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 # The full gate: what CI runs on every push.
-check: build vet test race fuzz
+check: build vet staticcheck test race fuzz
 
 # Short coverage-guided fuzzing smoke over the SQL front end. Each
 # target needs its own invocation: go test allows one -fuzz pattern
@@ -30,6 +40,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNormalize -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzFormat -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/wal
 
 # Deterministic fault-injection run: every engine, race detector on.
 # Same seed => same fault schedule, same verdict. The extra kill-engine
@@ -43,6 +54,8 @@ chaos:
 	$(GO) run -race ./cmd/maxoid-chaos -engine kill -seed 7 -ops 2000
 	$(GO) run -race ./cmd/maxoid-chaos -engine recover -seed 7 -ops 3000
 	$(GO) run -race ./cmd/maxoid-chaos -engine recover -seed 1337 -ops 3000
+	$(GO) run -race ./cmd/maxoid-chaos -engine degrade -seed 7
+	$(GO) run -race ./cmd/maxoid-chaos -engine degrade -seed 1337
 
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:

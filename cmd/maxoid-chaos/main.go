@@ -65,11 +65,17 @@ var engines = []engine{
 	{name: "recover", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
 		return chaos.RunRecoverChecker(seed, chaos.RecoverOptions{Ops: ops})
 	}},
+	// The degrade engine re-arms fault windows mid-run (each Enable
+	// resets the registry), so its schedule is likewise not replayable
+	// as an exact fire script.
+	{name: "degrade", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
+		return chaos.RunDegradeChecker(seed, chaos.DegradeOptions{Ops: ops})
+	}},
 }
 
 func main() {
 	var (
-		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, overload, recover, or all")
+		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, overload, recover, degrade, or all")
 		seed       = flag.Int64("seed", 1, "run seed; reproduces workload, fault schedule, and verdict")
 		ops        = flag.Int("ops", 0, "workload operations per engine (0 = engine default)")
 		dump       = flag.Bool("dump", false, "print the full fault schedule of each run")

@@ -59,6 +59,11 @@ type Admission struct {
 	admitted atomic.Int64
 	rejected atomic.Int64
 
+	// writeGate, when set, is consulted for write-class transaction
+	// codes: a degraded durable store sheds writes at admission while
+	// reads keep flowing (see SetWriteGate).
+	writeGate atomic.Pointer[func() error]
+
 	// met caches resolved instruments (SetMetrics), nil when unwired.
 	met atomic.Pointer[admissionMetrics]
 }
@@ -101,6 +106,32 @@ func (a *Admission) SetMetrics(reg *metrics.Registry) {
 	})
 }
 
+// SetWriteGate wires the durable store's health gate into admission
+// (nil unwires). When the gate reports the store degraded, admission
+// rejects write-class codes with the gate's typed, retryable error
+// before the transaction reaches its provider — the overload machinery
+// sheds writes, not reads.
+func (a *Admission) SetWriteGate(gate func() error) {
+	if gate == nil {
+		a.writeGate.Store(nil)
+		return
+	}
+	a.writeGate.Store(&gate)
+}
+
+// writeCode reports codes that can mutate durable state: the provider
+// mutation verbs, plus "*" (a mixed batch that may contain writes).
+// Unknown codes are treated as reads — the deeper vfs/sqldb gates
+// still protect the store; admission shedding is an optimization, not
+// the enforcement point.
+func writeCode(code string) bool {
+	switch code {
+	case "insert", "update", "delete", "*":
+		return true
+	}
+	return false
+}
+
 // now returns monotonic nanoseconds since the controller's epoch.
 func (a *Admission) now() int64 { return int64(time.Since(a.epoch)) }
 
@@ -120,10 +151,16 @@ func (a *Admission) bucketFor(app string) *bucket {
 // admitted as a unit. System callers (empty app identity — the AMS
 // itself, device services, tests) bypass rate limiting but still count
 // toward the global in-flight ceiling.
-func (a *Admission) Admit(from binder.Caller, endpoint string, n int) (func(), error) {
+func (a *Admission) Admit(from binder.Caller, endpoint, code string, n int) (func(), error) {
 	if err := fault.Hit(faultAdmit); err != nil {
 		a.countReject(n)
 		return nil, fmt.Errorf("ams: admission %s: %w (injected)", endpoint, binder.ErrOverloaded)
+	}
+	if gp := a.writeGate.Load(); gp != nil && writeCode(code) {
+		if err := (*gp)(); err != nil {
+			a.countReject(n)
+			return nil, fmt.Errorf("ams: %s %s shed by degraded store: %w", endpoint, code, err)
+		}
 	}
 	app := from.Task.App
 	if a.cfg.PerAppRate > 0 && app != "" {
@@ -192,9 +229,28 @@ func (a *Admission) InFlight() int64 { return a.inflight.Load() }
 // given config and installs it as the router's gate. It returns the
 // controller for stats and metrics wiring. Pass a zero config to keep
 // the gate installed but admit-everything (chaos still reaches the
-// ams.admit fault point).
+// ams.admit fault point). On a durable boot the store's health gate
+// (SetStoreGate) carries over into the controller, so write-class
+// transactions are shed while the store is degraded.
 func (m *Manager) EnableAdmissionControl(cfg AdmissionConfig) *Admission {
 	a := NewAdmission(cfg)
+	m.mu.Lock()
+	a.SetWriteGate(m.storeGate)
+	m.admission = a
+	m.mu.Unlock()
 	m.router.SetAdmission(a)
 	return a
+}
+
+// SetStoreGate wires the durable store's write gate into the AMS (nil
+// unwires). An already-installed admission controller picks it up
+// immediately; controllers created later inherit it.
+func (m *Manager) SetStoreGate(gate func() error) {
+	m.mu.Lock()
+	m.storeGate = gate
+	a := m.admission
+	m.mu.Unlock()
+	if a != nil {
+		a.SetWriteGate(gate)
+	}
 }

@@ -21,7 +21,7 @@ func caller(app string) binder.Caller {
 func drain(a *Admission, app string, max int) int {
 	n := 0
 	for i := 0; i < max; i++ {
-		release, err := a.Admit(caller(app), "provider:x", 1)
+		release, err := a.Admit(caller(app), "provider:x", "query", 1)
 		if err != nil {
 			return n
 		}
@@ -38,7 +38,7 @@ func TestAdmissionBurstThenReject(t *testing.T) {
 		// mid-drain; the burst bound must still hold approximately.
 		t.Fatalf("admitted %d before rejection, want ~burst of 10", got)
 	}
-	_, err := a.Admit(caller("app.a"), "provider:x", 1)
+	_, err := a.Admit(caller("app.a"), "provider:x", "query", 1)
 	if !errors.Is(err, binder.ErrOverloaded) {
 		t.Fatalf("rejection not typed: %v", err)
 	}
@@ -50,7 +50,7 @@ func TestAdmissionBurstThenReject(t *testing.T) {
 func TestAdmissionRefill(t *testing.T) {
 	a := NewAdmission(AdmissionConfig{PerAppRate: 1000, PerAppBurst: 5})
 	drain(a, "app.a", 100) // empty the bucket
-	if _, err := a.Admit(caller("app.a"), "p", 1); err == nil {
+	if _, err := a.Admit(caller("app.a"), "p", "query", 1); err == nil {
 		t.Fatal("bucket should be empty")
 	}
 	// 1000 tokens/s: 10ms refills ~10 tokens, capped at burst 5.
@@ -68,7 +68,7 @@ func TestAdmissionFairnessAcrossApps(t *testing.T) {
 	if got := drain(a, "app.greedy", 1000); got < 8 || got > 10 {
 		t.Fatalf("greedy admitted %d", got)
 	}
-	if _, err := a.Admit(caller("app.greedy"), "p", 1); err == nil {
+	if _, err := a.Admit(caller("app.greedy"), "p", "query", 1); err == nil {
 		t.Fatal("greedy app should be rejected")
 	}
 	if got := drain(a, "app.quiet", 8); got != 8 {
@@ -80,20 +80,20 @@ func TestAdmissionGlobalCeiling(t *testing.T) {
 	a := NewAdmission(AdmissionConfig{MaxInFlight: 4})
 	var releases []func()
 	for i := 0; i < 4; i++ {
-		release, err := a.Admit(caller("app.a"), "p", 1)
+		release, err := a.Admit(caller("app.a"), "p", "query", 1)
 		if err != nil {
 			t.Fatalf("admit %d: %v", i, err)
 		}
 		releases = append(releases, release)
 	}
-	if _, err := a.Admit(caller("app.b"), "p", 1); !errors.Is(err, binder.ErrOverloaded) {
+	if _, err := a.Admit(caller("app.b"), "p", "query", 1); !errors.Is(err, binder.ErrOverloaded) {
 		t.Fatalf("ceiling breach not typed: %v", err)
 	}
 	if a.InFlight() != 4 {
 		t.Fatalf("inflight = %d", a.InFlight())
 	}
 	releases[0]()
-	if release, err := a.Admit(caller("app.b"), "p", 1); err != nil {
+	if release, err := a.Admit(caller("app.b"), "p", "query", 1); err != nil {
 		t.Fatalf("slot freed but rejected: %v", err)
 	} else {
 		release()
@@ -108,14 +108,14 @@ func TestAdmissionGlobalCeiling(t *testing.T) {
 
 func TestAdmissionBatchUnits(t *testing.T) {
 	a := NewAdmission(AdmissionConfig{MaxInFlight: 10})
-	release, err := a.Admit(caller("app.a"), "p", 8)
+	release, err := a.Admit(caller("app.a"), "p", "query", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.InFlight() != 8 {
 		t.Fatalf("inflight = %d, want 8", a.InFlight())
 	}
-	if _, err := a.Admit(caller("app.b"), "p", 8); !errors.Is(err, binder.ErrOverloaded) {
+	if _, err := a.Admit(caller("app.b"), "p", "query", 8); !errors.Is(err, binder.ErrOverloaded) {
 		t.Fatalf("8+8 over ceiling 10 should reject: %v", err)
 	}
 	release()
@@ -127,7 +127,7 @@ func TestAdmissionBatchUnits(t *testing.T) {
 func TestAdmissionSystemCallersBypassRateLimit(t *testing.T) {
 	a := NewAdmission(AdmissionConfig{PerAppRate: 1, PerAppBurst: 1})
 	for i := 0; i < 50; i++ {
-		release, err := a.Admit(binder.Caller{}, "p", 1)
+		release, err := a.Admit(binder.Caller{}, "p", "query", 1)
 		if err != nil {
 			t.Fatalf("system caller rejected: %v", err)
 		}
@@ -145,7 +145,7 @@ func TestAdmissionConcurrentCeiling(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				release, err := a.Admit(caller("app"), "p", 1)
+				release, err := a.Admit(caller("app"), "p", "query", 1)
 				if err != nil {
 					continue
 				}
@@ -168,7 +168,7 @@ func TestAdmissionFaultPoint(t *testing.T) {
 	fault.Enable(1, fault.Spec{Point: "ams.admit", Prob: 1})
 	defer fault.Disable()
 	a := NewAdmission(AdmissionConfig{})
-	_, err := a.Admit(caller("app.a"), "p", 3)
+	_, err := a.Admit(caller("app.a"), "p", "query", 3)
 	if !errors.Is(err, binder.ErrOverloaded) {
 		t.Fatalf("injected rejection not typed: %v", err)
 	}
@@ -211,13 +211,13 @@ func TestAdmissionMetrics(t *testing.T) {
 	a := NewAdmission(AdmissionConfig{MaxInFlight: 4})
 	reg := metrics.NewRegistry()
 	a.SetMetrics(reg)
-	release, err := a.Admit(caller("app.a"), "p", 2)
+	release, err := a.Admit(caller("app.a"), "p", "query", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	release()
 	fault.Enable(1, fault.Spec{Point: "ams.admit", Prob: 1})
-	a.Admit(caller("app.a"), "p", 1)
+	a.Admit(caller("app.a"), "p", "query", 1)
 	fault.Disable()
 	tot := reg.Totals()
 	if tot["ams.admitted"] != 2 || tot["ams.rejected"] != 1 {

@@ -110,6 +110,12 @@ type Manager struct {
 	volStores []VolatileStore
 	grants    grantTable
 
+	// storeGate is the durable store's health gate (core wires it on
+	// durable boots); EnableAdmissionControl hands it to the admission
+	// controller so degraded stores shed writes at the boundary.
+	storeGate func() error
+	admission *Admission
+
 	// reclaimDomainOnExit makes the reaper discard an initiator's
 	// volatile state (COW deltas, Vol files) once its whole confinement
 	// domain has exited. Off by default: the paper keeps Vol(A) until

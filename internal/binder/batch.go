@@ -39,13 +39,16 @@ type BatchHandler interface {
 }
 
 // AdmissionGate is consulted (when installed) before a transaction or
-// batch is dispatched. n is the number of parcels being admitted as one
-// unit. A nil error admits; release must then be called exactly once
-// when the work completes. A non-nil error rejects the whole unit —
-// gates reject with errors wrapping ErrOverloaded so CallIdempotent
-// knows the condition is retryable.
+// batch is dispatched. code is the transaction code being admitted
+// ("*" for a batch mixing codes), so gates can shed by operation class
+// — a degraded store rejects writes while reads keep flowing. n is the
+// number of parcels being admitted as one unit. A nil error admits;
+// release must then be called exactly once when the work completes. A
+// non-nil error rejects the whole unit — gates reject with errors
+// wrapping ErrOverloaded (overload) or health.ErrReadOnly (degraded
+// store) so CallIdempotent knows the condition is retryable.
 type AdmissionGate interface {
-	Admit(from Caller, endpoint string, n int) (release func(), err error)
+	Admit(from Caller, endpoint, code string, n int) (release func(), err error)
 }
 
 // SetAdmission installs the admission gate (nil uninstalls). The AMS
@@ -60,12 +63,28 @@ func (r *Router) SetAdmission(g AdmissionGate) {
 }
 
 // admit runs the installed admission gate, if any.
-func (r *Router) admit(from Caller, endpoint string, n int) (func(), error) {
+func (r *Router) admit(from Caller, endpoint, code string, n int) (func(), error) {
 	gp := r.gate.Load()
 	if gp == nil {
 		return nil, nil
 	}
-	return (*gp).Admit(from, endpoint, n)
+	return (*gp).Admit(from, endpoint, code, n)
+}
+
+// batchCode reduces a batch to one admission code: the shared code when
+// uniform, "*" when the batch mixes codes (gates treat "*" as
+// potentially-writing).
+func batchCode(items []BatchItem) string {
+	if len(items) == 0 {
+		return "*"
+	}
+	code := items[0].Code
+	for _, it := range items[1:] {
+		if it.Code != code {
+			return "*"
+		}
+	}
+	return code
 }
 
 // CallBatch delivers data parcels, all with one code, as a single
@@ -122,7 +141,7 @@ func (r *Router) transactBatch(from Caller, name string, items []BatchItem) (Bat
 		ep.exit()
 		return BatchResult{}, err
 	}
-	release, err := r.admit(from, name, len(items))
+	release, err := r.admit(from, name, batchCode(items), len(items))
 	if err != nil {
 		ep.exit()
 		return BatchResult{}, err

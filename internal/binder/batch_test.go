@@ -138,7 +138,7 @@ type flakyGate struct {
 	released    atomic.Int64
 }
 
-func (g *flakyGate) Admit(from Caller, endpoint string, n int) (func(), error) {
+func (g *flakyGate) Admit(from Caller, endpoint, code string, n int) (func(), error) {
 	if g.rejectFirst.Add(-1) >= 0 {
 		return nil, fmt.Errorf("ams: app %s: %w", from.Task.App, ErrOverloaded)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"maxoid/internal/fault"
+	"maxoid/internal/health"
 	"maxoid/internal/kernel"
 	"maxoid/internal/metrics"
 	"maxoid/internal/shard"
@@ -308,7 +309,7 @@ func (r *Router) call(from Caller, name string, code string, data Parcel) (Parce
 		ep.exit()
 		return nil, err
 	}
-	release, err := r.admit(from, name, 1)
+	release, err := r.admit(from, name, code, 1)
 	if err != nil {
 		ep.exit()
 		return nil, err
@@ -352,14 +353,17 @@ func (r *Router) call(from Caller, name string, code string, data Parcel) (Parce
 
 // retryable reports whether an idempotent call may be re-attempted:
 // the target died (a supervised restart may bring it back), was not
-// yet re-registered, timed out, or was rejected by admission control
-// (the bucket refills; backing off is exactly the desired overload
-// response).
+// yet re-registered, timed out, was rejected by admission control (the
+// bucket refills; backing off is exactly the desired overload
+// response), or was shed by a degraded read-only store (the store
+// heals; the write was rejected before any mutation, so re-issuing is
+// safe).
 func retryable(err error) bool {
 	return errors.Is(err, kernel.ErrDeadProcess) ||
 		errors.Is(err, ErrNoEndpoint) ||
 		errors.Is(err, ErrCallTimeout) ||
-		errors.Is(err, ErrOverloaded)
+		errors.Is(err, ErrOverloaded) ||
+		errors.Is(err, health.ErrReadOnly)
 }
 
 // CallIdempotent performs a transaction that is safe to re-issue,

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/fault"
+	"maxoid/internal/health"
+	"maxoid/internal/intent"
+	"maxoid/internal/metrics"
+	"maxoid/internal/provider"
+	"maxoid/internal/wal"
+)
+
+// TestSystemHealthDegradation drives the health machinery through the
+// full stack: a durable boot degrades to read-only under injected
+// transient storage faults, provider writes come back as typed
+// retryable rejections while reads keep serving, and Heal restores
+// service.
+func TestSystemHealthDegradation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, err := Boot(Options{
+		Storage: wal.NewMemStorage(),
+		Metrics: reg,
+		StoreTuning: func(cfg *wal.Config) {
+			cfg.MaxRetries = 2
+			cfg.RetryBackoff = time.Nanosecond
+			cfg.RetrySleep = func(time.Duration) {}
+		},
+	})
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	defer s.Shutdown()
+	if s.Health() != health.Healthy {
+		t.Fatalf("boot health = %v", s.Health())
+	}
+
+	installScript(t, s, "appA", ams.Manifest{})
+	ctx, err := s.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "before"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the retry budget: the store drops to read-only.
+	fault.Enable(1, fault.Spec{Point: "wal.append.transient", Prob: 1, Op: fault.OpTransient})
+	_, err = ctx.Resolver().Insert("content://user_dictionary/words", provider.Values{"word": "residue"})
+	fault.Disable()
+	if err == nil {
+		t.Fatal("insert should have failed under exhausted retries")
+	}
+	if s.Health() != health.ReadOnly {
+		t.Fatalf("health = %v, want read-only", s.Health())
+	}
+
+	// Degraded: further writes are rejected with the typed gate error —
+	// pre-mutation — while reads keep serving.
+	if _, err := ctx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "rejected"}); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("degraded insert err = %v, want ErrReadOnly", err)
+	}
+	rows, err := ctx.Resolver().Query("content://user_dictionary/words", []string{"word"}, "", "")
+	if err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if len(rows.Data) == 0 {
+		t.Fatal("degraded read returned nothing")
+	}
+	if g := reg.Gauges()["wal.health"]; g != int64(health.ReadOnly) {
+		t.Fatalf("wal.health gauge = %d, want %d", g, int64(health.ReadOnly))
+	}
+
+	// Heal: memory and disk reconcile, service resumes.
+	if err := s.Store.Heal(); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	if s.Health() != health.Healthy {
+		t.Fatalf("health after heal = %v", s.Health())
+	}
+	if _, err := ctx.Resolver().Insert("content://user_dictionary/words",
+		provider.Values{"word": "after"}); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+}
+
+// TestSystemHealthVolatile: a volatile boot has no store to degrade.
+func TestSystemHealthVolatile(t *testing.T) {
+	s, err := Boot(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	if s.Health() != health.Healthy {
+		t.Fatalf("volatile health = %v, want healthy", s.Health())
+	}
+}
+
+// TestSystemMaintenanceLoop: ScrubInterval starts the background loop
+// and Shutdown stops it cleanly.
+func TestSystemMaintenanceLoop(t *testing.T) {
+	s, err := Boot(Options{Storage: wal.NewMemStorage(), ScrubInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let a few scrub ticks run
+	if s.Health() != health.Healthy {
+		t.Fatalf("health under scrubbing = %v", s.Health())
+	}
+	s.Shutdown()
+}

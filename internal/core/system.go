@@ -18,9 +18,11 @@ import (
 	"maxoid/internal/ams"
 	"maxoid/internal/binder"
 	"maxoid/internal/cowproxy"
+	"maxoid/internal/health"
 	"maxoid/internal/intent"
 	"maxoid/internal/kernel"
 	"maxoid/internal/layout"
+	"maxoid/internal/metrics"
 	"maxoid/internal/netstack"
 	"maxoid/internal/provider"
 	"maxoid/internal/provider/downloads"
@@ -53,6 +55,18 @@ type Options struct {
 	// recovers whatever state the storage already holds (see
 	// internal/wal). nil boots a volatile device, the previous behavior.
 	Storage wal.Storage
+	// Metrics, when non-nil, receives the durable store's instruments
+	// (wal.* histograms, the wal.health gauge, retry/reject counters).
+	Metrics *metrics.Registry
+	// ScrubInterval, when positive on a durable boot, starts the store's
+	// background maintenance loop: periodic integrity scrubs while
+	// serving, automatic heal attempts while read-only. Zero leaves
+	// maintenance to the caller (tests and the chaos engines drive
+	// ScrubOnce/Heal deterministically).
+	ScrubInterval time.Duration
+	// StoreTuning, when set, adjusts the wal.Config before a durable
+	// open — retry budgets, backoff, the retry sleep.
+	StoreTuning func(*wal.Config)
 }
 
 // Names of the provider databases inside the durable store's WAL
@@ -83,6 +97,9 @@ type System struct {
 
 	// Store is the durable WAL+snapshot store, nil on volatile boots.
 	Store *wal.Store
+
+	// stopMaint halts the store's maintenance loop, nil when not started.
+	stopMaint func()
 }
 
 // Boot builds a device: global disk, kernel with network, Binder
@@ -103,8 +120,7 @@ func Boot(opts Options) (*System, error) {
 	udDB, dlDB, mdDB := sqldb.Open(), sqldb.Open(), sqldb.Open()
 	var store *wal.Store
 	if opts.Storage != nil {
-		var err error
-		store, err = wal.Open(wal.Config{
+		cfg := wal.Config{
 			Storage: opts.Storage,
 			FS:      disk,
 			DBs: map[string]*sqldb.DB{
@@ -112,7 +128,13 @@ func Boot(opts Options) (*System, error) {
 				DBDownloads: dlDB,
 				DBMedia:     mdDB,
 			},
-		})
+			Metrics: opts.Metrics,
+		}
+		if opts.StoreTuning != nil {
+			opts.StoreTuning(&cfg)
+		}
+		var err error
+		store, err = wal.Open(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -131,6 +153,12 @@ func Boot(opts Options) (*System, error) {
 		kern.TrustHost(h)
 	}
 	am := ams.New(kern, zyg, router)
+	if store != nil {
+		// Degraded write shedding: admission control (when enabled)
+		// rejects write-class transactions with the store's typed gate
+		// error while the store cannot accept durable writes.
+		am.SetStoreGate(store.WriteGate)
+	}
 	registry := provider.NewRegistry(router)
 
 	ud, err := userdict.NewWithDB(udDB)
@@ -167,7 +195,7 @@ func Boot(opts Options) (*System, error) {
 	am.AddVolatileStore(md.Proxy())
 	am.AddVolatileStore(clipboard)
 
-	return &System{
+	sys := &System{
 		Disk:      disk,
 		Net:       net,
 		Kernel:    kern,
@@ -182,11 +210,25 @@ func Boot(opts Options) (*System, error) {
 		Bluetooth: &ams.Bluetooth{},
 		Telephony: &ams.Telephony{},
 		Store:     store,
-	}, nil
+	}
+	if store != nil && opts.ScrubInterval > 0 {
+		sys.stopMaint = store.StartMaintenance(opts.ScrubInterval)
+	}
+	return sys, nil
 }
 
 // Durable reports whether the system journals state to storage.
 func (s *System) Durable() bool { return s.Store != nil }
+
+// Health reports the durable store's position in the health state
+// machine. Volatile systems have nothing that can degrade and are
+// always Healthy.
+func (s *System) Health() health.State {
+	if s.Store == nil {
+		return health.Healthy
+	}
+	return s.Store.Health()
+}
 
 // Checkpoint compacts the durable state into a fresh snapshot and
 // resets the WAL (no-op on volatile systems). Recovery after a crash
@@ -205,6 +247,10 @@ func (s *System) Checkpoint() error {
 // then syncs and closes the durable store, if any.
 func (s *System) Shutdown() {
 	s.Downloads.Close()
+	if s.stopMaint != nil {
+		s.stopMaint()
+		s.stopMaint = nil
+	}
 	if s.Store != nil {
 		_ = s.Store.Close()
 	}

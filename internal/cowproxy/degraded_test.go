@@ -1,0 +1,83 @@
+package cowproxy
+
+import (
+	"errors"
+	"testing"
+
+	"maxoid/internal/health"
+	"maxoid/internal/sqldb"
+)
+
+// gatedJournal is a statement journal backed by a degraded store: the
+// write gate rejects every mutating batch with the typed read-only
+// error while committed units (there should be none) are accepted.
+type gatedJournal struct {
+	committed int
+}
+
+func (j *gatedJournal) Commit(sqldb.JournalUnit) error { j.committed++; return nil }
+func (j *gatedJournal) WriteGate() error               { return health.ErrReadOnly }
+
+// TestDegradedStoreGatesDelegateWrites drives the COW proxy over a
+// database whose journal reports a degraded (read-only) store: every
+// write — initiator or delegate — is rejected with health.ErrReadOnly
+// BEFORE any table mutates, so neither the primary table nor the
+// delegate's delta changes, confinement structures stay consistent,
+// and reads on both sides keep serving.
+func TestDegradedStoreGatesDelegateWrites(t *testing.T) {
+	p := newWordsProxy(t, 3)
+	del := p.For("email")
+	// Materialize the delta while healthy so the degraded delegate has
+	// existing COW state worth protecting.
+	if _, err := del.Update("words", map[string]sqldb.Value{"word": "EDITED"}, "_id = ?", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	j := &gatedJournal{}
+	p.DB().SetJournal(j)
+	defer p.DB().SetJournal(nil)
+
+	// Delegate writes: rejected typed, no redirect into base state.
+	if _, err := del.Insert("words", map[string]sqldb.Value{"word": "degraded"}); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("degraded delegate insert err = %v, want ErrReadOnly", err)
+	}
+	if _, err := del.Update("words", map[string]sqldb.Value{"word": "X"}, "_id = ?", 1); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("degraded delegate update err = %v, want ErrReadOnly", err)
+	}
+	if _, err := del.Delete("words", "_id = ?", 3); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("degraded delegate delete err = %v, want ErrReadOnly", err)
+	}
+	// Initiator writes are gated identically.
+	if _, err := p.For("").Insert("words", map[string]sqldb.Value{"word": "pub"}); !errors.Is(err, health.ErrReadOnly) {
+		t.Fatalf("degraded initiator insert err = %v, want ErrReadOnly", err)
+	}
+
+	// Nothing mutated and nothing was journaled: the gate fires before
+	// statements execute.
+	if n, _ := p.DB().QueryScalar("SELECT COUNT(*) FROM words"); n != int64(3) {
+		t.Errorf("primary count after degraded writes = %v, want 3", n)
+	}
+	if j.committed != 0 {
+		t.Errorf("%d units journaled through a closed gate", j.committed)
+	}
+
+	// Reads keep serving on both sides; the delegate still sees its
+	// pre-degradation COW view.
+	rows, err := del.Query("words", []string{"word"}, "_id = ?", "", 2)
+	if err != nil || len(rows.Data) != 1 || rows.Data[0][0] != "EDITED" {
+		t.Fatalf("degraded delegate view: %v, %v", rows, err)
+	}
+	if rows, err := p.For("").Query("words", []string{"_id"}, "", "_id"); err != nil || len(rows.Data) != 3 {
+		t.Fatalf("degraded initiator read: %v, %v", rows, err)
+	}
+
+	// Store heals: the gate lifts and delegate writes flow again, into
+	// the delta as ever — never the primary table.
+	p.DB().SetJournal(nil)
+	if _, err := del.Insert("words", map[string]sqldb.Value{"word": "healed"}); err != nil {
+		t.Fatalf("insert after heal: %v", err)
+	}
+	if n, _ := p.DB().QueryScalar("SELECT COUNT(*) FROM words"); n != int64(3) {
+		t.Errorf("primary count after healed delegate insert = %v, want 3", n)
+	}
+}

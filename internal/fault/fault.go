@@ -32,6 +32,14 @@ import (
 // failures from genuine bugs.
 var ErrInjected = errors.New("fault: injected failure")
 
+// ErrTransient is the error surfaced by fired OpTransient faults: a
+// retryable, EIO/ENOSPC-style storage failure that may clear on retry,
+// as opposed to permanent corruption. It wraps ErrInjected, so every
+// existing errors.Is(err, ErrInjected) check still recognizes it;
+// health classification (internal/health) additionally matches
+// ErrTransient to pick the retry path instead of poisoning.
+var ErrTransient = fmt.Errorf("transient: %w", ErrInjected)
+
 // Op selects what a fired fault does to the caller.
 type Op int
 
@@ -44,6 +52,9 @@ const (
 	// OpPartial truncates the operation: PartialWrite returns a byte
 	// count strictly less than requested, plus an injected error.
 	OpPartial
+	// OpTransient makes Hit return ErrTransient: a retryable storage
+	// fault (the operation performed no work and may be re-attempted).
+	OpTransient
 )
 
 func (o Op) String() string {
@@ -54,6 +65,8 @@ func (o Op) String() string {
 		return "delay"
 	case OpPartial:
 		return "partial"
+	case OpTransient:
+		return "transient"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -303,8 +316,11 @@ func decide(point string) (Event, error) {
 				if f.Op == OpPartial && ev.Frac == 0 {
 					ev.Frac = 0.5
 				}
-				if f.Op == OpError {
+				switch f.Op {
+				case OpError:
 					err = ErrInjected
+				case OpTransient:
+					err = ErrTransient
 				}
 			}
 			trace = append(trace, ev)
@@ -331,6 +347,11 @@ func decide(point string) (Event, error) {
 			err = st.Err
 			if err == nil {
 				err = ErrInjected
+			}
+		case OpTransient:
+			err = st.Err
+			if err == nil {
+				err = ErrTransient
 			}
 		case OpPartial:
 			ev.Frac = st.Frac
@@ -383,7 +404,7 @@ func PartialWrite(point string, n int) (int, error) {
 		return n, nil
 	}
 	switch ev.Op {
-	case OpError:
+	case OpError, OpTransient:
 		return 0, err
 	case OpPartial:
 		k := int(float64(n) * ev.Frac)

@@ -188,3 +188,39 @@ func TestPointsRegistry(t *testing.T) {
 		}
 	}
 }
+
+func TestTransientOp(t *testing.T) {
+	Enable(1, Spec{Point: "test.a", Prob: 1, Times: 1, Op: OpTransient})
+	defer Disable()
+	err := Hit("test.a")
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("ErrTransient must wrap ErrInjected")
+	}
+	if err := Hit("test.a"); err != nil {
+		t.Fatalf("Times=1 spec fired twice: %v", err)
+	}
+}
+
+func TestTransientPartialWrite(t *testing.T) {
+	// A transient fault on a write path injects before any bytes land.
+	Enable(1, Spec{Point: "test.a", Prob: 1, Times: 1, Op: OpTransient})
+	defer Disable()
+	n, err := PartialWrite("test.a", 100)
+	if n != 0 || !errors.Is(err, ErrTransient) {
+		t.Fatalf("PartialWrite = (%d, %v), want (0, ErrTransient)", n, err)
+	}
+}
+
+func TestTransientScriptReplay(t *testing.T) {
+	EnableScript([]Fire{{Point: "test.a", Hit: 2, Op: OpTransient}})
+	defer Disable()
+	if err := Hit("test.a"); err != nil {
+		t.Fatalf("hit 1 should pass: %v", err)
+	}
+	if err := Hit("test.a"); !errors.Is(err, ErrTransient) {
+		t.Fatalf("hit 2 = %v, want ErrTransient", err)
+	}
+}

@@ -1,0 +1,234 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+	"time"
+
+	"maxoid/internal/fault"
+)
+
+func noSleep(time.Duration) {}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassNone},
+		{"transient injected", fault.ErrTransient, ClassTransient},
+		{"wrapped transient", fmt.Errorf("append: %w", fault.ErrTransient), ClassTransient},
+		{"eio", syscall.EIO, ClassTransient},
+		{"enospc", fmt.Errorf("write: %w", syscall.ENOSPC), ClassTransient},
+		{"edquot", syscall.EDQUOT, ClassTransient},
+		{"eagain", syscall.EAGAIN, ClassTransient},
+		{"plain injected", fault.ErrInjected, ClassPermanent},
+		{"corruption", errors.New("wal: bad frame CRC"), ClassPermanent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Fatalf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Healthy:   "healthy",
+		Degrading: "degrading",
+		ReadOnly:  "read-only",
+		Poisoned:  "poisoned",
+		State(9):  "state(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestTrackerTransitions(t *testing.T) {
+	var log []string
+	tr := NewTracker(Options{
+		Sleep: noSleep,
+		OnTransition: func(from, to State) {
+			log = append(log, fmt.Sprintf("%v->%v", from, to))
+		},
+	})
+	if tr.State() != Healthy || !tr.Writable() || tr.Err() != nil {
+		t.Fatalf("fresh tracker: state=%v writable=%v err=%v", tr.State(), tr.Writable(), tr.Err())
+	}
+
+	tr.Degrade()
+	if tr.State() != Degrading || !tr.Writable() {
+		t.Fatalf("after Degrade: state=%v writable=%v", tr.State(), tr.Writable())
+	}
+	tr.Degrade() // idempotent only from Healthy; no duplicate transition
+	tr.MarkReadOnly()
+	if tr.State() != ReadOnly || tr.Writable() {
+		t.Fatalf("after MarkReadOnly: state=%v writable=%v", tr.State(), tr.Writable())
+	}
+	if !errors.Is(tr.Err(), ErrReadOnly) {
+		t.Fatalf("ReadOnly Err() = %v, want ErrReadOnly", tr.Err())
+	}
+	// ReportSuccess must NOT auto-heal read-only.
+	tr.ReportSuccess()
+	if tr.State() != ReadOnly {
+		t.Fatalf("ReportSuccess left ReadOnly: state=%v", tr.State())
+	}
+	if !tr.Heal() || tr.State() != Healthy {
+		t.Fatalf("Heal from ReadOnly failed: state=%v", tr.State())
+	}
+
+	want := []string{"healthy->degrading", "degrading->read-only", "read-only->healthy"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("transition log = %v, want %v", log, want)
+	}
+}
+
+func TestTrackerDegradingHealsOnSuccess(t *testing.T) {
+	tr := NewTracker(Options{Sleep: noSleep})
+	tr.Degrade()
+	tr.ReportSuccess()
+	if tr.State() != Healthy {
+		t.Fatalf("ReportSuccess from Degrading: state=%v, want Healthy", tr.State())
+	}
+}
+
+func TestTrackerPoisonTerminal(t *testing.T) {
+	tr := NewTracker(Options{Sleep: noSleep})
+	boom := errors.New("bad frame")
+	tr.Poison(boom)
+	if tr.State() != Poisoned || tr.Writable() {
+		t.Fatalf("after Poison: state=%v writable=%v", tr.State(), tr.Writable())
+	}
+	if !errors.Is(tr.Err(), boom) {
+		t.Fatalf("Poisoned Err() = %v, want %v", tr.Err(), boom)
+	}
+	// Nothing leaves poisoned.
+	tr.Degrade()
+	tr.MarkReadOnly()
+	tr.ReportSuccess()
+	if tr.Heal() {
+		t.Fatal("Heal succeeded on a poisoned tracker")
+	}
+	if tr.State() != Poisoned {
+		t.Fatalf("state left Poisoned: %v", tr.State())
+	}
+	// First poisoning error wins.
+	tr.Poison(errors.New("other"))
+	if !errors.Is(tr.Err(), boom) {
+		t.Fatalf("second Poison replaced error: %v", tr.Err())
+	}
+}
+
+func TestRunSucceedsFirstTry(t *testing.T) {
+	tr := NewTracker(Options{Sleep: noSleep})
+	calls := 0
+	if err := tr.Run(func() error { calls++; return nil }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 1 || tr.State() != Healthy {
+		t.Fatalf("calls=%d state=%v", calls, tr.State())
+	}
+}
+
+func TestRunRetriesTransientThenSucceeds(t *testing.T) {
+	var retries []int
+	var slept []time.Duration
+	tr := NewTracker(Options{
+		MaxRetries:   3,
+		RetryBackoff: time.Millisecond,
+		Sleep:        func(d time.Duration) { slept = append(slept, d) },
+		OnRetry:      func(n int, err error) { retries = append(retries, n) },
+	})
+	calls := 0
+	err := tr.Run(func() error {
+		calls++
+		if calls < 3 {
+			return fault.ErrTransient
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	// Success after retry heals the transient degradation.
+	if tr.State() != Healthy {
+		t.Fatalf("state = %v, want Healthy", tr.State())
+	}
+	if fmt.Sprint(retries) != "[1 2]" {
+		t.Fatalf("retries = %v, want [1 2]", retries)
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if fmt.Sprint(slept) != "[1ms 2ms]" {
+		t.Fatalf("slept = %v, want [1ms 2ms]", slept)
+	}
+}
+
+func TestRunExhaustionGoesReadOnly(t *testing.T) {
+	tr := NewTracker(Options{MaxRetries: 2, Sleep: noSleep})
+	calls := 0
+	inner := fmt.Errorf("fsync: %w", fault.ErrTransient)
+	err := tr.Run(func() error { calls++; return inner })
+	// 1 initial attempt + 2 retries.
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if tr.State() != ReadOnly {
+		t.Fatalf("state = %v, want ReadOnly", tr.State())
+	}
+	// The LAST TRANSIENT error comes back, not ErrReadOnly: the caller
+	// may have mutated memory before attempting durability, so this is
+	// not a clean gate rejection.
+	if !errors.Is(err, fault.ErrTransient) || errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Run returned %v, want the transient error and not ErrReadOnly", err)
+	}
+}
+
+func TestRunPermanentNoRetry(t *testing.T) {
+	tr := NewTracker(Options{Sleep: noSleep})
+	boom := errors.New("checksum mismatch")
+	calls := 0
+	err := tr.Run(func() error { calls++; return boom })
+	if calls != 1 {
+		t.Fatalf("permanent error retried: calls = %d", calls)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want %v", err, boom)
+	}
+	// Run does not poison itself; that is the caller's decision.
+	if tr.State() != Healthy {
+		t.Fatalf("state = %v, want Healthy", tr.State())
+	}
+}
+
+func TestConcurrentStateReads(t *testing.T) {
+	tr := NewTracker(Options{Sleep: noSleep})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			tr.Degrade()
+			tr.ReportSuccess()
+		}
+		tr.MarkReadOnly()
+	}()
+	for {
+		s := tr.State()
+		if s == ReadOnly {
+			break
+		}
+		if s != Healthy && s != Degrading {
+			t.Fatalf("unexpected state %v", s)
+		}
+	}
+	<-done
+}

@@ -228,12 +228,34 @@ func (c *Counter) Total() int64 {
 	return t
 }
 
-// Registry names histograms and counters so layers can share one
-// metrics plane without plumbing pointers everywhere. Get-or-create is
-// lock-free on the hot path after first use (sync.Map reads).
+// Gauge is a last-value-wins instantaneous metric (health state, queue
+// depth). Unlike Counter it is not sharded: sets are rare compared to
+// counter increments, and a gauge must read back exactly what was last
+// stored, so a single atomic is both correct and fast enough.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge creates a named gauge at zero.
+func NewGauge(name string) *Gauge { return &Gauge{name: name} }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last value stored.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry names histograms, counters, and gauges so layers can share
+// one metrics plane without plumbing pointers everywhere. Get-or-create
+// is lock-free on the hot path after first use (sync.Map reads).
 type Registry struct {
 	hists    sync.Map // name -> *Histogram
 	counters sync.Map // name -> *Counter
+	gauges   sync.Map // name -> *Gauge
 }
 
 // NewRegistry creates an empty registry.
@@ -261,6 +283,15 @@ func (r *Registry) Counter(name string) *Counter {
 	return v.(*Counter)
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, NewGauge(name))
+	return v.(*Gauge)
+}
+
 // Snapshots returns every histogram's snapshot, sorted by name.
 func (r *Registry) Snapshots() []Snapshot {
 	var out []Snapshot
@@ -277,6 +308,16 @@ func (r *Registry) Totals() map[string]int64 {
 	out := make(map[string]int64)
 	r.counters.Range(func(k, v any) bool {
 		out[k.(string)] = v.(*Counter).Total()
+		return true
+	})
+	return out
+}
+
+// Gauges returns every gauge's current value, keyed by name.
+func (r *Registry) Gauges() map[string]int64 {
+	out := make(map[string]int64)
+	r.gauges.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Gauge).Value()
 		return true
 	})
 	return out

@@ -127,6 +127,25 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("wal.health")
+	if g != r.Gauge("wal.health") {
+		t.Fatal("same name returned distinct gauges")
+	}
+	if g.Name() != "wal.health" || g.Value() != 0 {
+		t.Fatalf("fresh gauge: name=%q value=%d", g.Name(), g.Value())
+	}
+	g.Set(2)
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %d, want last-set 3", g.Value())
+	}
+	if all := r.Gauges(); len(all) != 1 || all["wal.health"] != 3 {
+		t.Fatalf("Gauges = %v", all)
+	}
+}
+
 func BenchmarkObserve(b *testing.B) {
 	h := NewHistogram("bench")
 	b.ReportAllocs()

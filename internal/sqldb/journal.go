@@ -67,6 +67,41 @@ func commitUnit(j Journal, u JournalUnit) (func() error, error) {
 	return nil, j.Commit(u)
 }
 
+// WriteGate is optionally implemented by a Journal whose backing store
+// can degrade. Mutating batches consult it after taking the batch
+// locks but BEFORE executing any statement: a non-nil error (typically
+// health.ErrReadOnly from a degraded store) rejects the batch cleanly
+// — no table changed, nothing journaled — so the caller can retry once
+// the store heals. Reads (pure SELECT/EXPLAIN batches) and pure
+// ROLLBACK batches are never gated: a degraded store must keep serving
+// queries and must let applications back out of open transactions.
+type WriteGate interface {
+	WriteGate() error
+}
+
+// gateBatch consults the journal's write gate for a batch about to
+// execute. nil when no journal is attached, the journal does not gate,
+// the batch cannot mutate, or the batch only rolls back.
+func (db *DB) gateBatch(stmts []Stmt) error {
+	g, ok := db.journal().(WriteGate)
+	if !ok || !batchMutates(stmts) || batchRollbackOnly(stmts) {
+		return nil
+	}
+	return g.WriteGate()
+}
+
+// batchRollbackOnly reports a batch consisting solely of ROLLBACK
+// statements — the one mutating batch a read-only store admits.
+func batchRollbackOnly(stmts []Stmt) bool {
+	for _, s := range stmts {
+		t, ok := s.(*TxnStmt)
+		if !ok || t.Kind != "ROLLBACK" {
+			return false
+		}
+	}
+	return len(stmts) > 0
+}
+
 type journalBox struct{ j Journal }
 
 // SetJournal attaches (or, with nil, detaches) the statement journal.

@@ -118,6 +118,12 @@ func (db *DB) execPreparedLocked(p *prepared, args []Value) (Result, func() erro
 	db.recordWorkload(p)
 	lock := db.lockForBatch(p.stmts)
 	defer db.unlockBatch(lock)
+	// Durable-store health gate: rejects mutating batches on a degraded
+	// store before any statement executes, so in-memory tables never
+	// run ahead of a log that cannot accept the batch's journal unit.
+	if gerr := db.gateBatch(p.stmts); gerr != nil {
+		return Result{}, nil, gerr
+	}
 	ex := getExecutor(db)
 	defer putExecutor(ex)
 	ex.argsBuf = p.bindArgsInto(ex.argsBuf, args)

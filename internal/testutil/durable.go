@@ -20,11 +20,22 @@ type DurableEnv struct {
 	FS      *vfs.FS
 	DB      *sqldb.DB
 	Store   *wal.Store
+
+	// Mod, when set, adjusts the wal.Config before every open (and
+	// reopen) — the health/degradation tests tighten retry budgets and
+	// substitute a no-op retry sleep through it.
+	Mod func(*wal.Config)
 }
 
 // OpenDurable builds fresh empty state and recovers it from storage.
 func OpenDurable(storage wal.Storage, dbName string) (*DurableEnv, error) {
-	e := &DurableEnv{Storage: storage, DBName: dbName}
+	return OpenDurableWith(storage, dbName, nil)
+}
+
+// OpenDurableWith is OpenDurable with a config modifier applied before
+// the open (and every Reopen).
+func OpenDurableWith(storage wal.Storage, dbName string, mod func(*wal.Config)) (*DurableEnv, error) {
+	e := &DurableEnv{Storage: storage, DBName: dbName, Mod: mod}
 	if err := e.open(); err != nil {
 		return nil, err
 	}
@@ -34,11 +45,15 @@ func OpenDurable(storage wal.Storage, dbName string) (*DurableEnv, error) {
 func (e *DurableEnv) open() error {
 	e.FS = vfs.New()
 	e.DB = sqldb.Open()
-	st, err := wal.Open(wal.Config{
+	cfg := wal.Config{
 		Storage: e.Storage,
 		FS:      e.FS,
 		DBs:     map[string]*sqldb.DB{e.DBName: e.DB},
-	})
+	}
+	if e.Mod != nil {
+		e.Mod(&cfg)
+	}
+	st, err := wal.Open(cfg)
 	if err != nil {
 		return fmt.Errorf("recovery open: %w", err)
 	}

@@ -35,6 +35,29 @@ type Journal interface {
 	Chown(path string, uid int) error
 }
 
+// WriteGate is optionally implemented by a Journal whose backing store
+// can degrade. Mutating operations consult it after validation but
+// BEFORE touching any in-memory state: a non-nil error (typically
+// health.ErrReadOnly from a degraded store, or the store's poison
+// error) rejects the operation cleanly — nothing mutated, nothing
+// journaled — so the caller can safely retry once the store heals.
+// This is the complement of the Journal error contract above, which
+// fires after mutation; the gate is what keeps routine degraded-mode
+// rejections from leaving memory ahead of the log.
+type WriteGate interface {
+	WriteGate() error
+}
+
+// writeGate consults the attached journal's write gate, if any.
+// Returns nil when no journal is attached or the journal does not
+// gate.
+func (f *FS) writeGate() error {
+	if g, ok := f.journal().(WriteGate); ok {
+		return g.WriteGate()
+	}
+	return nil
+}
+
 // journalBox wraps a Journal for atomic.Value (which needs one
 // consistent concrete type and cannot hold bare nil).
 type journalBox struct{ j Journal }

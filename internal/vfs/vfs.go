@@ -521,6 +521,9 @@ func (f *FS) mkdirStep(c Cred, name string, perm fs.FileMode) error {
 	if _, ok := parent.children[base]; ok {
 		return &fs.PathError{Op: "mkdir", Path: name, Err: ErrExist}
 	}
+	if gerr := f.writeGate(); gerr != nil {
+		return &fs.PathError{Op: "mkdir", Path: name, Err: gerr}
+	}
 	parent.children[base] = &node{
 		name:     base,
 		mode:     fs.ModeDir | perm.Perm(),
@@ -598,6 +601,9 @@ func (f *FS) Remove(c Cred, name string) error {
 			return &fs.PathError{Op: "remove", Path: name, Err: ErrNotEmpty}
 		}
 	}
+	if gerr := f.writeGate(); gerr != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: gerr}
+	}
 	delete(parent.children, base)
 	parent.mtime = f.now()
 	if j := f.journal(); j != nil {
@@ -624,6 +630,9 @@ func (f *FS) RemoveAll(c Cred, name string) error {
 	}
 	if !allowed(c, parent, permWrite) {
 		return &fs.PathError{Op: "removeall", Path: name, Err: ErrPermission}
+	}
+	if gerr := f.writeGate(); gerr != nil {
+		return &fs.PathError{Op: "removeall", Path: name, Err: gerr}
 	}
 	delete(parent.children, base)
 	parent.mtime = f.now()
@@ -667,6 +676,9 @@ func (f *FS) Rename(c Cred, oldname, newname string) error {
 			return &fs.PathError{Op: "rename", Path: newname, Err: ErrNotEmpty}
 		}
 	}
+	if gerr := f.writeGate(); gerr != nil {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: gerr}
+	}
 	delete(oldParent.children, oldBase)
 	// The moved node's name is visible to open handles (Stat), which
 	// take only the node lock, so the write must be under it.
@@ -696,6 +708,9 @@ func (f *FS) Chown(c Cred, name string, uid int) error {
 	if c.UID != 0 && c.UID != n.uid {
 		return &fs.PathError{Op: "chown", Path: name, Err: ErrPermission}
 	}
+	if gerr := f.writeGate(); gerr != nil {
+		return &fs.PathError{Op: "chown", Path: name, Err: gerr}
+	}
 	n.uid = uid
 	if j := f.journal(); j != nil {
 		return j.Chown(Clean(name), uid)
@@ -714,6 +729,9 @@ func (f *FS) Chmod(c Cred, name string, perm fs.FileMode) error {
 	defer n.mu.Unlock()
 	if c.UID != 0 && c.UID != n.uid {
 		return &fs.PathError{Op: "chmod", Path: name, Err: ErrPermission}
+	}
+	if gerr := f.writeGate(); gerr != nil {
+		return &fs.PathError{Op: "chmod", Path: name, Err: gerr}
 	}
 	n.mode = (n.mode &^ fs.ModePerm) | perm.Perm()
 	if j := f.journal(); j != nil {
@@ -759,6 +777,10 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 			}
 			n = existing
 		} else {
+			if gerr := f.writeGate(); gerr != nil {
+				parent.mu.Unlock()
+				return nil, &fs.PathError{Op: "open", Path: name, Err: gerr}
+			}
 			n = &node{name: base, mode: perm.Perm(), uid: c.UID, mtime: f.now()}
 			parent.children[base] = n
 			parent.mtime = f.now()
@@ -795,6 +817,11 @@ func (f *FS) Open(c Cred, name string, flags int, perm fs.FileMode) (Handle, err
 	if flags&O_TRUNC != 0 {
 		if !wantWrite {
 			return nil, &fs.PathError{Op: "open", Path: name, Err: ErrInvalid}
+		}
+		if !created {
+			if gerr := f.writeGate(); gerr != nil {
+				return nil, &fs.PathError{Op: "open", Path: name, Err: gerr}
+			}
 		}
 		n.data = nil
 		n.mtime = f.now()
@@ -911,6 +938,9 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 // moves the handle offset (sequential writes). Caller holds the node
 // lock.
 func (h *handle) writeAtLocked(p []byte, off int64, advance bool) (int, error) {
+	if gerr := h.fs.writeGate(); gerr != nil {
+		return 0, gerr
+	}
 	end := off + int64(len(p))
 	if end > int64(len(h.node.data)) {
 		grown := make([]byte, end)
@@ -966,6 +996,9 @@ func (h *handle) Truncate(size int64) error {
 	}
 	if size < 0 {
 		return ErrInvalid
+	}
+	if gerr := h.fs.writeGate(); gerr != nil {
+		return gerr
 	}
 	switch {
 	case size <= int64(len(h.node.data)):

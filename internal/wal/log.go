@@ -7,23 +7,29 @@ import (
 	"time"
 
 	"maxoid/internal/fault"
+	"maxoid/internal/health"
 	"maxoid/internal/metrics"
 )
 
 // Fault points on the durability-critical paths (see internal/fault).
-// An append fault can tear a frame mid-write; an fsync fault loses the
-// acknowledgment; a snapshot fault aborts compaction before the
-// atomic rename. All three poison the log (fail-stop) so no
-// acknowledged write can ever land after a hole.
+// The permanent points model corruption: an append fault tears a frame
+// mid-write, an fsync fault loses the acknowledgment, a snapshot fault
+// aborts compaction before the atomic rename — all of which poison the
+// log (fail-stop) so no acknowledged write can ever land after a hole.
+// The *.transient points model EIO/ENOSPC-style faults that may clear:
+// they perform no work and are absorbed by bounded retry; only
+// exhaustion drops the store to read-only (never poisons).
 var (
-	faultAppend   = fault.Declare("wal.append", "WAL frame append: tear the frame with a partial write")
-	faultFsync    = fault.Declare("wal.fsync", "WAL group-commit fsync: fail before acknowledging")
-	faultSnapshot = fault.Declare("wal.snapshot", "snapshot write: fail before the atomic rename publishes it")
+	faultAppend          = fault.Declare("wal.append", "WAL frame append: tear the frame with a partial write")
+	faultFsync           = fault.Declare("wal.fsync", "WAL group-commit fsync: fail before acknowledging")
+	faultSnapshot        = fault.Declare("wal.snapshot", "snapshot write: fail before the atomic rename publishes it")
+	faultAppendTransient = fault.Declare("wal.append.transient", "WAL frame append: transient EIO-style fault before any byte is written")
+	faultFsyncTransient  = fault.Declare("wal.fsync.transient", "WAL fsync: transient EIO-style fault; the fsync may be retried")
 )
 
 // ErrBroken reports an operation on a poisoned log: a previous append
-// or fsync failed, so the on-disk tail is suspect and the only safe
-// continuation is a crash-and-recover cycle.
+// or fsync failed with permanent corruption, so the on-disk tail is
+// suspect and the only safe continuation is a crash-and-recover cycle.
 var ErrBroken = errors.New("wal: log poisoned by an earlier write failure")
 
 // Log is the append-only record log with group commit.
@@ -34,12 +40,15 @@ var ErrBroken = errors.New("wal: log poisoned by an earlier write failure")
 // leader syncs the current tail, and every follower whose target LSN
 // that covered returns without touching the disk (group commit).
 //
-// Any write or sync failure — injected or real — poisons the log:
-// every subsequent Append/Sync fails with ErrBroken. This fail-stop
-// discipline keeps the durable prefix property: the set of records
-// that survive a crash is always a prefix of the append order, so
-// torn-tail truncation at recovery cannot discard an acknowledged
-// record.
+// Failure handling is classified (internal/health). Transient faults
+// are retried with bounded exponential backoff; exhaustion drops the
+// store to read-only, where appends are rejected with
+// health.ErrReadOnly until the store heals. Permanent faults —
+// injected corruption or an unclassifiable write error — poison the
+// log: every subsequent Append fails with ErrBroken. Both disciplines
+// keep the durable prefix property: the set of records that survive a
+// crash is always a prefix of the append order, so torn-tail
+// truncation at recovery cannot discard an acknowledged record.
 type Log struct {
 	mu       sync.Mutex // appends, LSN assignment, poison state
 	f        File
@@ -51,29 +60,71 @@ type Log struct {
 	syncMu     sync.Mutex // serializes fsync; the group-commit leader lock
 	noCoalesce bool
 
+	tr *health.Tracker
+
 	histAppend *metrics.Histogram
 	histFsync  *metrics.Histogram
+	ctrRejects *metrics.Counter
 }
 
 // newLog wraps an open file whose valid content ends at LSN last.
-func newLog(f File, last uint64, noCoalesce bool, reg *metrics.Registry) *Log {
-	l := &Log{f: f, appended: last, synced: last, noCoalesce: noCoalesce}
+func newLog(f File, last uint64, noCoalesce bool, reg *metrics.Registry, tr *health.Tracker) *Log {
+	l := &Log{f: f, appended: last, synced: last, noCoalesce: noCoalesce, tr: tr}
 	if reg != nil {
 		l.histAppend = reg.Histogram("wal.append")
 		l.histFsync = reg.Histogram("wal.fsync")
+		l.ctrRejects = reg.Counter("wal.degraded.rejects")
 	}
 	return l
 }
 
+// poisonLocked marks permanent corruption. Caller holds l.mu.
+func (l *Log) poisonLocked(err error) {
+	l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+	l.tr.Poison(l.broken)
+}
+
+// gateLocked rejects appends on an unwritable log: ErrBroken when
+// poisoned, health.ErrReadOnly when degraded past the retry budget.
+// ErrReadOnly is strictly pre-mutation here — the gate fires before
+// any byte of the frame is written. Caller holds l.mu.
+func (l *Log) gateLocked() error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if !l.tr.Writable() {
+		l.noteReject()
+		return health.ErrReadOnly
+	}
+	return nil
+}
+
+// noteReject counts one degraded-mode write rejection.
+func (l *Log) noteReject() {
+	if l.ctrRejects != nil {
+		l.ctrRejects.Inc()
+	}
+}
+
 // Append frames a record on stream and writes it to the log file,
 // returning its LSN. The record is not durable until a Sync covering
-// the LSN returns nil.
+// the LSN returns nil. Transient faults are retried under the health
+// tracker's budget before anything is written; on exhaustion the
+// store is read-only and the last transient error comes back (the
+// caller's in-memory state may already be ahead of the log, so this is
+// not a clean gate rejection — see health.Tracker.Run).
 func (l *Log) Append(stream string, payload []byte) (uint64, error) {
 	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.broken != nil {
-		return 0, l.broken
+	if err := l.gateLocked(); err != nil {
+		return 0, err
+	}
+	// Transient-fault window: nothing has been written yet, so each
+	// retry is a clean re-attempt. Exhaustion marked the store
+	// read-only inside Run.
+	if err := l.tr.Run(func() error { return fault.Hit(faultAppendTransient) }); err != nil {
+		return 0, err
 	}
 	lsn := l.appended + 1
 	l.buf = appendFrame(l.buf[:0], Record{LSN: lsn, Stream: stream, Payload: payload})
@@ -84,11 +135,19 @@ func (l *Log) Append(stream string, payload []byte) (uint64, error) {
 		if k > 0 {
 			l.f.Write(frame[:k])
 		}
-		l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		l.poisonLocked(err)
 		return 0, err
 	}
 	if _, err := l.f.Write(frame); err != nil {
-		l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		// A failed real write may have persisted an unknown prefix;
+		// appending after it could strand later frames behind garbage.
+		// Transient causes park the store read-only (heal rebuilds the
+		// file); anything else is corruption.
+		if health.Classify(err) == health.ClassTransient {
+			l.tr.MarkReadOnly()
+			return 0, err
+		}
+		l.poisonLocked(err)
 		return 0, err
 	}
 	l.appended = lsn
@@ -100,7 +159,9 @@ func (l *Log) Append(stream string, payload []byte) (uint64, error) {
 
 // Sync makes every record with LSN ≤ target durable. Concurrent
 // callers coalesce: one leader fsyncs the tail and followers whose
-// target was covered return immediately.
+// target was covered return immediately. Sync is allowed while the
+// store is read-only — it only makes already-appended records durable;
+// rejection of new work happens at append time.
 func (l *Log) Sync(target uint64) error {
 	l.mu.Lock()
 	if l.broken != nil {
@@ -134,13 +195,27 @@ func (l *Log) Sync(target uint64) error {
 	start := time.Now()
 	err := fault.Hit(faultFsync)
 	if err == nil {
-		err = l.f.Sync()
+		// fsync is idempotent, so the real sync sits inside the retry
+		// loop alongside the injected transient point.
+		err = l.tr.Run(func() error {
+			if e := fault.Hit(faultFsyncTransient); e != nil {
+				return e
+			}
+			return l.f.Sync()
+		})
 	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err != nil {
-		l.broken = fmt.Errorf("%w: %v", ErrBroken, err)
+		if health.Classify(err) == health.ClassTransient {
+			// Retries exhausted: the record is in the file but not
+			// durable. The store is read-only (Run marked it); the
+			// record stays un-acked and either becomes durable with a
+			// later sync/heal or is truncated by crash recovery.
+			return err
+		}
+		l.poisonLocked(err)
 		return err
 	}
 	if tail > l.synced {
@@ -194,11 +269,17 @@ func (l *Log) swapFile(cut uint64, open func() (File, error)) (bool, error) {
 	return true, nil
 }
 
+// close releases the log file. A poisoned log returns its poison error
+// (wrapping ErrBroken) after closing: callers must not mistake closing
+// a corrupt log for a clean shutdown, and nothing is synced — the tail
+// is suspect.
 func (l *Log) close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.broken == nil {
-		l.f.Sync()
+	if l.broken != nil {
+		l.f.Close()
+		return l.broken
 	}
+	l.f.Sync()
 	return l.f.Close()
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"maxoid/internal/health"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -81,7 +83,7 @@ func TestLogGroupCommit(t *testing.T) {
 	st := NewMemStorage()
 	inner, _ := st.Create(walFile)
 	f := &countingFile{File: inner}
-	l := newLog(f, 0, false, nil)
+	l := newLog(f, 0, false, nil, health.NewTracker(health.Options{}))
 
 	var last uint64
 	for i := 0; i < 10; i++ {
@@ -115,7 +117,7 @@ func TestLogGroupCommitConcurrent(t *testing.T) {
 	st := NewMemStorage()
 	inner, _ := st.Create(walFile)
 	f := &countingFile{File: inner}
-	l := newLog(f, 0, false, nil)
+	l := newLog(f, 0, false, nil, health.NewTracker(health.Options{}))
 
 	const writers, perWriter = 8, 25
 	var wg sync.WaitGroup
@@ -153,7 +155,7 @@ func TestLogNoCoalesce(t *testing.T) {
 	st := NewMemStorage()
 	inner, _ := st.Create(walFile)
 	f := &countingFile{File: inner}
-	l := newLog(f, 0, true, nil)
+	l := newLog(f, 0, true, nil, health.NewTracker(health.Options{}))
 	for i := 0; i < 5; i++ {
 		lsn, err := l.Append("fs", []byte{byte(i)})
 		if err != nil {
@@ -172,7 +174,7 @@ func TestLogPoison(t *testing.T) {
 	st := NewMemStorage()
 	inner, _ := st.Create(walFile)
 	f := &countingFile{File: inner}
-	l := newLog(f, 0, false, nil)
+	l := newLog(f, 0, false, nil, health.NewTracker(health.Options{}))
 
 	lsn, err := l.Append("fs", []byte("x"))
 	if err != nil {

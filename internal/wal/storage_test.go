@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+// TestMemStorageCrashModel drives the MemStorage crash model through
+// its edge cases table-style: each case builds file state through the
+// public API, crashes with a per-file keep decision, and checks the
+// surviving bytes. The model under test is the contract the recover
+// and degrade chaos engines rely on: Sync pins a durable prefix,
+// Crash keeps that prefix plus a caller-chosen run of unsynced bytes,
+// and metadata operations (Create/Remove/Rename) are immediately
+// durable and atomic.
+func TestMemStorageCrashModel(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(t *testing.T, s *MemStorage)
+		keep  func(name string, unsynced int) int
+		want  map[string][]byte // file -> surviving bytes; absent = must not exist
+	}{
+		{
+			name: "sync pins prefix, crash drops tail",
+			build: func(t *testing.T, s *MemStorage) {
+				f, _ := s.Create("wal")
+				f.Write([]byte("durable"))
+				f.Sync()
+				f.Write([]byte("-lost"))
+				f.Close()
+			},
+			want: map[string][]byte{"wal": []byte("durable")},
+		},
+		{
+			name: "crash keeps a partial unsynced run",
+			build: func(t *testing.T, s *MemStorage) {
+				f, _ := s.Create("wal")
+				f.Write([]byte("base"))
+				f.Sync()
+				f.Write([]byte("abcdef"))
+				f.Close()
+			},
+			keep: func(string, int) int { return 3 },
+			want: map[string][]byte{"wal": []byte("baseabc")},
+		},
+		{
+			name: "sync after partial write pins exactly what reached the file",
+			build: func(t *testing.T, s *MemStorage) {
+				// Model a torn frame append: only a prefix of the frame was
+				// written before the fault, then a later Sync runs anyway
+				// (the group-commit leader serving another record). The
+				// durable image must contain the torn prefix, not the full
+				// frame — syncing cannot invent bytes.
+				f, _ := s.Create("wal")
+				full := []byte("record-one|record-two")
+				f.Write(full[:10]) // torn: the rest never reached the file
+				f.Sync()
+				f.Close()
+			},
+			want: map[string][]byte{"wal": []byte("record-one")},
+		},
+		{
+			name: "rename pins unsynced bytes durably",
+			build: func(t *testing.T, s *MemStorage) {
+				// The snapshot publish discipline: write + sync + rename.
+				// But even an unsynced written image is pinned by Rename,
+				// matching DirStorage's directory-fsync after rename.
+				f, _ := s.Create("snapshot.tmp")
+				f.Write([]byte("snap-image"))
+				f.Close()
+				if err := s.Rename("snapshot.tmp", "snapshot"); err != nil {
+					t.Fatalf("rename: %v", err)
+				}
+			},
+			want: map[string][]byte{"snapshot": []byte("snap-image")},
+		},
+		{
+			name: "rename replaces the target atomically",
+			build: func(t *testing.T, s *MemStorage) {
+				f, _ := s.Create("snapshot")
+				f.Write([]byte("old"))
+				f.Sync()
+				f.Close()
+				g, _ := s.Create("snapshot.tmp")
+				g.Write([]byte("new"))
+				g.Sync()
+				g.Close()
+				if err := s.Rename("snapshot.tmp", "snapshot"); err != nil {
+					t.Fatalf("rename: %v", err)
+				}
+			},
+			want: map[string][]byte{"snapshot": []byte("new")},
+		},
+		{
+			name: "remove is durable, removing missing is not an error",
+			build: func(t *testing.T, s *MemStorage) {
+				f, _ := s.Create("tmp")
+				f.Write([]byte("x"))
+				f.Sync()
+				f.Close()
+				if err := s.Remove("tmp"); err != nil {
+					t.Fatalf("remove: %v", err)
+				}
+				if err := s.Remove("tmp"); err != nil {
+					t.Fatalf("second remove: %v", err)
+				}
+			},
+			want: map[string][]byte{},
+		},
+		{
+			name: "append truncation drops durable bytes past validLen",
+			build: func(t *testing.T, s *MemStorage) {
+				// Torn-tail truncation at recovery: Append(name, validLen)
+				// must shorten the durable image too, so a later crash
+				// cannot resurrect the truncated tail.
+				f, _ := s.Create("wal")
+				f.Write([]byte("good|torn"))
+				f.Sync()
+				f.Close()
+				g, err := s.Append("wal", 4)
+				if err != nil {
+					t.Fatalf("append: %v", err)
+				}
+				g.Write([]byte("+new")) // unsynced: must die in the crash
+				g.Close()
+			},
+			want: map[string][]byte{"wal": []byte("good")},
+		},
+		{
+			name: "double close is harmless",
+			build: func(t *testing.T, s *MemStorage) {
+				f, _ := s.Create("wal")
+				f.Write([]byte("ab"))
+				f.Sync()
+				if err := f.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatalf("double close: %v", err)
+				}
+				// A closed handle's synced bytes stay durable.
+			},
+			want: map[string][]byte{"wal": []byte("ab")},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewMemStorage()
+			tc.build(t, s)
+			s.Crash(tc.keep)
+			for name, want := range tc.want {
+				got, err := s.ReadFile(name)
+				if err != nil {
+					t.Fatalf("read %s after crash: %v", name, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s after crash = %q, want %q", name, got, want)
+				}
+			}
+			// Nothing else survived.
+			for _, name := range []string{"wal", "snapshot", "snapshot.tmp", "tmp"} {
+				if _, expected := tc.want[name]; expected {
+					continue
+				}
+				if _, err := s.ReadFile(name); !errors.Is(err, fs.ErrNotExist) {
+					t.Fatalf("%s should not exist after crash (err=%v)", name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMemStorageCrashIsIdempotent checks a second crash (no
+// intervening writes) changes nothing: crash pins written == durable.
+func TestMemStorageCrashIsIdempotent(t *testing.T) {
+	s := NewMemStorage()
+	f, _ := s.Create("wal")
+	f.Write([]byte("abc"))
+	f.Sync()
+	f.Write([]byte("def"))
+	s.Crash(func(string, int) int { return 1 })
+	first, _ := s.ReadFile("wal")
+	s.Crash(nil)
+	second, _ := s.ReadFile("wal")
+	if !bytes.Equal(first, []byte("abcd")) || !bytes.Equal(first, second) {
+		t.Fatalf("crash not idempotent: %q then %q", first, second)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"maxoid/internal/fault"
+	"maxoid/internal/health"
 	"maxoid/internal/metrics"
 	"maxoid/internal/sqldb"
 	"maxoid/internal/vfs"
@@ -57,8 +58,18 @@ type Config struct {
 	// baseline, not for production use).
 	NoCoalesce bool
 	// Metrics, when non-nil, receives wal.append / wal.fsync /
-	// wal.recover histograms.
+	// wal.recover histograms, the wal.health gauge, and the
+	// wal.retries / wal.degraded.rejects counters.
 	Metrics *metrics.Registry
+	// MaxRetries bounds transient-fault retries on appends and fsyncs
+	// before the store drops to read-only. 0 = default (3).
+	MaxRetries int
+	// RetryBackoff is the initial backoff between transient-fault
+	// retries (doubles per attempt). 0 = default (1ms).
+	RetryBackoff time.Duration
+	// RetrySleep replaces time.Sleep for retry backoff; the chaos
+	// engine substitutes a no-op to stay fast.
+	RetrySleep func(time.Duration)
 }
 
 // Store is the durability layer: it owns the WAL and snapshot files,
@@ -67,7 +78,9 @@ type Config struct {
 type Store struct {
 	cfg       Config
 	log       *Log
-	snapMu    sync.Mutex // one snapshot at a time
+	tr        *health.Tracker
+	snapMu    sync.Mutex // one snapshot/heal/scrub at a time; guards walBase
+	walBase   uint64     // LSN the current WAL file starts after (last swap cut)
 	recovered uint64     // LSN recovered state corresponds to at Open
 }
 
@@ -109,8 +122,21 @@ func Open(cfg Config) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
-	s := &Store{cfg: cfg, recovered: last}
-	s.log = newLog(f, last, cfg.NoCoalesce, cfg.Metrics)
+	s := &Store{cfg: cfg, recovered: last, walBase: cut}
+	topts := health.Options{
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: cfg.RetryBackoff,
+		Sleep:        cfg.RetrySleep,
+	}
+	if cfg.Metrics != nil {
+		gauge := cfg.Metrics.Gauge("wal.health")
+		gauge.Set(int64(health.Healthy))
+		topts.OnTransition = func(_, to health.State) { gauge.Set(int64(to)) }
+		retries := cfg.Metrics.Counter("wal.retries")
+		topts.OnRetry = func(int, error) { retries.Inc() }
+	}
+	s.tr = health.NewTracker(topts)
+	s.log = newLog(f, last, cfg.NoCoalesce, cfg.Metrics, s.tr)
 
 	// A transaction the WAL left open never committed: roll it back —
 	// and journal the rollback, so the next recovery's replay closes
@@ -247,6 +273,28 @@ func (s *Store) LastSynced() uint64 { return s.log.LastSynced() }
 // Broken returns the log's poison error, nil while healthy.
 func (s *Store) Broken() error { return s.log.Broken() }
 
+// Health returns the store's position in the health state machine.
+func (s *Store) Health() health.State { return s.tr.State() }
+
+// Writable reports whether durable writes are currently accepted.
+func (s *Store) Writable() bool { return s.tr.Writable() }
+
+// WriteGate is the pre-mutation gate for durable writes: nil while the
+// store accepts them, ErrBroken when poisoned, health.ErrReadOnly when
+// degraded. The vfs and sqldb layers consult it before mutating any
+// in-memory state, so an ErrReadOnly rejection is always clean — no
+// memory changed, the caller can retry after the store heals.
+func (s *Store) WriteGate() error {
+	if err := s.log.Broken(); err != nil {
+		return err
+	}
+	if !s.tr.Writable() {
+		s.log.noteReject()
+		return health.ErrReadOnly
+	}
+	return nil
+}
+
 // Close detaches the journals and closes the log (syncing it first
 // when healthy).
 func (s *Store) Close() error {
@@ -268,6 +316,12 @@ func (s *Store) Close() error {
 func (s *Store) Snapshot() error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	// A poisoned log returns ErrBroken immediately — never attempt a
+	// snapshot publish over a corrupt tail. A read-only store rejects
+	// too: publishing is a durable write; Heal is the way out.
+	if err := s.WriteGate(); err != nil {
+		return err
+	}
 	for attempt := 0; attempt < snapshotRetries; attempt++ {
 		if err := s.log.Broken(); err != nil {
 			return err
@@ -286,9 +340,12 @@ func (s *Store) Snapshot() error {
 		// Opportunistic WAL reset: only safe if still nothing appended
 		// past the cut. Skipping it is correct — recovery filters WAL
 		// records at or below the snapshot's cut LSN.
-		_, err = s.log.swapFile(cut, func() (File, error) {
+		swapped, err := s.log.swapFile(cut, func() (File, error) {
 			return s.cfg.Storage.Create(walFile)
 		})
+		if swapped {
+			s.walBase = cut
+		}
 		return err
 	}
 	return ErrBusy
@@ -407,6 +464,11 @@ func (s *Store) publish(buf []byte) error {
 // transaction boundary, so every acknowledged operation is durable.
 type fsJournal struct{ s *Store }
 
+// WriteGate implements vfs.WriteGate: vfs consults it before mutating
+// in-memory state, so degraded rejections never leave memory ahead of
+// the log.
+func (j *fsJournal) WriteGate() error { return j.s.WriteGate() }
+
 func (j *fsJournal) commit(payload []byte) error {
 	lsn, err := j.s.log.Append(fsStream, payload)
 	if err != nil {
@@ -461,7 +523,21 @@ type dbJournal struct {
 	stream string
 }
 
+// WriteGate implements sqldb.WriteGate: sqldb consults it before
+// executing a mutating batch, so degraded rejections happen before any
+// in-memory table changes.
+func (j *dbJournal) WriteGate() error { return j.s.WriteGate() }
+
 func (j *dbJournal) CommitAppend(u sqldb.JournalUnit) (func() error, error) {
+	// Transaction aborts are permitted while read-only — a degraded
+	// store must still let applications back out of open transactions.
+	// Skipping the WAL record is sound: if the open BEGIN reached the
+	// log without its ROLLBACK, recovery replays the orphaned prefix
+	// and Open's AbortOpenTxn closes it at the same point, journaling
+	// the rollback then. The log stays a replayable history.
+	if u.SQL == "ROLLBACK" && !j.s.Writable() {
+		return nil, nil
+	}
 	payload, err := encodeDBUnit(u)
 	if err != nil {
 		return nil, err
