@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz chaos bench bench-index bench-load bench-durability advisor tables audit demo examples clean
+.PHONY: all build test race vet staticcheck check fuzz chaos bench bench-index bench-load bench-durability bench-gateway advisor tables audit demo examples clean
 
 all: build test
 
@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFormat -fuzztime 10s ./internal/sqldb
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzGatewayPath -fuzztime 10s ./internal/gateway
 
 # Deterministic fault-injection run: every engine, race detector on.
 # Same seed => same fault schedule, same verdict. The extra kill-engine
@@ -56,6 +57,8 @@ chaos:
 	$(GO) run -race ./cmd/maxoid-chaos -engine recover -seed 1337 -ops 3000
 	$(GO) run -race ./cmd/maxoid-chaos -engine degrade -seed 7
 	$(GO) run -race ./cmd/maxoid-chaos -engine degrade -seed 1337
+	$(GO) run -race ./cmd/maxoid-chaos -engine gateway -seed 7
+	$(GO) run -race ./cmd/maxoid-chaos -engine gateway -seed 1337
 
 # The paper's evaluation as Go benchmarks (Tables 3-5 + ablations).
 bench:
@@ -81,6 +84,13 @@ bench-load:
 # artifact.
 bench-durability:
 	$(GO) run ./cmd/maxoid-loadbench -durability BENCH_PR8.json -workers 32
+
+# Remote-gateway fleet benchmark: req/sec for a single device vs a
+# 1000-device fleet syncing through one shared backend, plus the
+# admission-control overload run (100% typed 429/503, in-flight
+# drains to 0). Refreshes the BENCH_PR10.json artifact.
+bench-gateway:
+	$(GO) run ./cmd/maxoid-gateway -bench -devices 1000 -out BENCH_PR10.json
 
 # Workload-driven index advisor on the Media/Downloads providers.
 advisor:

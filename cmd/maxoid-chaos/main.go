@@ -71,11 +71,16 @@ var engines = []engine{
 	{name: "degrade", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
 		return chaos.RunDegradeChecker(seed, chaos.DegradeOptions{Ops: ops})
 	}},
+	// The gateway engine likewise re-arms fault windows mid-run; re-run
+	// with the seed to reproduce.
+	{name: "gateway", noShrink: true, run: func(seed int64, ops int, _ []fault.Fire) *chaos.Report {
+		return chaos.RunGatewayChecker(seed, chaos.GatewayChaosOptions{Ops: ops})
+	}},
 }
 
 func main() {
 	var (
-		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, overload, recover, degrade, or all")
+		engineFlag = flag.String("engine", "all", "engine to run: sql, index, indexfault, copyup, synth, kill, overload, recover, degrade, gateway, or all")
 		seed       = flag.Int64("seed", 1, "run seed; reproduces workload, fault schedule, and verdict")
 		ops        = flag.Int("ops", 0, "workload operations per engine (0 = engine default)")
 		dump       = flag.Bool("dump", false, "print the full fault schedule of each run")

@@ -517,6 +517,31 @@ func (m *Manager) NumRunning() int {
 // OutstandingGrants returns the live URI-grant count (leak counter).
 func (m *Manager) OutstandingGrants() int { return m.grants.count() }
 
+// RunningContext returns the live Context for a task — the seam remote
+// boundaries (the gateway) use to bind an identity token to the same
+// AMS-managed instance a local caller holds. Returns false when no
+// instance of that (app, initiator) is running, so callers can turn a
+// dead or never-started identity into a typed authorization failure.
+func (m *Manager) RunningContext(task kernel.Task) (*Context, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.running[instanceKey{app: task.App, initiator: task.Initiator}]
+	if !ok {
+		return nil, false
+	}
+	return inst.ctx, true
+}
+
+// IsInstalled reports whether a package is installed — the gateway uses
+// it to distinguish an unknown principal (403) from a known-but-dead
+// one (401).
+func (m *Manager) IsInstalled(pkg string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.apps[pkg]
+	return ok
+}
+
 // Running returns the tasks of all running instances, sorted by
 // notation string.
 func (m *Manager) Running() []kernel.Task {

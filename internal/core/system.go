@@ -18,6 +18,7 @@ import (
 	"maxoid/internal/ams"
 	"maxoid/internal/binder"
 	"maxoid/internal/cowproxy"
+	"maxoid/internal/gateway"
 	"maxoid/internal/health"
 	"maxoid/internal/intent"
 	"maxoid/internal/kernel"
@@ -100,6 +101,12 @@ type System struct {
 
 	// stopMaint halts the store's maintenance loop, nil when not started.
 	stopMaint func()
+
+	// metrics is the boot-time registry, handed to the gateway.
+	metrics *metrics.Registry
+	// gw is the running remote gateway, nil until StartGateway.
+	gw     *gateway.Gateway
+	gwHost string
 }
 
 // Boot builds a device: global disk, kernel with network, Binder
@@ -210,6 +217,7 @@ func Boot(opts Options) (*System, error) {
 		Bluetooth: &ams.Bluetooth{},
 		Telephony: &ams.Telephony{},
 		Store:     store,
+		metrics:   opts.Metrics,
 	}
 	if store != nil && opts.ScrubInterval > 0 {
 		sys.stopMaint = store.StartMaintenance(opts.ScrubInterval)
@@ -246,6 +254,11 @@ func (s *System) Checkpoint() error {
 // no provider goroutine outlives the system (tests assert leak-freedom),
 // then syncs and closes the durable store, if any.
 func (s *System) Shutdown() {
+	if s.gw != nil {
+		s.gw.Close()
+		s.gw = nil
+		s.gwHost = ""
+	}
 	s.Downloads.Close()
 	if s.stopMaint != nil {
 		s.stopMaint()

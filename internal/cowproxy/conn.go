@@ -524,6 +524,18 @@ func (c *Conn) renderQuery(table string, columns []string, where, orderBy string
 	return queryPlan{sql: sql, extra: extra}, nil
 }
 
+// Explain renders the caller's view of the query exactly as Query
+// would — same target resolution, same footnote-5 column padding —
+// and runs the planner only. Remote clients use it to inspect the
+// access path chosen for *their* view without touching data.
+func (c *Conn) Explain(table string, columns []string, where, orderBy string, args ...sqldb.Value) (*sqldb.Rows, error) {
+	qp, err := c.renderQuery(table, columns, where, orderBy)
+	if err != nil {
+		return nil, err
+	}
+	return c.p.db.Query("EXPLAIN "+qp.sql, args...)
+}
+
 // QueryVolatile returns rows from the initiator's volatile state of a
 // table — what the tmp URIs expose (§5.1). Whiteout records are
 // included with their _whiteout flag so initiators can audit deletions.

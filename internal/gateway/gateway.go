@@ -1,0 +1,615 @@
+// Package gateway is the schema-reflected remote API boundary: it
+// serves every registered content provider to a fleet of devices over
+// the simulated netstack, reflecting each provider's sqldb catalog
+// schema into auto-generated CRUD + query endpoints.
+//
+// The confinement contract is the paper's, moved to a network seam:
+// every request carries a (user, app, initiator) identity token, and
+// the gateway resolves it to exactly the view a local caller with that
+// identity holds. It does this by construction, not by handler-side
+// filtering — each request is dispatched through the existing binder
+// router / provider / cowproxy machinery with the resolved caller, so
+// kernel Binder policy, AMS admission control, URI grants, and COW
+// view selection all apply unchanged. A remote client can never see
+// or write outside its custom view because no gateway code path
+// touches state except through those layers.
+//
+// Routes (all under /v1, identity in the X-Maxoid-Identity header):
+//
+//	GET    /v1/{provider}/_schema              reflected table catalog
+//	GET    /v1/{provider}/{table}              query (?where=&order=&columns=&arg=)
+//	POST   /v1/{provider}/{table}              insert (JSON body of values)
+//	GET    /v1/{provider}/{table}/_explain     planner-only access path for the caller's view
+//	GET    /v1/{provider}/{table}/{pk}         point query
+//	PUT    /v1/{provider}/{table}/{pk}         update (JSON body of values)
+//	DELETE /v1/{provider}/{table}/{pk}         delete
+//	GET    /v1/_grant?uri=content://...        read a URI-granted file
+//	GET    /v1/_fs/{path}                      read a file through the caller's namespace
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/binder"
+	"maxoid/internal/cowproxy"
+	"maxoid/internal/fault"
+	"maxoid/internal/metrics"
+	"maxoid/internal/netstack"
+	"maxoid/internal/provider"
+	"maxoid/internal/sqldb"
+	"maxoid/internal/vfs"
+)
+
+// IdentityHeader carries the request's (user, app, initiator) token.
+const IdentityHeader = "X-Maxoid-Identity"
+
+// Fault points on the gateway request path (see internal/fault).
+var (
+	faultDecode = fault.Declare("gw.decode", "gateway request decode: fail before the request body/query is parsed")
+	faultView   = fault.Declare("gw.view", "gateway view resolution: fail after identity auth, before dispatch")
+)
+
+// Options configures a Gateway over an already-booted system.
+type Options struct {
+	Router    *binder.Router
+	AMS       *ams.Manager
+	Providers *provider.Registry
+	Metrics   *metrics.Registry // nil: metrics are skipped
+
+	// AllowDetached admits identities with no running AMS instance by
+	// synthesizing a kernel-less caller (PID 0). Off by default: strict
+	// mode binds every token to a live instance, so a dead process is a
+	// 401 — the fleet benchmark turns this on to simulate more devices
+	// than the zygote will boot.
+	AllowDetached bool
+
+	// Workers is the accept-loop goroutine count (default 4).
+	Workers int
+}
+
+// Gateway serves providers over a netstack listener.
+type Gateway struct {
+	opts   Options
+	routes map[string]map[string]string // authority -> path -> table
+	hooks  hookChain
+
+	mu       sync.Mutex
+	listener *netstack.Listener
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup
+}
+
+// New creates a gateway and snapshots each provider's table routes.
+// Only providers implementing provider.Reflector are exposed.
+func New(opts Options) *Gateway {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	g := &Gateway{opts: opts, routes: make(map[string]map[string]string)}
+	for _, authority := range opts.Providers.Authorities() {
+		p, _ := opts.Providers.Provider(authority)
+		refl, ok := p.(provider.Reflector)
+		if !ok {
+			continue
+		}
+		m := make(map[string]string)
+		for _, r := range refl.TableRoutes() {
+			m[r.Path] = r.Table
+		}
+		g.routes[authority] = m
+	}
+	return g
+}
+
+// Pre appends a pre-request hook; see hooks.go.
+func (g *Gateway) Pre(h PreHook) { g.hooks.pre = append(g.hooks.pre, h) }
+
+// Post appends a post-request hook; see hooks.go.
+func (g *Gateway) Post(h PostHook) { g.hooks.post = append(g.hooks.post, h) }
+
+// Serve binds host on the network and starts the worker pool. Returns
+// once the listener is bound; workers run until Close.
+func (g *Gateway) Serve(net *netstack.Network, host string) error {
+	l, err := net.Listen(host)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.listener = l
+	g.mu.Unlock()
+	for i := 0; i < g.opts.Workers; i++ {
+		g.wg.Add(1)
+		go g.worker(l)
+	}
+	return nil
+}
+
+// Close stops accepting, waits for workers to exit and in-flight
+// requests to drain to zero. Idempotent.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	l := g.listener
+	g.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	g.wg.Wait()
+	g.inflight.Wait()
+}
+
+// worker is one accept loop: injected accept faults skip a request;
+// the typed listener-closed error ends the loop.
+func (g *Gateway) worker(l *netstack.Listener) {
+	defer g.wg.Done()
+	for {
+		sr, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, fault.ErrInjected) {
+				continue
+			}
+			return
+		}
+		g.inflight.Add(1)
+		resp := g.handle(sr.Req)
+		g.inflight.Done()
+		sr.Reply(resp, nil)
+	}
+}
+
+// handle runs one request end to end: decode, authenticate, hooks,
+// dispatch, encode. Every error leaves as a typed HTTP status with a
+// JSON {error, code} body — never a transport error.
+func (g *Gateway) handle(req netstack.Request) netstack.Response {
+	start := time.Now()
+	info := &RequestInfo{Method: methodOf(req), Path: req.Path}
+	resp := g.dispatch(req, info)
+	if reg := g.opts.Metrics; reg != nil {
+		route := info.Provider
+		if route == "" {
+			route = "_none"
+		}
+		reg.Histogram("gw.latency." + route + "." + info.Method).Observe(time.Since(start))
+		reg.Counter(fmt.Sprintf("gw.status.%dxx", resp.Status/100)).Inc()
+		if resp.Status == 429 {
+			reg.Counter("gw.overloaded").Inc()
+		}
+		if resp.Status == 503 {
+			reg.Counter("gw.readonly").Inc()
+		}
+	}
+	g.hooks.runPost(info, resp.Status)
+	return resp
+}
+
+// routeKind classifies a parsed path.
+type routeKind int
+
+const (
+	routeTable   routeKind = iota // /v1/{provider}/{table}[/{pk}]
+	routeSchema                   // /v1/{provider}/_schema
+	routeExplain                  // /v1/{provider}/{table}/_explain
+	routeFS                       // /v1/_fs/{path...}
+	routeGrant                    // /v1/_grant?uri=...
+)
+
+// route is a decoded request path — what FuzzGatewayPath exercises.
+type route struct {
+	kind      routeKind
+	authority string
+	table     string // URI path segment ("" for _fs/_grant)
+	pk        int64  // 0 when the path has no trailing id
+	hasPK     bool
+	fsPath    []string
+	query     url.Values
+}
+
+// parseRoute decodes a raw request path into a route. Pure function of
+// the path: provider/table existence is checked by the dispatcher.
+func parseRoute(rawPath string) (route, error) {
+	u, err := url.Parse(rawPath)
+	if err != nil {
+		return route{}, fmt.Errorf("%w: %s", errBadRequest, rawPath)
+	}
+	segs := pathSegments(u.Path)
+	if len(segs) < 2 || segs[0] != "v1" {
+		return route{}, fmt.Errorf("%w: unknown route %s", errBadRequest, u.Path)
+	}
+	rt := route{query: u.Query()}
+	segs = segs[1:]
+	switch segs[0] {
+	case "_fs":
+		rt.kind = routeFS
+		rt.fsPath = segs[1:]
+		return rt, nil
+	case "_grant":
+		if len(segs) != 1 {
+			return route{}, fmt.Errorf("%w: unknown route %s", errBadRequest, u.Path)
+		}
+		rt.kind = routeGrant
+		return rt, nil
+	}
+	rt.authority = segs[0]
+	if len(segs) == 2 && segs[1] == "_schema" {
+		rt.kind = routeSchema
+		return rt, nil
+	}
+	if len(segs) < 2 || len(segs) > 3 {
+		return route{}, fmt.Errorf("%w: unknown route %s", errBadRequest, u.Path)
+	}
+	rt.kind = routeTable
+	rt.table = segs[1]
+	if strings.HasPrefix(rt.table, "_") {
+		return route{}, fmt.Errorf("%w: unknown route %s", errBadRequest, u.Path)
+	}
+	if len(segs) == 3 {
+		if segs[2] == "_explain" {
+			rt.kind = routeExplain
+		} else {
+			pk, err := strconv.ParseInt(segs[2], 10, 64)
+			if err != nil {
+				return route{}, fmt.Errorf("%w: bad id %q", errBadRequest, segs[2])
+			}
+			rt.pk, rt.hasPK = pk, true
+		}
+	}
+	return rt, nil
+}
+
+// dispatch decodes and routes; split from handle so every return path
+// shares the metrics/post-hook epilogue.
+func (g *Gateway) dispatch(req netstack.Request, info *RequestInfo) netstack.Response {
+	if err := fault.Hit(faultDecode); err != nil {
+		return errResponse(fmt.Errorf("%w: injected decode failure: %s", errBadRequest, err))
+	}
+	rt, err := parseRoute(req.Path)
+	if err != nil {
+		return errResponse(err)
+	}
+
+	id, err := g.resolveIdentity(req.Header(IdentityHeader))
+	if err != nil {
+		return errResponse(err)
+	}
+	info.Identity = id.task.String()
+
+	if err := g.hooks.runPre(info); err != nil {
+		return errResponse(err)
+	}
+	if err := fault.Hit(faultView); err != nil {
+		return errResponse(fmt.Errorf("gateway: view resolution: %w", err))
+	}
+
+	switch rt.kind {
+	case routeFS:
+		info.Provider = "_fs"
+		return g.handleFS(id, methodOf(req), rt.fsPath)
+	case routeGrant:
+		info.Provider = "_grant"
+		return g.handleGrant(id, methodOf(req), rt.query)
+	}
+	info.Provider = rt.authority
+	tables, ok := g.routes[rt.authority]
+	if !ok {
+		return errResponse(fmt.Errorf("%w: provider %s", errNotFound, rt.authority))
+	}
+	if rt.kind == routeSchema {
+		return g.handleSchema(rt.authority, tables)
+	}
+	if _, ok := tables[rt.table]; !ok {
+		return errResponse(fmt.Errorf("%w: %s/%s", errNotFound, rt.authority, rt.table))
+	}
+
+	uri := provider.URI{Authority: rt.authority, Segments: []string{rt.table}}
+	if rt.hasPK {
+		uri = uri.WithID(rt.pk)
+	}
+	res := provider.NewResolver(g.opts.Router, id.caller)
+	switch methodOf(req) {
+	case "GET":
+		if rt.kind == routeExplain {
+			return g.handleExplain(id, rt.authority, tables[rt.table], rt.query)
+		}
+		return handleQuery(res, uri, rt.query)
+	case "POST":
+		if rt.hasPK || rt.kind == routeExplain {
+			return errResponse(fmt.Errorf("%w: POST", errMethod))
+		}
+		return handleInsert(res, uri, req.Body)
+	case "PUT":
+		if !rt.hasPK {
+			return errResponse(fmt.Errorf("%w: PUT requires an id", errMethod))
+		}
+		return handleUpdate(res, uri, req.Body)
+	case "DELETE":
+		if !rt.hasPK {
+			return errResponse(fmt.Errorf("%w: DELETE requires an id", errMethod))
+		}
+		return handleDelete(res, uri)
+	default:
+		return errResponse(fmt.Errorf("%w: %s", errMethod, methodOf(req)))
+	}
+}
+
+// handleSchema reflects the provider's routes with real catalog columns
+// for base tables; routed user views are reported without columns.
+func (g *Gateway) handleSchema(authority string, tables map[string]string) netstack.Response {
+	type colJSON struct {
+		Name       string `json:"name"`
+		Type       string `json:"type"`
+		PrimaryKey bool   `json:"primary_key,omitempty"`
+		NotNull    bool   `json:"not_null,omitempty"`
+	}
+	type tableJSON struct {
+		Path    string    `json:"path"`
+		Table   string    `json:"table"`
+		View    bool      `json:"view,omitempty"`
+		Columns []colJSON `json:"columns,omitempty"`
+	}
+	catalog := g.catalogFor(authority)
+	out := struct {
+		Provider string      `json:"provider"`
+		Tables   []tableJSON `json:"tables"`
+	}{Provider: authority}
+	paths := make([]string, 0, len(tables))
+	for path := range tables {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		tj := tableJSON{Path: path, Table: tables[path]}
+		if catalog != nil {
+			if cols, ok := catalog.TableColumns(tables[path]); ok {
+				for _, c := range cols {
+					tj.Columns = append(tj.Columns, colJSON{
+						Name: c.Name, Type: c.Type,
+						PrimaryKey: c.PrimaryKey, NotNull: c.NotNull,
+					})
+				}
+			} else {
+				tj.View = true
+			}
+		}
+		out.Tables = append(out.Tables, tj)
+	}
+	return jsonResponse(200, out)
+}
+
+// proxied is the accessor the three system providers share.
+type proxied interface {
+	Proxy() *cowproxy.Proxy
+}
+
+// catalogFor returns the provider's sqldb catalog, or nil when the
+// provider doesn't expose its proxy.
+func (g *Gateway) catalogFor(authority string) *sqldb.DB {
+	if pr, ok := g.proxyFor(authority); ok {
+		return pr.DB()
+	}
+	return nil
+}
+
+// proxyFor returns the provider's COW proxy when it exposes one.
+func (g *Gateway) proxyFor(authority string) (*cowproxy.Proxy, bool) {
+	p, ok := g.opts.Providers.Provider(authority)
+	if !ok {
+		return nil, false
+	}
+	pr, ok := p.(proxied)
+	if !ok {
+		return nil, false
+	}
+	return pr.Proxy(), true
+}
+
+// handleExplain renders the caller's view of the query and runs the
+// planner only, via cowproxy's own renderer — so the reported access
+// path is for the view the caller actually gets (a delegate's COW
+// view), not the primary table.
+func (g *Gateway) handleExplain(id identity, authority, table string, q url.Values) netstack.Response {
+	proxy, ok := g.proxyFor(authority)
+	if !ok {
+		return errResponse(fmt.Errorf("%w: _explain on %s", provider.ErrNotSupported, authority))
+	}
+	where, columns, orderBy, args := queryParams(q)
+	conn := proxy.For(provider.InitiatorOf(id.caller))
+	rows, err := conn.Explain(table, columns, where, orderBy, args...)
+	if err != nil {
+		return errResponse(err)
+	}
+	return rowsResponse(rows)
+}
+
+// handleFS reads a file through the caller's mount namespace — the
+// same unionfs view a local process with that identity sees. Detached
+// identities have no namespace, so the route requires a live instance.
+func (g *Gateway) handleFS(id identity, method string, segs []string) netstack.Response {
+	if method != "GET" {
+		return errResponse(fmt.Errorf("%w: %s on _fs", errMethod, method))
+	}
+	if id.ctx == nil {
+		return errResponse(fmt.Errorf("%w: _fs requires a live instance", errForbidden))
+	}
+	name := "/" + strings.Join(segs, "/")
+	data, err := vfs.ReadFile(id.ctx.FS(), id.ctx.Cred(), name)
+	if err != nil {
+		return errResponse(err)
+	}
+	return netstack.Response{Status: 200, Body: data}
+}
+
+// handleGrant opens a URI-granted file via the AMS grant table — the
+// remote equivalent of Context.OpenGrantedURI, so a grant revoked
+// mid-flight fails with the typed ams.ErrNoGrant (403).
+func (g *Gateway) handleGrant(id identity, method string, q url.Values) netstack.Response {
+	if method != "GET" {
+		return errResponse(fmt.Errorf("%w: %s on _grant", errMethod, method))
+	}
+	if id.ctx == nil {
+		return errResponse(fmt.Errorf("%w: _grant requires a live instance", errForbidden))
+	}
+	uri := q.Get("uri")
+	if uri == "" {
+		return errResponse(fmt.Errorf("%w: missing uri parameter", errBadRequest))
+	}
+	data, err := id.ctx.OpenGrantedURI(uri)
+	if err != nil {
+		return errResponse(err)
+	}
+	return netstack.Response{Status: 200, Body: data}
+}
+
+// handleQuery serves GET on a table or a /{pk} row.
+func handleQuery(res *provider.Resolver, uri provider.URI, q url.Values) netstack.Response {
+	where, columns, orderBy, args := queryParams(q)
+	rows, err := res.Query(uri.String(), columns, where, orderBy, args...)
+	if err != nil {
+		return errResponse(err)
+	}
+	if _, isPK := uri.ID(); isPK && len(rows.Data) == 0 {
+		return errResponse(fmt.Errorf("%w: %s", provider.ErrNotFound, uri.String()))
+	}
+	return rowsResponse(rows)
+}
+
+// handleInsert serves POST: the JSON body is the ContentValues map.
+func handleInsert(res *provider.Resolver, uri provider.URI, body []byte) netstack.Response {
+	values, err := decodeValues(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	out, err := res.Insert(uri.String(), values)
+	if err != nil {
+		return errResponse(err)
+	}
+	outURI, _ := provider.ParseURI(out)
+	id, _ := outURI.ID()
+	return jsonResponse(201, map[string]any{"uri": out, "id": id})
+}
+
+// handleUpdate serves PUT on a /{pk} row.
+func handleUpdate(res *provider.Resolver, uri provider.URI, body []byte) netstack.Response {
+	values, err := decodeValues(body)
+	if err != nil {
+		return errResponse(err)
+	}
+	n, err := res.Update(uri.String(), values, "")
+	if err != nil {
+		return errResponse(err)
+	}
+	if n == 0 {
+		return errResponse(fmt.Errorf("%w: %s", provider.ErrNotFound, uri.String()))
+	}
+	return jsonResponse(200, map[string]any{"count": n})
+}
+
+// handleDelete serves DELETE on a /{pk} row.
+func handleDelete(res *provider.Resolver, uri provider.URI) netstack.Response {
+	n, err := res.Delete(uri.String(), "")
+	if err != nil {
+		return errResponse(err)
+	}
+	if n == 0 {
+		return errResponse(fmt.Errorf("%w: %s", provider.ErrNotFound, uri.String()))
+	}
+	return jsonResponse(200, map[string]any{"count": n})
+}
+
+// queryParams decodes the query-string knobs shared by GET and
+// _explain: where, columns (comma-separated), order, and repeated arg=
+// placeholder values (int64 when the literal parses as one).
+func queryParams(q url.Values) (where string, columns []string, orderBy string, args []sqldb.Value) {
+	where = q.Get("where")
+	orderBy = q.Get("order")
+	if cs := q.Get("columns"); cs != "" {
+		for _, c := range strings.Split(cs, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				columns = append(columns, c)
+			}
+		}
+	}
+	for _, a := range q["arg"] {
+		if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+			args = append(args, n)
+		} else {
+			args = append(args, a)
+		}
+	}
+	return where, columns, orderBy, args
+}
+
+// decodeValues parses a JSON object body into ContentValues. JSON
+// numbers arrive as float64; integral ones are narrowed to int64 so
+// they round-trip through sqldb's INTEGER affinity.
+func decodeValues(body []byte) (provider.Values, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty body", errBadRequest)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, fmt.Errorf("%w: %s", errBadRequest, err)
+	}
+	values := make(provider.Values, len(raw))
+	for k, v := range raw {
+		switch x := v.(type) {
+		case float64:
+			if x == math.Trunc(x) && math.Abs(x) < 1<<53 {
+				values[k] = int64(x)
+			} else {
+				values[k] = x
+			}
+		case string:
+			values[k] = x
+		case bool:
+			values[k] = x
+		case nil:
+			values[k] = nil
+		default:
+			return nil, fmt.Errorf("%w: column %s: unsupported value type", errBadRequest, k)
+		}
+	}
+	return values, nil
+}
+
+// rowsResponse encodes a query result as {"columns": [...], "rows": [[...]]}.
+func rowsResponse(rows *sqldb.Rows) netstack.Response {
+	out := struct {
+		Columns []string        `json:"columns"`
+		Rows    [][]sqldb.Value `json:"rows"`
+	}{Columns: rows.Columns, Rows: rows.Data}
+	if out.Columns == nil {
+		out.Columns = []string{}
+	}
+	if out.Rows == nil {
+		out.Rows = [][]sqldb.Value{}
+	}
+	return jsonResponse(200, out)
+}
+
+// methodOf defaults an empty method to GET (netstack's plain fetches).
+func methodOf(req netstack.Request) string {
+	if req.Method == "" {
+		return "GET"
+	}
+	return req.Method
+}
+
+// pathSegments splits a URL path into non-empty segments.
+func pathSegments(p string) []string {
+	var out []string
+	for _, s := range strings.Split(p, "/") {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

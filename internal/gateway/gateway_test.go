@@ -1,0 +1,414 @@
+// Identity and authorization edge cases at the remote boundary,
+// exercised against a fully booted system (external test package:
+// core wires the gateway, so these are true end-to-end requests).
+package gateway_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"testing"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/core"
+	"maxoid/internal/gateway"
+	"maxoid/internal/intent"
+	"maxoid/internal/kernel"
+	"maxoid/internal/netstack"
+	"maxoid/internal/testutil"
+	"maxoid/internal/vfs"
+)
+
+// nullApp is the minimal installable app.
+type nullApp struct{ pkg string }
+
+func (a nullApp) Package() string                                  { return a.pkg }
+func (a nullApp) OnStart(ctx *ams.Context, in intent.Intent) error { return nil }
+func (a nullApp) OnBroadcast(ctx *ams.Context, in intent.Intent)   {}
+
+func bootGateway(t *testing.T) *core.System {
+	t.Helper()
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"appA", "appX", "viewer"} {
+		if err := s.Install(nullApp{pkg: pkg}, ams.Manifest{
+			Package: pkg,
+			Filters: []intent.Filter{{Actions: []string{intent.ActionView}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.StartGateway(core.GatewayOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// get decodes the error code out of a JSON error body ("" for 2xx).
+func codeOf(t *testing.T, resp netstack.Response) string {
+	t.Helper()
+	if resp.Status < 400 {
+		return ""
+	}
+	var body struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(resp.Body, &body); err != nil {
+		t.Fatalf("status %d with non-JSON error body %q", resp.Status, resp.Body)
+	}
+	return body.Code
+}
+
+func TestIdentityAuthorizationEdgeCases(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := bootGateway(t)
+	defer s.Shutdown()
+
+	// Live identities for the positive baseline and the probes.
+	if _, err := s.Launch("appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LaunchAsDelegate("viewer", "appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	// appX ran once and died: its token names a dead process.
+	if _, err := s.Launch("appX", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	s.AM.StopInstance("appX", "")
+
+	cases := []struct {
+		name   string
+		token  string
+		status int
+		code   string
+	}{
+		{"live initiator", "u0:appA", 200, ""},
+		{"live delegate", "u0:viewer^appA", 200, ""},
+		{"absent token", "", 401, "unauthorized"},
+		{"malformed: no scheme", "appA", 401, "unauthorized"},
+		{"malformed: no app", "u0:", 401, "unauthorized"},
+		{"malformed: bad user", "ux:appA", 401, "unauthorized"},
+		{"malformed: double initiator", "u0:a^b^c", 401, "unauthorized"},
+		{"malformed: whitespace", "u0:app A", 401, "unauthorized"},
+		{"foreign user", "u1:appA", 403, "forbidden"},
+		{"unknown principal", "u0:ghost", 403, "forbidden"},
+		{"unknown initiator", "u0:viewer^ghost", 403, "forbidden"},
+		{"dead process", "u0:appX", 401, "unauthorized"},
+		{"never started", "u0:viewer", 401, "unauthorized"},
+		{"cross-initiator probe", "u0:viewer^appX", 401, "unauthorized"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := s.GatewayRequest(tc.token, "GET", "/v1/user_dictionary/words", nil)
+			if err != nil {
+				t.Fatalf("transport error: %v", err)
+			}
+			if resp.Status != tc.status {
+				t.Fatalf("status %d (%s), want %d", resp.Status, resp.Body, tc.status)
+			}
+			if got := codeOf(t, resp); got != tc.code {
+				t.Fatalf("code %q, want %q", got, tc.code)
+			}
+		})
+	}
+}
+
+func TestRouteAndMethodErrors(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := bootGateway(t)
+	defer s.Shutdown()
+	if _, err := s.Launch("appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	const tok = "u0:appA"
+
+	cases := []struct {
+		name         string
+		method, path string
+		body         []byte
+		status       int
+		code         string
+	}{
+		{"unknown version", "GET", "/v2/media/files", nil, 400, "bad_request"},
+		{"bare path", "GET", "/", nil, 400, "bad_request"},
+		{"non-numeric id", "GET", "/v1/media/files/abc", nil, 400, "bad_request"},
+		{"unknown provider", "GET", "/v1/nosuch/files", nil, 404, "not_found"},
+		{"unknown table", "GET", "/v1/media/nope", nil, 404, "not_found"},
+		{"missing row", "GET", "/v1/user_dictionary/words/9999", nil, 404, "not_found"},
+		{"PUT without id", "PUT", "/v1/user_dictionary/words", []byte(`{"word":"x"}`), 405, "method_not_allowed"},
+		{"DELETE without id", "DELETE", "/v1/user_dictionary/words", nil, 405, "method_not_allowed"},
+		{"POST with id", "POST", "/v1/user_dictionary/words/3", []byte(`{"word":"x"}`), 405, "method_not_allowed"},
+		{"bad method", "PATCH", "/v1/user_dictionary/words", nil, 405, "method_not_allowed"},
+		{"POST bad json", "POST", "/v1/user_dictionary/words", []byte(`{`), 400, "bad_request"},
+		{"POST empty body", "POST", "/v1/user_dictionary/words", nil, 400, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := s.GatewayRequest(tok, tc.method, tc.path, tc.body)
+			if err != nil {
+				t.Fatalf("transport error: %v", err)
+			}
+			if resp.Status != tc.status || codeOf(t, resp) != tc.code {
+				t.Fatalf("got %d %q (%s), want %d %q",
+					resp.Status, codeOf(t, resp), resp.Body, tc.status, tc.code)
+			}
+		})
+	}
+}
+
+func TestCRUDAndViewConfinement(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := bootGateway(t)
+	defer s.Shutdown()
+	if _, err := s.Launch("appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LaunchAsDelegate("viewer", "appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	tokA, tokD := "u0:appA", "u0:viewer^appA"
+
+	// Public insert by the initiator.
+	resp, err := s.GatewayRequest(tokA, "POST", "/v1/user_dictionary/words",
+		[]byte(`{"word":"hello","frequency":3,"locale":"en"}`))
+	if err != nil || resp.Status != 201 {
+		t.Fatalf("insert: %v %d %s", err, resp.Status, resp.Body)
+	}
+	var ins struct {
+		ID  int64  `json:"id"`
+		URI string `json:"uri"`
+	}
+	if err := json.Unmarshal(resp.Body, &ins); err != nil || ins.ID == 0 {
+		t.Fatalf("insert body %s: %v", resp.Body, err)
+	}
+
+	// The delegate sees the public row through its COW view.
+	path := fmt.Sprintf("/v1/user_dictionary/words/%d", ins.ID)
+	resp, _ = s.GatewayRequest(tokD, "GET", path, nil)
+	if resp.Status != 200 {
+		t.Fatalf("delegate point query: %d %s", resp.Status, resp.Body)
+	}
+
+	// Delegate writes land in its delta, invisible to the initiator.
+	resp, _ = s.GatewayRequest(tokD, "POST", "/v1/user_dictionary/words",
+		[]byte(`{"word":"delegate-only"}`))
+	if resp.Status != 201 {
+		t.Fatalf("delegate insert: %d %s", resp.Status, resp.Body)
+	}
+	q := "/v1/user_dictionary/words?" + url.Values{
+		"where": {"word = ?"}, "arg": {"delegate-only"},
+	}.Encode()
+	for _, tc := range []struct {
+		tok  string
+		want int
+	}{{tokD, 1}, {tokA, 0}} {
+		resp, _ = s.GatewayRequest(tc.tok, "GET", q, nil)
+		if resp.Status != 200 {
+			t.Fatalf("query as %s: %d %s", tc.tok, resp.Status, resp.Body)
+		}
+		var out struct {
+			Rows [][]any `json:"rows"`
+		}
+		if err := json.Unmarshal(resp.Body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Rows) != tc.want {
+			t.Fatalf("as %s: %d rows, want %d (confinement breach)", tc.tok, len(out.Rows), tc.want)
+		}
+	}
+
+	// Update + delete round out the reflected CRUD surface.
+	resp, _ = s.GatewayRequest(tokA, "PUT", path, []byte(`{"frequency":9}`))
+	if resp.Status != 200 {
+		t.Fatalf("update: %d %s", resp.Status, resp.Body)
+	}
+	resp, _ = s.GatewayRequest(tokA, "DELETE", path, nil)
+	if resp.Status != 200 {
+		t.Fatalf("delete: %d %s", resp.Status, resp.Body)
+	}
+	resp, _ = s.GatewayRequest(tokA, "GET", path, nil)
+	if resp.Status != 404 {
+		t.Fatalf("after delete: %d, want 404", resp.Status)
+	}
+}
+
+func TestSchemaAndExplain(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := bootGateway(t)
+	defer s.Shutdown()
+	if _, err := s.Launch("appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := s.GatewayRequest("u0:appA", "GET", "/v1/media/_schema", nil)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("schema: %v %d %s", err, resp.Status, resp.Body)
+	}
+	var schema struct {
+		Provider string `json:"provider"`
+		Tables   []struct {
+			Path    string `json:"path"`
+			Table   string `json:"table"`
+			View    bool   `json:"view"`
+			Columns []struct {
+				Name       string `json:"name"`
+				PrimaryKey bool   `json:"primary_key"`
+			} `json:"columns"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(resp.Body, &schema); err != nil {
+		t.Fatal(err)
+	}
+	if schema.Provider != "media" || len(schema.Tables) != 7 {
+		t.Fatalf("schema %s: %d tables", schema.Provider, len(schema.Tables))
+	}
+	byPath := map[string]bool{}
+	for _, tb := range schema.Tables {
+		byPath[tb.Path] = true
+		if tb.Path == "files" {
+			if tb.View || len(tb.Columns) == 0 {
+				t.Fatalf("files should be a base table with columns: %+v", tb)
+			}
+			if tb.Columns[0].Name != "_id" || !tb.Columns[0].PrimaryKey {
+				t.Fatalf("files first column: %+v", tb.Columns[0])
+			}
+		}
+		if tb.Path == "images" && !tb.View {
+			t.Fatalf("images should be reported as a view")
+		}
+	}
+	if !byPath["audio"] || !byPath["artists"] {
+		t.Fatalf("schema missing routes: %v", byPath)
+	}
+
+	// _explain reports the planner's access path for the caller's view.
+	q := "/v1/media/files/_explain?" + url.Values{
+		"where": {"_id = ?"}, "arg": {"1"},
+	}.Encode()
+	resp, _ = s.GatewayRequest("u0:appA", "GET", q, nil)
+	if resp.Status != 200 {
+		t.Fatalf("explain: %d %s", resp.Status, resp.Body)
+	}
+	if len(resp.Body) == 0 {
+		t.Fatal("empty explain body")
+	}
+}
+
+func TestGrantRevokedMidRequest(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := bootGateway(t)
+	defer s.Shutdown()
+	ctxA, err := s.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// appA writes a private file and grants viewer one-time access.
+	path := ctxA.DataDir() + "/secret.txt"
+	if err := vfs.WriteFile(ctxA.FS(), ctxA.Cred(), path, []byte("s3cret"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AM.StartActivity(ctxA, intent.Intent{
+		Action: intent.ActionView, Component: "viewer",
+		Data: path, Flags: intent.FlagGrantReadURIPermission,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The grantor dies before the remote client redeems the grant: the
+	// reaper revokes it, and the in-flight redemption gets a typed 403.
+	s.AM.StopInstance("appA", "")
+	resp, err := s.GatewayRequest("u0:viewer", "GET",
+		"/v1/_grant?uri="+url.QueryEscape(path), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 403 || codeOf(t, resp) != "forbidden" {
+		t.Fatalf("revoked grant: %d %s, want 403 forbidden", resp.Status, resp.Body)
+	}
+}
+
+func TestGrantServedThroughGateway(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := bootGateway(t)
+	defer s.Shutdown()
+	ctxA, err := s.Launch("appA", intent.Intent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ctxA.DataDir() + "/shared.txt"
+	if err := vfs.WriteFile(ctxA.FS(), ctxA.Cred(), path, []byte("payload"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AM.StartActivity(ctxA, intent.Intent{
+		Action: intent.ActionView, Component: "viewer",
+		Data: path, Flags: intent.FlagGrantReadURIPermission,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := s.GatewayRequest("u0:viewer", "GET",
+		"/v1/_grant?uri="+url.QueryEscape(path), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "payload" {
+		t.Fatalf("grant read: %d %q", resp.Status, resp.Body)
+	}
+	// One-time: a second redemption is refused.
+	resp, _ = s.GatewayRequest("u0:viewer", "GET",
+		"/v1/_grant?uri="+url.QueryEscape(path), nil)
+	if resp.Status != 403 {
+		t.Fatalf("second redemption: %d, want 403", resp.Status)
+	}
+}
+
+func TestHooksAndAudit(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s, err := core.Boot(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	if err := s.Install(nullApp{pkg: "appA"}, ams.Manifest{Package: "appA"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Launch("appA", intent.Intent{}); err != nil {
+		t.Fatal(err)
+	}
+	audit := gateway.NewAuditLog(8)
+	gw, err := s.StartGateway(core.GatewayOptions{Audit: audit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-hook vetoing one identity: its error maps through statusFor.
+	gw.Pre(func(info *gateway.RequestInfo) error {
+		if info.Identity == "banned" {
+			return fmt.Errorf("%w: banned", kernel.ErrPermissionDenied)
+		}
+		return nil
+	})
+
+	resp, err := s.GatewayRequest("u0:appA", "GET", "/v1/user_dictionary/words", nil)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("request: %v %d", err, resp.Status)
+	}
+	entries := audit.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("audit entries: %d", len(entries))
+	}
+	e := entries[0]
+	if e.Identity != "appA" || e.Status != 200 || e.Method != "GET" {
+		t.Fatalf("audit entry: %+v", e)
+	}
+
+	// The audit log also records rejected requests with their status.
+	if _, err := s.GatewayRequest("", "GET", "/v1/user_dictionary/words", nil); err != nil {
+		t.Fatal(err)
+	}
+	entries = audit.Entries()
+	if len(entries) != 2 || entries[1].Status != 401 {
+		t.Fatalf("audit after reject: %+v", entries)
+	}
+}

@@ -1,0 +1,230 @@
+package load
+
+// Gateway fleet engine: N simulated devices syncing Downloads/Media
+// through ONE shared backend over the remote gateway. Unlike Engine
+// (which drives raw binder dispatch), this engine exercises the full
+// remote path — netstack round trip, identity resolution, schema
+// routing, provider dispatch — so its numbers measure what a device
+// fleet would actually see.
+//
+// Devices are installed apps ("dev000".."devNNN") addressed by
+// identity token; the gateway runs with AllowDetached so a thousand
+// devices need not hold a thousand live AMS instances. Every response
+// must be typed: 2xx served, 429 overloaded (with Retry-After), 503
+// read-only. Anything else counts as Untyped and fails the run's
+// contract.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/core"
+	"maxoid/internal/intent"
+	"maxoid/internal/metrics"
+)
+
+// GatewayOptions shape one fleet run.
+type GatewayOptions struct {
+	// Workers is the number of concurrent clients (default min(devices, 8)).
+	Workers int
+	// Ops is the total number of requests across the fleet (default 1000).
+	Ops int
+	// WritePermille is how many requests per 1000 are provider writes
+	// (default 250 — a sync-heavy read mix).
+	WritePermille int
+	// Admission, when non-nil, installs AMS admission control for the
+	// run — the overload scenario. Cleared again when the run ends.
+	Admission *ams.AdmissionConfig
+	// Registry receives the run's client latency histogram; a private
+	// one is created when nil.
+	Registry *metrics.Registry
+}
+
+func (o *GatewayOptions) setDefaults(devices int) {
+	if o.Workers <= 0 {
+		o.Workers = devices
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	if o.Ops <= 0 {
+		o.Ops = 1000
+	}
+	if o.WritePermille < 0 {
+		o.WritePermille = 0
+	}
+	if o.WritePermille > 1000 {
+		o.WritePermille = 1000
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+}
+
+// GatewayResult is one fleet run's outcome. The typed-response
+// contract: Issued == Served + Rejected429 + Degraded503 and
+// Untyped == 0.
+type GatewayResult struct {
+	Devices     int
+	Workers     int
+	Issued      int64
+	Served      int64 // 2xx responses
+	Rejected429 int64 // typed overload, all carried Retry-After
+	Degraded503 int64 // typed read-only shed
+	Untyped     int64 // anything else — must be 0
+	Elapsed     time.Duration
+	Throughput  float64 // served requests per second
+	Latency     metrics.Snapshot
+	InFlightEnd int64 // admission in-flight gauge after drain (overload runs)
+}
+
+func (r *GatewayResult) String() string {
+	return fmt.Sprintf(
+		"devices=%d workers=%d issued=%d served=%d rej429=%d deg503=%d untyped=%d elapsed=%s thpt=%.0f/s p50=%s p99=%s p999=%s",
+		r.Devices, r.Workers, r.Issued, r.Served, r.Rejected429, r.Degraded503,
+		r.Untyped, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.Latency.P50(), r.Latency.P99(), r.Latency.P999())
+}
+
+// GatewayEngine owns one shared backend and a fleet of device
+// identities. Reusable across runs; Close shuts the backend down.
+type GatewayEngine struct {
+	Sys    *core.System
+	tokens []string
+}
+
+// deviceApp is the minimal installed package a fleet identity needs.
+type deviceApp struct{ pkg string }
+
+func (a *deviceApp) Package() string                           { return a.pkg }
+func (a *deviceApp) OnStart(*ams.Context, intent.Intent) error { return nil }
+
+// NewGatewayEngine boots a backend, installs n device packages, and
+// starts the gateway in detached-identity mode sized for the fleet.
+func NewGatewayEngine(n int) (*GatewayEngine, error) {
+	if n <= 0 {
+		n = 1
+	}
+	sys, err := core.Boot(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	e := &GatewayEngine{Sys: sys, tokens: make([]string, n)}
+	for i := 0; i < n; i++ {
+		pkg := fmt.Sprintf("dev%03d", i)
+		if err := sys.Install(&deviceApp{pkg: pkg}, ams.Manifest{}); err != nil {
+			sys.Shutdown()
+			return nil, err
+		}
+		e.tokens[i] = "u0:" + pkg
+	}
+	workers := 4
+	if n >= 64 {
+		workers = 8
+	}
+	if _, err := sys.StartGateway(core.GatewayOptions{AllowDetached: true, Workers: workers}); err != nil {
+		sys.Shutdown()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Close tears the backend (and its gateway) down.
+func (e *GatewayEngine) Close() { e.Sys.Shutdown() }
+
+// Run drives the fleet: each request rotates through the device
+// identities; writes insert Downloads/Media rows, reads list them in
+// stable order — the sync loop a fleet device runs.
+func (e *GatewayEngine) Run(opts GatewayOptions) (*GatewayResult, error) {
+	opts.setDefaults(len(e.tokens))
+	var adm *ams.Admission
+	if opts.Admission != nil {
+		adm = e.Sys.AM.EnableAdmissionControl(*opts.Admission)
+		adm.SetMetrics(opts.Registry)
+		defer e.Sys.Router.SetAdmission(nil)
+	}
+	lat := opts.Registry.Histogram("gw.client.latency")
+
+	var issued, served, rej429, deg503, untyped atomic.Int64
+	var firstBad atomic.Value // first untyped response, for the error
+	next := atomic.Int64{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Ops {
+					return
+				}
+				tok := e.tokens[i%len(e.tokens)]
+				method, path, body := e.request(i, opts.WritePermille)
+				t0 := time.Now()
+				resp, err := e.Sys.GatewayRequest(tok, method, path, body)
+				lat.Observe(time.Since(t0))
+				issued.Add(1)
+				switch {
+				case err != nil:
+					untyped.Add(1)
+					firstBad.CompareAndSwap(nil, fmt.Sprintf("transport: %v", err))
+				case resp.Status >= 200 && resp.Status < 300:
+					served.Add(1)
+				case resp.Status == 429 && resp.Header("Retry-After") != "":
+					rej429.Add(1)
+				case resp.Status == 503 && resp.Header("Retry-After") != "":
+					deg503.Add(1)
+				default:
+					untyped.Add(1)
+					firstBad.CompareAndSwap(nil, fmt.Sprintf("%s %s -> %d %s", method, path, resp.Status, resp.Body))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &GatewayResult{
+		Devices:     len(e.tokens),
+		Workers:     opts.Workers,
+		Issued:      issued.Load(),
+		Served:      served.Load(),
+		Rejected429: rej429.Load(),
+		Degraded503: deg503.Load(),
+		Untyped:     untyped.Load(),
+		Elapsed:     elapsed,
+		Latency:     lat.Snapshot(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Served) / elapsed.Seconds()
+	}
+	if adm != nil {
+		res.InFlightEnd = adm.InFlight()
+	}
+	if res.Untyped != 0 {
+		return res, fmt.Errorf("load: %d untyped gateway responses (first: %v)", res.Untyped, firstBad.Load())
+	}
+	return res, nil
+}
+
+// request deterministically picks the i-th operation in the sync mix.
+// Writes alternate between Downloads and Media inserts; reads
+// alternate between listing each in stable order.
+func (e *GatewayEngine) request(i, writePermille int) (method, path string, body []byte) {
+	if (i*997)%1000 < writePermille {
+		if i%2 == 0 {
+			return "POST", "/v1/downloads/my_downloads",
+				[]byte(fmt.Sprintf(`{"uri":"http://sync.example.com/f%d","title":"f%d","status":200}`, i, i))
+		}
+		return "POST", "/v1/media/files",
+			[]byte(fmt.Sprintf(`{"_data":"/storage/sdcard/DCIM/s%d.jpg","media_type":1,"title":"s%d","size":%d}`, i, i, i))
+	}
+	if i%2 == 0 {
+		return "GET", "/v1/downloads/my_downloads?order=_id", nil
+	}
+	return "GET", "/v1/media/files?columns=_id,title,size&order=_id", nil
+}

@@ -1,0 +1,59 @@
+package load
+
+import (
+	"testing"
+
+	"maxoid/internal/ams"
+	"maxoid/internal/testutil"
+)
+
+// TestGatewayFleetTyped runs a small fleet and requires the typed
+// contract: everything served, nothing untyped, and the ledger adds up.
+func TestGatewayFleetTyped(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	e, err := NewGatewayEngine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	res, err := e.Run(GatewayOptions{Ops: 400, Workers: 4, WritePermille: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued != 400 || res.Served != 400 {
+		t.Fatalf("issued=%d served=%d, want 400/400 (%s)", res.Issued, res.Served, res)
+	}
+	if res.Untyped != 0 {
+		t.Fatalf("untyped responses: %d", res.Untyped)
+	}
+	if res.Latency.Count != 400 {
+		t.Fatalf("latency samples: %d, want 400", res.Latency.Count)
+	}
+}
+
+// TestGatewayFleetOverloadTyped floods through admission control: every
+// response is 2xx or a typed 429, and in-flight drains to zero.
+func TestGatewayFleetOverloadTyped(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	e, err := NewGatewayEngine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	res, err := e.Run(GatewayOptions{
+		Ops: 300, Workers: 8, WritePermille: 1000,
+		Admission: &ams.AdmissionConfig{PerAppRate: 5, PerAppBurst: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected429 == 0 {
+		t.Fatalf("no 429s under a 5/s cap: %s", res)
+	}
+	if res.Served+res.Rejected429+res.Degraded503 != res.Issued {
+		t.Fatalf("ledger mismatch: %s", res)
+	}
+	if res.InFlightEnd != 0 {
+		t.Fatalf("in-flight after drain: %d", res.InFlightEnd)
+	}
+}

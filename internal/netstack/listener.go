@@ -1,0 +1,157 @@
+package netstack
+
+// The listener is the connection-oriented seam of the simulated
+// network: a server (the Maxoid gateway) binds a host name, pulls
+// requests off an accept queue, and replies to each one. Clients keep
+// using RoundTrip — a request to a listening host rendezvouses with an
+// Accept call instead of running a Handler inline, which gives the
+// server real worker goroutines, a real accept loop, and a real
+// Close-versus-blocked-accept race to get right (mirroring the PR 2
+// Downloads Close-vs-fetch fix): Close during a blocked Accept returns
+// the typed ErrListenerClosed, never hangs, and never leaks the
+// accepting goroutine.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"maxoid/internal/fault"
+)
+
+// ErrListenerClosed is returned by Accept once the listener is closed,
+// and to clients whose in-flight requests the close tears down. It is
+// the listener's EPIPE: typed, terminal, and never wrapped in an
+// untyped failure.
+var ErrListenerClosed = errors.New("netstack: listener closed")
+
+// faultAccept injects accept-path failures, modeling a server that
+// drops connections under churn (see internal/fault). An injected hit
+// fails one Accept call; the listener stays up and queued requests
+// stay queued for the next Accept.
+var faultAccept = fault.Declare("net.accept", "listener accept: fail one accept without closing the listener")
+
+// serveResult carries a server's reply back to the blocked RoundTrip.
+type serveResult struct {
+	resp Response
+	err  error
+}
+
+// ServerRequest is one accepted request: the client's Request plus the
+// reply channel its RoundTrip blocks on. Exactly one Reply must be
+// made per accepted request; Reply is idempotent against double calls
+// (the second is dropped) so shutdown paths cannot wedge a client.
+type ServerRequest struct {
+	Req   Request
+	reply chan serveResult
+	once  sync.Once
+}
+
+// Reply completes the request: the client's RoundTrip returns resp (or
+// err). Reply never blocks.
+func (sr *ServerRequest) Reply(resp Response, err error) {
+	sr.once.Do(func() { sr.reply <- serveResult{resp: resp, err: err} })
+}
+
+// Listener is a bound host accepting requests. Create with
+// Network.Listen; free with Close.
+type Listener struct {
+	net   *Network
+	host  string
+	queue chan *ServerRequest
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// listenBacklog bounds the accept queue; beyond it, clients block in
+// RoundTrip until a server goroutine drains the queue (the network's
+// natural backpressure, upstream of any admission control).
+const listenBacklog = 128
+
+// Listen binds host to a new listener. The host becomes reachable
+// immediately; requests queue until Accept is called. Binding an
+// already-registered host fails: two servers must not silently steal
+// each other's traffic.
+func (n *Network) Listen(host string) (*Listener, error) {
+	l := &Listener{
+		net:   n,
+		host:  host,
+		queue: make(chan *ServerRequest, listenBacklog),
+		done:  make(chan struct{}),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.hosts[host]; taken {
+		return nil, fmt.Errorf("netstack: host %s already registered", host)
+	}
+	n.hosts[host] = l
+	return l, nil
+}
+
+// Serve implements Handler: a RoundTrip to the listening host enqueues
+// the request and blocks until a server goroutine replies or the
+// listener closes. Runs on the client's goroutine.
+func (l *Listener) Serve(req Request) (Response, error) {
+	sr := &ServerRequest{Req: req, reply: make(chan serveResult, 1)}
+	select {
+	case l.queue <- sr:
+	case <-l.done:
+		return Response{}, fmt.Errorf("netstack: %s: %w", l.host, ErrListenerClosed)
+	}
+	select {
+	case res := <-sr.reply:
+		return res.resp, res.err
+	case <-l.done:
+		// The close raced an in-flight request. A server goroutine may
+		// still Reply into the buffered channel; the client is released
+		// with the typed error either way.
+		return Response{}, fmt.Errorf("netstack: %s: %w", l.host, ErrListenerClosed)
+	}
+}
+
+// Accept blocks until a request arrives or the listener closes. A
+// closed listener fails with the typed ErrListenerClosed — including
+// when Close happens while Accept is already blocked, which must
+// release the accepting goroutine rather than hang it. Injected
+// net.accept faults fail this one call and leave the listener serving.
+func (l *Listener) Accept() (*ServerRequest, error) {
+	if err := fault.Hit(faultAccept); err != nil {
+		return nil, fmt.Errorf("netstack: accept %s: %w", l.host, err)
+	}
+	select {
+	case sr := <-l.queue:
+		return sr, nil
+	case <-l.done:
+		// Drain preference: requests that made it into the queue before
+		// the close are still handed out, so accepted work is never
+		// silently dropped by a racing Close.
+		select {
+		case sr := <-l.queue:
+			return sr, nil
+		default:
+			return nil, fmt.Errorf("netstack: accept %s: %w", l.host, ErrListenerClosed)
+		}
+	}
+}
+
+// Close unbinds the host and releases every blocked Accept and every
+// client waiting on an unaccepted or in-flight request, all with the
+// typed ErrListenerClosed. Idempotent.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() {
+		l.net.mu.Lock()
+		// Unbind only our own registration: a listener that already
+		// lost the name (re-Listen after Close) must not remove the
+		// successor.
+		if h, ok := l.net.hosts[l.host]; ok && h == Handler(l) {
+			delete(l.net.hosts, l.host)
+		}
+		l.net.mu.Unlock()
+		close(l.done)
+	})
+	return nil
+}
+
+// Host returns the bound host name.
+func (l *Listener) Host() string { return l.host }

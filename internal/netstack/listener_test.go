@@ -1,0 +1,158 @@
+package netstack
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"maxoid/internal/fault"
+	"maxoid/internal/testutil"
+)
+
+// TestListenerRoundTrip drives a request through Listen/Accept/Reply.
+func TestListenerRoundTrip(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	n := New(0, 0)
+	l, err := n.Listen("gw")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+
+	go func() {
+		sr, err := l.Accept()
+		if err != nil {
+			return
+		}
+		sr.Reply(Response{Status: 200, Body: append([]byte("echo:"), sr.Req.Body...)}, nil)
+	}()
+
+	resp, err := n.RoundTrip(Request{Host: "gw", Path: "/x", Method: "GET", Body: []byte("hi"),
+		Headers: map[string]string{"k": "v"}})
+	if err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "echo:hi" {
+		t.Fatalf("got %d %q", resp.Status, resp.Body)
+	}
+}
+
+// TestListenerCloseUnblocksAccept is the regression test for the
+// Close-vs-in-flight-accept race: a Close while Accept is blocked must
+// release the accepting goroutine with the typed ErrListenerClosed —
+// not hang, not leak, not return an untyped error.
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	n := New(0, 0)
+	l, err := n.Listen("gw")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	// Let the accept actually block before closing.
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrListenerClosed) {
+			t.Fatalf("accept after close: got %v, want ErrListenerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept still blocked 2s after Close")
+	}
+	// Idempotent close; the host is unbound.
+	_ = l.Close()
+	if _, err := n.RoundTrip(Request{Host: "gw"}); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("roundtrip after close: got %v, want ErrNoHost", err)
+	}
+}
+
+// TestListenerCloseReleasesClients: clients blocked in RoundTrip on an
+// unaccepted request get the typed error when the listener closes.
+func TestListenerCloseReleasesClients(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	n := New(0, 0)
+	l, err := n.Listen("gw")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = n.RoundTrip(Request{Host: "gw", Path: "/queued"})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	_ = l.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrListenerClosed) {
+			t.Fatalf("client %d: got %v, want ErrListenerClosed", i, err)
+		}
+	}
+}
+
+// TestListenerDoubleBind: a second Listen on a bound host fails, and
+// re-binding after Close succeeds.
+func TestListenerDoubleBind(t *testing.T) {
+	n := New(0, 0)
+	l, err := n.Listen("gw")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	if _, err := n.Listen("gw"); err == nil {
+		t.Fatal("second Listen on a bound host succeeded")
+	}
+	_ = l.Close()
+	l2, err := n.Listen("gw")
+	if err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+	_ = l2.Close()
+}
+
+// TestListenerAcceptFault: an injected net.accept fault fails one
+// Accept call with a typed injected error and leaves the listener
+// serving; the queued request is handed to the next Accept.
+func TestListenerAcceptFault(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	fault.Enable(1, fault.Spec{Point: "net.accept", Prob: 1, Times: 1})
+	defer fault.Disable()
+
+	n := New(0, 0)
+	l, err := n.Listen("gw")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := n.RoundTrip(Request{Host: "gw", Path: "/x"})
+		if err != nil || resp.Status != 204 {
+			t.Errorf("roundtrip: %v %v", resp, err)
+		}
+	}()
+
+	if _, err := l.Accept(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("first accept: got %v, want injected fault", err)
+	}
+	sr, err := l.Accept()
+	if err != nil {
+		t.Fatalf("second accept: %v", err)
+	}
+	sr.Reply(Response{Status: 204}, nil)
+	<-done
+}

@@ -25,17 +25,38 @@ var ErrNoHost = errors.New("netstack: no such host")
 // the host, modeling network partitions (see internal/fault).
 var faultConnect = fault.Declare("netstack.connect", "network round trip: fail before the request reaches the host")
 
-// Request is a simplified HTTP-like request.
+// Request is a simplified HTTP-like request. Method and Headers are
+// optional: plain download-style fetches leave them empty, the gateway
+// routes on them.
 type Request struct {
-	Host string
-	Path string
-	Body []byte
+	Host    string
+	Path    string
+	Body    []byte
+	Method  string            // GET/POST/PUT/DELETE; "" reads as GET
+	Headers map[string]string // e.g. the gateway identity token
+}
+
+// Header returns a request header ("" when absent).
+func (r Request) Header(key string) string {
+	if r.Headers == nil {
+		return ""
+	}
+	return r.Headers[key]
 }
 
 // Response is a simplified HTTP-like response.
 type Response struct {
-	Status int
-	Body   []byte
+	Status  int
+	Body    []byte
+	Headers map[string]string // e.g. Retry-After on 429/503
+}
+
+// Header returns a response header ("" when absent).
+func (r Response) Header(key string) string {
+	if r.Headers == nil {
+		return ""
+	}
+	return r.Headers[key]
 }
 
 // Handler serves requests for one host.

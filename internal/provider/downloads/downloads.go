@@ -148,6 +148,15 @@ func (p *Provider) Authority() string { return Authority }
 // Proxy exposes the COW proxy for Maxoid administrative operations.
 func (p *Provider) Proxy() *cowproxy.Proxy { return p.proxy }
 
+// TableRoutes implements provider.Reflector: the URI vocabulary the
+// gateway reflects into REST routes, with the catalog tables behind it.
+func (p *Provider) TableRoutes() []provider.TableRoute {
+	return []provider.TableRoute{
+		{Path: "my_downloads", Table: "downloads"},
+		{Path: "headers", Table: "request_headers"},
+	}
+}
+
 // Subscribe registers a listener for completion notifications.
 func (p *Provider) Subscribe(fn func(Event)) {
 	p.mu.Lock()

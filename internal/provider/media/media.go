@@ -127,6 +127,22 @@ func (p *Provider) Authority() string { return Authority }
 // Proxy exposes the COW proxy for Maxoid administrative operations.
 func (p *Provider) Proxy() *cowproxy.Proxy { return p.proxy }
 
+// TableRoutes implements provider.Reflector. The base tables carry
+// real catalog schemas; the user views (images/audio/...) are routed
+// under their own names — their column shape comes from the view SQL,
+// so the gateway reports them as views without column details.
+func (p *Provider) TableRoutes() []provider.TableRoute {
+	return []provider.TableRoute{
+		{Path: "files", Table: "files"},
+		{Path: "artists", Table: "artists"},
+		{Path: "albums", Table: "albums"},
+		{Path: "images", Table: "images"},
+		{Path: "audio_meta", Table: "audio_meta"},
+		{Path: "video", Table: "video"},
+		{Path: "audio", Table: "audio"},
+	}
+}
+
 // tableFor maps URI paths to tables/views.
 func tableFor(uri provider.URI) (string, error) {
 	segs := uri.Path()

@@ -12,6 +12,7 @@ package provider
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -124,6 +125,22 @@ func (u URI) WithID(id int64) URI {
 	return URI{Authority: u.Authority, Segments: segs}
 }
 
+// TableRoute maps one URI path a provider exposes to the sqldb table
+// (or registered user view) backing it — the seam the gateway uses to
+// reflect provider schemas into REST routes.
+type TableRoute struct {
+	Path  string // URI path segment, e.g. "my_downloads"
+	Table string // backing sqldb table or view name in the catalog
+}
+
+// Reflector is implemented by providers whose URI vocabulary can be
+// reflected into auto-generated endpoints. Paths are the provider's own
+// addressing (what ParseURI sees); tables are what the sqldb catalog
+// describes, so introspection can list real columns per route.
+type Reflector interface {
+	TableRoutes() []TableRoute
+}
+
 // Caller aliases the binder caller identity.
 type Caller = binder.Caller
 
@@ -172,6 +189,16 @@ func (r *Registry) Register(p Provider) {
 func (r *Registry) Provider(authority string) (Provider, bool) {
 	p, ok := r.providers[authority]
 	return p, ok
+}
+
+// Authorities returns the registered authorities, sorted.
+func (r *Registry) Authorities() []string {
+	out := make([]string, 0, len(r.providers))
+	for a := range r.providers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // providerEndpoint adapts a Provider to the binder Handler interface.

@@ -66,6 +66,11 @@ func (p *Provider) Authority() string { return Authority }
 // (Clear-Vol).
 func (p *Provider) Proxy() *cowproxy.Proxy { return p.proxy }
 
+// TableRoutes implements provider.Reflector.
+func (p *Provider) TableRoutes() []provider.TableRoute {
+	return []provider.TableRoute{{Path: "words", Table: "words"}}
+}
+
 // conn selects the Maxoid view for the caller.
 func (p *Provider) conn(c provider.Caller) *cowproxy.Conn {
 	return p.proxy.For(provider.InitiatorOf(c))
